@@ -1,0 +1,227 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it sweeps
+the relevant design points (cached per session), renders the same
+rows/series the paper reports via :mod:`repro.report`, writes them under
+``benchmarks/results/``, prints them to stdout, and asserts the
+qualitative *shape* claims (who wins, monotonicity, crossover) that a
+reproduction must preserve.  The ``benchmark`` fixture times the
+operation at the heart of the experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dse.space import DesignEvaluation, DesignSpace
+from repro.ir import LoopNest
+from repro.kernels import Kernel, kernel_by_name
+from repro.report import Figure, Table
+from repro.target import Board, wildstar_nonpipelined, wildstar_pipelined
+from repro.transform import UnrollVector
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def board_for(mode: str) -> Board:
+    return wildstar_pipelined() if mode == "pipelined" else wildstar_nonpipelined()
+
+
+def powers_of_two_up_to(limit: int) -> List[int]:
+    values = []
+    value = 1
+    while value <= limit:
+        values.append(value)
+        value *= 2
+    return values
+
+
+def sweep_grid(
+    kernel: Kernel,
+    mode: str,
+    outer_factors: Optional[Sequence[int]] = None,
+    inner_factors: Optional[Sequence[int]] = None,
+) -> Tuple[DesignSpace, Dict[Tuple[int, int], DesignEvaluation]]:
+    """Evaluate a 2-D grid of unroll factors for a kernel.
+
+    For 3-deep nests (MM) the innermost loop is pinned at 1 and the grid
+    ranges over the two outermost loops, as in the paper's figures.
+    """
+    program = kernel.program()
+    board = board_for(mode)
+    nest = LoopNest(program)
+    pinned = tuple(range(2, nest.depth))
+    space = DesignSpace(program, board, pinned_depths=pinned)
+    trips = nest.trip_counts
+    outer_factors = outer_factors or powers_of_two_up_to(trips[0])
+    inner_factors = inner_factors or powers_of_two_up_to(trips[1])
+    grid: Dict[Tuple[int, int], DesignEvaluation] = {}
+    for outer in outer_factors:
+        for inner in inner_factors:
+            factors = [outer, inner] + [1] * (nest.depth - 2)
+            vector = UnrollVector(tuple(factors))
+            if not space.is_valid(vector):
+                continue
+            grid[(outer, inner)] = space.evaluate(vector)
+    return space, grid
+
+
+def figure_triplet(
+    kernel: Kernel,
+    mode: str,
+    grid: Dict[Tuple[int, int], DesignEvaluation],
+    figure_number: int,
+) -> Tuple[Figure, Figure, Figure]:
+    """The paper's per-kernel figure: balance, cycles, area — one series
+    per outer unroll factor, x-axis the inner unroll factor."""
+    title = f"Figure {figure_number}: {kernel.name.upper()} ({mode})"
+    balance = Figure(f"{title} — (a) Balance", "inner unroll factor", "balance")
+    cycles = Figure(f"{title} — (b) Execution cycles", "inner unroll factor",
+                    "cycles", log_y=True)
+    area = Figure(f"{title} — (c) Design area", "inner unroll factor",
+                  "slices", log_y=True)
+    outers = sorted({outer for outer, _ in grid})
+    for outer in outers:
+        b_series = balance.new_series(f"outer={outer}")
+        c_series = cycles.new_series(f"outer={outer}")
+        a_series = area.new_series(f"outer={outer}")
+        for (o, inner), evaluation in sorted(grid.items()):
+            if o != outer:
+                continue
+            b_series.add(inner, evaluation.balance)
+            c_series.add(inner, float(evaluation.cycles))
+            a_series.add(inner, float(evaluation.space))
+    return balance, cycles, area
+
+
+def emit(name: str, *blocks: str) -> None:
+    """Print rendered blocks and persist them under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n\n".join(blocks) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print()
+    print(text)
+
+
+def capacity_line(board: Board) -> str:
+    return (
+        f"device capacity: {board.fpga.capacity_slices} slices "
+        f"({board.fpga.name}); designs beyond it are unrealizable"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shape assertions shared by the figure benchmarks
+# ---------------------------------------------------------------------------
+
+def assert_unrolling_improves_cycles(grid, min_speedup=2.0):
+    """Observation 2 in grid form.
+
+    Exact per-row monotonicity holds along the search's doubling path
+    (tested in tests/integration/test_observations.py) but not at the
+    grid's degenerate corners, where a fully unrolled loop removes a
+    reuse carrier and the prologue dominates.  The claims that hold
+    everywhere: no point is slower than the baseline-times-noise, every
+    row's best is no worse than its start, and unrolling buys a
+    substantial overall win.
+    """
+    baseline = grid[min(grid)]
+    slowest = max(e.cycles for e in grid.values())
+    assert slowest <= baseline.cycles * 1.05
+    outers = sorted({o for o, _ in grid})
+    for outer in outers:
+        row = [e.cycles for (o, _i), e in sorted(grid.items()) if o == outer]
+        assert min(row) <= row[0]
+    fastest = min(e.cycles for e in grid.values())
+    assert fastest * min_speedup <= baseline.cycles
+
+
+def assert_area_increasing_with_product(grid):
+    """Bigger unroll products cost more slices.
+
+    The model has local dips (operator demand depends on the schedule's
+    exact shape), so the assertion is the paper-level trend: every row
+    ends above where it starts, and the inner=1 column rises monotonically
+    with the outer factor.
+    """
+    outers = sorted({o for o, _ in grid})
+    for outer in outers:
+        row = [e.space for (o, _i), e in sorted(grid.items()) if o == outer]
+        assert max(row) >= row[0]
+    column = [e.space for (_o, i), e in sorted(grid.items()) if i == 1]
+    for before, after in zip(column, column[1:]):
+        assert after >= before
+
+
+def assert_some_designs_exceed_capacity(grid, board):
+    assert any(
+        not evaluation.estimate.fits(board) for evaluation in grid.values()
+    ), "the sweep should cross the capacity line like the paper's plots"
+
+
+def assert_feasible_designs_exist(grid, board):
+    assert any(
+        evaluation.estimate.fits(board) for evaluation in grid.values()
+    )
+
+
+class FigureBench:
+    """Base class for the per-kernel figure benchmarks (Figures 4-10).
+
+    Subclasses set ``kernel_name``, ``mode``, and ``figure_number`` and
+    add kernel-specific shape assertions.  The common tests regenerate
+    the three panels, persist them, check the universal shapes, and time
+    one design-point evaluation (the unit of work the figure sweeps).
+    """
+
+    kernel_name: str = ""
+    mode: str = ""
+    figure_number: int = 0
+    #: whether this kernel's sweep crosses the Virtex-1000 capacity line
+    #: (the word-wide kernels do; the small byte kernels fit everywhere).
+    crosses_capacity: bool = True
+
+    _cache: Dict[Tuple[str, str], Tuple[DesignSpace, Dict]] = {}
+
+    @classmethod
+    def data(cls):
+        key = (cls.kernel_name, cls.mode)
+        if key not in cls._cache:
+            kernel = kernel_by_name(cls.kernel_name)
+            cls._cache[key] = sweep_grid(kernel, cls.mode)
+        return cls._cache[key]
+
+    def test_regenerate_figure(self, benchmark):
+        space, grid = self.data()
+        kernel = kernel_by_name(self.kernel_name)
+        board = board_for(self.mode)
+        balance, cycles, area = figure_triplet(
+            kernel, self.mode, grid, self.figure_number
+        )
+        emit(
+            f"fig{self.figure_number}_{self.kernel_name}_{self.mode.replace('-', '')}",
+            balance.render(), cycles.render(),
+            area.render(), capacity_line(board),
+        )
+        # time the unit of work: synthesizing one mid-size design point
+        sample = sorted(grid)[len(grid) // 2]
+        vector = grid[sample].unroll
+        from repro.synthesis import synthesize
+        design = grid[sample].design
+        benchmark(lambda: synthesize(design.program, board, design.plan))
+
+    def test_cycles_shape(self, benchmark):
+        _space, grid = self.data()
+        assert_unrolling_improves_cycles(grid)
+        benchmark(lambda: assert_area_increasing_with_product(grid))
+
+    def test_capacity_crossover(self, benchmark):
+        _space, grid = self.data()
+        board = board_for(self.mode)
+        assert_feasible_designs_exist(grid, board)
+        if self.crosses_capacity:
+            assert_some_designs_exceed_capacity(grid, board)
+        else:
+            assert all(e.estimate.fits(board) for e in grid.values())
+        benchmark(lambda: sum(e.space for e in grid.values()))

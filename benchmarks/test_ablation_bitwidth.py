@@ -1,0 +1,92 @@
+"""Ablation: bitwidth narrowing (Section 2.4's "reduced data widths").
+
+The paper motivates FPGAs with multimedia codes on 8- and 16-bit data
+whose datapaths need far fewer bits than C's `int`.  This bench runs the
+value-range analysis on every kernel, narrows the declared types, and
+measures the operator/register area saved at a fixed unroll factor.
+"""
+
+import pytest
+
+from benchmarks.common import board_for, emit
+from repro.analysis.bitwidth import analyze_bitwidths
+from repro.ir import LoopNest, run_program
+from repro.kernels import ALL_KERNELS
+from repro.report import Table
+from repro.synthesis import synthesize
+from repro.transform import (
+    PipelineOptions, UnrollVector, compile_design, narrow_types,
+)
+
+
+def factors_for(kernel):
+    trips = LoopNest(kernel.program()).trip_counts
+    return UnrollVector(tuple(min(4, t) for t in trips[:2]) + (1,) * (len(trips) - 2))
+
+
+class TestBitwidthAblation:
+    def test_regenerate_savings_table(self, benchmark):
+        board = board_for("pipelined")
+        table = Table(
+            "Ablation: bitwidth narrowing at unroll 4x4 (pipelined)",
+            ["Program", "Widest acc (bits)", "Narrowed (bits)",
+             "Space before", "Space after", "Saved %"],
+        )
+        for kernel in ALL_KERNELS:
+            program = kernel.program()
+            report = analyze_bitwidths(program, kernel.value_ranges())
+            narrowed = narrow_types(program, report)
+            acc = kernel.output_arrays[0]
+            factors = factors_for(kernel)
+            wide = compile_design(program, factors, 4)
+            tight = compile_design(narrowed, factors, 4)
+            wide_estimate = synthesize(wide.program, board, wide.plan)
+            tight_estimate = synthesize(tight.program, board, tight.plan)
+            saved = 100.0 * (1 - tight_estimate.space / wide_estimate.space)
+            table.add_row(
+                kernel.name.upper(),
+                program.decl(acc).type.width,
+                narrowed.decl(acc).type.width,
+                wide_estimate.space, tight_estimate.space, round(saved, 1),
+            )
+            assert tight_estimate.space <= wide_estimate.space
+        emit("ablation_bitwidth", table.render())
+        benchmark(lambda: analyze_bitwidths(
+            ALL_KERNELS[0].program(), ALL_KERNELS[0].value_ranges()
+        ))
+
+    def test_narrowing_preserves_results_at_scale(self, benchmark):
+        """End-to-end: narrowed + fully transformed designs compute the
+        same outputs for every kernel."""
+        for kernel in ALL_KERNELS:
+            program = kernel.program()
+            options = PipelineOptions(
+                narrow_bitwidths=True,
+                input_value_ranges=kernel.value_ranges(),
+            )
+            design = compile_design(program, factors_for(kernel), 4, options)
+            inputs = kernel.random_inputs(51)
+            expected = run_program(program, inputs)
+            state = run_program(
+                design.program, design.plan.distribute_inputs(inputs)
+            )
+            for array in kernel.output_arrays:
+                assert design.plan.gather_array(
+                    state.snapshot_arrays(), array
+                ) == expected.arrays[array].cells
+        benchmark(lambda: None)
+
+    def test_savings_meaningful_for_word_kernels(self, benchmark):
+        """FIR's 32-bit declared datapath shrinks by a significant
+        fraction once the analysis proves the accumulator's span."""
+        board = board_for("pipelined")
+        from repro.kernels import FIR
+        program = FIR.program()
+        narrowed = narrow_types(program, input_ranges=FIR.value_ranges())
+        factors = factors_for(FIR)
+        wide = compile_design(program, factors, 4)
+        tight = compile_design(narrowed, factors, 4)
+        wide_space = synthesize(wide.program, board, wide.plan).space
+        tight_space = synthesize(tight.program, board, tight.plan).space
+        assert tight_space <= wide_space * 0.85
+        benchmark(lambda: tight_space)

@@ -1,0 +1,59 @@
+"""Ablation: operator allocation limits (Section 2.3).
+
+"The designer might request a design that uses two multipliers and
+takes at most 10 clock cycles."  This bench sweeps multiplier limits on
+unrolled FIR, mapping out the cycles/area Pareto the designer-facing
+knob controls — the trade behavioral synthesis negotiates when binding
+operations to a bounded allocation.
+"""
+
+import pytest
+
+from benchmarks.common import board_for, emit
+from repro.kernels import FIR
+from repro.report import Table
+from repro.synthesis import ResourceConstraints, synthesize
+from repro.transform import UnrollVector, compile_design
+
+LIMITS = (1, 2, 4, 8, None)
+
+
+class TestResourceSweep:
+    def test_regenerate_sweep(self, benchmark):
+        board = board_for("pipelined")
+        design = compile_design(FIR.program(), UnrollVector.of(4, 4), 4)
+        table = Table(
+            "Multiplier allocation sweep, FIR at unroll 4x4 (pipelined)",
+            ["Multipliers", "Cycles", "Operator slices", "Total slices"],
+        )
+        rows = []
+        for limit in LIMITS:
+            constraints = None if limit is None else ResourceConstraints.of(mul=limit)
+            estimate = synthesize(design.program, board, design.plan,
+                                  constraints=constraints)
+            label = "unlimited" if limit is None else str(limit)
+            table.add_row(label, estimate.cycles,
+                          estimate.area.operators, estimate.space)
+            rows.append(estimate)
+        emit("ablation_resources", table.render())
+        cycles = [e.cycles for e in rows]
+        areas = [e.area.operators for e in rows]
+        # tighter allocation: never faster, never bigger
+        assert cycles == sorted(cycles, reverse=True)
+        assert areas == sorted(areas)
+        benchmark(lambda: synthesize(
+            design.program, board, design.plan,
+            constraints=ResourceConstraints.of(mul=2),
+        ))
+
+    def test_pareto_is_nontrivial(self, benchmark):
+        """The knob actually moves both axes: one multiplier is
+        meaningfully smaller AND meaningfully slower than unlimited."""
+        board = board_for("pipelined")
+        design = compile_design(FIR.program(), UnrollVector.of(4, 4), 4)
+        one = synthesize(design.program, board, design.plan,
+                         constraints=ResourceConstraints.of(mul=1))
+        free = synthesize(design.program, board, design.plan)
+        assert one.area.operators <= free.area.operators * 0.5
+        assert one.cycles >= free.cycles * 1.3
+        benchmark(lambda: one.cycles)

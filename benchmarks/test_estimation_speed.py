@@ -1,0 +1,62 @@
+"""Section 6.2 timing claims.
+
+"The algorithm executed in less than 5 minutes for each application, but
+to fully synthesize each design would require an additional couple of
+hours" — estimation is "anywhere from 10 to 10,000 times" faster than
+full synthesis.
+
+With no Mentor toolchain here, the measurable claims are: a complete
+exploration finishes in seconds (well under the paper's 5 minutes even
+though our substrate is pure Python), and a single behavioral estimate
+is milliseconds-fast, which is what makes searching dozens of candidate
+designs tractable at all.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import board_for, emit
+from repro.dse import explore
+from repro.kernels import ALL_KERNELS, FIR
+from repro.report import Table
+from repro.synthesis import synthesize
+from repro.transform import UnrollVector, compile_design
+
+
+class TestExplorationSpeed:
+    def test_all_kernels_under_five_minutes(self, benchmark):
+        table = Table(
+            "Exploration wall time (paper bound: < 5 minutes per application)",
+            ["Program", "Memory", "Seconds"],
+        )
+        total = 0.0
+        for kernel in ALL_KERNELS:
+            for mode in ("non-pipelined", "pipelined"):
+                start = time.perf_counter()
+                explore(kernel.program(), board_for(mode))
+                elapsed = time.perf_counter() - start
+                total += elapsed
+                table.add_row(kernel.name.upper(), mode, round(elapsed, 3))
+                assert elapsed < 300.0
+        emit("estimation_speed", table.render())
+        benchmark(lambda: None)
+        assert total < 600.0
+
+    def test_single_estimate_fast(self, benchmark):
+        board = board_for("pipelined")
+        design = compile_design(FIR.program(), UnrollVector.of(4, 4), 4)
+        result = benchmark(lambda: synthesize(design.program, board, design.plan))
+        assert result.cycles > 0
+
+    def test_estimation_cost_scales_with_design_size(self, benchmark):
+        """Bigger unrolled bodies cost more to estimate but stay
+        interactive — the property behavioral estimation must have for
+        design space exploration to beat full synthesis."""
+        board = board_for("pipelined")
+        big = compile_design(FIR.program(), UnrollVector.of(16, 16), 4)
+        start = time.perf_counter()
+        synthesize(big.program, board, big.plan)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0
+        benchmark(lambda: synthesize(big.program, board, big.plan))

@@ -1,0 +1,29 @@
+"""Figure 10: Balance, Execution Time and Area for pipelined SOBEL.
+
+Paper shape: the 3x3 window's shift-register chains keep three leading
+loads per point; the wide reduction tree (10 adds + 2 abs per point)
+makes small designs compute bound, with balance falling as window rows
+replicate.
+"""
+
+from benchmarks.common import FigureBench
+
+
+class TestFig10(FigureBench):
+    kernel_name = "sobel"
+    mode = "pipelined"
+    crosses_capacity = False
+    figure_number = 10
+
+    def test_baseline_compute_bound(self, benchmark):
+        _space, grid = self.data()
+        assert grid[(1, 1)].balance > 1.0
+        benchmark(lambda: grid[(1, 1)].balance)
+
+    def test_window_reuse_cuts_traffic(self, benchmark):
+        """Eight window loads shrink to three chain heads plus a store."""
+        _space, grid = self.data()
+        baseline = grid[(1, 1)]
+        traffic = sum(baseline.estimate.memory_traffic.values())
+        assert traffic < 6 * 256
+        benchmark(lambda: traffic)

@@ -1,0 +1,22 @@
+"""Figure 4: Balance, Execution Time and Area for non-pipelined FIR.
+
+Paper shape: with the WildStar's 7-cycle reads / 3-cycle writes, memory
+latency dominates and *every* FIR design is memory bound (balance < 1
+across the whole space); execution cycles still fall with unrolling
+because accesses spread across the four memories.
+"""
+
+from benchmarks.common import FigureBench, board_for
+
+
+class TestFig4(FigureBench):
+    kernel_name = "fir"
+    mode = "non-pipelined"
+    figure_number = 4
+
+    def test_always_memory_bound(self, benchmark):
+        """The paper: non-pipelined FIR "leads to designs that are
+        always memory bound"."""
+        _space, grid = self.data()
+        assert all(e.balance < 1.0 for e in grid.values())
+        benchmark(lambda: max(e.balance for e in grid.values()))

@@ -1,0 +1,29 @@
+"""Figure 5: Balance, Execution Cycles and Area for pipelined FIR.
+
+Paper shape: with 1-cycle accesses there is "a trend towards
+compute-bound designs due to low memory latency" — small designs sit
+above balance 1, and balance declines toward (and below) 1 as unrolling
+saturates the memory system.
+"""
+
+from benchmarks.common import FigureBench
+
+
+class TestFig5(FigureBench):
+    kernel_name = "fir"
+    mode = "pipelined"
+    figure_number = 5
+
+    def test_compute_bound_trend(self, benchmark):
+        _space, grid = self.data()
+        small_points = [e for (o, i), e in grid.items() if o * i <= 8]
+        compute_bound = [e for e in small_points if e.balance > 1.0]
+        assert len(compute_bound) >= len(small_points) * 0.6
+        benchmark(lambda: len(compute_bound))
+
+    def test_memory_bound_designs_appear_at_scale(self, benchmark):
+        _space, grid = self.data()
+        assert any(
+            e.balance < 1.0 for (o, i), e in grid.items() if o * i >= 64
+        )
+        benchmark(lambda: min(e.balance for e in grid.values()))

@@ -1,0 +1,27 @@
+"""Figure 6: Balance, Execution Cycles and Area for non-pipelined MM.
+
+Paper shape: unlike FIR, "the non-pipelined MM exhibits compute-bound
+and balanced designs" — scalar replacement removed every memory access
+from the innermost loop, so small designs wait on the datapath even
+with slow memories.
+"""
+
+from benchmarks.common import FigureBench
+
+
+class TestFig6(FigureBench):
+    kernel_name = "mm"
+    mode = "non-pipelined"
+    figure_number = 6
+
+    def test_compute_bound_designs_exist(self, benchmark):
+        _space, grid = self.data()
+        assert any(e.balance > 1.0 for e in grid.values())
+        benchmark(lambda: max(e.balance for e in grid.values()))
+
+    def test_balance_spans_crossover(self, benchmark):
+        """Both regimes appear, so the search's bisection has work to do."""
+        _space, grid = self.data()
+        balances = [e.balance for e in grid.values()]
+        assert min(balances) < 1.0 < max(balances)
+        benchmark(lambda: sorted(balances))

@@ -1,0 +1,31 @@
+"""Figure 7: Balance, Execution Cycles and Area for pipelined MM.
+
+Paper shape: strongly compute bound at small unrollings (the registered
+inner loop consumes data far slower than four pipelined memories can
+feed it); the most balanced designs sit at large unroll products near or
+beyond the capacity line — the paper notes MM's balanced design was "too
+large to fit on the FPGA", so the algorithm settles for a smaller
+compute-bound point.
+"""
+
+from benchmarks.common import FigureBench, board_for
+
+
+class TestFig7(FigureBench):
+    kernel_name = "mm"
+    mode = "pipelined"
+    figure_number = 7
+
+    def test_small_designs_strongly_compute_bound(self, benchmark):
+        _space, grid = self.data()
+        baseline = grid[(1, 1)]
+        assert baseline.balance > 2.0
+        benchmark(lambda: baseline.balance)
+
+    def test_balance_declines_with_unrolling(self, benchmark):
+        _space, grid = self.data()
+        diagonal = [
+            grid[key].balance for key in [(1, 1), (2, 2), (4, 4)] if key in grid
+        ]
+        assert diagonal == sorted(diagonal, reverse=True)
+        benchmark(lambda: diagonal)

@@ -1,0 +1,33 @@
+"""Figure 8: Balance, Execution Time and Area for pipelined JAC.
+
+Paper shape: the stencil's shift-register chains leave one leading load
+per row in the steady state; balance starts above or near 1 and falls as
+replicated rows multiply the memory traffic faster than the (shallow)
+adder tree deepens.
+"""
+
+from benchmarks.common import FigureBench
+
+
+class TestFig8(FigureBench):
+    kernel_name = "jac"
+    mode = "pipelined"
+    crosses_capacity = False
+    figure_number = 8
+
+    def test_balance_falls_with_outer_unrolling(self, benchmark):
+        _space, grid = self.data()
+        inner_one = [e.balance for (o, i), e in sorted(grid.items()) if i == 1]
+        assert inner_one[-1] < inner_one[0]
+        benchmark(lambda: inner_one)
+
+    def test_stencil_reuse_cuts_traffic(self, benchmark):
+        """At (1,1) the four stencil loads shrink to three (the j-chain
+        serves A[i][j-1] from a register)."""
+        _space, grid = self.data()
+        baseline = grid[(1, 1)]
+        traffic = sum(baseline.estimate.memory_traffic.values())
+        # 3 loads + 1 store per interior point, 16x16 interior, plus the
+        # chain-fill prologue of each row
+        assert traffic < 5 * 256
+        benchmark(lambda: traffic)

@@ -1,0 +1,29 @@
+"""Figure 9: Balance, Execution Cycles and Area for pipelined PAT.
+
+Paper shape: byte-wide comparisons are cheap, so designs stay compute
+bound over a wide range and the selected design reaches a large
+speedup (the paper's biggest pipelined win, 34.6x).
+"""
+
+from benchmarks.common import FigureBench
+
+
+class TestFig9(FigureBench):
+    kernel_name = "pat"
+    mode = "pipelined"
+    crosses_capacity = False
+    figure_number = 9
+
+    def test_compute_bound_region_is_wide(self, benchmark):
+        _space, grid = self.data()
+        compute_bound = [e for e in grid.values() if e.balance > 1.0]
+        assert len(compute_bound) >= len(grid) * 0.4
+        benchmark(lambda: len(compute_bound))
+
+    def test_narrow_data_fetch_rate(self, benchmark):
+        """PAT streams 8-bit characters: its fetch rate per access is a
+        quarter of FIR's 32-bit words."""
+        _space, grid = self.data()
+        baseline = grid[(1, 1)]
+        assert baseline.estimate.fetch_rate <= 4 * 32
+        benchmark(lambda: baseline.estimate.fetch_rate)

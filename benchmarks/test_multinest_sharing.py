@@ -1,0 +1,74 @@
+"""Section 3 follow-through: several nests sharing one device.
+
+The third optimization criterion ("for a given level of performance,
+FPGA space usage should be minimized") exists so that other loop nests
+can share the device.  This bench explores a two-stage image pipeline on
+the full Virtex 1000 and on a quarter-capacity part, showing the
+allocation shrinking the greedier nest until everything coexists.
+"""
+
+import pytest
+
+from benchmarks.common import emit
+from repro.dse import explore_application
+from repro.frontend import compile_source
+from repro.report import Table
+from repro.target import Board, virtex_300, wildstar_pipelined
+from repro.target.memory import pipelined_memory
+
+APPLICATION = """
+int RAW[34][34];
+int SMOOTH[34][34];
+int EDGE[34][34];
+
+for (i = 1; i < 33; i++)
+  for (j = 1; j < 33; j++)
+    SMOOTH[i][j] = (RAW[i - 1][j] + RAW[i + 1][j]
+                  + RAW[i][j - 1] + RAW[i][j + 1]) / 4;
+
+for (i = 1; i < 33; i++)
+  for (j = 1; j < 33; j++)
+    EDGE[i][j] = abs(SMOOTH[i][j - 1] - SMOOTH[i][j + 1])
+               + abs(SMOOTH[i - 1][j] - SMOOTH[i + 1][j]);
+"""
+
+
+def boards():
+    yield wildstar_pipelined()
+    yield Board("quarter-capacity", virtex_300(), pipelined_memory(),
+                num_memories=4, clock_ns=40.0)
+
+
+class TestMultiNestSharing:
+    def test_regenerate_sharing_table(self, benchmark):
+        program = compile_source(APPLICATION, "smooth_edge_32")
+        table = Table(
+            "Two-stage pipeline sharing one device",
+            ["Device", "Capacity", "Nest-0 slices", "Nest-1 slices",
+             "Total slices", "Total cycles", "Speedup"],
+        )
+        results = {}
+        for board in boards():
+            result = explore_application(program, board)
+            results[board.name] = (board, result)
+            table.add_row(
+                board.name, board.fpga.capacity_slices,
+                result.nests[0].selected.space,
+                result.nests[1].selected.space,
+                result.total_space, result.total_cycles,
+                round(result.speedup, 2),
+            )
+        emit("multinest_sharing", table.render())
+        for board, result in results.values():
+            assert result.fits(board)
+            assert result.speedup >= 1.0
+        benchmark(lambda: explore_application(program, wildstar_pipelined()))
+
+    def test_capacity_pressure_costs_performance_not_correctness(self, benchmark):
+        program = compile_source(APPLICATION, "smooth_edge_32")
+        big_board, small_board = list(boards())
+        big = explore_application(program, big_board)
+        small = explore_application(program, small_board)
+        assert small.total_space <= small_board.fpga.capacity_slices
+        assert small.total_cycles >= big.total_cycles
+        benchmark(lambda: small.total_cycles)

@@ -1,0 +1,53 @@
+"""Section 6 headline: "We search on average only 0.3% of the design
+space."
+
+The design space is all possible unroll factors for each loop (the
+product of the trip counts); the algorithm synthesizes a handful of
+points.  The benchmark regenerates the per-kernel fractions and asserts
+the average stays well under 1%.
+"""
+
+import pytest
+
+from benchmarks.common import board_for, emit
+from repro.dse import explore
+from repro.kernels import ALL_KERNELS
+from repro.report import Table
+
+_rows = []
+
+
+def rows():
+    if not _rows:
+        for kernel in ALL_KERNELS:
+            for mode in ("non-pipelined", "pipelined"):
+                result = explore(kernel.program(), board_for(mode))
+                _rows.append((
+                    kernel.name, mode, result.points_searched,
+                    result.design_space_size,
+                    100.0 * result.fraction_searched,
+                ))
+    return _rows
+
+
+class TestSearchFraction:
+    def test_regenerate(self, benchmark):
+        table = Table(
+            "Search coverage (paper: 0.3% of the design space on average)",
+            ["Program", "Memory", "Points searched", "Space size", "Fraction %"],
+        )
+        for name, mode, searched, size, fraction in rows():
+            table.add_row(name.upper(), mode, searched, size, fraction)
+        emit("search_fraction", table.render())
+        benchmark(lambda: len(rows()))
+
+    def test_average_fraction_below_one_percent(self, benchmark):
+        fractions = [fraction for *_rest, fraction in rows()]
+        average = sum(fractions) / len(fractions)
+        assert average < 1.0, f"average fraction {average:.2f}%"
+        benchmark(lambda: average)
+
+    def test_searched_points_always_single_digits(self, benchmark):
+        for name, mode, searched, _size, _fraction in rows():
+            assert searched <= 9, f"{name}/{mode} searched {searched}"
+        benchmark(lambda: max(r[2] for r in rows()))

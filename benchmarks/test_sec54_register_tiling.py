@@ -1,0 +1,99 @@
+"""Section 5.4 ablation: adjusting on-chip registers via tiling.
+
+"To adjust the number of on-chip registers, we can use loop tiling to
+tile the loop nest so that the localized iteration space within a tile
+matches the desired number of registers, and exploit full register
+reuse within the tile."
+
+The bench strip-mines FIR's inner loop and hoists the tile loop above
+the reuse carrier, sweeping tile sizes: registers shrink with the tile
+while memory traffic (the reuse foregone) grows — the storage/compute
+trade-off the section describes.  A second ablation compares the
+scalar-replacement register cap (drop the biggest banks) on MM.
+"""
+
+import pytest
+
+from benchmarks.common import board_for, emit
+from repro.analysis import ReuseAnalysis
+from repro.ir import LoopNest, run_program
+from repro.kernels import FIR, MM
+from repro.report import Table
+from repro.synthesis import synthesize
+from repro.transform import (
+    PipelineOptions, UnrollVector, compile_design, interchange_loops, tile_loop,
+)
+
+
+def tiled_fir(tile):
+    program = FIR.program()
+    if tile >= 32:
+        return program
+    tiled = tile_loop(program, "i", tile)
+    return interchange_loops(tiled, "j", "i_t")
+
+
+class TestTilingSweep:
+    def test_regenerate_register_sweep(self, benchmark):
+        board = board_for("pipelined")
+        table = Table(
+            "Section 5.4: FIR register capping via tiling (pipelined)",
+            ["Tile", "Registers (analysis)", "Register bits (design)",
+             "Cycles", "Space"],
+        )
+        from repro.transform import scalar_replace
+        rows = []
+        for tile in (4, 8, 16, 32):
+            program = tiled_fir(tile)
+            registers = ReuseAnalysis.run(LoopNest(program)).total_registers()
+            estimate = synthesize(scalar_replace(program).program, board)
+            table.add_row(
+                tile, registers, estimate.register_bits,
+                estimate.cycles, estimate.space,
+            )
+            rows.append((tile, registers, estimate))
+        emit("sec54_register_tiling", table.render())
+        # registers shrink monotonically with the tile
+        register_counts = [r for _t, r, _e in rows]
+        assert register_counts == sorted(register_counts)
+        benchmark(lambda: synthesize(tiled_fir(8), board))
+
+    def test_tiling_preserves_semantics(self, benchmark):
+        inputs = FIR.random_inputs(31)
+        expected = run_program(FIR.program(), inputs).arrays["D"].cells
+        for tile in (4, 8, 16):
+            assert run_program(tiled_fir(tile), inputs).arrays["D"].cells == expected
+        benchmark(lambda: run_program(tiled_fir(8), inputs))
+
+    def test_smaller_tiles_trade_traffic_for_registers(self, benchmark):
+        """After scalar replacement, the smaller tile re-fills its C bank
+        on every tile — more memory reads, fewer registers."""
+        from repro.transform import scalar_replace
+        inputs = FIR.random_inputs(32)
+
+        def reads(tile):
+            replaced = scalar_replace(tiled_fir(tile))
+            state = run_program(replaced.program, inputs)
+            assert state.arrays["D"].cells == run_program(
+                FIR.program(), inputs
+            ).arrays["D"].cells
+            return state.memory_reads
+
+        small, full = reads(4), reads(32)
+        assert small > full  # reuse foregone
+        benchmark(lambda: small)
+
+
+class TestRegisterCapOption:
+    def test_mm_register_cap_shrinks_design(self, benchmark):
+        board = board_for("pipelined")
+        free = compile_design(MM.program(), UnrollVector.of(2, 2, 1), 4)
+        capped = compile_design(
+            MM.program(), UnrollVector.of(2, 2, 1), 4,
+            PipelineOptions(register_cap=40),
+        )
+        free_estimate = synthesize(free.program, board, free.plan)
+        capped_estimate = synthesize(capped.program, board, capped.plan)
+        assert capped_estimate.register_bits < free_estimate.register_bits
+        assert capped_estimate.cycles >= free_estimate.cycles  # reuse lost
+        benchmark(lambda: synthesize(capped.program, board, capped.plan))

@@ -1,0 +1,87 @@
+"""Section 6.4: accuracy of estimates vs implemented designs.
+
+The paper ran logic synthesis + place-and-route on the baseline, the
+selected designs, and a few oversized points, and found: cycle counts
+never change; clock degrades < 10% for almost all selected designs (30%
+for pipelined FIR, still meeting the 40 ns target); space grows
+sublinearly for the selected designs but "the very large designs ...
+show much more significant degradations in clock and increases in
+space", making their estimated performance advantage illusory.
+"""
+
+import pytest
+
+from benchmarks.common import board_for, emit
+from repro.dse import explore
+from repro.kernels import ALL_KERNELS, FIR
+from repro.report import Table
+from repro.synthesis import place_and_route, synthesize
+from repro.transform import UnrollVector, compile_design
+
+
+def implement(factors, board):
+    design = compile_design(FIR.program(), UnrollVector(factors), board.num_memories)
+    estimate = synthesize(design.program, board, design.plan)
+    return estimate, place_and_route(estimate, board)
+
+
+class TestSection64:
+    def test_regenerate_accuracy_table(self, benchmark):
+        board = board_for("pipelined")
+        table = Table(
+            "Section 6.4: behavioral estimate vs implemented design (FIR pipelined)",
+            ["Design", "Cycles(est)", "Cycles(impl)", "Clock degr. %",
+             "Space(est)", "Space(impl)"],
+        )
+        for label, factors in [
+            ("baseline", (1, 1)), ("selected-ish", (8, 8)),
+            ("beyond", (16, 16)), ("huge", (64, 32)),
+        ]:
+            estimate, result = implement(factors, board)
+            table.add_row(
+                label, estimate.cycles, result.cycles,
+                round(100 * result.clock_degradation, 1),
+                estimate.space, result.space,
+            )
+        emit("sec64_accuracy", table.render())
+        benchmark(lambda: implement((2, 2), board))
+
+    def test_cycles_identical_across_implementation(self, benchmark):
+        """"In all cases, the number of clock cycles remains the same
+        from behavioral synthesis to implemented design."""
+        board = board_for("pipelined")
+        for factors in [(1, 1), (4, 4), (16, 16)]:
+            estimate, result = implement(factors, board)
+            assert result.cycles == estimate.cycles
+        benchmark(lambda: None)
+
+    def test_selected_designs_degrade_mildly(self, benchmark):
+        """Clock degradation < 10% for the designs the algorithm picks.
+
+        (The paper saw one outlier — pipelined FIR at 30%, still meeting
+        the 40 ns target; our selected FIR lands at slightly lower
+        utilization, just inside the knee, so everything stays under
+        10% while the *oversized* sweep points blow far past it.)
+        """
+        for kernel in ALL_KERNELS:
+            for mode in ("non-pipelined", "pipelined"):
+                board = board_for(mode)
+                result = explore(kernel.program(), board)
+                implemented = place_and_route(result.selected.estimate, board)
+                assert implemented.clock_degradation < 0.10, (
+                    f"{kernel.name}/{mode}: "
+                    f"{implemented.clock_degradation:.2%}"
+                )
+                assert implemented.meets_target_clock
+        benchmark(lambda: None)
+
+    def test_oversized_designs_lose_their_advantage(self, benchmark):
+        """The giant designs' estimated wins evaporate after P&R,
+        compared with a small selected-class design."""
+        board = board_for("pipelined")
+        _small_est, small = implement((4, 4), board)
+        _big_est, big = implement((64, 32), board)
+        assert big.clock_degradation > 5 * small.clock_degradation
+        assert big.space_growth > 5 * small.space_growth
+        assert not big.meets_target_clock
+        benchmark(lambda: big.clock_degradation)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Mapping your own kernel: morphological erosion, stage by stage.
+
+The paper's introduction motivates the system with image-processing
+operators — "image correlation, Laplacian image operators,
+erosion/dilation operators and edge detection".  This example writes a
+3x3 erosion (minimum over the window) as plain C and walks the
+individual transformation stages manually, printing the code after each
+one, so you can see what the one-call pipeline does under the hood.
+
+Run:  python examples/custom_kernel_erosion.py
+"""
+
+from repro import UnrollVector, compile_source, wildstar_pipelined
+from repro.analysis import DependenceGraph, ReuseAnalysis
+from repro.ir import LoopNest, print_program, run_program
+from repro.layout import apply_layout
+from repro.synthesis import synthesize
+from repro.transform import (
+    normalize_loops, peel_loop, scalar_replace, unroll_and_jam,
+)
+
+EROSION_SOURCE = """
+char A[18][18];
+char E[18][18];
+
+for (i = 1; i < 17; i++)
+  for (j = 1; j < 17; j++)
+    E[i][j] = min(min(min(A[i - 1][j], A[i + 1][j]),
+                      min(A[i][j - 1], A[i][j + 1])),
+                  A[i][j]);
+"""
+
+
+def show(title: str, program) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 56 - len(title)))
+    print(print_program(program))
+
+
+def main() -> None:
+    program = compile_source(EROSION_SOURCE, name="erosion")
+    board = wildstar_pipelined()
+    show("original kernel", program)
+
+    nest = LoopNest(program)
+    graph = DependenceGraph.build(nest)
+    print("dependence-free loops:",
+          [nest.index_vars[d] for d in graph.parallel_loops()])
+    reuse = ReuseAnalysis.run(nest)
+    for group in reuse.groups:
+        print(f"  reuse of {group.array}: {group.kind.value} "
+              f"({group.registers_needed} registers)")
+
+    unrolled = unroll_and_jam(program, UnrollVector.of(2, 2))
+    show("after unroll-and-jam by (2, 2)", unrolled)
+
+    replaced = scalar_replace(unrolled)
+    show("after scalar replacement", replaced.program)
+    print(f"registers added: {replaced.stats.registers_added}, "
+          f"reads removed: {replaced.stats.reads_removed}")
+
+    current = replaced.program
+    for depth in replaced.carriers_to_peel:
+        var = LoopNest(replaced.program).index_vars[depth]
+        current = peel_loop(current, var)
+    current = normalize_loops(current)
+    laid_out, plan = apply_layout(current, board.num_memories)
+    print("\n=== memory layout " + "=" * 40)
+    print(plan.describe())
+
+    # confirm the transformed design still computes erosion
+    inputs = {"A": [((3 * r + 5 * c) % 97) for r in range(18) for c in range(18)]}
+    expected = run_program(program, inputs).arrays["E"].cells
+    state = run_program(laid_out, plan.distribute_inputs(inputs))
+    assert plan.gather_array(state.snapshot_arrays(), "E") == expected
+    print("\ninterpreter check: transformed design matches the original  [OK]")
+
+    estimate = synthesize(laid_out, board, plan)
+    print(f"synthesis estimate: {estimate.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+This environment has no network access and no `wheel` package, so PEP 660
+editable installs can't build. A classic setup.py lets `pip install -e .`
+fall back to `setup.py develop`, which needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of DEFACTO: compiler-directed hardware design space "
+        "exploration for FPGA-based systems (So, Hall, Diniz; PLDI 2002)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,52 @@
+"""repro — a reproduction of the DEFACTO design space exploration system.
+
+So, Hall, Diniz: "A Compiler Approach to Fast Hardware Design Space
+Exploration in FPGA-based Systems", PLDI 2002.
+
+Quickstart::
+
+    from repro import compile_source, explore, wildstar_pipelined
+
+    program = compile_source(open("fir.c").read(), name="fir")
+    result = explore(program, wildstar_pipelined())
+    print(result.report())
+
+The packages underneath:
+
+* :mod:`repro.frontend` — C-subset lexer/parser/semantic checker
+* :mod:`repro.ir` — loop-nest IR plus a reference interpreter
+* :mod:`repro.analysis` — dependence and reuse analyses
+* :mod:`repro.transform` — unroll-and-jam, scalar replacement, peeling,
+  LICM, normalization, tiling, and the full pipeline
+* :mod:`repro.layout` — custom data layout (renaming + memory mapping)
+* :mod:`repro.target` — FPGA/memory/board models (WildStar, Virtex)
+* :mod:`repro.synthesis` — behavioral synthesis estimation (Monet stand-in)
+* :mod:`repro.hdl` — behavioral VHDL backend (SUIF2VHDL stand-in)
+* :mod:`repro.dse` — the balance-guided design space exploration
+* :mod:`repro.kernels` — the paper's five multimedia kernels
+"""
+
+from repro.dse import (
+    DesignEvaluation, DesignSpace, ExplorationResult, SearchOptions, explore,
+)
+from repro.frontend import compile_source
+from repro.ir import Program, run_program
+from repro.kernels import ALL_KERNELS, Kernel, kernel_by_name
+from repro.synthesis import Estimate, synthesize
+from repro.target import (
+    Board, wildstar_nonpipelined, wildstar_pipelined,
+)
+from repro.transform import (
+    CompiledDesign, PipelineOptions, UnrollVector, compile_design,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_KERNELS", "Board", "CompiledDesign", "DesignEvaluation",
+    "DesignSpace", "Estimate", "ExplorationResult", "Kernel",
+    "PipelineOptions", "Program", "SearchOptions", "UnrollVector",
+    "__version__", "compile_design", "compile_source", "explore",
+    "kernel_by_name", "run_program", "synthesize",
+    "wildstar_nonpipelined", "wildstar_pipelined",
+]

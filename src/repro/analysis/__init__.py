@@ -1,0 +1,37 @@
+"""Parallelizing-compiler analyses: affine accesses, data dependences,
+and data reuse — the left column of the paper's Table 1."""
+
+from repro.analysis.affine import (
+    AffineAccess, AffineExpr, all_uniformly_generated, collect_accesses,
+    group_uniformly_generated, linearize,
+)
+from repro.analysis.dependence import (
+    Dependence, DependenceGraph, DependenceKind, Distance, banerjee_test,
+    carrier, constant_distance, gcd_test, is_zero,
+    lexicographically_nonnegative, negate,
+)
+from repro.analysis.bitwidth import (
+    BitwidthReport, IntervalInterpreter, ValueRange, analyze_bitwidths,
+)
+from repro.analysis.invariance import (
+    access_varies_with, assigned_scalars, expr_is_invariant, written_arrays,
+)
+from repro.analysis.reduction import (
+    Reduction, find_reductions, same_reduction,
+)
+from repro.analysis.reuse import (
+    PipelineChain, ReuseAnalysis, ReuseGroup, ReuseKind,
+)
+
+__all__ = [
+    "AffineAccess", "AffineExpr", "BitwidthReport", "Dependence",
+    "DependenceGraph", "DependenceKind", "Distance",
+    "IntervalInterpreter", "PipelineChain", "Reduction", "ValueRange",
+    "analyze_bitwidths",
+    "ReuseAnalysis", "ReuseGroup", "ReuseKind", "access_varies_with",
+    "all_uniformly_generated", "assigned_scalars", "banerjee_test",
+    "carrier", "collect_accesses", "constant_distance", "expr_is_invariant",
+    "find_reductions", "gcd_test", "group_uniformly_generated", "is_zero",
+    "lexicographically_nonnegative", "linearize", "negate", "same_reduction",
+    "written_arrays",
+]

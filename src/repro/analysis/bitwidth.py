@@ -1,0 +1,351 @@
+"""Value-range (bitwidth) analysis.
+
+Section 2.4 motivates FPGAs with applications that "possibly can benefit
+from non-standard numeric formats (e.g., reduced data widths)": a PAT
+match counter declared ``int`` never exceeds 16, so its accumulator,
+registers, and adders need 5 bits, not 32.  This module infers sound
+value ranges for every scalar and array by abstractly interpreting the
+program over intervals — loop trip counts are compile-time constants in
+this domain, so loops are simply executed abstractly for their full trip
+count, mirroring :mod:`repro.ir.interp` (including two's-complement
+wrap-around when a range overflows its declared type).
+
+:func:`repro.transform.narrowing.narrow_types` consumes the report to
+shrink declared types, which flows into operator widths, register bits,
+and VHDL variable ranges automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.ir.expr import (
+    ArrayRef, BinOp, Call, Expr, IntLit, UnOp, VarRef,
+    COMPARE_OPS, LOGICAL_OPS,
+)
+from repro.ir.stmt import Assign, For, If, RotateRegisters, Stmt
+from repro.ir.symbols import Program, VarDecl
+from repro.ir.types import IntType
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """A closed integer interval [lo, hi]."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ValueError(f"empty range [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def exact(cls, value: int) -> "ValueRange":
+        return cls(value, value)
+
+    @classmethod
+    def of_type(cls, int_type: IntType) -> "ValueRange":
+        return cls(int_type.min_value, int_type.max_value)
+
+    def join(self, other: "ValueRange") -> "ValueRange":
+        return ValueRange(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def within(self, int_type: IntType) -> bool:
+        return int_type.contains(self.lo) and int_type.contains(self.hi)
+
+    @property
+    def bits_signed(self) -> int:
+        """Bits of a two's-complement type holding the whole range."""
+        need = 1
+        while True:
+            t = IntType(need, signed=True)
+            if t.contains(self.lo) and t.contains(self.hi):
+                return need
+            need += 1
+            if need > 64:
+                return 64
+
+    @property
+    def bits(self) -> int:
+        """Bits required: unsigned when non-negative, else signed."""
+        if self.lo >= 0:
+            return max(self.hi.bit_length(), 1)
+        return self.bits_signed
+
+    # -- interval arithmetic ---------------------------------------------------
+
+    def _corners(self, other: "ValueRange", op) -> "ValueRange":
+        values = [
+            op(a, b)
+            for a in (self.lo, self.hi)
+            for b in (other.lo, other.hi)
+        ]
+        return ValueRange(min(values), max(values))
+
+    def add(self, other: "ValueRange") -> "ValueRange":
+        return ValueRange(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "ValueRange") -> "ValueRange":
+        return ValueRange(self.lo - other.hi, self.hi - other.lo)
+
+    def mul(self, other: "ValueRange") -> "ValueRange":
+        return self._corners(other, lambda a, b: a * b)
+
+    def neg(self) -> "ValueRange":
+        return ValueRange(-self.hi, -self.lo)
+
+    def abs(self) -> "ValueRange":
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return self.neg()
+        return ValueRange(0, max(-self.lo, self.hi))
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+BOOL_RANGE = ValueRange(0, 1)
+
+
+@dataclass
+class BitwidthReport:
+    """Sound value ranges per variable, plus the bits they imply."""
+
+    scalars: Dict[str, ValueRange]
+    arrays: Dict[str, ValueRange]
+
+    def range_of(self, name: str) -> Optional[ValueRange]:
+        return self.scalars.get(name) or self.arrays.get(name)
+
+    def bits_of(self, name: str) -> Optional[int]:
+        found = self.range_of(name)
+        return None if found is None else found.bits_signed
+
+    def narrowed_type(self, decl: VarDecl) -> IntType:
+        """The tightest standard-behaving type for a declaration.
+
+        Keeps the original signedness discipline: the result is a signed
+        type wide enough for the range (never wider than declared).
+        """
+        found = self.range_of(decl.name)
+        if found is None:
+            return decl.type
+        width = min(found.bits_signed, decl.type.width)
+        return IntType(width, signed=True) if width < decl.type.width else decl.type
+
+
+class IntervalInterpreter:
+    """Abstract interpreter over intervals.
+
+    Arrays are summarized by a single interval covering every element
+    ever stored (inputs start at their declared type's full range unless
+    the caller narrows them); scalars get strong updates.  Loops run
+    abstractly for their full (constant) trip count; both branches of
+    every ``if`` execute and join.  A result exceeding its declared type
+    widens to the type's full range — two's-complement wrap is sound but
+    nothing tighter can be said.
+    """
+
+    def __init__(self, program: Program, max_steps: int = 2_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self._steps = 0
+
+    def run(
+        self, input_ranges: Optional[Mapping[str, ValueRange]] = None
+    ) -> BitwidthReport:
+        input_ranges = dict(input_ranges or {})
+        scalars: Dict[str, ValueRange] = {}
+        arrays: Dict[str, ValueRange] = {}
+        for decl in self.program.decls:
+            initial = input_ranges.get(decl.name)
+            if initial is None:
+                # Inputs may hold anything of their type; everything is
+                # also implicitly zero-initialized.
+                initial = ValueRange.of_type(decl.type).join(ValueRange.exact(0))
+            else:
+                initial = initial.join(ValueRange.exact(0))
+            if decl.is_array:
+                arrays[decl.name] = initial
+            else:
+                scalars[decl.name] = initial
+        state = _State(scalars, arrays)
+        for stmt in self.program.body:
+            self._exec(stmt, state)
+        return BitwidthReport(scalars=state.scalars, arrays=state.arrays)
+
+    # -- statements -------------------------------------------------------------
+
+    def _exec(self, stmt: Stmt, state: "_State") -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise AnalysisError("bitwidth analysis exceeded its step budget")
+        if isinstance(stmt, Assign):
+            value = self._eval(stmt.value, state)
+            if isinstance(stmt.target, VarRef):
+                decl = self._scalar_decl(stmt.target.name)
+                state.scalars[stmt.target.name] = _clamp(value, decl)
+            else:
+                decl = self.program.decl(stmt.target.array)
+                for index in stmt.target.indices:
+                    self._eval(index, state)
+                joined = state.arrays[stmt.target.array].join(_clamp(value, decl))
+                state.arrays[stmt.target.array] = joined
+        elif isinstance(stmt, If):
+            self._eval(stmt.cond, state)
+            before = dict(state.scalars)
+            for inner in stmt.then_body:
+                self._exec(inner, state)
+            after_then = dict(state.scalars)
+            state.scalars = dict(before)
+            for inner in stmt.else_body:
+                self._exec(inner, state)
+            for name, then_range in after_then.items():
+                current = state.scalars.get(name, then_range)
+                state.scalars[name] = current.join(then_range)
+        elif isinstance(stmt, For):
+            for value in stmt.iteration_values():
+                state.scalars[stmt.var] = ValueRange.exact(value)
+                for inner in stmt.body:
+                    self._exec(inner, state)
+            if stmt.trip_count:
+                state.scalars[stmt.var] = ValueRange(
+                    stmt.lower, stmt.lower + (stmt.trip_count - 1) * stmt.step
+                )
+        elif isinstance(stmt, RotateRegisters):
+            joined = state.scalars[stmt.registers[0]]
+            for name in stmt.registers[1:]:
+                joined = joined.join(state.scalars[name])
+            for name in stmt.registers:
+                state.scalars[name] = joined
+        else:
+            raise AnalysisError(f"unknown statement node {type(stmt).__name__}")
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _eval(self, expr: Expr, state: "_State") -> ValueRange:
+        if isinstance(expr, IntLit):
+            return ValueRange.exact(expr.value)
+        if isinstance(expr, VarRef):
+            found = state.scalars.get(expr.name)
+            if found is None:
+                raise AnalysisError(f"read of unknown scalar {expr.name!r}")
+            return found
+        if isinstance(expr, ArrayRef):
+            for index in expr.indices:
+                self._eval(index, state)
+            return state.arrays[expr.array]
+        if isinstance(expr, UnOp):
+            operand = self._eval(expr.operand, state)
+            if expr.op == "-":
+                return operand.neg()
+            if expr.op == "!":
+                return BOOL_RANGE
+            if expr.op == "~":
+                return ValueRange(-operand.hi - 1, -operand.lo - 1)
+        if isinstance(expr, Call):
+            ranges = [self._eval(a, state) for a in expr.args]
+            if expr.name == "abs":
+                return ranges[0].abs()
+            if expr.name == "min":
+                return ValueRange(
+                    min(r.lo for r in ranges), min(r.hi for r in ranges)
+                )
+            if expr.name == "max":
+                return ValueRange(
+                    max(r.lo for r in ranges), max(r.hi for r in ranges)
+                )
+        if isinstance(expr, BinOp):
+            if expr.op in COMPARE_OPS or expr.op in LOGICAL_OPS:
+                self._eval(expr.left, state)
+                self._eval(expr.right, state)
+                return BOOL_RANGE
+            left = self._eval(expr.left, state)
+            right = self._eval(expr.right, state)
+            if expr.op == "+":
+                return left.add(right)
+            if expr.op == "-":
+                return left.sub(right)
+            if expr.op == "*":
+                return left.mul(right)
+            if expr.op in ("/", "%", ">>", "<<", "&", "|", "^"):
+                return _bit_op_range(expr.op, left, right)
+        raise AnalysisError(f"cannot analyze expression {type(expr).__name__}")
+
+    def _scalar_decl(self, name: str) -> Optional[VarDecl]:
+        for decl in self.program.decls:
+            if decl.name == name and not decl.is_array:
+                return decl
+        return None
+
+
+@dataclass
+class _State:
+    scalars: Dict[str, ValueRange]
+    arrays: Dict[str, ValueRange]
+
+
+def _clamp(value: ValueRange, decl: Optional[VarDecl]) -> ValueRange:
+    """Wrap-aware store: if the range fits the declared type keep it,
+    otherwise the stored value may wrap anywhere in the type."""
+    if decl is None:
+        return value
+    if value.within(decl.type):
+        return value
+    return ValueRange.of_type(decl.type)
+
+
+def _bit_op_range(op: str, left: ValueRange, right: ValueRange) -> ValueRange:
+    """Coarse but sound ranges for division and bit operations."""
+    if op == "/":
+        if right.contains(0):
+            # conservative: division result magnitude bounded by |left|
+            bound = max(abs(left.lo), abs(left.hi))
+            return ValueRange(-bound, bound)
+        candidates = [
+            _c_div(a, b)
+            for a in (left.lo, left.hi)
+            for b in (right.lo, right.hi)
+        ]
+        return ValueRange(min(candidates), max(candidates))
+    if op == "%":
+        bound = max(abs(right.lo), abs(right.hi), 1) - 1
+        if left.lo >= 0:
+            return ValueRange(0, bound)
+        return ValueRange(-bound, bound)
+    if op == ">>":
+        if left.lo >= 0 and right.lo >= 0:
+            return ValueRange(left.lo >> min(right.hi, 63), left.hi >> max(right.lo, 0))
+        return left  # sign-propagating shift cannot exceed the input range
+    if op == "<<":
+        shift = max(0, min(right.hi, 63))
+        low = min(left.lo << shift, left.lo)
+        high = max(left.hi << shift, left.hi)
+        return ValueRange(low, high)
+    # &, |, ^: bounded by the participating bit widths
+    bits = max(left.bits_signed, right.bits_signed)
+    widest = IntType(min(bits + 1, 64), signed=True)
+    return ValueRange.of_type(widest)
+
+
+def _c_div(a: int, b: int) -> int:
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def analyze_bitwidths(
+    program: Program,
+    input_ranges: Optional[Mapping[str, ValueRange]] = None,
+) -> BitwidthReport:
+    """Infer sound value ranges for every variable of ``program``.
+
+    ``input_ranges`` optionally narrows input arrays below their declared
+    type (e.g. an 8-bit image known to hold [0, 200)).
+    """
+    return IntervalInterpreter(program).run(input_ranges)

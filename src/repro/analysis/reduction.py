@@ -1,0 +1,81 @@
+"""Reduction recognition.
+
+A statement of the form ``A[f(i)] = A[f(i)] op expr`` with an
+associative-commutative ``op`` is a *reduction*: its iterations may be
+reordered freely even though dependence analysis sees flow/anti/output
+self-dependences.  Loop interchange (needed for Section 5.4's
+tile-and-hoist register capping) uses this to exempt reduction accesses
+from the strict direction-vector legality test — FIR's accumulation into
+``D[j]`` would otherwise forbid any reordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.ir.expr import ArrayRef, BinOp, Call, Expr, VarRef
+from repro.ir.stmt import Assign, Stmt, walk_all
+
+#: Operators whose reductions may be reordered (associative + commutative
+#: over the fixed-width integers the IR models — wrap-around addition and
+#: multiplication included).
+REDUCTION_OPS = frozenset({"+", "*", "&", "|", "^"})
+REDUCTION_INTRINSICS = frozenset({"min", "max"})
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """One recognized reduction statement."""
+
+    statement: Assign
+    op: str
+    #: the read of the accumulator on the right-hand side.
+    read_ref: ArrayRef
+
+
+def find_reductions(body: Iterable[Stmt]) -> Dict[int, Reduction]:
+    """Map ``id(ArrayRef)`` of every reduction read/write to its record.
+
+    Both the target reference and the matching right-hand-side read are
+    keyed, so a dependence whose endpoints are both reduction accesses of
+    the same array and operator can be identified by reference identity.
+    """
+    found: Dict[int, Reduction] = {}
+    for stmt in walk_all(tuple(body)):
+        if not isinstance(stmt, Assign) or not isinstance(stmt.target, ArrayRef):
+            continue
+        reduction = _match(stmt)
+        if reduction is not None:
+            found[id(stmt.target)] = reduction
+            found[id(reduction.read_ref)] = reduction
+    return found
+
+
+def _match(stmt: Assign) -> Optional[Reduction]:
+    """Match ``T = T op e`` / ``T = e op T`` / ``T = min(T, e)``-style."""
+    target = stmt.target
+    value = stmt.value
+    if isinstance(value, BinOp) and value.op in REDUCTION_OPS:
+        for candidate in (value.left, value.right):
+            if isinstance(candidate, ArrayRef) and candidate == target:
+                return Reduction(stmt, value.op, candidate)
+    if isinstance(value, Call) and value.name in REDUCTION_INTRINSICS:
+        for candidate in value.args:
+            if isinstance(candidate, ArrayRef) and candidate == target:
+                return Reduction(stmt, value.name, candidate)
+    return None
+
+
+def same_reduction(found: Dict[int, Reduction], ref_a: ArrayRef, ref_b: ArrayRef) -> bool:
+    """True if both references participate in reductions over the same
+    array with the same operator — their mutual dependences are then
+    reorderable."""
+    first = found.get(id(ref_a))
+    second = found.get(id(ref_b))
+    return (
+        first is not None
+        and second is not None
+        and first.op == second.op
+        and first.statement.target.array == second.statement.target.array
+    )

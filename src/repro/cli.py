@@ -1,0 +1,264 @@
+"""Command-line interface.
+
+The flow as a tool::
+
+    python -m repro explore fir.c --board pipelined --vhdl fir.vhd
+    python -m repro compile kernel:mm --unroll 4,2,1 --print-code
+    python -m repro estimate kernel:fir --unroll 8,8 --board nonpipelined
+    python -m repro kernels
+
+Input programs come from a C-subset file or from the built-in kernel
+registry via ``kernel:<name>``.  Exit status is 0 on success, 1 on any
+compilation or exploration error (with the message on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.frontend import compile_source
+from repro.ir import LoopNest, Program, print_program
+from repro.kernels import ALL_KERNELS, kernel_by_name
+from repro.target import Board, wildstar_nonpipelined, wildstar_pipelined
+from repro.transform import PipelineOptions, UnrollVector
+
+
+def _load_program(spec: str) -> Tuple[Program, Optional[object]]:
+    """Program from ``kernel:<name>`` or a source file path.
+
+    Returns (program, kernel-or-None) — the kernel gives value ranges
+    and output arrays when available.
+    """
+    if spec.startswith("kernel:"):
+        kernel = kernel_by_name(spec.split(":", 1)[1])
+        return kernel.program(), kernel
+    path = Path(spec)
+    if not path.exists():
+        raise ReproError(f"no such file: {spec}")
+    return compile_source(path.read_text(), name=path.stem), None
+
+
+def _board(name: str) -> Board:
+    if name in ("pipelined", "p"):
+        return wildstar_pipelined()
+    if name in ("nonpipelined", "non-pipelined", "np"):
+        return wildstar_nonpipelined()
+    raise ReproError(f"unknown board {name!r}; use pipelined or nonpipelined")
+
+
+def _unroll(text: str, depth: int) -> UnrollVector:
+    try:
+        factors = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise ReproError(f"bad unroll vector {text!r}; expected e.g. 4,2") from None
+    if len(factors) != depth:
+        raise ReproError(
+            f"unroll vector {text!r} has {len(factors)} entries for a "
+            f"depth-{depth} nest"
+        )
+    return UnrollVector(factors)
+
+
+def _pipeline_options(args, kernel) -> PipelineOptions:
+    ranges = None
+    if args.narrow and kernel is not None:
+        ranges = kernel.value_ranges()
+    return PipelineOptions(
+        exploit_outer_reuse=not args.no_outer_reuse,
+        apply_data_layout=not args.no_layout,
+        narrow_bitwidths=args.narrow,
+        input_value_ranges=ranges,
+        register_cap=args.register_cap,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="C-subset file, or kernel:<name>")
+    parser.add_argument("--board", default="pipelined",
+                        help="pipelined (default) or nonpipelined")
+    parser.add_argument("--narrow", action="store_true",
+                        help="run bitwidth narrowing first")
+    parser.add_argument("--no-outer-reuse", action="store_true",
+                        help="disable rotating register banks (Carr-Kennedy only)")
+    parser.add_argument("--no-layout", action="store_true",
+                        help="disable custom data layout")
+    parser.add_argument("--register-cap", type=int, default=None,
+                        help="drop register banks beyond this many registers")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DEFACTO design space exploration (PLDI 2002 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    explore_cmd = commands.add_parser(
+        "explore", help="search the unroll design space for a loop nest"
+    )
+    _add_common(explore_cmd)
+    explore_cmd.add_argument("--vhdl", metavar="FILE",
+                             help="write the selected design's VHDL here")
+    explore_cmd.add_argument("--verilog", metavar="FILE",
+                             help="write the selected design's Verilog here")
+    explore_cmd.add_argument("--testbench", metavar="FILE",
+                             help="write a self-checking VHDL testbench "
+                                  "(kernel inputs only)")
+    explore_cmd.add_argument("--json", metavar="FILE",
+                             help="write a machine-readable summary here")
+
+    compile_cmd = commands.add_parser(
+        "compile", help="apply the transformation pipeline at a fixed unroll"
+    )
+    _add_common(compile_cmd)
+    compile_cmd.add_argument("--unroll", required=True,
+                             help="comma-separated factors, e.g. 4,2")
+    compile_cmd.add_argument("--print-code", action="store_true",
+                             help="print the transformed C-subset code")
+    compile_cmd.add_argument("--vhdl", metavar="FILE")
+    compile_cmd.add_argument("--verilog", metavar="FILE")
+
+    estimate_cmd = commands.add_parser(
+        "estimate", help="behavioral synthesis estimate at a fixed unroll"
+    )
+    _add_common(estimate_cmd)
+    estimate_cmd.add_argument("--unroll", required=True)
+    estimate_cmd.add_argument("--schedule", action="store_true",
+                              help="print the steady-state body's cycle-by-"
+                                   "cycle schedule")
+    estimate_cmd.add_argument("--multipliers", type=int, default=None,
+                              help="bound the multiplier allocation (§2.3)")
+
+    commands.add_parser("kernels", help="list the built-in paper kernels")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout was closed by a pipe reader (e.g. `| head`); not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+def _dispatch(args) -> int:
+    if args.command == "kernels":
+        for kernel in ALL_KERNELS:
+            print(f"{kernel.name:8} {kernel.description}")
+        return 0
+
+    program, kernel = _load_program(args.program)
+    board = _board(args.board)
+    options = _pipeline_options(args, kernel)
+
+    if args.command == "explore":
+        return _run_explore(args, program, kernel, board, options)
+    if args.command == "compile":
+        return _run_compile(args, program, board, options)
+    if args.command == "estimate":
+        return _run_estimate(args, program, board, options)
+    raise ReproError(f"unknown command {args.command!r}")
+
+
+def _run_explore(args, program, kernel, board, options) -> int:
+    from repro.dse import explore
+    result = explore(program, board, pipeline_options=options)
+    print(result.report())
+    design = result.selected.design
+    if args.vhdl:
+        from repro.hdl import emit_vhdl
+        Path(args.vhdl).write_text(emit_vhdl(design.program, design.plan))
+        print(f"wrote {args.vhdl}")
+    if args.verilog:
+        from repro.hdl import emit_verilog
+        Path(args.verilog).write_text(emit_verilog(design.program, design.plan))
+        print(f"wrote {args.verilog}")
+    if args.testbench:
+        if kernel is None:
+            raise ReproError("--testbench needs a kernel:<name> program "
+                             "(it provides the input vectors)")
+        from repro.hdl import emit_vhdl_testbench
+        text = emit_vhdl_testbench(
+            design, kernel.random_inputs(0), kernel.output_arrays
+        )
+        Path(args.testbench).write_text(text)
+        print(f"wrote {args.testbench}")
+    if args.json:
+        summary = {
+            "program": result.program_name,
+            "board": result.board_name,
+            "selected_unroll": list(result.selected.unroll),
+            "cycles": result.selected.cycles,
+            "space_slices": result.selected.space,
+            "balance": result.selected.balance,
+            "speedup": result.speedup,
+            "points_searched": result.points_searched,
+            "design_space_size": result.design_space_size,
+            "trace": [str(step) for step in result.search.trace],
+        }
+        Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _run_compile(args, program, board, options) -> int:
+    from repro.transform import compile_design
+    unroll = _unroll(args.unroll, LoopNest(program).depth)
+    design = compile_design(program, unroll, board.num_memories, options)
+    print(f"compiled {design.name}: peeled {list(design.peeled) or 'nothing'}, "
+          f"{design.stats.registers_added} registers added")
+    print(design.plan.describe())
+    if args.print_code:
+        print()
+        print(print_program(design.program))
+    if args.vhdl:
+        from repro.hdl import emit_vhdl
+        Path(args.vhdl).write_text(emit_vhdl(design.program, design.plan))
+        print(f"wrote {args.vhdl}")
+    if args.verilog:
+        from repro.hdl import emit_verilog
+        Path(args.verilog).write_text(emit_verilog(design.program, design.plan))
+        print(f"wrote {args.verilog}")
+    return 0
+
+
+def _run_estimate(args, program, board, options) -> int:
+    from repro.synthesis import ResourceConstraints, synthesize
+    from repro.transform import compile_design
+    unroll = _unroll(args.unroll, LoopNest(program).depth)
+    design = compile_design(program, unroll, board.num_memories, options)
+    constraints = None
+    if args.multipliers is not None:
+        constraints = ResourceConstraints.of(mul=args.multipliers)
+    estimate = synthesize(design.program, board, design.plan,
+                          constraints=constraints)
+    print(f"U={unroll}: {estimate.summary()}")
+    print(f"  fetch rate      : {estimate.fetch_rate:.1f} bits/cycle")
+    print(f"  consumption rate: {estimate.consumption_rate:.1f} bits/cycle")
+    print(f"  area breakdown  : {estimate.area.as_dict()}")
+    print(f"  fits {board.fpga.name}: {estimate.fits(board)}")
+    if args.schedule:
+        from repro.synthesis import steady_state_schedule_report
+        print()
+        print(steady_state_schedule_report(
+            design.program, board, design.plan, constraints=constraints,
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Design space exploration — the paper's core contribution.
+
+``explore()`` is the one-call API; the pieces (saturation analysis, the
+Figure-2 balance-guided search, the design space with its exhaustive
+oracle) are exposed for benchmarks and ablations.
+"""
+
+from repro.dse.explorer import ExplorationResult, explore
+from repro.dse.saturation import (
+    SaturationInfo, analyze_saturation, compute_psat, saturation_vectors,
+)
+from repro.dse.search import (
+    BalanceGuidedSearch, SearchOptions, SearchResult, TraceStep,
+)
+from repro.dse.space import (
+    DesignEvaluation, DesignSpace, ExhaustiveResult,
+)
+from repro.dse.multinest import (
+    MultiNestResult, explore_application, split_nests,
+)
+from repro.dse.strategies import (
+    ALL_STRATEGIES, BalanceStrategy, HillClimbStrategy, LinearScanStrategy,
+    RandomStrategy, StrategyResult,
+)
+
+__all__ = [
+    "ALL_STRATEGIES", "BalanceGuidedSearch", "BalanceStrategy",
+    "DesignEvaluation", "DesignSpace", "ExhaustiveResult",
+    "ExplorationResult", "HillClimbStrategy", "LinearScanStrategy",
+    "MultiNestResult", "RandomStrategy", "SaturationInfo", "SearchOptions",
+    "SearchResult", "StrategyResult", "TraceStep", "analyze_saturation",
+    "compute_psat", "explore", "explore_application", "saturation_vectors",
+    "split_nests",
+]

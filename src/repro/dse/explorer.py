@@ -1,0 +1,127 @@
+"""Top-level exploration API.
+
+``explore(program, board)`` runs the whole paper pipeline for one loop
+nest: saturation analysis, balance-guided search (Figure 2), baseline
+evaluation, and the bookkeeping behind the paper's headline numbers
+(speedup over the no-unrolling baseline, fraction of the design space
+searched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dse.saturation import SaturationInfo
+from repro.dse.search import BalanceGuidedSearch, SearchOptions, SearchResult, TraceStep
+from repro.dse.space import DesignEvaluation, DesignSpace
+from repro.ir.symbols import Program
+from repro.synthesis.operators import OperatorLibrary
+from repro.target.board import Board
+from repro.transform.pipeline import PipelineOptions
+from repro.transform.unroll import UnrollVector
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the paper reports about one kernel's exploration."""
+
+    program_name: str
+    board_name: str
+    selected: DesignEvaluation
+    baseline: DesignEvaluation
+    search: SearchResult
+    design_space_size: int
+    points_searched: int
+
+    @property
+    def speedup(self) -> float:
+        """Cycle-count speedup of the selected design over the baseline
+        (the Table 2 metric)."""
+        if self.selected.cycles == 0:
+            return float("inf")
+        return self.baseline.cycles / self.selected.cycles
+
+    @property
+    def fraction_searched(self) -> float:
+        """Points synthesized over the full design space size (the
+        "0.3 % of the design space" metric)."""
+        return self.points_searched / self.design_space_size
+
+    @property
+    def saturation(self) -> SaturationInfo:
+        return self.search.saturation
+
+    def report(self) -> str:
+        lines = [
+            f"kernel {self.program_name} on {self.board_name}",
+            f"  saturation: R={self.saturation.read_sets} "
+            f"W={self.saturation.write_sets} Psat={self.saturation.psat}",
+            f"  initial point: U={self.search.initial}",
+        ]
+        for step in self.search.trace:
+            lines.append(f"    {step}")
+        lines.append(
+            f"  selected U={self.selected.unroll}: "
+            f"{self.selected.estimate.summary()}"
+        )
+        lines.append(
+            f"  baseline: {self.baseline.estimate.summary()}"
+        )
+        lines.append(
+            f"  speedup {self.speedup:.2f}x, searched {self.points_searched} "
+            f"of {self.design_space_size} points "
+            f"({100 * self.fraction_searched:.2f}%)"
+        )
+        return "\n".join(lines)
+
+
+def explore(
+    program: Program,
+    board: Board,
+    search_options: Optional[SearchOptions] = None,
+    pipeline_options: Optional[PipelineOptions] = None,
+    library: Optional[OperatorLibrary] = None,
+    pinned_depths: Optional[Tuple[int, ...]] = None,
+) -> ExplorationResult:
+    """Run the full DEFACTO design space exploration for one loop nest.
+
+    Args:
+        program: a compiled C-subset program containing one loop nest.
+        board: the synthesis target (e.g. ``wildstar_pipelined()``).
+        search_options: Figure-2 tunables (balance tolerance, iteration cap).
+        pipeline_options: code-generation knobs (outer-loop reuse, layout...).
+        library: operator latency/area calibration.
+        pinned_depths: loops to exclude from unrolling entirely; when
+            omitted, loops that add no memory parallelism are pinned
+            automatically (the paper fixes MM's innermost loop this way).
+
+    Returns an :class:`ExplorationResult`; ``result.selected`` carries
+    the chosen design (transformed program, layout plan, estimate).
+    """
+    # A first space to discover the saturation structure, possibly
+    # re-created with automatic pins.
+    space = DesignSpace(program, board, pipeline_options, library, pinned_depths)
+    searcher = BalanceGuidedSearch(space, search_options)
+    if pinned_depths is None:
+        varying = set(searcher.saturation.memory_varying_depths)
+        auto_pins = tuple(
+            depth for depth in range(space.depth) if depth not in varying
+        )
+        if auto_pins:
+            space = DesignSpace(
+                program, board, pipeline_options, library, auto_pins
+            )
+            searcher = BalanceGuidedSearch(space, search_options)
+
+    result = searcher.run()
+    baseline = space.evaluate(space.baseline_vector())
+    return ExplorationResult(
+        program_name=program.name,
+        board_name=board.name,
+        selected=result.selected,
+        baseline=baseline,
+        search=result,
+        design_space_size=space.size(),
+        points_searched=space.points_evaluated,
+    )

@@ -1,0 +1,153 @@
+"""Multi-nest applications: several loop nests sharing one FPGA.
+
+Section 3's third optimization criterion exists because "the smaller
+design ... frees up space for other uses of the FPGA logic, such as to
+map other loop nests."  This module follows through: given a program
+whose body is a *sequence* of loop nests, it explores each nest
+independently and then fits the selections into the shared device.
+
+Allocation policy (greedy, documented rather than clever):
+
+1. explore every nest with the full device as its capacity;
+2. if the summed selections fit — done;
+3. otherwise repeatedly re-explore the nest with the largest selected
+   design under a proportionally reduced capacity until everything fits
+   (falling back to each nest's baseline design, which always exists).
+
+The result carries per-nest selections plus whole-application cycles
+(nests execute sequentially) and space (designs coexist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.dse.explorer import ExplorationResult, explore
+from repro.errors import SearchError
+from repro.ir.stmt import For
+from repro.ir.symbols import Program
+from repro.synthesis.operators import OperatorLibrary
+from repro.target.board import Board
+from repro.target.fpga import FPGAModel
+from repro.transform.pipeline import PipelineOptions
+
+
+@dataclass
+class MultiNestResult:
+    """Per-nest explorations plus application-level totals."""
+
+    program_name: str
+    board_name: str
+    nests: List[ExplorationResult]
+
+    @property
+    def total_cycles(self) -> int:
+        """Nests run back to back on the shared datapath."""
+        return sum(result.selected.cycles for result in self.nests)
+
+    @property
+    def total_space(self) -> int:
+        """Designs coexist on the device."""
+        return sum(result.selected.space for result in self.nests)
+
+    @property
+    def baseline_cycles(self) -> int:
+        return sum(result.baseline.cycles for result in self.nests)
+
+    @property
+    def speedup(self) -> float:
+        if self.total_cycles == 0:
+            return float("inf")
+        return self.baseline_cycles / self.total_cycles
+
+    def fits(self, board: Board) -> bool:
+        return board.fpga.fits(self.total_space)
+
+    def report(self) -> str:
+        lines = [f"application {self.program_name} on {self.board_name}"]
+        for index, result in enumerate(self.nests):
+            lines.append(
+                f"  nest {index} ({result.program_name}): "
+                f"U={result.selected.unroll} "
+                f"{result.selected.cycles} cycles, {result.selected.space} slices"
+            )
+        lines.append(
+            f"  total: {self.total_cycles} cycles, {self.total_space} slices, "
+            f"speedup {self.speedup:.2f}x over baselines"
+        )
+        return "\n".join(lines)
+
+
+def split_nests(program: Program) -> List[Program]:
+    """One sub-program per top-level loop nest.
+
+    Every nest's sub-program keeps the full declaration list (nests may
+    share arrays — the first nest's output feeding the second's input is
+    the normal case).  Non-loop top-level statements are rejected: their
+    placement relative to the nests is ambiguous for hardware mapping.
+    """
+    nests: List[Program] = []
+    for position, stmt in enumerate(program.body):
+        if not isinstance(stmt, For):
+            raise SearchError(
+                "multi-nest exploration needs a body of top-level loops; "
+                f"statement {position} is {type(stmt).__name__}"
+            )
+        nests.append(Program(f"{program.name}_nest{position}", program.decls, (stmt,)))
+    if not nests:
+        raise SearchError(f"program {program.name!r} has no loop nests")
+    return nests
+
+
+def explore_application(
+    program: Program,
+    board: Board,
+    pipeline_options: Optional[PipelineOptions] = None,
+    library: Optional[OperatorLibrary] = None,
+    max_rounds: int = 8,
+) -> MultiNestResult:
+    """Explore every nest of a multi-nest program under a shared device."""
+    nests = split_nests(program)
+    capacities = [board.fpga.capacity_slices] * len(nests)
+    results: List[Optional[ExplorationResult]] = [None] * len(nests)
+
+    def run(index: int) -> ExplorationResult:
+        shrunk = replace(
+            board,
+            fpga=FPGAModel(
+                name=board.fpga.name,
+                capacity_slices=max(capacities[index], 1),
+                luts_per_slice=board.fpga.luts_per_slice,
+                ff_per_slice=board.fpga.ff_per_slice,
+            ),
+        )
+        return explore(
+            nests[index], shrunk,
+            pipeline_options=pipeline_options, library=library,
+        )
+
+    for index in range(len(nests)):
+        results[index] = run(index)
+
+    for _round in range(max_rounds):
+        total = sum(result.selected.space for result in results)
+        if total <= board.fpga.capacity_slices:
+            break
+        # shrink the largest consumer's budget toward its fair share
+        largest = max(range(len(nests)), key=lambda i: results[i].selected.space)
+        overshoot = total - board.fpga.capacity_slices
+        new_capacity = max(
+            results[largest].selected.space - overshoot,
+            results[largest].baseline.space,
+        )
+        if new_capacity >= capacities[largest]:
+            break  # cannot shrink further
+        capacities[largest] = new_capacity
+        results[largest] = run(largest)
+
+    return MultiNestResult(
+        program_name=program.name,
+        board_name=board.name,
+        nests=[result for result in results if result is not None],
+    )

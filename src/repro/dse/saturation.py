@@ -1,0 +1,145 @@
+"""Saturation-point analysis (Section 5.1).
+
+The *saturation point* is the smallest unroll product at which the
+unrolled body's memory accesses can fill all the board's memories every
+cycle.  With ``R`` uniformly generated read sets and ``W`` write sets
+surviving scalar replacement, the paper defines::
+
+    Psat = lcm(gcd(R, W), NumMemories)
+
+and the *saturation set* ``Sat`` as the unroll vectors whose product is
+``Psat``, where only loops that actually vary the surviving memory
+accesses get factors above 1 ("the saturation point considers unrolling
+only those loops that will introduce additional memory parallelism").
+For MM this pins the innermost loop at 1 — loop-invariant code motion
+removed all its memory accesses — reproducing the paper's restriction
+of the MM search to the two outermost loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd, lcm
+from typing import List, Set, Tuple
+
+from repro.analysis.reuse import ReuseAnalysis, ReuseKind
+from repro.ir.nest import LoopNest
+from repro.ir.symbols import Program
+from repro.transform.unroll import UnrollVector
+
+
+@dataclass(frozen=True)
+class SaturationInfo:
+    """R, W, Psat, and the loops eligible for memory-parallel unrolling."""
+
+    read_sets: int
+    write_sets: int
+    psat: int
+    #: depths of loops whose unrolling adds memory parallelism.
+    memory_varying_depths: Tuple[int, ...]
+    #: every unroll vector in the saturation set Sat.
+    saturation_set: Tuple[UnrollVector, ...]
+
+
+def analyze_saturation(program: Program, num_memories: int) -> SaturationInfo:
+    """Compute the saturation structure of a loop-nest program."""
+    nest = LoopNest(program)
+    reuse = ReuseAnalysis.run(nest)
+    read_sets, write_sets, varying = _surviving_sets(reuse, nest)
+    psat = compute_psat(read_sets, write_sets, num_memories)
+    vectors = saturation_vectors(nest, psat, varying)
+    return SaturationInfo(
+        read_sets=read_sets,
+        write_sets=write_sets,
+        psat=psat,
+        memory_varying_depths=tuple(sorted(varying)),
+        saturation_set=tuple(vectors),
+    )
+
+
+def compute_psat(read_sets: int, write_sets: int, num_memories: int) -> int:
+    """``Psat = lcm(gcd(R, W), NumMemories)`` with gcd(0,0) taken as 1."""
+    base = gcd(read_sets, write_sets)
+    if base == 0:
+        base = 1
+    return lcm(base, num_memories)
+
+
+def _surviving_sets(
+    reuse: ReuseAnalysis, nest: LoopNest
+) -> Tuple[int, int, Set[int]]:
+    """Count uniformly generated sets with steady-state memory accesses
+    after scalar replacement, and the loop depths that vary them.
+
+    ROTATING groups vanish from the steady state (their loads move to
+    the peeled first carrier iteration).  INVARIANT groups keep one load
+    (and one store if written) at their hoist level.  Everything else
+    keeps its reads/writes in place.
+    """
+    reads = writes = 0
+    varying: Set[int] = set()
+    index_vars = nest.index_vars
+    for group in reuse.groups:
+        if group.kind is ReuseKind.ROTATING:
+            continue
+        has_reads = any(access.is_read for access in group.accesses)
+        mentioned = set()
+        for access in group.accesses:
+            mentioned.update(access.variables())
+        depths = {index_vars.index(var) for var in mentioned}
+        if has_reads:
+            reads += 1
+            varying.update(depths)
+        if group.has_write:
+            writes += 1
+            varying.update(depths)
+    return reads, writes, varying
+
+
+def saturation_vectors(
+    nest: LoopNest, psat: int, varying: Set[int]
+) -> List[UnrollVector]:
+    """All unroll vectors with product ``psat``, factors dividing the
+    trip counts, and 1 everywhere except memory-varying loops.
+
+    If the trip counts cannot realize the full product (tiny nests), the
+    vectors with the largest achievable product are returned instead, so
+    the search always has a starting point.
+    """
+    depth = nest.depth
+    trips = nest.trip_counts
+    eligible = sorted(varying) if varying else list(range(depth))
+
+    best: List[UnrollVector] = []
+    best_product = 0
+
+    def extend(position: int, remaining: List[int], factors: List[int]) -> None:
+        nonlocal best, best_product
+        if position == len(eligible):
+            product = 1
+            for factor in factors:
+                product *= factor
+            if product > psat:
+                return
+            vector = UnrollVector.ones(depth)
+            for depth_index, factor in zip(eligible, factors):
+                vector = vector.with_factor(depth_index, factor)
+            if product > best_product:
+                best, best_product = [vector], product
+            elif product == best_product:
+                best.append(vector)
+            return
+        depth_index = eligible[position]
+        for factor in _divisors(trips[depth_index]):
+            if factor > psat:
+                break
+            extend(position + 1, remaining, factors + [factor])
+
+    extend(0, [], [])
+    return best
+
+
+def _divisors(value: int) -> List[int]:
+    if value <= 0:
+        return [1]
+    return [d for d in range(1, value + 1) if value % d == 0]

@@ -1,0 +1,197 @@
+"""The design space: evaluation, caching, and the exhaustive oracle.
+
+A design point is an unroll factor vector.  ``DesignSpace`` compiles and
+estimates points on demand with memoization — the paper's headline
+metric is how *few* points the guided search touches, so the space
+tracks exactly which points were synthesized.
+
+Two size notions appear in the paper:
+
+* ``size()`` — "all possible unroll factors for each loop", the product
+  of trip counts; the 0.3 % search-fraction figure is relative to this;
+* ``enumerable_points()`` — the divisor-constrained subset the pipeline
+  can realize (factors must divide trip counts); the exhaustive oracle
+  walks these to certify the guided search's selection quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import TransformError
+from repro.ir.nest import LoopNest
+from repro.ir.symbols import Program
+from repro.synthesis.estimator import Estimate, synthesize
+from repro.synthesis.operators import OperatorLibrary, default_library
+from repro.target.board import Board
+from repro.transform.pipeline import CompiledDesign, PipelineOptions, compile_design
+from repro.transform.unroll import UnrollVector
+
+
+@dataclass
+class DesignEvaluation:
+    """One synthesized design point."""
+
+    unroll: UnrollVector
+    design: CompiledDesign
+    estimate: Estimate
+
+    @property
+    def cycles(self) -> int:
+        return self.estimate.cycles
+
+    @property
+    def space(self) -> int:
+        return self.estimate.space
+
+    @property
+    def balance(self) -> float:
+        return self.estimate.balance
+
+    def __str__(self) -> str:
+        return f"U={self.unroll}: {self.estimate.summary()}"
+
+
+class DesignSpace:
+    """Evaluate design points for one program on one board, memoized."""
+
+    def __init__(
+        self,
+        program: Program,
+        board: Board,
+        options: Optional[PipelineOptions] = None,
+        library: Optional[OperatorLibrary] = None,
+        pinned_depths: Optional[Tuple[int, ...]] = None,
+        estimate_cache: Optional["EstimateCache"] = None,
+    ):
+        self.program = program
+        self.board = board
+        self.options = options or PipelineOptions()
+        self.library = library or default_library(board.clock_ns)
+        self.nest = LoopNest(program)
+        #: depths forced to factor 1 (loops that add no memory parallelism).
+        self.pinned_depths = tuple(pinned_depths or ())
+        #: optional persistent cache (repro.synthesis.EstimateCache); the
+        #: in-memory memoization below always applies on top.
+        self.estimate_cache = estimate_cache
+        self._cache: Dict[Tuple[int, ...], DesignEvaluation] = {}
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, unroll: UnrollVector) -> DesignEvaluation:
+        """Compile + synthesize one point (cached)."""
+        key = unroll.factors
+        if key not in self._cache:
+            design = compile_design(
+                self.program, unroll, self.board.num_memories, self.options
+            )
+            if self.estimate_cache is not None:
+                estimate = self.estimate_cache.synthesize(
+                    design.program, self.board, design.plan, self.library
+                )
+            else:
+                estimate = synthesize(
+                    design.program, self.board, design.plan, self.library
+                )
+            self._cache[key] = DesignEvaluation(unroll, design, estimate)
+        return self._cache[key]
+
+    @property
+    def points_evaluated(self) -> int:
+        return len(self._cache)
+
+    def evaluated(self) -> List[DesignEvaluation]:
+        return list(self._cache.values())
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return self.nest.depth
+
+    @property
+    def max_factors(self) -> Tuple[int, ...]:
+        """Umax: full unrolling, with pinned loops at 1."""
+        return tuple(
+            1 if depth in self.pinned_depths else trip
+            for depth, trip in enumerate(self.nest.trip_counts)
+        )
+
+    def baseline_vector(self) -> UnrollVector:
+        """Ubase: no unrolling."""
+        return UnrollVector.ones(self.depth)
+
+    def max_vector(self) -> UnrollVector:
+        return UnrollVector(self.max_factors)
+
+    def is_valid(self, unroll: UnrollVector) -> bool:
+        """Factors divide trip counts and respect pinned loops."""
+        for depth, (factor, trip) in enumerate(zip(unroll, self.nest.trip_counts)):
+            if depth in self.pinned_depths and factor != 1:
+                return False
+            if trip > 0 and (factor > trip or trip % factor != 0):
+                return False
+        return True
+
+    def size(self) -> int:
+        """The paper's design-space size: all possible unroll factors —
+        the product of the trip counts."""
+        total = 1
+        for trip in self.nest.trip_counts:
+            total *= max(trip, 1)
+        return total
+
+    def enumerable_points(self) -> Iterator[UnrollVector]:
+        """Every realizable (divisor-constrained) point."""
+        axes: List[List[int]] = []
+        for depth, trip in enumerate(self.nest.trip_counts):
+            if depth in self.pinned_depths:
+                axes.append([1])
+            else:
+                axes.append([d for d in range(1, trip + 1) if trip % d == 0])
+
+        def product(position: int, prefix: List[int]) -> Iterator[UnrollVector]:
+            if position == len(axes):
+                yield UnrollVector(tuple(prefix))
+                return
+            for factor in axes[position]:
+                yield from product(position + 1, prefix + [factor])
+
+        yield from product(0, [])
+
+    # -- the oracle --------------------------------------------------------------
+
+    def exhaustive_search(self) -> "ExhaustiveResult":
+        """Evaluate every realizable point; the certification oracle.
+
+        Points whose compilation is illegal (dependence violations) are
+        skipped.  The best design minimizes cycles among capacity-feasible
+        points, breaking ties by space — the paper's optimization
+        criteria from Section 3.
+        """
+        evaluations: List[DesignEvaluation] = []
+        for unroll in self.enumerable_points():
+            try:
+                evaluations.append(self.evaluate(unroll))
+            except TransformError:
+                continue
+        feasible = [
+            e for e in evaluations if e.estimate.fits(self.board)
+        ]
+        pool = feasible or evaluations
+        best = min(pool, key=lambda e: (e.cycles, e.space))
+        return ExhaustiveResult(evaluations=evaluations, best=best)
+
+
+@dataclass
+class ExhaustiveResult:
+    evaluations: List[DesignEvaluation]
+    best: DesignEvaluation
+
+    def within_performance(self, slack: float = 0.05) -> List[DesignEvaluation]:
+        """Feasible designs whose cycle count is within ``slack`` of the
+        best — the "comparable performance" pool for the smallest-design
+        criterion."""
+        limit = self.best.cycles * (1.0 + slack)
+        return [e for e in self.evaluations if e.cycles <= limit]

@@ -1,0 +1,78 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every user-facing failure raised by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+Subsystem-specific errors refine it: the frontend raises
+:class:`FrontendError` subclasses with source locations, analyses raise
+:class:`AnalysisError` when a program falls outside the affine domain the
+paper supports, and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class FrontendError(ReproError):
+    """A problem detected while lexing, parsing, or checking source code.
+
+    Carries an optional source location so messages can point at the
+    offending token, in the familiar ``line:column`` compiler style.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """An unrecognizable character sequence in the input."""
+
+
+class ParseError(FrontendError):
+    """The token stream does not match the accepted C subset grammar."""
+
+
+class SemanticError(FrontendError):
+    """The program parses but violates a semantic rule.
+
+    Examples: use of an undeclared variable, a non-constant loop bound,
+    an array reference with the wrong number of subscripts.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis cannot handle the program (e.g. non-affine subscripts)."""
+
+
+class TransformError(ReproError):
+    """A transformation was requested with illegal parameters.
+
+    Examples: an unroll factor that is not positive, tiling a loop that
+    does not exist in the nest.
+    """
+
+
+class LayoutError(ReproError):
+    """Custom data layout could not be derived for an array."""
+
+
+class SynthesisError(ReproError):
+    """Behavioral synthesis estimation failed for a design."""
+
+
+class CapacityError(SynthesisError):
+    """A design exceeds the capacity of the target FPGA.
+
+    The DSE algorithm treats this as a signal to shrink the unroll
+    factors, mirroring the space-constrained branch of Figure 2.
+    """
+
+
+class SearchError(ReproError):
+    """The design space exploration was configured inconsistently."""

@@ -1,0 +1,27 @@
+"""C-subset frontend: lexer, parser, and semantic checker.
+
+The one call most users need::
+
+    from repro.frontend import compile_source
+    program = compile_source(open("fir.c").read(), name="fir")
+"""
+
+from repro.frontend.lexer import Lexer, Token, tokenize
+from repro.frontend.parser import Parser, parse_program
+from repro.frontend.semantic import SemanticChecker, check_program
+from repro.ir.symbols import Program
+
+__all__ = [
+    "Lexer", "Parser", "SemanticChecker", "Token",
+    "check_program", "compile_source", "parse_program", "tokenize",
+]
+
+
+def compile_source(source: str, name: str = "program") -> Program:
+    """Lex, parse, and semantically check C-subset source.
+
+    Returns a validated :class:`repro.ir.Program`.  Raises a
+    :class:`repro.errors.FrontendError` subclass (with line/column where
+    available) on any problem.
+    """
+    return check_program(parse_program(source, name))

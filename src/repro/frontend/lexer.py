@@ -1,0 +1,156 @@
+"""Lexer for the C subset DEFACTO accepts.
+
+Tokenizes identifiers, integer literals (decimal and hex), the operator
+and punctuation set the grammar needs, and strips both ``//`` and
+``/* */`` comments.  Every token carries a line/column for error
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset({
+    "for", "if", "else", "int", "char", "short", "unsigned",
+    "int8", "int16", "int32", "uint8", "uint16", "uint32",
+})
+
+# Multi-character operators must be listed before their prefixes so maximal
+# munch works by first-match over this ordered tuple.
+OPERATORS = (
+    "<<=", ">>=",
+    "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "[", "]", "{", "}", ";", ",",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``"ident"``, ``"int"``, ``"keyword"``, ``"op"``, or
+    ``"eof"``; ``text`` is the matched source text.
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    @property
+    def int_value(self) -> int:
+        if self.kind != "int":
+            raise LexError(f"token {self.text!r} is not an integer", self.line, self.column)
+        return int(self.text, 0)
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+class Lexer:
+    """Converts source text to a token list ending in an ``eof`` token."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens = list(self._tokens())
+        tokens.append(Token("eof", "", self.line, self.column))
+        return tokens
+
+    def _tokens(self) -> Iterator[Token]:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r":
+                self._advance(1)
+            elif ch == "\n":
+                self._advance_line()
+            elif self.source.startswith("//", self.pos):
+                self._skip_line_comment()
+            elif self.source.startswith("/*", self.pos):
+                self._skip_block_comment()
+            elif ch.isdigit():
+                yield self._lex_number()
+            elif ch.isalpha() or ch == "_":
+                yield self._lex_word()
+            else:
+                yield self._lex_operator()
+
+    def _advance(self, count: int) -> None:
+        self.pos += count
+        self.column += count
+
+    def _advance_line(self) -> None:
+        self.pos += 1
+        self.line += 1
+        self.column = 1
+
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.source) and self.source[self.pos] != "\n":
+            self._advance(1)
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_column = self.line, self.column
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self.source.startswith("*/", self.pos):
+                self._advance(2)
+                return
+            if self.source[self.pos] == "\n":
+                self._advance_line()
+            else:
+                self._advance(1)
+        raise LexError("unterminated block comment", start_line, start_column)
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        if self.source.startswith(("0x", "0X"), self.pos):
+            self._advance(2)
+            while self.pos < len(self.source) and self.source[self.pos] in "0123456789abcdefABCDEF":
+                self._advance(1)
+            if self.pos == start + 2:
+                raise LexError("hex literal needs at least one digit", line, column)
+        else:
+            while self.pos < len(self.source) and self.source[self.pos].isdigit():
+                self._advance(1)
+        text = self.source[start:self.pos]
+        # A digit run immediately followed by a letter is a malformed token
+        # like 12ab — reject it here rather than confusing the parser.
+        if self.pos < len(self.source) and (
+            self.source[self.pos].isalpha() or self.source[self.pos] == "_"
+        ):
+            raise LexError(f"malformed number {text + self.source[self.pos]!r}...", line, column)
+        return Token("int", text, line, column)
+
+    def _lex_word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] == "_"
+        ):
+            self._advance(1)
+        text = self.source[start:self.pos]
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, line, column)
+
+    def _lex_operator(self) -> Token:
+        line, column = self.line, self.column
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, line, column)
+        raise LexError(f"unexpected character {self.source[self.pos]!r}", line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,323 @@
+"""Recursive-descent parser for the C subset, producing IR directly.
+
+The accepted language is the paper's input domain (Section 2.4): constant
+declarations of fixed-width scalars and arrays, a statement sequence of
+counted ``for`` loops with constant bounds and positive constant steps,
+assignments (including compound ``+=`` style), ``if``/``else``, the
+intrinsics ``abs``/``min``/``max``, and the ``rotate_registers`` statement
+so printed transformed code round-trips.
+
+The IR doubles as the AST — the language is small enough that a separate
+AST layer would only duplicate these classes.  Semantic checks that need
+the whole program (declared-before-use, subscript arity) live in
+:mod:`repro.frontend.semantic`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.frontend.lexer import Token, tokenize
+from repro.ir.expr import (
+    ArrayRef, BinOp, Call, Expr, IntLit, UnOp, VarRef, fold_constants,
+)
+from repro.ir.stmt import Assign, For, If, RotateRegisters, Stmt
+from repro.ir.symbols import Program, VarDecl
+from repro.ir.types import IntType, type_from_name
+
+# Binary operator precedence levels, lowest-binding first.  Each level is a
+# tuple of operators parsed left-associatively at that level.
+_PRECEDENCE_LEVELS: Tuple[Tuple[str, ...], ...] = (
+    ("||",), ("&&",), ("|",), ("^",), ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+_COMPOUND_ASSIGN = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                    "<<=": "<<", ">>=": ">>"}
+
+
+class Parser:
+    """One-pass parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {self.current.text or 'end of input'!r}",
+                self.current.line, self.current.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.current.line, self.current.column)
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self, name: str = "program") -> Program:
+        decls: List[VarDecl] = []
+        while self._at_declaration():
+            decls.append(self._parse_decl())
+        body: List[Stmt] = []
+        while not self._check("eof"):
+            body.append(self._parse_stmt())
+        return Program(name, tuple(decls), tuple(body))
+
+    def _at_declaration(self) -> bool:
+        return self.current.kind == "keyword" and self.current.text != "for" \
+            and self.current.text != "if" and self.current.text != "else"
+
+    def _parse_decl(self) -> VarDecl:
+        var_type = self._parse_type()
+        name = self._expect("ident").text
+        dims: List[int] = []
+        while self._accept("op", "["):
+            extent = self._parse_constant_expr("array dimension")
+            if extent <= 0:
+                raise self._error(f"array {name!r}: dimension must be positive, got {extent}")
+            dims.append(extent)
+            self._expect("op", "]")
+        self._expect("op", ";")
+        return VarDecl(name, var_type, tuple(dims))
+
+    def _parse_type(self) -> IntType:
+        token = self._expect("keyword")
+        if token.text == "unsigned":
+            inner = self._accept("keyword", "int") or self._accept("keyword", "char") \
+                or self._accept("keyword", "short")
+            name = f"unsigned {inner.text}" if inner else "unsigned int"
+            return type_from_name(name)
+        try:
+            return type_from_name(token.text)
+        except KeyError:
+            raise ParseError(
+                f"{token.text!r} is not a type name", token.line, token.column
+            ) from None
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_stmt(self) -> Stmt:
+        if self._check("keyword", "for"):
+            return self._parse_for()
+        if self._check("keyword", "if"):
+            return self._parse_if()
+        if self._check("ident", "rotate_registers"):
+            return self._parse_rotate()
+        if self._check("ident"):
+            return self._parse_assign()
+        raise self._error(f"unexpected token {self.current.text!r}; expected a statement")
+
+    def _parse_block_or_stmt(self) -> Tuple[Stmt, ...]:
+        if self._accept("op", "{"):
+            body: List[Stmt] = []
+            while not self._check("op", "}"):
+                if self._check("eof"):
+                    raise self._error("unterminated block: missing '}'")
+                body.append(self._parse_stmt())
+            self._expect("op", "}")
+            return tuple(body)
+        return (self._parse_stmt(),)
+
+    def _parse_for(self) -> For:
+        self._expect("keyword", "for")
+        self._expect("op", "(")
+        index_var = self._expect("ident").text
+        self._expect("op", "=")
+        lower = self._parse_constant_expr("loop lower bound")
+        self._expect("op", ";")
+        cond_var = self._expect("ident").text
+        if cond_var != index_var:
+            raise self._error(
+                f"loop condition tests {cond_var!r} but the loop variable is {index_var!r}"
+            )
+        # Accept `i < N` and `i <= N` (normalized to exclusive upper bound).
+        if self._accept("op", "<"):
+            upper = self._parse_constant_expr("loop upper bound")
+        elif self._accept("op", "<="):
+            upper = self._parse_constant_expr("loop upper bound") + 1
+        else:
+            raise self._error("loop condition must be '<' or '<='")
+        self._expect("op", ";")
+        step = self._parse_increment(index_var)
+        self._expect("op", ")")
+        body = self._parse_block_or_stmt()
+        return For(index_var, lower, upper, step, body)
+
+    def _parse_increment(self, index_var: str) -> int:
+        incr_var = self._expect("ident").text
+        if incr_var != index_var:
+            raise self._error(
+                f"loop increment updates {incr_var!r} but the loop variable is {index_var!r}"
+            )
+        if self._accept("op", "++"):
+            return 1
+        if self._accept("op", "+="):
+            step = self._parse_constant_expr("loop step")
+            if step <= 0:
+                raise self._error(f"loop step must be positive, got {step}")
+            return step
+        if self._accept("op", "="):
+            # i = i + step
+            second = self._expect("ident").text
+            if second != index_var:
+                raise self._error("loop increment must have the form i = i + step")
+            self._expect("op", "+")
+            step = self._parse_constant_expr("loop step")
+            if step <= 0:
+                raise self._error(f"loop step must be positive, got {step}")
+            return step
+        raise self._error("loop increment must be i++, i += c, or i = i + c")
+
+    def _parse_if(self) -> If:
+        self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        then_body = self._parse_block_or_stmt()
+        else_body: Tuple[Stmt, ...] = ()
+        if self._accept("keyword", "else"):
+            else_body = self._parse_block_or_stmt()
+        return If(cond, then_body, else_body)
+
+    def _parse_rotate(self) -> RotateRegisters:
+        self._expect("ident", "rotate_registers")
+        self._expect("op", "(")
+        names = [self._expect("ident").text]
+        while self._accept("op", ","):
+            names.append(self._expect("ident").text)
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return RotateRegisters(tuple(names))
+
+    def _parse_assign(self) -> Assign:
+        target = self._parse_lvalue()
+        token = self.current
+        if self._accept("op", "="):
+            value = self._parse_expr()
+        elif token.kind == "op" and token.text in _COMPOUND_ASSIGN:
+            self._advance()
+            op = _COMPOUND_ASSIGN[token.text]
+            value = BinOp(op, target, self._parse_expr())
+        else:
+            raise self._error(f"expected an assignment operator, found {token.text!r}")
+        self._expect("op", ";")
+        return Assign(target, value)
+
+    def _parse_lvalue(self):
+        name = self._expect("ident").text
+        indices: List[Expr] = []
+        while self._accept("op", "["):
+            indices.append(self._parse_expr())
+            self._expect("op", "]")
+        if indices:
+            return ArrayRef(name, tuple(indices))
+        return VarRef(name)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self, level: int = 0) -> Expr:
+        if level >= len(_PRECEDENCE_LEVELS):
+            return self._parse_unary()
+        ops = _PRECEDENCE_LEVELS[level]
+        expr = self._parse_expr(level + 1)
+        while self.current.kind == "op" and self.current.text in ops:
+            op = self._advance().text
+            right = self._parse_expr(level + 1)
+            expr = BinOp(op, expr, right)
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("op", "-"):
+            return UnOp("-", self._parse_unary())
+        if self._accept("op", "!"):
+            return UnOp("!", self._parse_unary())
+        if self._accept("op", "~"):
+            return UnOp("~", self._parse_unary())
+        if self._accept("op", "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        if self.current.kind == "int":
+            token = self._advance()
+            return IntLit(token.int_value)
+        if self._accept("op", "("):
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        if self.current.kind == "ident":
+            name = self._advance().text
+            if self._accept("op", "("):
+                args: List[Expr] = []
+                if not self._check("op", ")"):
+                    args.append(self._parse_expr())
+                    while self._accept("op", ","):
+                        args.append(self._parse_expr())
+                self._expect("op", ")")
+                try:
+                    return Call(name, tuple(args))
+                except ValueError as err:
+                    raise self._error(str(err)) from None
+            indices: List[Expr] = []
+            while self._accept("op", "["):
+                indices.append(self._parse_expr())
+                self._expect("op", "]")
+            if indices:
+                return ArrayRef(name, tuple(indices))
+            return VarRef(name)
+        raise self._error(f"unexpected token {self.current.text!r} in expression")
+
+    def _parse_constant_expr(self, what: str) -> int:
+        """Parse an expression that must fold to an integer constant.
+
+        Loop bounds, steps, and array extents must be compile-time
+        constants per the paper's restrictions; we allow arithmetic over
+        literals (``2 * 32``) by folding.
+        """
+        token = self.current
+        expr = fold_constants(self._parse_expr())
+        if not isinstance(expr, IntLit):
+            raise ParseError(f"{what} must be a constant expression", token.line, token.column)
+        return expr.value
+
+
+def parse_program(source: str, name: str = "program") -> Program:
+    """Parse C-subset source into an unchecked :class:`Program`.
+
+    Most callers want :func:`repro.frontend.compile_source`, which also
+    runs the semantic checker.
+    """
+    return Parser(tokenize(source)).parse_program(name)

@@ -1,0 +1,131 @@
+"""Semantic checking of parsed programs.
+
+Enforces the rules that make a program a legal input to the DEFACTO flow:
+
+* every referenced variable is declared (or is an enclosing loop index);
+* array references carry exactly as many subscripts as the array has
+  dimensions, and scalars are never subscripted;
+* loop index variables are not also declared variables, are not assigned
+  inside their own loop, and are unique along any nest path;
+* ``rotate_registers`` names only declared scalars.
+
+Checks that belong to specific analyses — affine subscripts, constant
+dependence distances — live with those analyses; a program can be
+semantically valid yet rejected later by, say, the dependence test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import SemanticError
+from repro.ir.expr import ArrayRef, Expr, VarRef
+from repro.ir.stmt import Assign, For, If, RotateRegisters, Stmt
+from repro.ir.symbols import Program, VarDecl
+
+
+class SemanticChecker:
+    """Single-pass checker; collects all errors before reporting."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.symbols: Dict[str, VarDecl] = program.symbol_table
+        self.errors: List[str] = []
+
+    def check(self) -> None:
+        """Raise :class:`SemanticError` listing every problem found."""
+        for stmt in self.program.body:
+            self._check_stmt(stmt, loop_vars=())
+        if self.errors:
+            raise SemanticError("; ".join(self.errors))
+
+    # -- statements ----------------------------------------------------------
+
+    def _check_stmt(self, stmt: Stmt, loop_vars: Tuple[str, ...]) -> None:
+        if isinstance(stmt, Assign):
+            self._check_assign(stmt, loop_vars)
+        elif isinstance(stmt, If):
+            self._check_expr(stmt.cond, loop_vars)
+            for inner in stmt.then_body + stmt.else_body:
+                self._check_stmt(inner, loop_vars)
+        elif isinstance(stmt, For):
+            self._check_for(stmt, loop_vars)
+        elif isinstance(stmt, RotateRegisters):
+            self._check_rotate(stmt)
+        else:
+            self.errors.append(f"unknown statement node {type(stmt).__name__}")
+
+    def _check_for(self, loop: For, loop_vars: Tuple[str, ...]) -> None:
+        if loop.var in loop_vars:
+            self.errors.append(
+                f"loop variable {loop.var!r} shadows an enclosing loop's index"
+            )
+        if loop.var in self.symbols:
+            self.errors.append(
+                f"loop variable {loop.var!r} is also a declared variable"
+            )
+        inner_vars = loop_vars + (loop.var,)
+        for stmt in loop.body:
+            self._check_stmt(stmt, inner_vars)
+
+    def _check_assign(self, stmt: Assign, loop_vars: Tuple[str, ...]) -> None:
+        if isinstance(stmt.target, VarRef):
+            name = stmt.target.name
+            if name in loop_vars:
+                self.errors.append(f"assignment to loop index variable {name!r}")
+            elif name in self.symbols and self.symbols[name].is_array:
+                self.errors.append(f"array {name!r} assigned without subscripts")
+            elif name not in self.symbols:
+                self.errors.append(f"assignment to undeclared variable {name!r}")
+        else:
+            self._check_array_ref(stmt.target, loop_vars)
+        self._check_expr(stmt.value, loop_vars)
+
+    def _check_rotate(self, stmt: RotateRegisters) -> None:
+        for name in stmt.registers:
+            decl = self.symbols.get(name)
+            if decl is None:
+                self.errors.append(f"rotate_registers names undeclared variable {name!r}")
+            elif decl.is_array:
+                self.errors.append(f"rotate_registers names array {name!r}; scalars only")
+
+    # -- expressions ----------------------------------------------------------
+
+    def _check_expr(self, expr: Expr, loop_vars: Tuple[str, ...]) -> None:
+        for node in expr.walk():
+            if isinstance(node, VarRef):
+                self._check_var_ref(node, loop_vars)
+            elif isinstance(node, ArrayRef):
+                self._check_array_ref(node, loop_vars, check_indices=False)
+
+    def _check_var_ref(self, ref: VarRef, loop_vars: Tuple[str, ...]) -> None:
+        if ref.name in loop_vars:
+            return
+        decl = self.symbols.get(ref.name)
+        if decl is None:
+            self.errors.append(f"use of undeclared variable {ref.name!r}")
+        elif decl.is_array:
+            self.errors.append(f"array {ref.name!r} used without subscripts")
+
+    def _check_array_ref(
+        self, ref: ArrayRef, loop_vars: Tuple[str, ...], check_indices: bool = True
+    ) -> None:
+        decl = self.symbols.get(ref.array)
+        if decl is None:
+            self.errors.append(f"use of undeclared array {ref.array!r}")
+        elif not decl.is_array:
+            self.errors.append(f"scalar {ref.array!r} used with subscripts")
+        elif len(ref.indices) != len(decl.dims):
+            self.errors.append(
+                f"array {ref.array!r} has {len(decl.dims)} dimension(s) "
+                f"but is referenced with {len(ref.indices)} subscript(s)"
+            )
+        if check_indices:
+            for index in ref.indices:
+                self._check_expr(index, loop_vars)
+
+
+def check_program(program: Program) -> Program:
+    """Run semantic checks, returning the program unchanged on success."""
+    SemanticChecker(program).check()
+    return program

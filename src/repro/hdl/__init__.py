@@ -1,0 +1,14 @@
+"""HDL backends: behavioral VHDL and Verilog emission, self-checking
+testbench generation (vectors from the reference interpreter), and a
+structural linter used by the tests."""
+
+from repro.hdl.lint import LintReport, lint_vhdl
+from repro.hdl.testbench import TestbenchError, emit_vhdl_testbench, generate_vectors
+from repro.hdl.verilog import VerilogEmitError, emit_verilog
+from repro.hdl.vhdl import VHDLEmitError, emit_vhdl
+
+__all__ = [
+    "LintReport", "TestbenchError", "VHDLEmitError", "VerilogEmitError",
+    "emit_verilog", "emit_vhdl", "emit_vhdl_testbench", "generate_vectors",
+    "lint_vhdl",
+]

@@ -1,0 +1,32 @@
+"""Loop-nest intermediate representation.
+
+The IR plays the role SUIF plays in the DEFACTO system: the common
+substrate the frontend produces and every analysis, transformation, and
+backend consumes.  It adds one thing SUIF did not have — a reference
+interpreter (:mod:`repro.ir.interp`) used as a semantics oracle in tests.
+"""
+
+from repro.ir.types import (
+    BOOL, INT8, INT16, INT32, UINT8, UINT16, UINT32,
+    IntType, common_type, type_from_name,
+)
+from repro.ir.expr import (
+    ArrayRef, BinOp, Call, Expr, IntLit, UnOp, VarRef,
+    fold_constants, substitute, array_refs, referenced_arrays, referenced_scalars,
+)
+from repro.ir.stmt import Assign, For, If, RotateRegisters, Stmt, count_statements, walk_all
+from repro.ir.symbols import Program, VarDecl
+from repro.ir.nest import LoopInfo, LoopNest
+from repro.ir.interp import ArrayStorage, InterpError, Interpreter, MachineState, run_program
+from repro.ir.printer import print_expr, print_program, print_stmt
+
+__all__ = [
+    "ArrayRef", "ArrayStorage", "Assign", "BinOp", "BOOL", "Call", "Expr",
+    "For", "If", "INT8", "INT16", "INT32", "IntLit", "InterpError",
+    "Interpreter", "IntType", "LoopInfo", "LoopNest", "MachineState",
+    "Program", "RotateRegisters", "Stmt", "UINT8", "UINT16", "UINT32",
+    "UnOp", "VarDecl", "VarRef", "array_refs", "common_type",
+    "count_statements", "fold_constants", "print_expr", "print_program",
+    "print_stmt", "referenced_arrays", "referenced_scalars", "run_program",
+    "substitute", "type_from_name", "walk_all",
+]

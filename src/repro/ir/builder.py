@@ -1,0 +1,93 @@
+"""Ergonomic constructors for building IR by hand.
+
+Tests, kernels, and examples use these helpers instead of spelling out
+dataclass constructors.  ``ex()`` coerces Python ints and strings into
+literals and variable references, so ``add("i", 1)`` reads like the C it
+represents.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.ir.expr import ArrayRef, BinOp, Call, Expr, IntLit, UnOp, VarRef
+from repro.ir.stmt import Assign, For, If, RotateRegisters, Stmt
+from repro.ir.symbols import Program, VarDecl
+from repro.ir.types import INT32, IntType
+
+ExprLike = Union[Expr, int, str]
+
+
+def ex(value: ExprLike) -> Expr:
+    """Coerce an int to a literal, a str to a variable reference."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject to avoid surprises
+        raise TypeError("pass 0/1, not bool, when building IR literals")
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, str):
+        return VarRef(value)
+    raise TypeError(f"cannot build an expression from {type(value).__name__}")
+
+
+def lit(value: int, type: IntType = INT32) -> IntLit:
+    return IntLit(value, type)
+
+
+def var(name: str) -> VarRef:
+    return VarRef(name)
+
+
+def arr(array: str, *indices: ExprLike) -> ArrayRef:
+    return ArrayRef(array, tuple(ex(i) for i in indices))
+
+
+def binop(op: str, left: ExprLike, right: ExprLike) -> BinOp:
+    return BinOp(op, ex(left), ex(right))
+
+
+def add(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("+", left, right)
+
+
+def sub(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("-", left, right)
+
+
+def mul(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("*", left, right)
+
+
+def neg(operand: ExprLike) -> UnOp:
+    return UnOp("-", ex(operand))
+
+
+def call(name: str, *args: ExprLike) -> Call:
+    return Call(name, tuple(ex(a) for a in args))
+
+
+def assign(target: Union[VarRef, ArrayRef, str], value: ExprLike) -> Assign:
+    if isinstance(target, str):
+        target = VarRef(target)
+    return Assign(target, ex(value))
+
+
+def loop(index_var: str, lower: int, upper: int, body: Sequence[Stmt], step: int = 1) -> For:
+    return For(index_var, lower, upper, step, tuple(body))
+
+
+def if_(cond: ExprLike, then_body: Sequence[Stmt], else_body: Sequence[Stmt] = ()) -> If:
+    return If(ex(cond), tuple(then_body), tuple(else_body))
+
+
+def rotate(*registers: str) -> RotateRegisters:
+    return RotateRegisters(tuple(registers))
+
+
+def decl(name: str, type: IntType = INT32, dims: Tuple[int, ...] = ()) -> VarDecl:
+    return VarDecl(name, type, dims)
+
+
+def program(name: str, decls: Sequence[VarDecl], body: Sequence[Stmt]) -> Program:
+    return Program(name, tuple(decls), tuple(body))

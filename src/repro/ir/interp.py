@@ -1,0 +1,268 @@
+"""Reference interpreter for the loop-nest IR.
+
+The interpreter is the semantic oracle for the whole reproduction:
+property-based tests run a program before and after each transformation
+(unroll-and-jam, scalar replacement, peeling, tiling, data layout) and
+check the observable memory state is identical.  The original DEFACTO
+system had no such oracle — correctness rested on the transformation
+proofs — so this is a strict addition.
+
+Values wrap at their declared bit width (via :meth:`IntType.wrap`), which
+matches what a synthesized fixed-width datapath computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.ir.expr import (
+    ArrayRef, BinOp, Call, Expr, IntLit, UnOp, VarRef,
+    COMPARE_OPS, LOGICAL_OPS,
+)
+from repro.ir.expr import _c_div, _c_mod  # shared C division semantics
+from repro.ir.stmt import Assign, For, If, RotateRegisters, Stmt
+from repro.ir.symbols import Program, VarDecl
+from repro.ir.types import BOOL, INT32, IntType
+
+
+class InterpError(ReproError):
+    """A run-time fault: out-of-bounds access, division by zero, etc."""
+
+
+@dataclass
+class ArrayStorage:
+    """Row-major storage for one array variable."""
+
+    decl: VarDecl
+    cells: List[int]
+
+    @classmethod
+    def zeros(cls, decl: VarDecl) -> "ArrayStorage":
+        return cls(decl, [0] * decl.element_count)
+
+    @classmethod
+    def from_values(cls, decl: VarDecl, values: Sequence[int]) -> "ArrayStorage":
+        if len(values) != decl.element_count:
+            raise InterpError(
+                f"array {decl.name}: expected {decl.element_count} values, got {len(values)}"
+            )
+        return cls(decl, [decl.type.wrap(int(v)) for v in values])
+
+    def flat_index(self, indices: Sequence[int]) -> int:
+        """Row-major linearization with bounds checking."""
+        if len(indices) != len(self.decl.dims):
+            raise InterpError(
+                f"array {self.decl.name}: {len(self.decl.dims)} subscripts required, "
+                f"got {len(indices)}"
+            )
+        flat = 0
+        for index, extent in zip(indices, self.decl.dims):
+            if not 0 <= index < extent:
+                raise InterpError(
+                    f"array {self.decl.name}: index {index} out of bounds [0, {extent})"
+                )
+            flat = flat * extent + index
+        return flat
+
+    def load(self, indices: Sequence[int]) -> int:
+        return self.cells[self.flat_index(indices)]
+
+    def store(self, indices: Sequence[int], value: int) -> None:
+        self.cells[self.flat_index(indices)] = self.decl.type.wrap(value)
+
+
+@dataclass
+class MachineState:
+    """Scalars and arrays during (and after) an execution.
+
+    ``memory_reads``/``memory_writes`` count array accesses executed —
+    used by tests to confirm scalar replacement actually removes memory
+    traffic, not just that results agree.
+    """
+
+    scalars: Dict[str, int] = field(default_factory=dict)
+    arrays: Dict[str, ArrayStorage] = field(default_factory=dict)
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+    def snapshot_arrays(self) -> Dict[str, Tuple[int, ...]]:
+        """An immutable copy of all array contents, for equality checks."""
+        return {name: tuple(storage.cells) for name, storage in self.arrays.items()}
+
+
+class Interpreter:
+    """Executes a :class:`Program` over concrete inputs.
+
+    Usage::
+
+        result = Interpreter(program).run({"S": s_values, "C": c_values})
+        result.arrays["D"].cells
+
+    ``inputs`` maps array names to flat initial contents and scalar names
+    to initial values; anything not supplied starts at zero.
+    """
+
+    def __init__(self, program: Program, max_steps: int = 50_000_000):
+        self.program = program
+        self.max_steps = max_steps
+
+    def run(self, inputs: Optional[Mapping[str, Union[int, Sequence[int]]]] = None) -> MachineState:
+        state = self._initial_state(inputs or {})
+        self._steps = 0
+        for stmt in self.program.body:
+            self._exec(stmt, state)
+        return state
+
+    def _initial_state(self, inputs: Mapping[str, Union[int, Sequence[int]]]) -> MachineState:
+        state = MachineState()
+        for decl in self.program.decls:
+            if decl.is_array:
+                if decl.name in inputs:
+                    values = inputs[decl.name]
+                    if isinstance(values, int):
+                        raise InterpError(f"array {decl.name} needs a sequence, got int")
+                    state.arrays[decl.name] = ArrayStorage.from_values(decl, values)
+                else:
+                    state.arrays[decl.name] = ArrayStorage.zeros(decl)
+            else:
+                raw = inputs.get(decl.name, 0)
+                if not isinstance(raw, int):
+                    raise InterpError(f"scalar {decl.name} needs an int, got sequence")
+                state.scalars[decl.name] = decl.type.wrap(raw)
+        unknown = set(inputs) - {d.name for d in self.program.decls}
+        if unknown:
+            raise InterpError(f"inputs for undeclared variables: {sorted(unknown)}")
+        return state
+
+    # -- statements --------------------------------------------------------
+
+    def _exec(self, stmt: Stmt, state: MachineState) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise InterpError(f"execution exceeded {self.max_steps} steps; runaway loop?")
+        if isinstance(stmt, Assign):
+            value = self._eval(stmt.value, state)
+            self._store(stmt.target, value, state)
+        elif isinstance(stmt, If):
+            branch = stmt.then_body if self._eval(stmt.cond, state) else stmt.else_body
+            for inner in branch:
+                self._exec(inner, state)
+        elif isinstance(stmt, For):
+            for index_value in stmt.iteration_values():
+                state.scalars[stmt.var] = index_value
+                for inner in stmt.body:
+                    self._exec(inner, state)
+        elif isinstance(stmt, RotateRegisters):
+            values = [self._scalar(name, state) for name in stmt.registers]
+            rotated = values[1:] + values[:1]
+            for name, value in zip(stmt.registers, rotated):
+                state.scalars[name] = value
+        else:
+            raise InterpError(f"unknown statement node: {type(stmt).__name__}")
+
+    def _store(self, target, value: int, state: MachineState) -> None:
+        if isinstance(target, VarRef):
+            decl = self._scalar_decl(target.name)
+            wrapped = decl.type.wrap(value) if decl else INT32.wrap(value)
+            state.scalars[target.name] = wrapped
+        elif isinstance(target, ArrayRef):
+            indices = [self._eval(index, state) for index in target.indices]
+            storage = self._array(target.array, state)
+            storage.store(indices, value)
+            state.memory_writes += 1
+        else:
+            raise InterpError(f"cannot store to {type(target).__name__}")
+
+    # -- expressions --------------------------------------------------------
+
+    def _eval(self, expr: Expr, state: MachineState) -> int:
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, VarRef):
+            return self._scalar(expr.name, state)
+        if isinstance(expr, ArrayRef):
+            indices = [self._eval(index, state) for index in expr.indices]
+            storage = self._array(expr.array, state)
+            state.memory_reads += 1
+            return storage.load(indices)
+        if isinstance(expr, UnOp):
+            operand = self._eval(expr.operand, state)
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return 0 if operand else 1
+            if expr.op == "~":
+                return ~operand
+            raise InterpError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, Call):
+            values = [self._eval(a, state) for a in expr.args]
+            if expr.name == "abs":
+                return abs(values[0])
+            if expr.name == "min":
+                return min(values)
+            if expr.name == "max":
+                return max(values)
+            raise InterpError(f"unknown intrinsic {expr.name!r}")
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr, state)
+        raise InterpError(f"unknown expression node: {type(expr).__name__}")
+
+    def _eval_binop(self, expr: BinOp, state: MachineState) -> int:
+        # Short-circuit the logical connectives before evaluating the right side.
+        if expr.op == "&&":
+            return int(bool(self._eval(expr.left, state)) and bool(self._eval(expr.right, state)))
+        if expr.op == "||":
+            return int(bool(self._eval(expr.left, state)) or bool(self._eval(expr.right, state)))
+        left = self._eval(expr.left, state)
+        right = self._eval(expr.right, state)
+        if expr.op in ("/", "%") and right == 0:
+            raise InterpError(f"division by zero evaluating {expr}")
+        table = {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: _c_div(left, right),
+            "%": lambda: _c_mod(left, right),
+            "<<": lambda: left << (right & 63),
+            ">>": lambda: left >> (right & 63),
+            "&": lambda: left & right,
+            "|": lambda: left | right,
+            "^": lambda: left ^ right,
+            "<": lambda: int(left < right),
+            "<=": lambda: int(left <= right),
+            ">": lambda: int(left > right),
+            ">=": lambda: int(left >= right),
+            "==": lambda: int(left == right),
+            "!=": lambda: int(left != right),
+        }
+        return table[expr.op]()
+
+    # -- lookups ------------------------------------------------------------
+
+    def _scalar(self, name: str, state: MachineState) -> int:
+        if name not in state.scalars:
+            # Loop index variables and compiler temporaries materialize on
+            # first write; a read before any write is a program bug.
+            raise InterpError(f"read of uninitialized scalar {name!r}")
+        return state.scalars[name]
+
+    def _scalar_decl(self, name: str) -> Optional[VarDecl]:
+        for decl in self.program.decls:
+            if decl.name == name and not decl.is_array:
+                return decl
+        return None
+
+    def _array(self, name: str, state: MachineState) -> ArrayStorage:
+        try:
+            return state.arrays[name]
+        except KeyError:
+            raise InterpError(f"reference to undeclared array {name!r}") from None
+
+
+def run_program(
+    program: Program, inputs: Optional[Mapping[str, Union[int, Sequence[int]]]] = None
+) -> MachineState:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(program).run(inputs)

@@ -1,0 +1,154 @@
+"""Loop-nest façade over a Program.
+
+The paper's unit of compilation is a single loop nest (Section 2.4).
+:class:`LoopNest` locates that nest inside a program, exposes the loops
+outermost-first, and provides the derived quantities every later stage
+needs: index variables, trip counts, the statements of the innermost
+body, and the full iteration-space size.
+
+A nest here is *near-perfect*: each loop body may contain straight-line
+statements before/after at most one nested loop (scalar replacement
+introduces exactly that shape — register loads before the inner loop,
+spills after it, Figure 1(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.ir.stmt import Assign, For, If, RotateRegisters, Stmt
+from repro.ir.symbols import Program
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """One loop of the nest, with its depth (0 = outermost)."""
+
+    loop: For
+    depth: int
+
+    @property
+    def var(self) -> str:
+        return self.loop.var
+
+    @property
+    def trip_count(self) -> int:
+        return self.loop.trip_count
+
+
+class LoopNest:
+    """A view of the (unique) loop nest inside a program body.
+
+    Raises :class:`AnalysisError` if the program has no loop, more than
+    one top-level loop, or a body with two sibling loops at some level —
+    all shapes outside the paper's input domain.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._loops: List[LoopInfo] = []
+        top = [stmt for stmt in program.body if isinstance(stmt, For)]
+        if not top:
+            raise AnalysisError(f"program {program.name!r} contains no loop nest")
+        if len(top) > 1:
+            raise AnalysisError(
+                f"program {program.name!r} has {len(top)} top-level loops; expected one nest"
+            )
+        current: Optional[For] = top[0]
+        depth = 0
+        while current is not None:
+            self._loops.append(LoopInfo(current, depth))
+            inner = [stmt for stmt in current.body if isinstance(stmt, For)]
+            if len(inner) > 1:
+                raise AnalysisError(
+                    f"loop {current.var!r} contains {len(inner)} sibling loops; "
+                    "the nest must be near-perfect"
+                )
+            current = inner[0] if inner else None
+            depth += 1
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def loops(self) -> Tuple[LoopInfo, ...]:
+        """All loops, outermost first."""
+        return tuple(self._loops)
+
+    @property
+    def depth(self) -> int:
+        return len(self._loops)
+
+    @property
+    def index_vars(self) -> Tuple[str, ...]:
+        return tuple(info.var for info in self._loops)
+
+    @property
+    def trip_counts(self) -> Tuple[int, ...]:
+        return tuple(info.trip_count for info in self._loops)
+
+    @property
+    def outermost(self) -> For:
+        return self._loops[0].loop
+
+    @property
+    def innermost(self) -> For:
+        return self._loops[-1].loop
+
+    def loop_at(self, depth: int) -> For:
+        return self._loops[depth].loop
+
+    def loop_named(self, var: str) -> LoopInfo:
+        for info in self._loops:
+            if info.var == var:
+                return info
+        raise AnalysisError(f"no loop with index variable {var!r} in the nest")
+
+    def depth_of(self, var: str) -> int:
+        return self.loop_named(var).depth
+
+    @property
+    def innermost_body(self) -> Tuple[Stmt, ...]:
+        """Statements of the innermost loop body."""
+        return self.innermost.body
+
+    def iteration_space_size(self) -> int:
+        """Total number of innermost-body executions."""
+        size = 1
+        for info in self._loops:
+            size *= info.trip_count
+        return size
+
+    def is_perfect(self) -> bool:
+        """True if every non-innermost body contains only its nested loop."""
+        for info in self._loops[:-1]:
+            if len(info.loop.body) != 1:
+                return False
+        return True
+
+    # -- statement access ---------------------------------------------------
+
+    def body_statements(self) -> Iterator[Stmt]:
+        """Every statement inside the nest, pre-order, excluding the loops."""
+        for stmt in self.outermost.walk():
+            if not isinstance(stmt, For):
+                yield stmt
+
+    def assignments(self) -> Tuple[Assign, ...]:
+        """All assignment statements anywhere in the nest."""
+        return tuple(s for s in self.body_statements() if isinstance(s, Assign))
+
+    def has_control_flow(self) -> bool:
+        """True if any If statement appears in the nest."""
+        return any(isinstance(s, If) for s in self.body_statements())
+
+    def max_unroll_factors(self) -> Tuple[int, ...]:
+        """Full-unroll bound for each loop: its trip count (Umax in the paper)."""
+        return self.trip_counts
+
+    def __repr__(self) -> str:
+        dims = " x ".join(
+            f"{info.var}:{info.trip_count}" for info in self._loops
+        )
+        return f"LoopNest({self.program.name}: {dims})"

@@ -1,0 +1,113 @@
+"""Fixed-width integer types for the loop-nest IR.
+
+The paper targets multimedia kernels on 8- and 16-bit data, where FPGA
+designs exploit reduced data widths (Section 2.4).  Every value in the IR
+carries an :class:`IntType` so the synthesis estimator can size operators
+and memory transfers in bits, and the interpreter can reproduce hardware
+wrap-around semantics exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntType:
+    """A fixed-width two's-complement (or unsigned) integer type.
+
+    Attributes:
+        width: number of bits, 1..64.
+        signed: True for two's-complement, False for unsigned.
+    """
+
+    width: int
+    signed: bool = True
+
+    def __post_init__(self):
+        if not 1 <= self.width <= 64:
+            raise ValueError(f"unsupported bit width: {self.width}")
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable value."""
+        if self.signed:
+            return -(1 << (self.width - 1))
+        return 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce an arbitrary integer into this type's range.
+
+        Implements the usual hardware truncation: keep the low ``width``
+        bits, then sign-extend if the type is signed.  This is what a
+        synthesized datapath of this width computes, and what the IR
+        interpreter uses so software and "hardware" results agree.
+        """
+        mask = (1 << self.width) - 1
+        value &= mask
+        if self.signed and value > self.max_value:
+            value -= 1 << self.width
+        return value
+
+    def contains(self, value: int) -> bool:
+        """True if ``value`` is representable without wrapping."""
+        return self.min_value <= value <= self.max_value
+
+    def __str__(self) -> str:
+        prefix = "int" if self.signed else "uint"
+        return f"{prefix}{self.width}"
+
+
+# The C-subset type names the frontend accepts, with their widths chosen to
+# match the paper's target domain (8-bit image data, 16-bit signal data,
+# 32-bit integer accumulators).
+INT8 = IntType(8, signed=True)
+INT16 = IntType(16, signed=True)
+INT32 = IntType(32, signed=True)
+UINT8 = IntType(8, signed=False)
+UINT16 = IntType(16, signed=False)
+UINT32 = IntType(32, signed=False)
+BOOL = IntType(1, signed=False)
+
+C_TYPE_NAMES = {
+    "char": INT8,
+    "short": INT16,
+    "int": INT32,
+    "int8": INT8,
+    "int16": INT16,
+    "int32": INT32,
+    "uint8": UINT8,
+    "uint16": UINT16,
+    "uint32": UINT32,
+    "unsigned char": UINT8,
+    "unsigned short": UINT16,
+    "unsigned int": UINT32,
+}
+
+
+def type_from_name(name: str) -> IntType:
+    """Look up a C type name, raising ``KeyError`` with a helpful message."""
+    try:
+        return C_TYPE_NAMES[name]
+    except KeyError:
+        known = ", ".join(sorted(C_TYPE_NAMES))
+        raise KeyError(f"unknown type name {name!r}; expected one of: {known}") from None
+
+
+def common_type(left: IntType, right: IntType) -> IntType:
+    """The result type of a binary operation on two operand types.
+
+    Mirrors C's integer promotion loosely: the wider operand wins, and
+    signedness is preserved only if both operands agree.  Behavioral
+    synthesis sizes the operator for the result type, so this choice
+    directly feeds the area model.
+    """
+    width = max(left.width, right.width)
+    return IntType(width, signed=left.signed and right.signed)

@@ -1,0 +1,28 @@
+"""The paper's five multimedia kernels (Section 6.1), plus extras from
+its motivating domain (Section 2.4)."""
+
+from typing import Dict, List
+
+from repro.kernels.base import Kernel
+from repro.kernels.extra import CORR, DECIMATE, DILATE, EXTRA_KERNELS, LAPLACE
+from repro.kernels.fir import FIR
+from repro.kernels.jac import JAC
+from repro.kernels.mm import MM
+from repro.kernels.pat import PAT
+from repro.kernels.sobel import SOBEL
+
+#: The evaluation order used throughout the paper's tables.
+ALL_KERNELS = (FIR, MM, PAT, JAC, SOBEL)
+
+__all__ = ["ALL_KERNELS", "CORR", "DECIMATE", "DILATE", "EXTRA_KERNELS",
+           "FIR", "JAC", "Kernel", "LAPLACE", "MM", "PAT", "SOBEL",
+           "kernel_by_name"]
+
+
+def kernel_by_name(name: str) -> Kernel:
+    """Look up a built-in or extra kernel by its short name."""
+    for kernel in ALL_KERNELS + EXTRA_KERNELS:
+        if kernel.name == name.lower():
+            return kernel
+    known = ", ".join(k.name for k in ALL_KERNELS + EXTRA_KERNELS)
+    raise KeyError(f"unknown kernel {name!r}; expected one of: {known}")

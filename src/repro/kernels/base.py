@@ -1,0 +1,67 @@
+"""Kernel registry infrastructure.
+
+Each of the paper's five multimedia kernels (Section 6.1) is a standard
+C program whose computation is a single loop nest — no pragmas,
+annotations, or language extensions.  A :class:`Kernel` bundles the
+source with what tests and benchmarks need: a parsed program, random
+input generation, and the output arrays to compare.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.frontend import compile_source
+from repro.ir.symbols import Program
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One benchmark kernel.
+
+    Attributes:
+        name: short lowercase identifier (fir, mm, pat, jac, sobel).
+        description: the paper's one-line characterization.
+        source: the C-subset program text.
+        input_arrays: arrays the computation reads (filled with random
+            data by :meth:`random_inputs`).
+        output_arrays: arrays holding the result (compared by tests).
+        input_range: half-open value range for random input data,
+            matched to the element type (images are 8-bit).
+    """
+
+    name: str
+    description: str
+    source: str
+    input_arrays: Tuple[str, ...]
+    output_arrays: Tuple[str, ...]
+    input_range: Tuple[int, int] = (-100, 100)
+
+    def program(self) -> Program:
+        """Parse and check the kernel source (fresh each call — IR is
+        immutable but callers may want distinct node identities)."""
+        return compile_source(self.source, self.name)
+
+    def random_inputs(self, seed: int = 0) -> Dict[str, List[int]]:
+        """Deterministic random contents for every input array."""
+        rng = random.Random(seed)
+        program = self.program()
+        low, high = self.input_range
+        inputs: Dict[str, List[int]] = {}
+        for name in self.input_arrays:
+            decl = program.decl(name)
+            inputs[name] = [rng.randrange(low, high) for _ in range(decl.element_count)]
+        return inputs
+
+    def value_ranges(self):
+        """Sound value ranges for bitwidth analysis: inputs span the
+        kernel's data range, outputs start zeroed (the kernel contract —
+        :meth:`random_inputs` never fills output arrays)."""
+        from repro.analysis.bitwidth import ValueRange
+        low, high = self.input_range
+        ranges = {name: ValueRange(low, high - 1) for name in self.input_arrays}
+        for name in self.output_arrays:
+            ranges[name] = ValueRange.exact(0)
+        return ranges

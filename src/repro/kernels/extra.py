@@ -1,0 +1,85 @@
+"""Additional kernels from the paper's motivating domain.
+
+Section 2.4 lists "image correlation, Laplacian image operators,
+erosion/dilation operators and edge detection" as the computations this
+class of FPGA applications comprises.  The evaluation uses five of them;
+these extras exercise the compiler's generality (and appear in the
+extended integration tests): 2-D correlation with a 4x4 template,
+morphological dilation, the pure 5-point Laplacian, and a 1-D
+downsampling filter with a strided outer loop.
+"""
+
+from repro.kernels.base import Kernel
+
+CORR = Kernel(
+    name="corr",
+    description="2-D image correlation: 4x4 template over a 16x16 image",
+    source="""
+char IMG[19][19];
+char T[4][4];
+int R[16][16];
+
+for (y = 0; y < 16; y++)
+  for (x = 0; x < 16; x++)
+    for (u = 0; u < 4; u++)
+      for (v = 0; v < 4; v++)
+        R[y][x] = R[y][x] + IMG[y + u][x + v] * T[u][v];
+""",
+    input_arrays=("IMG", "T"),
+    output_arrays=("R",),
+    input_range=(0, 16),
+)
+
+DILATE = Kernel(
+    name="dilate",
+    description="Morphological dilation: 3x3 max over an 18x18 8-bit image",
+    source="""
+char A[18][18];
+char D[18][18];
+
+for (i = 1; i < 17; i++)
+  for (j = 1; j < 17; j++)
+    D[i][j] = max(max(max(A[i - 1][j], A[i + 1][j]),
+                      max(A[i][j - 1], A[i][j + 1])),
+                  A[i][j]);
+""",
+    input_arrays=("A",),
+    output_arrays=("D",),
+    input_range=(0, 128),
+)
+
+LAPLACE = Kernel(
+    name="laplace",
+    description="5-point Laplacian operator over an 18x18 integer grid",
+    source="""
+int A[18][18];
+int L[18][18];
+
+for (i = 1; i < 17; i++)
+  for (j = 1; j < 17; j++)
+    L[i][j] = A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1]
+            - 4 * A[i][j];
+""",
+    input_arrays=("A",),
+    output_arrays=("L",),
+    input_range=(0, 256),
+)
+
+DECIMATE = Kernel(
+    name="decimate",
+    description="Decimating FIR: 8-tap filter with 2x downsampling "
+                "(stride-2 input accesses)",
+    source="""
+int X[72];
+int H[8];
+int Y[32];
+
+for (m = 0; m < 32; m++)
+  for (k = 0; k < 8; k++)
+    Y[m] = Y[m] + X[2 * m + k] * H[k];
+""",
+    input_arrays=("X", "H"),
+    output_arrays=("Y",),
+)
+
+EXTRA_KERNELS = (CORR, DILATE, LAPLACE, DECIMATE)

@@ -1,0 +1,24 @@
+"""FIR: finite impulse response filter.
+
+"Integer multiply-accumulate over 32 consecutive elements of a 64
+element array" (Section 6.1) — the paper's running example (Figure 1).
+"""
+
+from repro.kernels.base import Kernel
+
+FIR = Kernel(
+    name="fir",
+    description="Finite Impulse Response filter: integer multiply-accumulate "
+                "over 32 consecutive elements for each of 64 outputs",
+    source="""
+int S[96];
+int C[32];
+int D[64];
+
+for (j = 0; j < 64; j++)
+  for (i = 0; i < 32; i++)
+    D[j] = D[j] + S[i + j] * C[i];
+""",
+    input_arrays=("S", "C"),
+    output_arrays=("D",),
+)

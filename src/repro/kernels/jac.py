@@ -1,0 +1,25 @@
+"""JAC: Jacobi iteration.
+
+"4-point stencil averaging computation over the elements of an array"
+(Section 6.1): each interior point becomes the mean of its four
+neighbors.  The divide-by-4 strength-reduces to a shift in hardware.
+"""
+
+from repro.kernels.base import Kernel
+
+JAC = Kernel(
+    name="jac",
+    description="Jacobi iteration: 4-point stencil average over an "
+                "18x18 integer grid's interior",
+    source="""
+int A[18][18];
+int B[18][18];
+
+for (i = 1; i < 17; i++)
+  for (j = 1; j < 17; j++)
+    B[i][j] = (A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1]) / 4;
+""",
+    input_arrays=("A",),
+    output_arrays=("B",),
+    input_range=(0, 256),
+)

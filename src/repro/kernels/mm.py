@@ -1,0 +1,27 @@
+"""MM: dense integer matrix multiply.
+
+"Integer dense matrix multiplication of a 32-by-16 matrix by a 16-by-4
+matrix" (Section 6.1).  The innermost (k) loop's memory accesses are all
+removed by scalar replacement + loop-invariant code motion, which is why
+the paper — and the saturation analysis here — only unrolls the two
+outermost loops.
+"""
+
+from repro.kernels.base import Kernel
+
+MM = Kernel(
+    name="mm",
+    description="Integer dense matrix multiply: (32x16) * (16x4)",
+    source="""
+int a[32][16];
+int b[16][4];
+int c[32][4];
+
+for (i = 0; i < 32; i++)
+  for (j = 0; j < 4; j++)
+    for (k = 0; k < 16; k++)
+      c[i][j] = c[i][j] + a[i][k] * b[k][j];
+""",
+    input_arrays=("a", "b"),
+    output_arrays=("c",),
+)

@@ -1,0 +1,26 @@
+"""PAT: string pattern matching.
+
+"Character matching operator of a string of length 16 over an input
+string of length 64" (Section 6.1): for each alignment, count how many
+pattern characters match the input.
+"""
+
+from repro.kernels.base import Kernel
+
+PAT = Kernel(
+    name="pat",
+    description="String pattern matching: 16-char pattern scored against "
+                "every alignment of a 64-char input window",
+    source="""
+char S[80];
+char P[16];
+int M[64];
+
+for (j = 0; j < 64; j++)
+  for (i = 0; i < 16; i++)
+    M[j] = M[j] + (S[i + j] == P[i]);
+""",
+    input_arrays=("S", "P"),
+    output_arrays=("M",),
+    input_range=(0, 4),  # a small alphabet so matches actually occur
+)

@@ -1,0 +1,28 @@
+"""SOBEL: edge detection.
+
+"3-by-3 window Laplacian operator over an integer image" (Section 6.1):
+the classic Sobel gradient magnitude |Gx| + |Gy| over each interior
+pixel of an 8-bit image.
+"""
+
+from repro.kernels.base import Kernel
+
+SOBEL = Kernel(
+    name="sobel",
+    description="Sobel edge detection: 3x3 window gradient magnitude over "
+                "an 18x18 8-bit image",
+    source="""
+char A[18][18];
+int E[18][18];
+
+for (i = 1; i < 17; i++)
+  for (j = 1; j < 17; j++)
+    E[i][j] = abs(A[i - 1][j + 1] + 2 * A[i][j + 1] + A[i + 1][j + 1]
+                - A[i - 1][j - 1] - 2 * A[i][j - 1] - A[i + 1][j - 1])
+            + abs(A[i + 1][j - 1] + 2 * A[i + 1][j] + A[i + 1][j + 1]
+                - A[i - 1][j - 1] - 2 * A[i - 1][j] - A[i - 1][j + 1]);
+""",
+    input_arrays=("A",),
+    output_arrays=("E",),
+    input_range=(0, 128),
+)

@@ -1,0 +1,63 @@
+"""Custom data layout: array renaming to virtual memories and binding to
+physical memories (Section 4 and Section 5.2 of the paper).
+
+Two distribution mechanisms implement the paper's cyclic layouts:
+
+* **static banking** (:mod:`repro.layout.renaming`) — when subscript
+  strides share a common factor, elements split into separately-named
+  bank arrays with rewritten subscripts (Figure 1(d)'s ``S0``/``S1``);
+* **dynamic interleaving** (:mod:`repro.layout.interleave`) — when they
+  do not, elements are laid out cyclically and the memory binder's
+  address decoding routes each access; the unrolled copies' distinct
+  offsets still reach distinct memories every cycle.
+"""
+
+from typing import Optional, Tuple
+
+from repro.ir.symbols import Program
+from repro.layout.interleave import derive_interleaves
+from repro.layout.mapping import map_memories
+from repro.layout.plan import BankedArray, InterleavedArray, LayoutPlan
+from repro.layout.renaming import (
+    ObservedAccess, RenamingResult, derive_moduli, observe_accesses,
+    rename_arrays,
+)
+
+__all__ = [
+    "BankedArray", "InterleavedArray", "LayoutPlan", "ObservedAccess",
+    "RenamingResult", "apply_layout", "derive_interleaves", "derive_moduli",
+    "map_memories", "observe_accesses", "rename_arrays",
+]
+
+
+def apply_layout(
+    program: Program,
+    num_memories: int,
+    max_banks_per_array: Optional[int] = None,
+) -> Tuple[Program, LayoutPlan]:
+    """Run both layout phases and return the rewritten program + plan.
+
+    ``max_banks_per_array`` defaults to ``num_memories`` — distributing an
+    array across more virtual banks than there are physical memories
+    cannot add parallelism and only fragments storage.
+    """
+    if max_banks_per_array is None:
+        max_banks_per_array = num_memories
+    renamed = rename_arrays(program, max_total_banks=max_banks_per_array)
+    accesses = observe_accesses(renamed.program)
+    # Statically banked arrays may interleave further ("cyclic in at
+    # least one dimension, possibly more"): S0 holding the even elements
+    # can itself cycle across two memories if its accesses still carry
+    # distinct offsets.
+    specs = derive_interleaves(renamed.program, accesses, set(), num_memories)
+    physical, interleaved = map_memories(
+        renamed.program, num_memories, accesses, specs
+    )
+    plan = LayoutPlan(
+        num_memories=num_memories,
+        banked=renamed.banked,
+        physical=physical,
+        interleaved=interleaved,
+        new_decls=renamed.new_decls,
+    )
+    return renamed.program, plan

@@ -1,0 +1,101 @@
+"""Dynamic cyclic interleaving: the renaming fallback.
+
+Static residue banking (:mod:`repro.layout.renaming`) needs every
+subscript coefficient divisible by the bank modulus.  When the GCD of
+the strides is 1 — FIR's ``S[i + j + k]`` after unrolling only the
+``j`` loop — no static split exists, yet the paper's layout still
+parallelizes the accesses: lay the elements out cyclically modulo the
+memory count, and the unrolled copies' distinct constant offsets land
+on distinct memories *every* iteration even though each element's home
+memory depends on the iteration.
+
+This module decides which arrays get interleaved and along which
+dimension.  The code is not rewritten (the array keeps its name; the
+binder's address decoding implements the distribution), so the decision
+is consumed by the memory mapper and the synthesis estimator.
+
+An array qualifies when:
+
+* it was not already statically banked;
+* all its accesses are uniformly generated along the chosen dimension
+  (identical linear parts) — otherwise the dynamic banks of two accesses
+  can collide unpredictably and no parallelism is guaranteed;
+* at least two accesses differ in their constant offset modulo the
+  memory count — otherwise interleaving buys nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.ir.symbols import Program
+from repro.layout.plan import InterleavedArray
+from repro.layout.renaming import ObservedAccess
+
+
+def derive_interleaves(
+    program: Program,
+    accesses: Sequence[ObservedAccess],
+    already_banked: Set[str],
+    num_memories: int,
+) -> Dict[str, Tuple[int, int]]:
+    """Pick ``{array: (dim, modulus)}`` for arrays worth interleaving.
+
+    Memory ids are assigned later by the mapper; this only chooses the
+    distribution.
+    """
+    if num_memories < 2:
+        return {}
+    result: Dict[str, Tuple[int, int]] = {}
+    for decl in program.arrays():
+        if decl.name in already_banked:
+            continue
+        members = [a for a in accesses if a.array == decl.name]
+        if len(members) < 2:
+            continue
+        choice = _best_dimension(members, len(decl.dims), decl.dims, num_memories)
+        if choice is not None:
+            result[decl.name] = choice
+    return result
+
+
+def _best_dimension(
+    members: Sequence[ObservedAccess],
+    rank: int,
+    dims: Tuple[int, ...],
+    num_memories: int,
+) -> Tuple[int, int]:
+    """The dimension with the most distinct offset residues, or ``None``.
+
+    Accesses are grouped by their linear signature: a peeled prologue's
+    substituted subscripts differ from the steady-state body's, but the
+    two regions never execute concurrently, so parallelism only needs
+    distinct residues *within* a signature group.  The modulus is the
+    memory count (capped by the extent): cyclic across all memories
+    maximizes the spread of the unrolled copies.
+    """
+    best = None
+    for dim in range(rank):
+        max_modulus = min(num_memories, dims[dim])
+        if max_modulus < 2:
+            continue
+        if not any(m.subscripts[dim].terms for m in members):
+            continue  # every subscript constant: nothing cycles
+        # Smallest modulus that achieves the best spread: consuming more
+        # memories than the accesses can occupy just starves other arrays.
+        for modulus in range(2, max_modulus + 1):
+            groups: Dict[Tuple, Set[int]] = {}
+            for member in members:
+                subscript = member.subscripts[dim]
+                groups.setdefault(subscript.terms, set()).add(
+                    subscript.constant % modulus
+                )
+            spread = max(len(residues) for residues in groups.values())
+            if spread < 2:
+                continue
+            key = (spread, -modulus)
+            if best is None or key > (best[2], -best[1]):
+                best = (dim, modulus, spread)
+    if best is None:
+        return None
+    return best[0], best[1]

@@ -1,0 +1,203 @@
+"""Layout plan datatypes.
+
+A :class:`LayoutPlan` records how the custom data layout distributed each
+array across memory banks and which physical memory every (renamed)
+array lives in.  It also knows how to convert array contents between the
+original and the banked representation — used by the interpreter-based
+equivalence tests and by the examples to prepare inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import LayoutError
+from repro.ir.symbols import VarDecl
+
+
+@dataclass(frozen=True)
+class BankedArray:
+    """How one original array was split into per-residue bank arrays.
+
+    Element ``A[x1]...[xn]`` lives in bank ``(x1 % m1, ..., xn % mn)`` at
+    local index ``(x1 // m1, ..., xn // mn)`` — a cyclic distribution in
+    each dimension with modulus vector ``moduli``.
+    """
+
+    original: str
+    moduli: Tuple[int, ...]
+    original_dims: Tuple[int, ...]
+    #: residue vector -> bank array name, in mixed-radix order.
+    banks: Dict[Tuple[int, ...], str]
+    #: dimensions of every bank array (uniform, padded with ceil division).
+    bank_dims: Tuple[int, ...]
+
+    @property
+    def bank_count(self) -> int:
+        count = 1
+        for modulus in self.moduli:
+            count *= modulus
+        return count
+
+    def bank_of(self, indices: Sequence[int]) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(residue vector, local indices) for one original element."""
+        residues = tuple(x % m for x, m in zip(indices, self.moduli))
+        local = tuple(x // m for x, m in zip(indices, self.moduli))
+        return residues, local
+
+    def distribute(self, values: Sequence[int]) -> Dict[str, List[int]]:
+        """Split flat row-major ``values`` of the original array into flat
+        row-major contents per bank array (padded slots are zero)."""
+        if len(values) != _product(self.original_dims):
+            raise LayoutError(
+                f"{self.original}: expected {_product(self.original_dims)} values, "
+                f"got {len(values)}"
+            )
+        contents = {
+            name: [0] * _product(self.bank_dims) for name in self.banks.values()
+        }
+        for flat, value in enumerate(values):
+            indices = _unflatten(flat, self.original_dims)
+            residues, local = self.bank_of(indices)
+            bank_name = self.banks[residues]
+            contents[bank_name][_flatten(local, self.bank_dims)] = value
+        return contents
+
+    def gather(self, bank_contents: Mapping[str, Sequence[int]]) -> List[int]:
+        """Reassemble the original flat row-major contents from banks."""
+        values = [0] * _product(self.original_dims)
+        for flat in range(len(values)):
+            indices = _unflatten(flat, self.original_dims)
+            residues, local = self.bank_of(indices)
+            bank_name = self.banks[residues]
+            values[flat] = bank_contents[bank_name][_flatten(local, self.bank_dims)]
+        return values
+
+
+@dataclass(frozen=True)
+class InterleavedArray:
+    """A cyclic element interleave across several memories.
+
+    When static residue banking is impossible (subscript strides with
+    GCD 1, e.g. FIR's ``S[i + j + k]`` after unrolling only ``j``), the
+    paper's renaming still maps each *access expression* to its own
+    virtual memory: with elements laid out cyclically modulo ``modulus``
+    along dimension ``dim``, the accesses' distinct constant offsets put
+    them on distinct memories every iteration, even though the memory an
+    individual element lives in varies.  The array keeps its name — the
+    interleave lives in the memory binder (address low bits select the
+    chip), not in the code.
+    """
+
+    array: str
+    dim: int
+    modulus: int
+    memories: Tuple[int, ...]
+
+    def memory_for_offset(self, constant: int) -> int:
+        return self.memories[constant % self.modulus]
+
+
+@dataclass
+class LayoutPlan:
+    """The complete result of array renaming + memory mapping."""
+
+    num_memories: int
+    #: original array name -> its banked decomposition (only arrays that
+    #: were actually split; unsplit arrays are absent).
+    banked: Dict[str, BankedArray] = field(default_factory=dict)
+    #: every post-layout array name -> physical memory id in [0, num_memories).
+    physical: Dict[str, int] = field(default_factory=dict)
+    #: arrays distributed cyclically without renaming (dynamic banking).
+    interleaved: Dict[str, InterleavedArray] = field(default_factory=dict)
+    #: declarations for the bank arrays introduced.
+    new_decls: List[VarDecl] = field(default_factory=list)
+
+    def memory_of(self, array: str) -> int:
+        """Home memory of a non-interleaved array (interleaved arrays span
+        several; consult :attr:`interleaved` for those)."""
+        try:
+            return self.physical[array]
+        except KeyError:
+            raise LayoutError(f"array {array!r} has no physical memory assignment") from None
+
+    def arrays_on(self, memory: int) -> List[str]:
+        return sorted(name for name, m in self.physical.items() if m == memory)
+
+    def distribute_inputs(
+        self, inputs: Mapping[str, Sequence[int]]
+    ) -> Dict[str, List[int]]:
+        """Convert original-array inputs into post-layout inputs.
+
+        Arrays without a banked entry pass through unchanged.
+        """
+        result: Dict[str, List[int]] = {}
+        for name, values in inputs.items():
+            if name in self.banked:
+                result.update(self.banked[name].distribute(values))
+            else:
+                result[name] = list(values)
+        return result
+
+    def gather_array(
+        self, bank_contents: Mapping[str, Sequence[int]], original: str
+    ) -> List[int]:
+        """Reconstruct one original array from post-layout contents."""
+        if original in self.banked:
+            return self.banked[original].gather(bank_contents)
+        return list(bank_contents[original])
+
+    def memories_of(self, array: str) -> Tuple[int, ...]:
+        """All memories an array can touch (one for plain assignments,
+        several for interleaved arrays)."""
+        if array in self.interleaved:
+            return tuple(sorted(set(self.interleaved[array].memories)))
+        return (self.memory_of(array),)
+
+    def describe(self) -> str:
+        """Human-readable summary, used by examples."""
+        lines = [f"{self.num_memories} physical memories"]
+        bank_names = {
+            name for banked in self.banked.values() for name in banked.banks.values()
+        }
+        for original, banked in sorted(self.banked.items()):
+            parts = ", ".join(
+                f"{name}→mem{','.join(str(m) for m in self.memories_of(name))}"
+                for name in banked.banks.values()
+            )
+            lines.append(
+                f"  {original}: cyclic moduli {banked.moduli} -> {parts}"
+            )
+        for name, spec in sorted(self.interleaved.items()):
+            if name not in bank_names:
+                lines.append(
+                    f"  {name}: interleaved mod {spec.modulus} across "
+                    f"memories {sorted(set(spec.memories))}"
+                )
+        for name, memory in sorted(self.physical.items()):
+            if name not in bank_names:
+                lines.append(f"  {name}: whole array → mem{memory}")
+        return "\n".join(lines)
+
+
+def _product(dims: Sequence[int]) -> int:
+    result = 1
+    for extent in dims:
+        result *= extent
+    return result
+
+
+def _unflatten(flat: int, dims: Sequence[int]) -> Tuple[int, ...]:
+    indices = []
+    for extent in reversed(dims):
+        indices.append(flat % extent)
+        flat //= extent
+    return tuple(reversed(indices))
+
+
+def _flatten(indices: Sequence[int], dims: Sequence[int]) -> int:
+    flat = 0
+    for index, extent in zip(indices, dims):
+        flat = flat * extent + index
+    return flat

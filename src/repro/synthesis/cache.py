@@ -1,0 +1,156 @@
+"""Persistent estimate cache.
+
+The paper's whole premise is that synthesis evaluations are the
+expensive resource.  Estimates here are cheap, but the benchmark harness
+re-evaluates the same design points across processes constantly, and a
+real deployment (where `synthesize` shells out to a vendor tool for
+hours) needs results to survive restarts.  The cache keys on everything
+an estimate depends on — the printed program text, the layout binding,
+the board parameters, and the operator-library calibration — so a stale
+hit is impossible without changing one of those.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.ir.printer import print_program
+from repro.ir.symbols import Program
+from repro.layout.plan import LayoutPlan
+from repro.synthesis.area import AreaBreakdown
+from repro.synthesis.estimator import Estimate, synthesize
+from repro.synthesis.operators import OperatorLibrary, default_library
+from repro.target.board import Board
+
+
+class EstimateCache:
+    """A JSON-file-backed map from design fingerprints to estimates."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path.exists():
+            try:
+                self._entries = json.loads(self.path.read_text())
+            except (json.JSONDecodeError, OSError):
+                self._entries = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keying ---------------------------------------------------------------
+
+    @staticmethod
+    def fingerprint(
+        program: Program,
+        board: Board,
+        plan: Optional[LayoutPlan],
+        library: OperatorLibrary,
+    ) -> str:
+        parts = [
+            print_program(program),
+            board.name, str(board.num_memories), str(board.clock_ns),
+            str(board.memory.read_latency), str(board.memory.write_latency),
+            str(board.memory.pipelined), str(board.fpga.capacity_slices),
+            str(library.clock_ns), str(library.add_slices_per_bit),
+            str(library.add_delay_ns), str(library.mul_delay_ns),
+            str(library.div_delay_ns), str(library.fast_delay_ns),
+            str(library.mul_latency), str(library.mul_area_divisor),
+            str(library.div_latency), str(library.register_bits_per_slice),
+        ]
+        if plan is not None:
+            parts.append(json.dumps(sorted(plan.physical.items())))
+            parts.append(json.dumps(sorted(
+                (name, spec.dim, spec.modulus, list(spec.memories))
+                for name, spec in plan.interleaved.items()
+            )))
+        digest = hashlib.sha256("\x1e".join(parts).encode()).hexdigest()
+        return digest
+
+    # -- the cached call --------------------------------------------------------
+
+    def synthesize(
+        self,
+        program: Program,
+        board: Board,
+        plan: Optional[LayoutPlan] = None,
+        library: Optional[OperatorLibrary] = None,
+    ) -> Estimate:
+        library = library or default_library(board.clock_ns)
+        key = self.fingerprint(program, board, plan, library)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return _decode(entry)
+        self.misses += 1
+        estimate = synthesize(program, board, plan, library)
+        self._entries[key] = _encode(estimate)
+        return estimate
+
+    def save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(self._entries, indent=1))
+
+    def __enter__(self) -> "EstimateCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.save()
+
+
+def _encode(estimate: Estimate) -> dict:
+    return {
+        "cycles": estimate.cycles,
+        "space": estimate.space,
+        "area": estimate.area.as_dict(),
+        "fetch_rate": estimate.fetch_rate,
+        "consumption_rate": estimate.consumption_rate,
+        "balance": estimate.balance,
+        "operator_demand": [
+            [kind, width, count]
+            for (kind, width), count in sorted(estimate.operator_demand.items())
+        ],
+        "memory_traffic": sorted(estimate.memory_traffic.items()),
+        "register_bits": estimate.register_bits,
+        "region_count": estimate.region_count,
+        "clock_ns": estimate.clock_ns,
+    }
+
+
+def _decode(entry: dict) -> Estimate:
+    area = entry["area"]
+    return Estimate(
+        cycles=entry["cycles"],
+        space=entry["space"],
+        area=AreaBreakdown(
+            operators=area["operators"],
+            registers=area["registers"],
+            memory_interface=area["memory_interface"],
+            controller=area["controller"],
+        ),
+        fetch_rate=_inf_ok(entry["fetch_rate"]),
+        consumption_rate=_inf_ok(entry["consumption_rate"]),
+        balance=_inf_ok(entry["balance"]),
+        operator_demand={
+            (kind, width): count
+            for kind, width, count in entry["operator_demand"]
+        },
+        memory_traffic={int(m): count for m, count in entry["memory_traffic"]},
+        register_bits=entry["register_bits"],
+        region_count=entry["region_count"],
+        clock_ns=entry["clock_ns"],
+    )
+
+
+def _inf_ok(value) -> float:
+    # json serializes inf as "Infinity", which json.loads parses back to
+    # float('inf') already; this guard covers string-cleaned files.
+    if value in ("inf", "Infinity"):
+        return float("inf")
+    return float(value)

@@ -1,0 +1,165 @@
+"""Hardware operator library: latency and area per operation and bit width.
+
+Behavioral synthesis *binds* each operation in the specification to a
+hardware operator implementation (Section 2.3).  The library below models
+Virtex-class implementations at the paper's 40 ns (25 MHz) target clock:
+ripple-carry adders and comparators fit in one cycle with carry chains at
+half a slice per bit; LUT-based array multipliers take two cycles and
+roughly ``W*W/6`` slices; dividers are iterative and expensive.  The
+absolute numbers are calibration constants — the DSE algorithm depends
+only on sane relative magnitudes and on area growing with width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """Latency (cycles) and area (slices) of one bound operator."""
+
+    kind: str
+    width: int
+    latency: int
+    area_slices: int
+
+
+#: Operation kinds that bind to datapath operators.  Memory accesses and
+#: register moves are handled by the scheduler and area model directly.
+ADD_LIKE = frozenset({"+", "-"})
+MUL_LIKE = frozenset({"*"})
+DIV_LIKE = frozenset({"/", "%"})
+SHIFT_LIKE = frozenset({"<<", ">>"})
+LOGIC_LIKE = frozenset({"&", "|", "^", "~", "!", "&&", "||"})
+COMPARE_LIKE = frozenset({"<", "<=", ">", ">=", "==", "!="})
+INTRINSIC_LIKE = frozenset({"abs", "min", "max"})
+SELECT = "select"  # conditional move materialized from `if` statements
+
+
+class OperatorLibrary:
+    """Maps (operation kind, width) to an :class:`OperatorSpec`.
+
+    Latencies are *derived*: each operator class has a propagation-delay
+    model in nanoseconds (carry chains grow linearly with width, array
+    multipliers faster, iterative dividers slowest), and the latency in
+    cycles is the delay divided by the clock period, rounded up.  At the
+    paper's 40 ns clock this reproduces the classic single-cycle adder /
+    two-cycle 32-bit multiplier numbers; at a faster clock the same
+    operators take more cycles, and *narrower* operators (e.g. after
+    bitwidth narrowing) genuinely get faster.
+
+    Instances are immutable in practice; create a custom library by
+    passing different calibration constants.
+    """
+
+    def __init__(
+        self,
+        clock_ns: float = 40.0,
+        add_slices_per_bit: float = 0.5,
+        add_delay_ns: Tuple[float, float] = (2.0, 0.35),
+        mul_area_divisor: float = 6.0,
+        mul_delay_ns: Tuple[float, float] = (8.0, 1.9),
+        div_delay_ns: Tuple[float, float] = (40.0, 8.75),
+        fast_delay_ns: Tuple[float, float] = (1.0, 0.20),
+        register_bits_per_slice: int = 2,
+        # Legacy calibration overrides (fixed cycle counts); None derives
+        # latency from the delay model.
+        mul_latency: Optional[int] = None,
+        div_latency: Optional[int] = None,
+    ):
+        if clock_ns <= 0:
+            raise ValueError("clock period must be positive")
+        self.clock_ns = clock_ns
+        self.add_slices_per_bit = add_slices_per_bit
+        self.add_delay_ns = add_delay_ns
+        self.mul_area_divisor = mul_area_divisor
+        self.mul_delay_ns = mul_delay_ns
+        self.div_delay_ns = div_delay_ns
+        self.fast_delay_ns = fast_delay_ns
+        self.register_bits_per_slice = register_bits_per_slice
+        self.mul_latency = mul_latency
+        self.div_latency = div_latency
+        self._cache: Dict[Tuple[str, int], OperatorSpec] = {}
+
+    def for_clock(self, clock_ns: float) -> "OperatorLibrary":
+        """This calibration retargeted to another clock period."""
+        return OperatorLibrary(
+            clock_ns=clock_ns,
+            add_slices_per_bit=self.add_slices_per_bit,
+            add_delay_ns=self.add_delay_ns,
+            mul_area_divisor=self.mul_area_divisor,
+            mul_delay_ns=self.mul_delay_ns,
+            div_delay_ns=self.div_delay_ns,
+            fast_delay_ns=self.fast_delay_ns,
+            register_bits_per_slice=self.register_bits_per_slice,
+            mul_latency=self.mul_latency,
+            div_latency=self.div_latency,
+        )
+
+    def _cycles(self, delay: Tuple[float, float], width: int) -> int:
+        base, per_bit = delay
+        nanoseconds = base + per_bit * width
+        return max(1, -(-int(nanoseconds * 1000) // int(self.clock_ns * 1000)))
+
+    def spec(self, kind: str, width: int) -> OperatorSpec:
+        """The operator implementing ``kind`` at ``width`` bits."""
+        key = (kind, width)
+        if key not in self._cache:
+            self._cache[key] = self._build(kind, width)
+        return self._cache[key]
+
+    def _build(self, kind: str, width: int) -> OperatorSpec:
+        if width < 1:
+            raise ValueError(f"operator width must be positive, got {width}")
+        if kind in ADD_LIKE:
+            area = max(1, round(width * self.add_slices_per_bit))
+            return OperatorSpec(
+                kind, width, self._cycles(self.add_delay_ns, width), area
+            )
+        if kind in MUL_LIKE:
+            area = max(4, round(width * width / self.mul_area_divisor))
+            latency = self.mul_latency or self._cycles(self.mul_delay_ns, width)
+            return OperatorSpec(kind, width, latency, area)
+        if kind in DIV_LIKE:
+            area = max(8, round(width * width / 3.0))
+            latency = self.div_latency or self._cycles(self.div_delay_ns, width)
+            return OperatorSpec(kind, width, latency, area)
+        if kind in SHIFT_LIKE:
+            # Barrel shifter: log-depth mux tree.
+            area = max(1, round(width * 0.75))
+            return OperatorSpec(
+                kind, width, self._cycles(self.fast_delay_ns, width), area
+            )
+        if kind in LOGIC_LIKE:
+            area = max(1, round(width * 0.25))
+            return OperatorSpec(
+                kind, width, self._cycles(self.fast_delay_ns, width), area
+            )
+        if kind in COMPARE_LIKE:
+            area = max(1, round(width * 0.5))
+            return OperatorSpec(
+                kind, width, self._cycles(self.add_delay_ns, width), area
+            )
+        if kind in INTRINSIC_LIKE:
+            # abs = compare + conditional negate; min/max = compare + mux.
+            area = max(1, round(width * 0.75))
+            return OperatorSpec(
+                kind, width, self._cycles(self.add_delay_ns, width), area
+            )
+        if kind == SELECT:
+            area = max(1, round(width * 0.25))
+            return OperatorSpec(
+                kind, width, self._cycles(self.fast_delay_ns, width), area
+            )
+        raise KeyError(f"no operator for kind {kind!r}")
+
+    def register_slices(self, total_bits: int) -> int:
+        """Slices spent holding ``total_bits`` of register state."""
+        return -(-total_bits // self.register_bits_per_slice)
+
+
+def default_library(clock_ns: float = 40.0) -> OperatorLibrary:
+    """The calibration used throughout the reproduction."""
+    return OperatorLibrary(clock_ns=clock_ns)

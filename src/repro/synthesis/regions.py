@@ -1,0 +1,99 @@
+"""Region extraction: carve a program into schedulable units.
+
+Behavioral synthesis schedules straight-line code; loops become FSM
+control structure around it.  A program body becomes a tree of
+
+* :class:`Region` — a maximal run of non-loop statements (assignments,
+  ``if`` statements, register rotations), scheduled as one dataflow
+  graph; and
+* :class:`LoopBlock` — a counted loop around a list of child blocks.
+
+``if`` statements are allowed inside regions (they if-convert into
+predicated operations and selects, matching the paper's "the generated
+code always performs conditional memory accesses"), but a loop nested
+inside an ``if`` has data-dependent iteration counts the estimator
+cannot bound, so it is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.errors import SynthesisError
+from repro.ir.stmt import For, If, Stmt, walk_all
+from repro.ir.symbols import Program
+
+
+@dataclass
+class Region:
+    """A straight-line (loop-free) statement run."""
+
+    statements: Tuple[Stmt, ...]
+
+    def __post_init__(self):
+        for stmt in self.statements:
+            for inner in stmt.walk():
+                if isinstance(inner, For):
+                    raise SynthesisError(
+                        "a loop nested under an `if` cannot be estimated; "
+                        "restructure the program so loops are unconditional"
+                    )
+
+
+@dataclass
+class LoopBlock:
+    """A counted loop and its schedulable children."""
+
+    loop: For
+    children: List["Block"] = field(default_factory=list)
+
+    @property
+    def trip_count(self) -> int:
+        return self.loop.trip_count
+
+
+Block = Union[Region, LoopBlock]
+
+
+def build_blocks(body: Tuple[Stmt, ...]) -> List[Block]:
+    """Group a statement sequence into regions and loop blocks."""
+    blocks: List[Block] = []
+    run: List[Stmt] = []
+
+    def flush() -> None:
+        if run:
+            blocks.append(Region(tuple(run)))
+            run.clear()
+
+    for stmt in body:
+        if isinstance(stmt, For):
+            flush()
+            blocks.append(LoopBlock(stmt, build_blocks(stmt.body)))
+        else:
+            run.append(stmt)
+    flush()
+    return blocks
+
+
+def program_blocks(program: Program) -> List[Block]:
+    """The block tree of a whole program body."""
+    return build_blocks(program.body)
+
+
+def iter_regions(blocks: List[Block], executions: int = 1):
+    """Yield ``(region, execution_count, enclosing_loop_depth)`` over a
+    block tree, multiplying trip counts going inward."""
+    for block in blocks:
+        if isinstance(block, Region):
+            yield block, executions
+        else:
+            yield from iter_regions(block.children, executions * block.trip_count)
+
+
+def count_loops(blocks: List[Block]) -> int:
+    total = 0
+    for block in blocks:
+        if isinstance(block, LoopBlock):
+            total += 1 + count_loops(block.children)
+    return total

@@ -1,0 +1,111 @@
+"""Textual schedule reports: what the estimator decided, cycle by cycle.
+
+Renders a region's ASAP schedule as a Gantt-style table — one row per
+operation, one column per cycle — so a user can see *why* a body takes
+the cycles it does: which memory port serialized, where the multiplier
+latency sits, how the accumulation chain strings out.  The CLI's
+``estimate --schedule`` prints the steady-state body's report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir.symbols import Program
+from repro.layout.mapping import map_memories
+from repro.layout.plan import LayoutPlan
+from repro.synthesis.area import index_variable_widths
+from repro.synthesis.dfg import DataflowBuilder, Node
+from repro.synthesis.operators import OperatorLibrary, default_library
+from repro.synthesis.regions import LoopBlock, Region, program_blocks
+from repro.synthesis.scheduling import (
+    RegionSchedule, ResourceConstraints, schedule_region,
+)
+from repro.target.board import Board
+
+
+def _node_label(node: Node) -> str:
+    if node.kind == "read":
+        return f"read {node.array} @mem{node.memory}"
+    if node.kind == "write":
+        return f"write {node.array} @mem{node.memory}"
+    if node.kind == "rotate":
+        return "rotate registers"
+    return f"{node.kind} ({node.width}b)"
+
+
+def render_region_schedule(
+    nodes: List[Node], schedule: RegionSchedule, max_cycles: int = 64
+) -> str:
+    """One row per node: label, start/finish, and a bar over the cycles."""
+    if not nodes:
+        return "(empty region)"
+    span = min(schedule.length, max_cycles)
+    label_width = max(len(_node_label(node)) for node in nodes)
+    lines = [
+        f"region schedule: {schedule.length} cycles, "
+        f"{schedule.memory_bits} memory bits "
+        f"(memory-only {schedule.memory_only_length}, "
+        f"compute-only {schedule.compute_only_length})",
+        "",
+        " " * (label_width + 9) + "".join(f"{c % 10}" for c in range(span)),
+    ]
+    for node in nodes:
+        begin = schedule.start_times[node.index]
+        end = schedule.finish_times[node.index]
+        bar = []
+        for cycle in range(span):
+            if begin <= cycle < end:
+                bar.append("#" if node.is_memory else "=")
+            else:
+                bar.append(".")
+        truncated = "+" if end > span else " "
+        lines.append(
+            f"{_node_label(node).ljust(label_width)} "
+            f"[{begin:3d},{end:3d}) {''.join(bar)}{truncated}"
+        )
+    if schedule.length > max_cycles:
+        lines.append(f"... truncated at cycle {max_cycles} of {schedule.length}")
+    return "\n".join(lines)
+
+
+def steady_state_schedule_report(
+    program: Program,
+    board: Board,
+    plan: Optional[LayoutPlan] = None,
+    library: Optional[OperatorLibrary] = None,
+    constraints: Optional[ResourceConstraints] = None,
+) -> str:
+    """The innermost steady-state region's schedule, rendered.
+
+    Picks the region with the highest execution count — the body whose
+    schedule dominates the design's performance.
+    """
+    library = library or default_library(board.clock_ns)
+    if plan is not None:
+        physical = dict(plan.physical)
+        interleaved = dict(plan.interleaved)
+    else:
+        physical, interleaved = map_memories(program, board.num_memories)
+    index_widths = index_variable_widths(program)
+
+    best: Optional[Tuple[int, Region]] = None
+
+    def walk(blocks, executions: int) -> None:
+        nonlocal best
+        for block in blocks:
+            if isinstance(block, Region):
+                if block.statements and (best is None or executions > best[0]):
+                    best = (executions, block)
+            else:
+                walk(block.children, executions * block.trip_count)
+
+    walk(program_blocks(program), 1)
+    if best is None:
+        return "(no schedulable region)"
+    _executions, region = best
+    builder = DataflowBuilder(program, physical, index_widths, interleaved)
+    dfg = builder.build(region)
+    schedule = schedule_region(dfg, board.memory, library, constraints)
+    return render_region_schedule(dfg.nodes, schedule)

@@ -1,0 +1,226 @@
+"""ASAP scheduling with memory-port constraints.
+
+The paper's behavioral synthesis tool (Monet) schedules As Soon As
+Possible: it "first considers which memory accesses can occur in
+parallel based on comparing subscript expressions and physical memory
+ids, and then rules out writes whose results are not yet available due
+to dependences" (Section 5.2).  This module reproduces that discipline:
+
+* every node starts as soon as its dataflow predecessors finish;
+* each physical memory is a port that admits one access per *initiation
+  interval* (1 cycle pipelined; the full 7/3-cycle latency otherwise);
+* datapath operators are unlimited during scheduling — the allocation
+  step afterwards counts the peak concurrency per (kind, width), which
+  is the number of operators the binding must instantiate (and hence the
+  area), reproducing synthesis's operator reuse across basic blocks.
+
+Three schedules are produced per region:
+
+* the **full schedule** (all constraints) — region latency in cycles;
+* the **memory-only schedule** — how fast the memory system alone could
+  stream the region's traffic; its rate is the paper's *data fetch
+  rate* ``F``;
+* the **compute-only critical path** — how fast the datapath alone could
+  consume data; its rate is the *data consumption rate* ``C``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.synthesis.dfg import Dataflow, Node
+from repro.synthesis.operators import OperatorLibrary
+from repro.target.memory import MemoryModel
+
+
+@dataclass(frozen=True)
+class ResourceConstraints:
+    """Operator allocation limits (Section 2.3).
+
+    Behavioral synthesis lets the designer bound the allocation — "a
+    design that uses two multipliers" — trading cycles for area.  Limits
+    are per operation *kind* (any width); kinds not listed stay
+    unlimited.  Memory ports are always constrained by the board.
+    """
+
+    limits: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def of(cls, **limits: int) -> "ResourceConstraints":
+        """``ResourceConstraints.of(mul=2, add=4)`` — kind aliases:
+        mul -> '*', add -> '+', div -> '/'."""
+        aliases = {"mul": "*", "add": "+", "sub": "-", "div": "/", "mod": "%"}
+        resolved = tuple(
+            (aliases.get(kind, kind), count) for kind, count in sorted(limits.items())
+        )
+        for _kind, count in resolved:
+            if count < 1:
+                raise ValueError("operator limits must be at least 1")
+        return cls(resolved)
+
+    def limit_for(self, kind: str) -> Optional[int]:
+        for limited_kind, count in self.limits:
+            if limited_kind == kind:
+                return count
+        return None
+
+
+@dataclass
+class RegionSchedule:
+    """All scheduling results for one region."""
+
+    length: int
+    start_times: Dict[int, int]             # node index -> start cycle
+    finish_times: Dict[int, int]
+    memory_only_length: int
+    compute_only_length: int
+    memory_bits: int
+    #: peak simultaneous executions per (kind, width) — operator demand.
+    operator_demand: Dict[Tuple[str, int], int]
+    #: accesses per physical memory id.
+    memory_traffic: Dict[int, int]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.start_times
+
+
+def schedule_region(
+    dfg: Dataflow,
+    memory: MemoryModel,
+    library: OperatorLibrary,
+    constraints: Optional[ResourceConstraints] = None,
+) -> RegionSchedule:
+    """Schedule one region's dataflow graph.
+
+    With ``constraints``, limited operator kinds behave like ports: an
+    operation waits for both its operands and a free unit of its kind.
+    """
+    start: Dict[int, int] = {}
+    finish: Dict[int, int] = {}
+    port_free: Dict[int, int] = {}
+    units: Dict[str, List[int]] = {}
+
+    def acquire_unit(kind: str, ready: int, latency: int) -> int:
+        limit = constraints.limit_for(kind) if constraints else None
+        if limit is None:
+            return ready
+        pool = units.setdefault(kind, [0] * limit)
+        free_at = heapq.heappop(pool)
+        begin = max(ready, free_at)
+        heapq.heappush(pool, begin + latency)
+        return begin
+
+    for node in dfg.nodes:  # creation order is topological
+        ready = max((finish[p.index] for p in node.preds), default=0)
+        if node.is_memory:
+            begin = max(ready, port_free.get(node.memory, 0))
+            port_free[node.memory] = begin + memory.interval(node.is_write)
+            end = begin + memory.latency(node.is_write)
+        elif node.kind == "rotate":
+            begin = ready
+            end = begin + 1
+        else:
+            latency = library.spec(node.kind, node.width).latency
+            begin = acquire_unit(node.kind, ready, latency)
+            end = begin + latency
+        start[node.index] = begin
+        finish[node.index] = end
+
+    length = max(finish.values(), default=0)
+    return RegionSchedule(
+        length=length,
+        start_times=start,
+        finish_times=finish,
+        memory_only_length=_memory_only_length(dfg, memory),
+        compute_only_length=_compute_only_length(dfg, library),
+        memory_bits=dfg.memory_bits(),
+        operator_demand=_operator_demand(dfg, start, finish),
+        memory_traffic=_memory_traffic(dfg),
+    )
+
+
+def _memory_only_length(dfg: Dataflow, memory: MemoryModel) -> int:
+    """Cycles the memory system needs for this region's traffic alone.
+
+    Each port serves its accesses back to back at the initiation
+    interval; the port finishing last (including the final access's
+    latency tail) sets the length.
+    """
+    port_free: Dict[int, int] = {}
+    last_end: Dict[int, int] = {}
+    for node in dfg.memory_nodes:
+        begin = port_free.get(node.memory, 0)
+        port_free[node.memory] = begin + memory.interval(node.is_write)
+        last_end[node.memory] = begin + memory.latency(node.is_write)
+    return max(last_end.values(), default=0)
+
+
+def _compute_only_length(dfg: Dataflow, library: OperatorLibrary) -> int:
+    """Critical path through datapath operations with memory reads free.
+
+    This is the delay over which the computation consumes its input
+    bits; reads deliver at cycle zero and writes cost nothing, so the
+    value isolates operator parallelism exactly as the balance metric
+    requires.
+    """
+    finish: Dict[int, int] = {}
+    longest = 0
+    for node in dfg.nodes:
+        ready = max((finish.get(p.index, 0) for p in node.preds), default=0)
+        if node.is_memory:
+            finish[node.index] = ready  # free in the compute-only view
+            continue
+        if node.kind == "rotate":
+            latency = 1
+        else:
+            latency = library.spec(node.kind, node.width).latency
+        finish[node.index] = ready + latency
+        longest = max(longest, finish[node.index])
+    return longest
+
+
+def _operator_demand(
+    dfg: Dataflow, start: Dict[int, int], finish: Dict[int, int]
+) -> Dict[Tuple[str, int], int]:
+    """Peak concurrency per operator class in the full schedule."""
+    events: Dict[Tuple[str, int], List[Tuple[int, int]]] = {}
+    for node in dfg.op_nodes:
+        events.setdefault((node.kind, node.width), []).append(
+            (start[node.index], finish[node.index])
+        )
+    demand: Dict[Tuple[str, int], int] = {}
+    for key, intervals in events.items():
+        boundary: List[Tuple[int, int]] = []
+        for begin, end in intervals:
+            boundary.append((begin, 1))
+            boundary.append((max(end, begin + 1), -1))
+        boundary.sort()
+        active = peak = 0
+        for _, delta in boundary:
+            active += delta
+            peak = max(peak, active)
+        demand[key] = peak
+    return demand
+
+
+def _memory_traffic(dfg: Dataflow) -> Dict[int, int]:
+    traffic: Dict[int, int] = {}
+    for node in dfg.memory_nodes:
+        traffic[node.memory] = traffic.get(node.memory, 0) + 1
+    return traffic
+
+
+def merge_operator_demand(
+    schedules: List[RegionSchedule],
+) -> Dict[Tuple[str, int], int]:
+    """Operators needed for a whole design: regions execute at different
+    times, so synthesis shares operators between them — the design needs
+    the *maximum* demand of any region, per operator class."""
+    merged: Dict[Tuple[str, int], int] = {}
+    for schedule in schedules:
+        for key, count in schedule.operator_demand.items():
+            merged[key] = max(merged.get(key, 0), count)
+    return merged

@@ -1,0 +1,24 @@
+"""Program transformations: unroll-and-jam, scalar replacement, peeling,
+LICM, normalization, tiling, and the full Figure-3 pipeline."""
+
+from repro.transform.interchange import interchange_loops
+from repro.transform.licm import hoist_invariants
+from repro.transform.narrowing import narrow_types, narrowing_savings
+from repro.transform.normalize import normalize_loops
+from repro.transform.peel import peel_loop, simplify_guards
+from repro.transform.pipeline import (
+    CompiledDesign, PipelineOptions, check_unroll_legality, compile_design,
+)
+from repro.transform.scalar_replacement import (
+    ReplacementStats, ScalarReplacementResult, scalar_replace,
+)
+from repro.transform.tiling import tile_loop
+from repro.transform.unroll import UnrollVector, unroll_and_jam
+
+__all__ = [
+    "CompiledDesign", "PipelineOptions", "ReplacementStats",
+    "ScalarReplacementResult", "UnrollVector", "check_unroll_legality",
+    "compile_design", "hoist_invariants", "interchange_loops",
+    "narrow_types", "narrowing_savings", "normalize_loops", "peel_loop",
+    "scalar_replace", "simplify_guards", "tile_loop", "unroll_and_jam",
+]

@@ -1,0 +1,103 @@
+"""Loop interchange.
+
+Section 5.4 caps register pressure by tiling: strip-mine a loop and move
+the tile loop *outside* the reuse carrier so the rotating banks only
+span one tile.  The moving part is this transform.
+
+Legality is the classic direction-vector test: after permuting the
+distance vector, every dependence must stay lexicographically
+non-negative, where an unconstrained entry is treated as "can be
+negative" (strict).  Dependences between accesses of one recognized
+reduction (``A[j] = A[j] + ...``) are exempt — reordering a reduction's
+iterations only reorders an associative-commutative accumulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.dependence import Dependence, DependenceGraph, DependenceKind
+from repro.analysis.reduction import find_reductions, same_reduction
+from repro.errors import TransformError
+from repro.ir.nest import LoopNest
+from repro.ir.stmt import For, Stmt
+from repro.ir.symbols import Program
+
+
+def interchange_loops(program: Program, outer_var: str, inner_var: str) -> Program:
+    """Swap two perfectly-nested adjacent loops of the program's nest.
+
+    ``outer_var`` must be the loop immediately enclosing ``inner_var``,
+    with no other statements between them (a perfectly nested pair).
+    Raises :class:`TransformError` if the pair is not adjacent/perfect or
+    if a dependence forbids the swap.
+    """
+    nest = LoopNest(program)
+    outer_depth = nest.depth_of(outer_var)
+    inner_depth = nest.depth_of(inner_var)
+    if inner_depth != outer_depth + 1:
+        raise TransformError(
+            f"loops {outer_var!r} and {inner_var!r} are not adjacent "
+            f"(depths {outer_depth} and {inner_depth})"
+        )
+    outer = nest.loop_at(outer_depth)
+    if len(outer.body) != 1 or not isinstance(outer.body[0], For):
+        raise TransformError(
+            f"loop {outer_var!r} has statements besides the {inner_var!r} loop; "
+            "the pair must be perfectly nested"
+        )
+    _check_legality(program, nest, outer_depth)
+
+    inner = outer.body[0]
+    swapped = For(
+        inner.var, inner.lower, inner.upper, inner.step,
+        (For(outer.var, outer.lower, outer.upper, outer.step, inner.body),),
+    )
+
+    def rebuild(stmt: Stmt) -> Stmt:
+        if stmt is outer:
+            return swapped
+        if isinstance(stmt, For):
+            return For(
+                stmt.var, stmt.lower, stmt.upper, stmt.step,
+                tuple(rebuild(s) for s in stmt.body),
+            )
+        return stmt
+
+    return program.with_body(tuple(rebuild(stmt) for stmt in program.body))
+
+
+def _check_legality(program: Program, nest: LoopNest, depth: int) -> None:
+    """Strict direction-vector legality with reduction exemption."""
+    graph = DependenceGraph.build(nest)
+    reductions = find_reductions(program.body)
+    for dep in graph.true_dependences():
+        if same_reduction(reductions, dep.source.ref, dep.sink.ref):
+            continue
+        if dep.distance is None:
+            raise TransformError(
+                f"cannot prove interchange legal: inconsistent dependence "
+                f"{dep.source} -> {dep.sink}"
+            )
+        permuted = _swap(dep.distance, depth)
+        if not _strictly_nonnegative(permuted):
+            raise TransformError(
+                f"interchange reverses dependence {dep}"
+            )
+
+
+def _swap(distance: Tuple, depth: int) -> Tuple:
+    entries = list(distance)
+    entries[depth], entries[depth + 1] = entries[depth + 1], entries[depth]
+    return tuple(entries)
+
+
+def _strictly_nonnegative(distance: Tuple) -> bool:
+    """Lexicographic non-negativity with unconstrained entries treated as
+    possibly negative (the conservative direction for reordering)."""
+    for entry in distance:
+        if entry is None:
+            return False
+        if entry != 0:
+            return entry > 0
+    return True

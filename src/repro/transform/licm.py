@@ -1,0 +1,111 @@
+"""Loop-invariant code motion.
+
+Scalar replacement already hoists the memory accesses that matter (the
+INVARIANT strategy).  This pass cleans up what remains: an assignment to
+a scalar whose right-hand side is invariant in the enclosing loop, where
+the scalar is written nowhere else in the loop, moves in front of the
+loop.  Assignments under conditionals stay put (they may not execute).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.invariance import assigned_scalars, expr_is_invariant
+from repro.ir.expr import VarRef
+from repro.ir.stmt import Assign, For, If, Stmt
+from repro.ir.symbols import Program
+
+
+def hoist_invariants(program: Program) -> Program:
+    """Apply LICM throughout the program, innermost loops first."""
+
+    def rebuild(stmt: Stmt) -> List[Stmt]:
+        if isinstance(stmt, If):
+            return [If(
+                stmt.cond,
+                tuple(s for inner in stmt.then_body for s in rebuild(inner)),
+                tuple(s for inner in stmt.else_body for s in rebuild(inner)),
+            )]
+        if not isinstance(stmt, For):
+            return [stmt]
+        body = tuple(s for inner in stmt.body for s in rebuild(inner))
+        loop = For(stmt.var, stmt.lower, stmt.upper, stmt.step, body)
+        hoisted, remaining = _partition(loop)
+        new_loop = For(loop.var, loop.lower, loop.upper, loop.step, remaining)
+        return hoisted + [new_loop]
+
+    return program.with_body(
+        tuple(s for stmt in program.body for s in rebuild(stmt))
+    )
+
+
+def _partition(loop: For) -> Tuple[List[Stmt], Tuple[Stmt, ...]]:
+    """Split the loop body into hoistable assignments and the rest.
+
+    Only top-level scalar assignments whose RHS is loop-invariant and
+    whose target has exactly one write in the loop are moved; moving is
+    iterated so chains (``a = 5; b = a + 1``) hoist together.  A loop
+    that might execute zero times must keep its assignments (the hoisted
+    copy would run when the original would not), so zero-trip loops are
+    left alone.
+    """
+    if loop.trip_count == 0:
+        return [], loop.body
+    hoisted: List[Stmt] = []
+    body = list(loop.body)
+    changed = True
+    while changed:
+        changed = False
+        current = For(loop.var, loop.lower, loop.upper, loop.step, tuple(body))
+        write_counts = _write_counts(current)
+        for position, stmt in enumerate(body):
+            if not isinstance(stmt, Assign) or not isinstance(stmt.target, VarRef):
+                continue
+            if write_counts.get(stmt.target.name, 0) != 1:
+                continue
+            # An accumulation (target appears in its own right-hand side)
+            # executes once per iteration by design; hoisting it would
+            # collapse the whole reduction into a single step.
+            from repro.ir.expr import referenced_scalars
+            if stmt.target.name in referenced_scalars(stmt.value):
+                continue
+            remainder = For(
+                loop.var, loop.lower, loop.upper, loop.step,
+                tuple(body[:position] + body[position + 1:]),
+            )
+            if not expr_is_invariant(stmt.value, remainder):
+                continue
+            # The target must not be read before this statement in the
+            # body (the pre-loop value would be observed differently).
+            before = tuple(body[:position])
+            if stmt.target.name in _read_scalars(before):
+                continue
+            hoisted.append(stmt)
+            body.pop(position)
+            changed = True
+            break
+    return hoisted, tuple(body)
+
+
+def _write_counts(loop: For):
+    counts = {}
+    from repro.ir.stmt import walk_all, RotateRegisters
+    for stmt in walk_all(loop.body):
+        if isinstance(stmt, Assign) and isinstance(stmt.target, VarRef):
+            counts[stmt.target.name] = counts.get(stmt.target.name, 0) + 1
+        elif isinstance(stmt, RotateRegisters):
+            for name in stmt.registers:
+                counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def _read_scalars(body: Tuple[Stmt, ...]):
+    from repro.ir.stmt import walk_all
+    names = set()
+    for stmt in walk_all(body):
+        for expr in stmt.expressions():
+            for node in expr.walk():
+                if isinstance(node, VarRef) and node is not getattr(stmt, "target", None):
+                    names.add(node.name)
+    return names

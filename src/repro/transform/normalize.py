@@ -1,0 +1,66 @@
+"""Loop normalization: rewrite every loop to ``for (v = 0; v < trip; v++)``.
+
+After unrolling, loops step by the unroll factor (``for (i = 0; i < 32;
+i += 2)``).  Normalization substitutes ``v -> lower + step * v`` in the
+body and resets the bounds, producing the form in Figure 1(d) where the
+custom data layout can fold the remaining constant strides into memory
+bank selection.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.expr import ArrayRef, BinOp, IntLit, VarRef, fold_constants, substitute
+from repro.ir.stmt import Assign, For, If, RotateRegisters, Stmt
+from repro.ir.symbols import Program
+
+
+def normalize_loops(program: Program) -> Program:
+    """Normalize every loop in the program to lower bound 0 and step 1."""
+
+    def rebuild(stmt: Stmt) -> Stmt:
+        if isinstance(stmt, For):
+            body = tuple(rebuild(s) for s in stmt.body)
+            if stmt.lower == 0 and stmt.step == 1:
+                return For(stmt.var, 0, stmt.upper, 1, body)
+            replacement = BinOp(
+                "+",
+                IntLit(stmt.lower),
+                BinOp("*", IntLit(stmt.step), VarRef(stmt.var)),
+            )
+            new_body = tuple(_substitute_stmt(s, stmt.var, replacement) for s in body)
+            return For(stmt.var, 0, stmt.trip_count, 1, new_body)
+        if isinstance(stmt, If):
+            return If(
+                stmt.cond,
+                tuple(rebuild(s) for s in stmt.then_body),
+                tuple(rebuild(s) for s in stmt.else_body),
+            )
+        return stmt
+
+    return program.with_body(tuple(rebuild(stmt) for stmt in program.body))
+
+
+def _substitute_stmt(stmt: Stmt, var: str, replacement) -> Stmt:
+    bindings = {var: replacement}
+    if isinstance(stmt, Assign):
+        target = substitute(stmt.target, bindings)
+        assert isinstance(target, (VarRef, ArrayRef))
+        return Assign(fold_constants(target), fold_constants(substitute(stmt.value, bindings)))
+    if isinstance(stmt, If):
+        return If(
+            fold_constants(substitute(stmt.cond, bindings)),
+            tuple(_substitute_stmt(s, var, replacement) for s in stmt.then_body),
+            tuple(_substitute_stmt(s, var, replacement) for s in stmt.else_body),
+        )
+    if isinstance(stmt, For):
+        # Nested loops were already normalized bottom-up; their index
+        # variables are distinct from ``var`` by semantic checking.
+        return For(
+            stmt.var, stmt.lower, stmt.upper, stmt.step,
+            tuple(_substitute_stmt(s, var, replacement) for s in stmt.body),
+        )
+    if isinstance(stmt, RotateRegisters):
+        return stmt
+    raise TypeError(f"unknown statement node {type(stmt).__name__}")

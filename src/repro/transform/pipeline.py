@@ -1,0 +1,157 @@
+"""The full code-generation pipeline of Figure 3.
+
+Given a loop-nest program and an unroll factor vector, applies the
+paper's transformation sequence::
+
+    unroll-and-jam -> scalar replacement -> loop peeling ->
+    loop-invariant code motion -> loop normalization -> custom data layout
+
+and returns a :class:`CompiledDesign` bundling the transformed program
+with its layout plan — everything behavioral synthesis needs to estimate
+the design point.
+
+The pipeline requires unroll factors that divide the trip counts: a
+residual epilogue loop would make the program no longer a single
+near-perfect nest, which scalar replacement needs.  (The raw
+:func:`repro.transform.unroll.unroll_and_jam` supports epilogues for
+callers that want them without the rest of the pipeline.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.dependence import DependenceGraph
+from repro.errors import TransformError
+from repro.ir.nest import LoopNest
+from repro.ir.symbols import Program
+from repro.layout import apply_layout
+from repro.layout.mapping import map_memories
+from repro.layout.plan import LayoutPlan
+from repro.transform.licm import hoist_invariants
+from repro.transform.normalize import normalize_loops
+from repro.transform.peel import peel_loop
+from repro.transform.scalar_replacement import (
+    ReplacementStats, scalar_replace,
+)
+from repro.transform.unroll import UnrollVector, unroll_and_jam
+
+
+@dataclass
+class PipelineOptions:
+    """Knobs for the code-generation pipeline.
+
+    Attributes:
+        exploit_outer_reuse: exploit reuse carried by outer loops with
+            rotating register banks (the paper's extension over
+            Carr–Kennedy); disable for the ablation baseline.
+        register_cap: drop the largest register consumers when the
+            scalar-replacement register estimate exceeds this (§5.4's
+            space/storage trade-off without retiling).
+        apply_data_layout: run array renaming + memory mapping; when
+            False every array maps whole to one memory round-robin.
+        run_licm: run the cleanup loop-invariant code motion pass.
+        narrow_bitwidths: run value-range analysis and shrink declared
+            types before transforming (Section 2.4's "reduced data
+            widths"); operator and register sizes downstream follow.
+        input_value_ranges: optional data-range assumptions feeding the
+            bitwidth analysis (e.g. a kernel's
+            :meth:`~repro.kernels.Kernel.value_ranges`).
+    """
+
+    exploit_outer_reuse: bool = True
+    register_cap: Optional[int] = None
+    apply_data_layout: bool = True
+    run_licm: bool = True
+    narrow_bitwidths: bool = False
+    input_value_ranges: Optional[dict] = None
+
+
+@dataclass
+class CompiledDesign:
+    """One fully transformed design point."""
+
+    source: Program
+    program: Program
+    unroll: UnrollVector
+    plan: LayoutPlan
+    stats: ReplacementStats
+    peeled: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        factors = "x".join(str(f) for f in self.unroll)
+        return f"{self.source.name}@{factors}"
+
+
+def check_unroll_legality(program: Program, unroll: UnrollVector) -> None:
+    """Raise :class:`TransformError` if unroll-and-jam is illegal or the
+    factors do not divide the trip counts."""
+    nest = LoopNest(program)
+    if len(unroll) != nest.depth:
+        raise TransformError(
+            f"unroll vector {unroll} does not match nest depth {nest.depth}"
+        )
+    graph: Optional[DependenceGraph] = None
+    for depth, (info, factor) in enumerate(zip(nest.loops, unroll)):
+        if factor == 1:
+            continue
+        if info.trip_count % factor != 0:
+            raise TransformError(
+                f"unroll factor {factor} does not divide trip count "
+                f"{info.trip_count} of loop {info.var!r}"
+            )
+        if graph is None:
+            graph = DependenceGraph.build(nest)
+        if not graph.unroll_and_jam_legal(depth):
+            raise TransformError(
+                f"unroll-and-jam of loop {info.var!r} is illegal: a carried "
+                "dependence has a negative inner entry"
+            )
+
+
+def compile_design(
+    program: Program,
+    unroll: UnrollVector,
+    num_memories: int,
+    options: Optional[PipelineOptions] = None,
+) -> CompiledDesign:
+    """Run the whole Figure-3 transformation sequence for one unroll
+    factor vector."""
+    options = options or PipelineOptions()
+    check_unroll_legality(program, unroll)
+
+    if options.narrow_bitwidths:
+        from repro.transform.narrowing import narrow_types
+        program = narrow_types(program, input_ranges=options.input_value_ranges)
+
+    unrolled = unroll_and_jam(program, unroll)
+    replaced = scalar_replace(
+        unrolled,
+        exploit_outer_loops=options.exploit_outer_reuse,
+        register_cap=options.register_cap,
+    )
+    current = replaced.program
+    nest = LoopNest(current)
+    peeled_vars: List[str] = []
+    for depth in replaced.carriers_to_peel:
+        var = nest.index_vars[depth]
+        current = peel_loop(current, var)
+        peeled_vars.append(var)
+    if options.run_licm:
+        current = hoist_invariants(current)
+    current = normalize_loops(current)
+    if options.apply_data_layout:
+        current, plan = apply_layout(current, num_memories)
+    else:
+        physical, _interleaved = map_memories(current, num_memories)
+        plan = LayoutPlan(num_memories=num_memories, physical=physical)
+    return CompiledDesign(
+        source=program,
+        program=current,
+        unroll=unroll,
+        plan=plan,
+        stats=replaced.stats,
+        peeled=tuple(peeled_vars),
+    )

@@ -1,0 +1,55 @@
+"""Shared fixtures: kernels, boards, and small canonical programs."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.kernels import ALL_KERNELS, FIR, JAC, MM, PAT, SOBEL
+from repro.target import wildstar_nonpipelined, wildstar_pipelined
+
+
+@pytest.fixture
+def fir_program():
+    return FIR.program()
+
+
+@pytest.fixture
+def mm_program():
+    return MM.program()
+
+
+@pytest.fixture
+def jac_program():
+    return JAC.program()
+
+
+@pytest.fixture
+def pipelined_board():
+    return wildstar_pipelined()
+
+
+@pytest.fixture
+def nonpipelined_board():
+    return wildstar_nonpipelined()
+
+
+@pytest.fixture(params=[kernel.name for kernel in ALL_KERNELS])
+def kernel(request):
+    """Parametrized over all five paper kernels."""
+    from repro.kernels import kernel_by_name
+    return kernel_by_name(request.param)
+
+
+@pytest.fixture
+def tiny_program():
+    """A 2-deep nest small enough to full-unroll in tests."""
+    return compile_source(
+        """
+        int A[12];
+        int B[8];
+        int OUT[8];
+        for (j = 0; j < 8; j++)
+          for (i = 0; i < 4; i++)
+            OUT[j] = OUT[j] + A[i + j] * B[i];
+        """,
+        "tiny",
+    )

@@ -1,0 +1,94 @@
+"""Exploration sanity across all kernels and both memory models.
+
+Checks the paper's Section-6 claims in their qualitative form:
+
+* the search touches a tiny fraction of the design space;
+* the selected design speeds up the baseline;
+* the selected design is feasible;
+* among visited designs with comparable performance, nothing strictly
+  smaller was passed over (the third optimization criterion).
+"""
+
+import pytest
+
+from repro.dse import explore
+from repro.kernels import ALL_KERNELS, kernel_by_name
+from repro.target import wildstar_nonpipelined, wildstar_pipelined
+
+BOARDS = {
+    "pipelined": wildstar_pipelined,
+    "non-pipelined": wildstar_nonpipelined,
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    found = {}
+    for kernel in ALL_KERNELS:
+        for mode, board_factory in BOARDS.items():
+            found[(kernel.name, mode)] = explore(kernel.program(), board_factory())
+    return found
+
+
+class TestHeadlineClaims:
+    def test_speedups_positive_everywhere(self, results):
+        for (name, mode), result in results.items():
+            assert result.speedup > 1.0, f"{name}/{mode} did not speed up"
+
+    def test_pipelined_speedups_substantial(self, results):
+        """The paper's pipelined speedups range 3.9x-34.6x."""
+        for kernel in ALL_KERNELS:
+            result = results[(kernel.name, "pipelined")]
+            assert result.speedup >= 2.0, kernel.name
+
+    def test_search_fraction_under_two_percent(self, results):
+        for (name, mode), result in results.items():
+            assert result.fraction_searched < 0.02, f"{name}/{mode}"
+
+    def test_average_fraction_below_one_percent(self, results):
+        """The paper reports 0.3% on average."""
+        fractions = [r.fraction_searched for r in results.values()]
+        assert sum(fractions) / len(fractions) < 0.01
+
+    def test_selected_designs_fit(self, results):
+        for (name, mode), result in results.items():
+            board = BOARDS[mode]()
+            assert result.selected.estimate.fits(board), f"{name}/{mode}"
+
+    def test_selected_not_dominated_among_visited(self, results):
+        """No visited feasible design is both faster and smaller."""
+        for (name, mode), result in results.items():
+            board = BOARDS[mode]()
+            selected = result.selected
+            for step in result.search.trace:
+                if step.space > board.fpga.capacity_slices:
+                    continue
+                dominates = (
+                    step.cycles < selected.cycles
+                    and step.space < selected.space
+                )
+                assert not dominates, (
+                    f"{name}/{mode}: U={step.unroll} dominates the selection"
+                )
+
+
+class TestPerKernelShape:
+    def test_fir_nonpipelined_memory_bound_selection(self, results):
+        result = results[("fir", "non-pipelined")]
+        assert result.selected.estimate.memory_bound
+
+    def test_mm_search_skips_innermost(self, results):
+        for mode in BOARDS:
+            result = results[("mm", mode)]
+            assert result.selected.unroll[2] == 1
+
+    def test_pipelined_faster_than_nonpipelined(self, results):
+        for kernel in ALL_KERNELS:
+            pipelined = results[(kernel.name, "pipelined")]
+            nonpipelined = results[(kernel.name, "non-pipelined")]
+            assert pipelined.selected.cycles <= nonpipelined.selected.cycles
+
+    def test_reports_render(self, results):
+        for result in results.values():
+            text = result.report()
+            assert "selected" in text and "speedup" in text

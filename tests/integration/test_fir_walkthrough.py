@@ -1,0 +1,101 @@
+"""Golden-structure test: the Figure 1 FIR walkthrough, stage by stage.
+
+Figure 1 of the paper shows FIR (a) original, (b) after unroll-and-jam
+by (2, 2), (c) after scalar replacement with rotating registers, and
+(d) after peeling, normalization, and custom data layout.  These tests
+pin the structural landmarks of each stage.
+"""
+
+import pytest
+
+from repro.ir import LoopNest, print_program, run_program
+from repro.kernels import FIR
+from repro.layout import apply_layout
+from repro.transform import (
+    UnrollVector, compile_design, normalize_loops, peel_loop, scalar_replace,
+    unroll_and_jam,
+)
+
+
+@pytest.fixture(scope="module")
+def stages():
+    program = FIR.program()
+    unrolled = unroll_and_jam(program, UnrollVector.of(2, 2))        # (b)
+    replaced = scalar_replace(unrolled)                              # (c)
+    peeled = peel_loop(replaced.program, "j")
+    normalized = normalize_loops(peeled)
+    laid_out, plan = apply_layout(normalized, num_memories=4)        # (d)
+    return {
+        "a": program, "b": unrolled, "c": replaced.program,
+        "d": laid_out, "plan": plan, "sr": replaced,
+    }
+
+
+class TestStageB:
+    def test_four_macs(self, stages):
+        text = print_program(stages["b"])
+        assert text.count("*") == 4
+
+    def test_steps_doubled(self, stages):
+        nest = LoopNest(stages["b"])
+        assert nest.outermost.step == 2 and nest.innermost.step == 2
+
+
+class TestStageC:
+    def test_d_registers(self, stages):
+        text = print_program(stages["c"])
+        assert "d_0 = D[j];" in text
+        assert "d_1 = D[j + 1];" in text
+        assert "D[j] = d_0;" in text
+
+    def test_rotating_banks_of_sixteen(self, stages):
+        program = stages["c"]
+        c_regs = [d.name for d in program.scalars() if d.name.startswith("c_0_")]
+        assert len(c_regs) == 16
+
+    def test_guarded_initialization(self, stages):
+        assert "if (j == 0)" in print_program(stages["c"])
+
+    def test_s_loop_independent_register(self, stages):
+        text = print_program(stages["c"])
+        assert "= S[i + 1 + j];" in text  # the shared S value (paper's S_0)
+
+
+class TestStageD:
+    def test_banked_names(self, stages):
+        text = print_program(stages["d"])
+        for name in ("S0[", "S1[", "C0[", "C1["):
+            assert name in text
+
+    def test_normalized_loops(self, stages):
+        for loop_info in LoopNest_loops(stages["d"]):
+            assert loop_info.lower == 0 and loop_info.step == 1
+
+    def test_prologue_before_main(self, stages):
+        text = print_program(stages["d"])
+        assert text.index("C0[") < text.index("for (j = 0")
+
+    def test_semantics_end_to_end(self, stages):
+        inputs = FIR.random_inputs(77)
+        expected = run_program(stages["a"], inputs).arrays["D"].cells
+        plan = stages["plan"]
+        state = run_program(stages["d"], plan.distribute_inputs(inputs))
+        assert plan.gather_array(state.snapshot_arrays(), "D") == expected
+
+
+def LoopNest_loops(program):
+    """All For loops anywhere in a (possibly multi-region) program."""
+    from repro.ir.stmt import For, walk_all
+    return [
+        type("L", (), {"lower": s.lower, "step": s.step})
+        for s in walk_all(program.body) if isinstance(s, For)
+    ]
+
+
+class TestCompileDesignMatchesStages:
+    def test_one_call_pipeline_equivalent(self, stages):
+        design = compile_design(FIR.program(), UnrollVector.of(2, 2), 4)
+        inputs = FIR.random_inputs(42)
+        expected = run_program(stages["a"], inputs).arrays["D"].cells
+        state = run_program(design.program, design.plan.distribute_inputs(inputs))
+        assert design.plan.gather_array(state.snapshot_arrays(), "D") == expected

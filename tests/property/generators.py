@@ -1,0 +1,112 @@
+"""Hypothesis strategies for random affine loop-nest programs.
+
+The generated programs stay inside the paper's input domain — constant
+bounds, affine subscripts — and inside the interpreter's comfort zone
+(small trip counts, in-bounds subscripts by construction).  Each program
+is a 2-deep nest writing one output array from one or two input arrays,
+optionally through a reduction, with an optional guarded statement.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.ir.builder import (
+    add, arr, assign, binop, decl, if_, lit, loop, mul, program, var,
+)
+from repro.ir.expr import Expr
+from repro.ir.types import INT16, INT32
+
+#: trip counts for the two loops (kept small: every property test runs
+#: the interpreter several times per example).
+TRIPS = st.tuples(st.integers(2, 8), st.integers(2, 8))
+
+#: affine subscript shape: coeff_j * j + coeff_i * i + offset
+SUBSCRIPT = st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 3))
+
+ARITH_OP = st.sampled_from(["+", "-", "*"])
+
+
+def _subscript_expr(coeffs, trips):
+    coeff_j, coeff_i, offset = coeffs
+    expr: Expr = lit(offset)
+    if coeff_j:
+        expr = add(mul(coeff_j, "j"), expr)
+    if coeff_i:
+        expr = add(mul(coeff_i, "i"), expr)
+    return expr
+
+
+def _extent(coeffs, trips):
+    coeff_j, coeff_i, offset = coeffs
+    return coeff_j * (trips[0] - 1) + coeff_i * (trips[1] - 1) + offset + 1
+
+
+@st.composite
+def affine_programs(draw):
+    """A random semantically-valid affine loop-nest program."""
+    trips = draw(TRIPS)
+    in_subs = [draw(SUBSCRIPT) for _ in range(draw(st.integers(1, 2)))]
+    out_sub = draw(SUBSCRIPT)
+    op1 = draw(ARITH_OP)
+    reduction = draw(st.booleans())
+    guarded = draw(st.booleans())
+
+    in_extent = max(_extent(s, trips) for s in in_subs)
+    out_extent = _extent(out_sub, trips)
+    decls = [
+        decl("IN0", INT32, (in_extent,)),
+        decl("OUT", INT32, (out_extent,)),
+    ]
+    reads = [arr("IN0", _subscript_expr(in_subs[0], trips))]
+    if len(in_subs) > 1:
+        decls.append(decl("IN1", INT16, (in_extent,)))
+        reads.append(arr("IN1", _subscript_expr(in_subs[1], trips)))
+
+    rhs: Expr = reads[0]
+    for read in reads[1:]:
+        rhs = binop(op1, rhs, read)
+    target = arr("OUT", _subscript_expr(out_sub, trips))
+    if reduction:
+        rhs = add(target, rhs)
+    body = [assign(target, rhs)]
+    if guarded:
+        body.append(if_(
+            binop(">", reads[0], 0),
+            [assign(arr("OUT", _subscript_expr(out_sub, trips)), lit(1))],
+        ))
+
+    inner = loop("i", 0, trips[1], body)
+    outer = loop("j", 0, trips[0], [inner])
+    return program("generated", decls, [outer])
+
+
+@st.composite
+def program_inputs(draw, prog):
+    """Random input contents for every array of a program."""
+    inputs = {}
+    for declaration in prog.arrays():
+        inputs[declaration.name] = draw(st.lists(
+            st.integers(-50, 50),
+            min_size=declaration.element_count,
+            max_size=declaration.element_count,
+        ))
+    return inputs
+
+
+def divisor_factors_strategy(prog):
+    """Unroll vectors whose factors divide the nest's trip counts."""
+    from repro.ir import LoopNest
+    trips = LoopNest(prog).trip_counts
+
+    def divisors(value):
+        return [d for d in range(1, value + 1) if value % d == 0]
+
+    return st.tuples(*(st.sampled_from(divisors(t)) for t in trips))
+
+
+def any_factors_strategy(prog):
+    """Arbitrary (possibly non-divisor) unroll vectors within trips."""
+    from repro.ir import LoopNest
+    trips = LoopNest(prog).trip_counts
+    return st.tuples(*(st.integers(1, t) for t in trips))

@@ -1,0 +1,98 @@
+"""Property tests: dependence tests against brute-force enumeration.
+
+The GCD and Banerjee tests may report false positives (a dependence that
+does not exist) but never false negatives — if two accesses actually
+touch the same element at some iteration pair, both tests must say
+"maybe".  The constant-distance solver must agree exactly with the
+brute-force solution set.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.affine import AffineAccess, AffineExpr
+from repro.analysis.dependence import banerjee_test, constant_distance, gcd_test
+from repro.ir.expr import ArrayRef, IntLit
+
+SETTINGS = settings(max_examples=150, deadline=None)
+
+COEFF = st.integers(-3, 3)
+OFFSET = st.integers(-6, 6)
+TRIP = st.integers(1, 7)
+
+
+def make_access(coeff_i, coeff_j, offset, is_write=False):
+    subscript = AffineExpr.from_parts({"i": coeff_i, "j": coeff_j}, offset)
+    ref = ArrayRef("A", (IntLit(0),))  # placeholder node
+    return AffineAccess("A", (subscript,), is_write, ref)
+
+
+def brute_force_collisions(a, b, trips):
+    """All iteration pairs where the two accesses touch one element."""
+    pairs = []
+    for i1 in range(trips[0]):
+        for j1 in range(trips[1]):
+            for i2 in range(trips[0]):
+                for j2 in range(trips[1]):
+                    va = a.subscripts[0].evaluate({"i": i1, "j": j1})
+                    vb = b.subscripts[0].evaluate({"i": i2, "j": j2})
+                    if va == vb:
+                        pairs.append(((i1, j1), (i2, j2)))
+    return pairs
+
+
+class TestNoFalseNegatives:
+    @SETTINGS
+    @given(
+        ca_i=COEFF, ca_j=COEFF, oa=OFFSET,
+        cb_i=COEFF, cb_j=COEFF, ob=OFFSET,
+        trip_i=TRIP, trip_j=TRIP,
+    )
+    def test_gcd_and_banerjee(self, ca_i, ca_j, oa, cb_i, cb_j, ob, trip_i, trip_j):
+        a = make_access(ca_i, ca_j, oa)
+        b = make_access(cb_i, cb_j, ob)
+        collisions = brute_force_collisions(a, b, (trip_i, trip_j))
+        if collisions:
+            assert gcd_test(a, b), "GCD test false negative"
+            bounds = {"i": (0, trip_i), "j": (0, trip_j)}
+            assert banerjee_test(a, b, bounds), "Banerjee false negative"
+
+
+class TestConstantDistanceExact:
+    @SETTINGS
+    @given(
+        coeff_i=st.integers(1, 3), coeff_j=st.integers(0, 3),
+        oa=OFFSET, ob=OFFSET, trip_i=TRIP, trip_j=TRIP,
+    )
+    def test_distance_matches_brute_force(self, coeff_i, coeff_j, oa, ob, trip_i, trip_j):
+        """For uniformly generated pairs, every brute-force collision pair
+        must match the solved distance in its constrained entries."""
+        a = make_access(coeff_i, coeff_j, oa)
+        b = make_access(coeff_i, coeff_j, ob)
+        distance = constant_distance(a, b, ["i", "j"])
+        collisions = brute_force_collisions(a, b, (trip_i, trip_j))
+        if distance is None:
+            return  # inconsistent or never-meeting: nothing to check exactly
+        d_i, d_j = distance
+        for (i1, j1), (i2, j2) in collisions:
+            if d_i is not None:
+                assert i2 - i1 == d_i
+            if d_j is not None:
+                assert j2 - j1 == d_j
+
+    @SETTINGS
+    @given(
+        coeff=st.integers(1, 3), oa=OFFSET, ob=OFFSET, trip=st.integers(2, 8),
+    )
+    def test_single_variable_solved_completely(self, coeff, oa, ob, trip):
+        """One-variable subscripts: the solver finds the distance exactly
+        when a collision exists, and collisions imply divisibility."""
+        a = make_access(coeff, 0, oa)
+        b = make_access(coeff, 0, ob)
+        distance = constant_distance(a, b, ["i", "j"])
+        delta = oa - ob
+        if delta % coeff == 0:
+            assert distance is not None
+            assert distance[0] == delta // coeff
+            assert distance[1] is None
+        else:
+            assert distance is None

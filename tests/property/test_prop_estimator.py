@@ -1,0 +1,96 @@
+"""Property tests: invariants of the synthesis estimator.
+
+Random affine programs, random unroll factors: the estimator must
+always produce internally consistent estimates — positive cycles for
+non-empty programs, an area equal to its breakdown, balance equal to
+F/C, fetch rate bounded by the board's aggregate bandwidth, and more
+memory traffic under the non-pipelined timing than the pipelined one
+never *fewer* cycles.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import TransformError
+from repro.synthesis import synthesize
+from repro.target import wildstar_nonpipelined, wildstar_pipelined
+from repro.transform import UnrollVector, compile_design
+from tests.property.generators import affine_programs, divisor_factors_strategy
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build(data):
+    program = data.draw(affine_programs())
+    factors = data.draw(divisor_factors_strategy(program))
+    try:
+        design = compile_design(program, UnrollVector(factors), 4)
+    except TransformError:
+        return None
+    return design
+
+
+class TestEstimateInvariants:
+    @SETTINGS
+    @given(data=st.data())
+    def test_consistency(self, data):
+        design = build(data)
+        if design is None:
+            return
+        board = wildstar_pipelined()
+        estimate = synthesize(design.program, board, design.plan)
+        assert estimate.cycles > 0
+        assert estimate.space > 0
+        assert estimate.space == estimate.area.total
+        if estimate.consumption_rate not in (0.0, float("inf")) and \
+                estimate.fetch_rate != float("inf"):
+            assert estimate.balance == pytest.approx(
+                estimate.fetch_rate / estimate.consumption_rate, rel=1e-6
+            )
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_fetch_rate_bounded_by_bandwidth(self, data):
+        design = build(data)
+        if design is None:
+            return
+        board = wildstar_pipelined()
+        estimate = synthesize(design.program, board, design.plan)
+        if estimate.fetch_rate != float("inf"):
+            assert estimate.fetch_rate <= board.num_memories * 32 + 1e-9
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_slow_memory_never_faster(self, data):
+        design = build(data)
+        if design is None:
+            return
+        fast = synthesize(design.program, wildstar_pipelined(), design.plan)
+        slow = synthesize(design.program, wildstar_nonpipelined(), design.plan)
+        assert slow.cycles >= fast.cycles
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_memory_traffic_ids_within_board(self, data):
+        design = build(data)
+        if design is None:
+            return
+        board = wildstar_pipelined()
+        estimate = synthesize(design.program, board, design.plan)
+        assert all(0 <= m < board.num_memories for m in estimate.memory_traffic)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_deterministic(self, data):
+        design = build(data)
+        if design is None:
+            return
+        board = wildstar_pipelined()
+        first = synthesize(design.program, board, design.plan)
+        second = synthesize(design.program, board, design.plan)
+        assert (first.cycles, first.space, first.balance) == \
+            (second.cycles, second.space, second.balance)

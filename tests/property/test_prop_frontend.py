@@ -1,0 +1,97 @@
+"""Property tests: printer/parser round trip, folding vs interpreter."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.ir import print_program, run_program
+from repro.ir.expr import BinOp, IntLit, UnOp, fold_constants
+from repro.ir.expr import _c_div, _c_mod
+from repro.ir.printer import print_expr
+from tests.property.generators import affine_programs, program_inputs
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+SAFE_BINOPS = st.sampled_from(["+", "-", "*", "&", "|", "^", "<", "<=", ">",
+                               ">=", "==", "!="])
+
+
+@st.composite
+def constant_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return IntLit(draw(st.integers(-30, 30)))
+    if draw(st.integers(0, 3)) == 0:
+        return UnOp(draw(st.sampled_from(["-", "!", "~"])),
+                    draw(constant_exprs(depth=depth + 1)))
+    return BinOp(
+        draw(SAFE_BINOPS),
+        draw(constant_exprs(depth=depth + 1)),
+        draw(constant_exprs(depth=depth + 1)),
+    )
+
+
+def evaluate(expr):
+    """Direct big-integer evaluation of a constant expression."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, UnOp):
+        value = evaluate(expr.operand)
+        return {"-": -value, "!": int(not value), "~": ~value}[expr.op]
+    left, right = evaluate(expr.left), evaluate(expr.right)
+    table = {
+        "+": left + right, "-": left - right, "*": left * right,
+        "&": left & right, "|": left | right, "^": left ^ right,
+        "<": int(left < right), "<=": int(left <= right),
+        ">": int(left > right), ">=": int(left >= right),
+        "==": int(left == right), "!=": int(left != right),
+    }
+    return table[expr.op]
+
+
+class TestFolding:
+    @SETTINGS
+    @given(expr=constant_exprs())
+    def test_fold_constants_is_evaluation(self, expr):
+        folded = fold_constants(expr)
+        assert isinstance(folded, IntLit)
+        assert folded.value == evaluate(expr)
+
+    @SETTINGS
+    @given(a=st.integers(-100, 100), b=st.integers(-100, 100).filter(bool))
+    def test_c_division_identity(self, a, b):
+        assert b * _c_div(a, b) + _c_mod(a, b) == a
+        # truncation toward zero
+        assert abs(_c_div(a, b)) == abs(a) // abs(b)
+
+
+class TestRoundTrip:
+    @SETTINGS
+    @given(data=st.data())
+    def test_print_parse_print_fixpoint(self, data):
+        program = data.draw(affine_programs())
+        text = print_program(program)
+        reparsed = compile_source(text, program.name)
+        assert print_program(reparsed) == text
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_reparsed_program_computes_identically(self, data):
+        program = data.draw(affine_programs())
+        inputs = data.draw(program_inputs(program))
+        reparsed = compile_source(print_program(program), program.name)
+        original = run_program(program, inputs).snapshot_arrays()
+        again = run_program(reparsed, inputs).snapshot_arrays()
+        assert original == again
+
+    @SETTINGS
+    @given(expr=constant_exprs())
+    def test_expression_print_parse_value(self, expr):
+        """Printed expressions re-parse to the same value (precedence
+        and parenthesization are correct)."""
+        from repro.frontend.parser import Parser
+        from repro.frontend.lexer import tokenize
+        text = print_expr(expr)
+        parser = Parser(tokenize(f"x = {text};"))
+        parser._advance()  # 'x'
+        parser._advance()  # '='
+        reparsed = parser._parse_expr()
+        assert evaluate(reparsed) == evaluate(expr)

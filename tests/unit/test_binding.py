@@ -1,0 +1,78 @@
+"""Unit tests for operator binding (left-edge allocation)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.synthesis import bind_operators
+from repro.synthesis.dfg import DataflowBuilder
+from repro.synthesis.operators import default_library
+from repro.synthesis.regions import Region, program_blocks
+from repro.synthesis.scheduling import ResourceConstraints, schedule_region
+from repro.target.memory import pipelined_memory
+
+
+def bind(src, constraints=None):
+    program = compile_source(src)
+    memory_of = {decl.name: index for index, decl in enumerate(program.arrays())}
+    region = next(b for b in program_blocks(program) if isinstance(b, Region))
+    dfg = DataflowBuilder(program, memory_of, {}).build(region)
+    schedule = schedule_region(dfg, pipelined_memory(), default_library(),
+                               constraints)
+    return dfg, schedule, bind_operators(dfg, schedule)
+
+
+PARALLEL_MULS = """
+int A[4]; int B[4]; int C[4]; int D[4];
+int w; int x; int y; int z;
+w = A[0] * 3;
+x = B[0] * 5;
+y = C[0] * 7;
+z = D[0] * 9;
+"""
+
+
+class TestBinding:
+    def test_no_unit_overlaps(self):
+        _dfg, _schedule, binding = bind(PARALLEL_MULS)
+        for unit in binding.units:
+            spans = sorted((s, f) for _n, s, f in unit.assignments)
+            for (s1, f1), (s2, _f2) in zip(spans, spans[1:]):
+                assert f1 <= s2, f"unit {unit.unit_id} overlaps"
+
+    def test_unit_count_matches_demand(self):
+        _dfg, schedule, binding = bind(PARALLEL_MULS)
+        assert binding.unit_count("*", 32) == schedule.operator_demand[("*", 32)]
+
+    def test_all_ops_assigned_exactly_once(self):
+        dfg, _schedule, binding = bind(PARALLEL_MULS)
+        assigned = [n for unit in binding.units for (n, _s, _f) in unit.assignments]
+        expected = [n.index for n in dfg.op_nodes]
+        assert sorted(assigned) == sorted(expected)
+
+    def test_constrained_schedule_shares_one_unit(self):
+        _dfg, _schedule, binding = bind(
+            PARALLEL_MULS, ResourceConstraints.of(mul=1)
+        )
+        mul_units = binding.units_of("*", 32)
+        assert len(mul_units) == 1
+        assert len(mul_units[0].assignments) == 4
+
+    def test_sequential_chain_reuses_unit(self):
+        _dfg, _schedule, binding = bind(
+            "int A[4]; int x;\nx = A[0] + A[1] + A[2] + A[3];"
+        )
+        assert binding.unit_count("+", 32) == 1
+        unit = binding.units_of("+", 32)[0]
+        assert len(unit.assignments) == 3
+
+    def test_utilization_bounds(self):
+        _dfg, _schedule, binding = bind(PARALLEL_MULS)
+        for unit in binding.units:
+            assert 0.0 < unit.utilization(binding.schedule_length) <= 1.0
+        assert 0.0 < binding.average_utilization() <= 1.0
+
+    def test_describe(self):
+        _dfg, _schedule, binding = bind(PARALLEL_MULS)
+        text = binding.describe()
+        assert "operator binding" in text
+        assert "busy" in text

@@ -1,0 +1,141 @@
+"""Unit tests for value-range analysis and bitwidth narrowing."""
+
+import pytest
+
+from repro.analysis.bitwidth import ValueRange, analyze_bitwidths
+from repro.frontend import compile_source
+from repro.ir import run_program
+from repro.ir.types import INT8, INT32
+from repro.kernels import ALL_KERNELS, PAT
+from repro.transform.narrowing import narrow_types, narrowing_savings
+
+
+class TestValueRange:
+    def test_exact_and_join(self):
+        assert ValueRange.exact(5).join(ValueRange.exact(-2)) == ValueRange(-2, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ValueRange(3, 2)
+
+    def test_arithmetic(self):
+        a, b = ValueRange(-2, 3), ValueRange(1, 4)
+        assert a.add(b) == ValueRange(-1, 7)
+        assert a.sub(b) == ValueRange(-6, 2)
+        assert a.mul(b) == ValueRange(-8, 12)
+        assert a.neg() == ValueRange(-3, 2)
+        assert a.abs() == ValueRange(0, 3)
+
+    def test_bits(self):
+        assert ValueRange(0, 1).bits == 1
+        assert ValueRange(0, 16).bits == 5
+        assert ValueRange(-1, 0).bits_signed == 1
+        assert ValueRange(-128, 127).bits_signed == 8
+        assert ValueRange(-129, 127).bits_signed == 9
+
+    def test_of_type(self):
+        assert ValueRange.of_type(INT8) == ValueRange(-128, 127)
+
+
+class TestAnalysis:
+    def test_counter_bound_by_trip(self):
+        src = """
+        char S[16]; int M[1];
+        for (i = 0; i < 16; i++) M[0] = M[0] + (S[i] == 3);
+        """
+        program = compile_source(src)
+        report = analyze_bitwidths(program, {"M": ValueRange.exact(0)})
+        assert report.arrays["M"].hi <= 16
+        assert report.bits_of("M") <= 6
+
+    def test_loop_variable_range(self):
+        src = "int A[32]; for (i = 3; i < 30; i += 3) A[i] = i;"
+        report = analyze_bitwidths(compile_source(src))
+        assert report.scalars["i"] == ValueRange(3, 27)
+
+    def test_wrap_widens_to_type(self):
+        # an int8 accumulator of 100 x 100 overflows: range must be the
+        # full type, never a lie.
+        src = """
+        char acc; char A[100];
+        for (i = 0; i < 100; i++) acc = acc + A[i];
+        """
+        report = analyze_bitwidths(compile_source(src))
+        assert report.scalars["acc"] == ValueRange(-128, 127)
+
+    def test_branches_join(self):
+        src = """
+        int A[4]; int x;
+        for (i = 0; i < 4; i++) {
+          if (A[i] > 0) x = 100; else x = 0 - 7;
+        }
+        """
+        report = analyze_bitwidths(compile_source(src))
+        found = report.scalars["x"]
+        assert found.contains(100) and found.contains(-7)
+
+    def test_input_ranges_narrow(self):
+        src = "int A[8]; int x; for (i = 0; i < 8; i++) x = A[i] * 2;"
+        wide = analyze_bitwidths(compile_source(src))
+        narrow = analyze_bitwidths(
+            compile_source(src), {"A": ValueRange(0, 10)}
+        )
+        assert narrow.scalars["x"].hi == 20
+        assert wide.scalars["x"].hi > 20
+
+    def test_division_by_power_of_two(self):
+        src = "int A[4]; int x; x = (A[0] + A[1]) / 4;"
+        report = analyze_bitwidths(
+            compile_source(src), {"A": ValueRange(0, 255)}
+        )
+        assert report.scalars["x"].hi <= 127
+
+    def test_soundness_against_interpreter(self):
+        """Every concrete final value lies inside the inferred range."""
+        from repro.kernels import FIR
+        program = FIR.program()
+        report = analyze_bitwidths(program, FIR.value_ranges())
+        for seed in range(3):
+            state = run_program(program, FIR.random_inputs(seed))
+            for value in state.arrays["D"].cells:
+                assert report.arrays["D"].contains(value)
+
+
+class TestNarrowing:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_semantics_preserved(self, kernel):
+        program = kernel.program()
+        narrowed = narrow_types(program, input_ranges=kernel.value_ranges())
+        inputs = kernel.random_inputs(17)
+        expected = run_program(program, inputs)
+        actual = run_program(narrowed, inputs)
+        for array in kernel.output_arrays:
+            assert actual.arrays[array].cells == expected.arrays[array].cells
+
+    def test_pat_counter_narrowed(self):
+        narrowed = narrow_types(PAT.program(), input_ranges=PAT.value_ranges())
+        assert narrowed.decl("M").type.width <= 16
+
+    def test_never_widens(self):
+        for kernel in ALL_KERNELS:
+            program = kernel.program()
+            narrowed = narrow_types(program, input_ranges=kernel.value_ranges())
+            for before, after in zip(program.decls, narrowed.decls):
+                assert after.type.width <= before.type.width
+
+    def test_savings_reported(self):
+        program = PAT.program()
+        narrowed = narrow_types(program, input_ranges=PAT.value_ranges())
+        assert narrowing_savings(program, narrowed) > 0
+
+    def test_pipeline_option(self):
+        from repro.kernels import FIR
+        from repro.transform import PipelineOptions, UnrollVector, compile_design
+        options = PipelineOptions(
+            narrow_bitwidths=True, input_value_ranges=FIR.value_ranges(),
+        )
+        design = compile_design(FIR.program(), UnrollVector.of(2, 2), 4, options)
+        inputs = FIR.random_inputs(23)
+        expected = run_program(FIR.program(), inputs).arrays["D"].cells
+        state = run_program(design.program, design.plan.distribute_inputs(inputs))
+        assert design.plan.gather_array(state.snapshot_arrays(), "D") == expected

@@ -1,0 +1,102 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestKernelsCommand:
+    def test_lists_all_five(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fir", "mm", "pat", "jac", "sobel"):
+            assert name in out
+
+
+class TestEstimateCommand:
+    def test_builtin_kernel(self, capsys):
+        assert main(["estimate", "kernel:fir", "--unroll", "2,2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "fetch rate" in out
+
+    def test_bad_unroll_arity(self, capsys):
+        assert main(["estimate", "kernel:fir", "--unroll", "2"]) == 1
+        assert "unroll vector" in capsys.readouterr().err
+
+    def test_bad_unroll_format(self, capsys):
+        assert main(["estimate", "kernel:fir", "--unroll", "two,two"]) == 1
+
+    def test_unknown_board(self, capsys):
+        assert main(["estimate", "kernel:fir", "--unroll", "1,1",
+                     "--board", "warp"]) == 1
+        assert "unknown board" in capsys.readouterr().err
+
+
+class TestCompileCommand:
+    def test_source_file(self, tmp_path, capsys):
+        source = tmp_path / "scale.c"
+        source.write_text("""
+        int A[16]; int B[16];
+        for (i = 0; i < 16; i++) B[i] = A[i] * 3;
+        """)
+        assert main(["compile", str(source), "--unroll", "4",
+                     "--print-code"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled scale@4" in out
+        assert "B0[" in out or "B[" in out
+
+    def test_writes_hdl(self, tmp_path, capsys):
+        vhdl = tmp_path / "fir.vhd"
+        verilog = tmp_path / "fir.v"
+        assert main(["compile", "kernel:fir", "--unroll", "2,2",
+                     "--vhdl", str(vhdl), "--verilog", str(verilog)]) == 0
+        assert "entity fir is" in vhdl.read_text()
+        assert "module fir (" in verilog.read_text()
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/does/not/exist.c", "--unroll", "1,1"]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int x; x = ;")
+        assert main(["compile", str(bad), "--unroll", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExploreCommand:
+    def test_report_and_json(self, tmp_path, capsys):
+        summary_path = tmp_path / "out.json"
+        assert main(["explore", "kernel:jac", "--board", "np",
+                     "--json", str(summary_path)]) == 0
+        out = capsys.readouterr().out
+        assert "selected U=" in out
+        summary = json.loads(summary_path.read_text())
+        assert summary["program"] == "jac"
+        assert summary["speedup"] > 1.0
+        assert summary["points_searched"] >= 1
+
+    def test_narrow_option(self, capsys):
+        assert main(["explore", "kernel:pat", "--narrow"]) == 0
+        assert "selected" in capsys.readouterr().out
+
+    def test_testbench_requires_kernel(self, tmp_path, capsys):
+        source = tmp_path / "k.c"
+        source.write_text("""
+        int A[8]; int B[8];
+        for (i = 0; i < 8; i++) B[i] = A[i];
+        """)
+        assert main(["explore", str(source),
+                     "--testbench", str(tmp_path / "tb.vhd")]) == 1
+        assert "kernel:" in capsys.readouterr().err
+
+    def test_testbench_for_kernel(self, tmp_path, capsys):
+        tb = tmp_path / "tb.vhd"
+        assert main(["explore", "kernel:fir", "--testbench", str(tb)]) == 0
+        assert "entity tb_fir is" in tb.read_text()
+
+    def test_ablation_flags(self, capsys):
+        assert main(["explore", "kernel:fir", "--no-outer-reuse",
+                     "--no-layout", "--board", "np"]) == 0

@@ -1,0 +1,78 @@
+"""Unit tests for clock-derived operator latencies."""
+
+import pytest
+
+from repro.kernels import FIR
+from repro.synthesis import synthesize
+from repro.synthesis.operators import OperatorLibrary, default_library
+from repro.target import Board, virtex_1000
+from repro.target.memory import pipelined_memory
+from repro.transform import UnrollVector, compile_design
+
+
+class TestDerivedLatencies:
+    def test_paper_clock_calibration(self):
+        """At 40 ns the classic numbers hold: 1-cycle adds/compares,
+        2-cycle 32-bit multiply, 8-cycle divide."""
+        library = default_library(40.0)
+        assert library.spec("+", 32).latency == 1
+        assert library.spec("<", 32).latency == 1
+        assert library.spec("*", 32).latency == 2
+        assert library.spec("/", 32).latency == 8
+
+    def test_faster_clock_more_cycles(self):
+        fast = default_library(10.0)
+        slow = default_library(40.0)
+        for kind in ("+", "*", "/"):
+            assert fast.spec(kind, 32).latency >= slow.spec(kind, 32).latency
+        assert fast.spec("*", 32).latency > slow.spec("*", 32).latency
+
+    def test_narrow_multiplier_single_cycle(self):
+        """Bitwidth narrowing pays in time, not just area: an 8x8
+        multiply fits in one 40 ns cycle."""
+        library = default_library(40.0)
+        assert library.spec("*", 8).latency == 1
+
+    def test_latency_monotone_in_width(self):
+        library = default_library(10.0)
+        latencies = [library.spec("*", w).latency for w in (8, 16, 32, 64)]
+        assert latencies == sorted(latencies)
+
+    def test_for_clock_preserves_calibration(self):
+        custom = OperatorLibrary(clock_ns=40.0, mul_area_divisor=3.0)
+        retargeted = custom.for_clock(20.0)
+        assert retargeted.mul_area_divisor == 3.0
+        assert retargeted.clock_ns == 20.0
+
+    def test_legacy_fixed_latency_override(self):
+        library = OperatorLibrary(clock_ns=10.0, mul_latency=2)
+        assert library.spec("*", 32).latency == 2
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            OperatorLibrary(clock_ns=0)
+
+
+class TestClockInEstimates:
+    def board(self, clock_ns):
+        return Board(
+            name=f"wildstar@{clock_ns}ns", fpga=virtex_1000(),
+            memory=pipelined_memory(), num_memories=4, clock_ns=clock_ns,
+        )
+
+    def test_estimator_uses_board_clock(self):
+        design = compile_design(FIR.program(), UnrollVector.of(2, 2), 4)
+        at_40 = synthesize(design.program, self.board(40.0), design.plan)
+        at_10 = synthesize(design.program, self.board(10.0), design.plan)
+        # more cycles at the fast clock (multi-cycle multipliers)...
+        assert at_10.cycles > at_40.cycles
+        # ...but each cycle is 4x shorter; wall-clock time must improve
+        # or at worst stay comparable.
+        assert at_10.execution_time_us < at_40.execution_time_us
+
+    def test_explicit_library_wins(self):
+        design = compile_design(FIR.program(), UnrollVector.of(2, 2), 4)
+        pinned = default_library(40.0)
+        estimate = synthesize(design.program, self.board(10.0), design.plan, pinned)
+        reference = synthesize(design.program, self.board(40.0), design.plan, pinned)
+        assert estimate.cycles == reference.cycles

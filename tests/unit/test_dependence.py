@@ -1,0 +1,180 @@
+"""Unit tests for data dependence analysis."""
+
+import pytest
+
+from repro.analysis.affine import collect_accesses
+from repro.analysis.dependence import (
+    DependenceGraph, DependenceKind, banerjee_test, carrier,
+    constant_distance, gcd_test, is_zero, lexicographically_nonnegative,
+)
+from repro.frontend import compile_source
+from repro.ir import LoopNest
+
+
+def nest_of(source):
+    return LoopNest(compile_source(source))
+
+
+def accesses_of(source):
+    return collect_accesses(nest_of(source))
+
+
+class TestDistanceHelpers:
+    def test_lexicographic_sign(self):
+        assert lexicographically_nonnegative((0, 1))
+        assert lexicographically_nonnegative((1, -5))
+        assert not lexicographically_nonnegative((0, -1))
+        assert lexicographically_nonnegative((None, -1))  # unconstrained decides nothing
+
+    def test_is_zero(self):
+        assert is_zero((0, 0))
+        assert not is_zero((0, 1))
+        assert not is_zero((0, None))  # unconstrained can separate
+
+    def test_carrier(self):
+        assert carrier((0, 2)) == 1
+        assert carrier((3, 0)) == 0
+        assert carrier((0, None)) == 1
+        assert carrier((0, 0)) is None
+
+
+class TestConstantDistance:
+    def test_simple_offset(self):
+        src = """
+        int A[40];
+        for (i = 0; i < 32; i++) A[i + 2] = A[i];
+        """
+        accesses = accesses_of(src)
+        read = next(a for a in accesses if a.is_read)
+        write = next(a for a in accesses if a.is_write)
+        # write at iteration i touches A[i+2]; read at i' touches A[i'].
+        # They meet when i' = i + 2.
+        assert constant_distance(write, read, ["i"]) == (2,)
+
+    def test_two_dimensional(self):
+        src = """
+        int A[10][10];
+        for (i = 1; i < 9; i++)
+          for (j = 1; j < 9; j++)
+            A[i][j] = A[i - 1][j] + 1;
+        """
+        accesses = accesses_of(src)
+        read = next(a for a in accesses if a.is_read)
+        write = next(a for a in accesses if a.is_write)
+        assert constant_distance(write, read, ["i", "j"]) == (1, 0)
+
+    def test_unconstrained_variable(self):
+        src = """
+        int D[64];
+        for (j = 0; j < 64; j++)
+          for (i = 0; i < 32; i++)
+            D[j] = D[j] + i;
+        """
+        accesses = accesses_of(src)
+        read = next(a for a in accesses if a.is_read)
+        write = next(a for a in accesses if a.is_write)
+        assert constant_distance(read, write, ["j", "i"]) == (0, None)
+
+    def test_underdetermined_is_inconsistent(self):
+        # S[i+j] vs S[i+j+2]: one equation, two unknowns -> no constant
+        # distance (the paper's FIR example).
+        src = """
+        int S[96]; int x;
+        for (j = 0; j < 64; j++)
+          for (i = 0; i < 32; i++)
+            x = x + S[i + j] + S[i + j + 2];
+        """
+        accesses = [a for a in accesses_of(src) if a.array == "S"]
+        assert constant_distance(accesses[0], accesses[1], ["j", "i"]) is None
+
+    def test_fractional_distance_means_never(self):
+        src = """
+        int A[70]; int x;
+        for (i = 0; i < 32; i++) x = x + A[2 * i] + A[2 * i + 1];
+        """
+        accesses = [a for a in accesses_of(src) if a.array == "A"]
+        assert constant_distance(accesses[0], accesses[1], ["i"]) is None
+
+    def test_different_linear_parts_rejected(self):
+        src = """
+        int A[70]; int x;
+        for (i = 0; i < 32; i++) x = x + A[i] + A[2 * i];
+        """
+        accesses = [a for a in accesses_of(src) if a.array == "A"]
+        assert constant_distance(accesses[0], accesses[1], ["i"]) is None
+
+
+class TestExistenceTests:
+    def test_gcd_rules_out_parity(self):
+        src = """
+        int A[70];
+        for (i = 0; i < 32; i++) A[2 * i] = A[2 * i + 1];
+        """
+        accesses = accesses_of(src)
+        assert not gcd_test(accesses[0], accesses[1])
+
+    def test_gcd_allows_compatible(self):
+        src = """
+        int A[70];
+        for (i = 0; i < 32; i++) A[2 * i] = A[2 * i + 2];
+        """
+        accesses = accesses_of(src)
+        assert gcd_test(accesses[0], accesses[1])
+
+    def test_banerjee_rules_out_far_offsets(self):
+        src = """
+        int A[200];
+        for (i = 0; i < 10; i++) A[i] = A[i + 100];
+        """
+        accesses = accesses_of(src)
+        bounds = {"i": (0, 10)}
+        assert not banerjee_test(accesses[0], accesses[1], bounds)
+
+    def test_banerjee_allows_overlapping(self):
+        src = """
+        int A[200];
+        for (i = 0; i < 10; i++) A[i] = A[i + 5];
+        """
+        accesses = accesses_of(src)
+        assert banerjee_test(accesses[0], accesses[1], {"i": (0, 10)})
+
+
+class TestDependenceGraph:
+    def test_fir_parallel_loop(self, fir_program):
+        graph = DependenceGraph.build(LoopNest(fir_program))
+        # j carries nothing; i carries the accumulation into D[j].
+        assert graph.parallel_loops() == [0]
+        assert not graph.loop_is_parallel(1)
+
+    def test_fir_flow_and_anti_on_accumulator(self, fir_program):
+        graph = DependenceGraph.build(LoopNest(fir_program))
+        kinds = {d.kind for d in graph.dependences if d.source.array == "D"}
+        assert DependenceKind.FLOW in kinds
+        assert DependenceKind.ANTI in kinds
+        assert DependenceKind.OUTPUT in kinds
+
+    def test_input_dependence_on_reused_read(self, fir_program):
+        graph = DependenceGraph.build(LoopNest(fir_program))
+        inputs = [d for d in graph.input_dependences() if d.source.array == "C"]
+        assert inputs and inputs[0].distance == (None, 0)
+
+    def test_mm_outer_loops_parallel(self, mm_program):
+        graph = DependenceGraph.build(LoopNest(mm_program))
+        assert graph.loop_is_parallel(0)
+        assert graph.loop_is_parallel(1)
+        assert not graph.loop_is_parallel(2)
+
+    def test_unroll_and_jam_legality_positive(self, fir_program):
+        graph = DependenceGraph.build(LoopNest(fir_program))
+        assert graph.unroll_and_jam_legal(0)
+        assert graph.unroll_and_jam_legal(1)
+
+    def test_min_nonzero_distance(self):
+        src = """
+        int A[80];
+        for (i = 0; i < 32; i++)
+          for (j = 0; j < 2; j++)
+            A[i + 3] = A[i] + j;
+        """
+        graph = DependenceGraph.build(nest_of(src))
+        assert graph.min_nonzero_distance(0) == 3

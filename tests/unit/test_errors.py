@@ -1,0 +1,41 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError, CapacityError, FrontendError, LayoutError, LexError,
+    ParseError, ReproError, SearchError, SemanticError, SynthesisError,
+    TransformError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for cls in (
+            AnalysisError, CapacityError, FrontendError, LayoutError,
+            LexError, ParseError, SearchError, SemanticError,
+            SynthesisError, TransformError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_frontend_family(self):
+        for cls in (LexError, ParseError, SemanticError):
+            assert issubclass(cls, FrontendError)
+
+    def test_capacity_is_synthesis(self):
+        assert issubclass(CapacityError, SynthesisError)
+
+
+class TestLocationFormatting:
+    def test_with_position(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert str(error) == "3:7: bad token"
+        assert (error.line, error.column) == (3, 7)
+
+    def test_without_position(self):
+        assert str(SemanticError("nope")) == "nope"
+
+    def test_catchable_at_boundary(self):
+        from repro.frontend import compile_source
+        with pytest.raises(ReproError):
+            compile_source("int x = $;")

@@ -1,0 +1,94 @@
+"""Unit tests for the persistent estimate cache."""
+
+import json
+
+import pytest
+
+from repro.kernels import FIR
+from repro.synthesis import EstimateCache, synthesize
+from repro.synthesis.operators import OperatorLibrary
+from repro.target import wildstar_nonpipelined, wildstar_pipelined
+from repro.transform import UnrollVector, compile_design
+
+
+@pytest.fixture
+def design():
+    return compile_design(FIR.program(), UnrollVector.of(2, 2), 4)
+
+
+class TestCache:
+    def test_hit_returns_equal_estimate(self, tmp_path, design):
+        board = wildstar_pipelined()
+        cache = EstimateCache(tmp_path / "cache.json")
+        first = cache.synthesize(design.program, board, design.plan)
+        second = cache.synthesize(design.program, board, design.plan)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert second.cycles == first.cycles
+        assert second.space == first.space
+        assert second.balance == pytest.approx(first.balance)
+        assert second.operator_demand == first.operator_demand
+
+    def test_roundtrip_through_disk(self, tmp_path, design):
+        board = wildstar_pipelined()
+        path = tmp_path / "cache.json"
+        with EstimateCache(path) as cache:
+            direct = cache.synthesize(design.program, board, design.plan)
+        reloaded = EstimateCache(path)
+        assert len(reloaded) == 1
+        cached = reloaded.synthesize(design.program, board, design.plan)
+        assert reloaded.hits == 1
+        assert cached.cycles == direct.cycles
+        assert cached.area.as_dict() == direct.area.as_dict()
+
+    def test_board_changes_key(self, tmp_path, design):
+        cache = EstimateCache(tmp_path / "cache.json")
+        cache.synthesize(design.program, wildstar_pipelined(), design.plan)
+        cache.synthesize(design.program, wildstar_nonpipelined(), design.plan)
+        assert cache.misses == 2
+
+    def test_library_changes_key(self, tmp_path, design):
+        board = wildstar_pipelined()
+        cache = EstimateCache(tmp_path / "cache.json")
+        cache.synthesize(design.program, board, design.plan)
+        cache.synthesize(
+            design.program, board, design.plan, OperatorLibrary(mul_latency=3)
+        )
+        assert cache.misses == 2
+
+    def test_program_changes_key(self, tmp_path, design):
+        board = wildstar_pipelined()
+        other = compile_design(FIR.program(), UnrollVector.of(4, 1), 4)
+        cache = EstimateCache(tmp_path / "cache.json")
+        cache.synthesize(design.program, board, design.plan)
+        cache.synthesize(other.program, board, other.plan)
+        assert cache.misses == 2
+
+    def test_matches_direct_synthesis(self, tmp_path, design):
+        board = wildstar_pipelined()
+        cache = EstimateCache(tmp_path / "cache.json")
+        cached = cache.synthesize(design.program, board, design.plan)
+        direct = synthesize(design.program, board, design.plan)
+        assert cached.cycles == direct.cycles
+        assert cached.space == direct.space
+
+    def test_corrupt_file_recovered(self, tmp_path, design):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json")
+        cache = EstimateCache(path)
+        assert len(cache) == 0
+        cache.synthesize(design.program, wildstar_pipelined(), design.plan)
+        assert cache.misses == 1
+
+    def test_infinite_balance_roundtrips(self, tmp_path):
+        from repro.frontend import compile_source
+        board = wildstar_pipelined()
+        program = compile_source(
+            "int A[1]; int x; A[0] = 1;\nfor (i = 0; i < 8; i++) x = x + i * 3;"
+        )
+        path = tmp_path / "cache.json"
+        with EstimateCache(path) as cache:
+            first = cache.synthesize(program, board)
+        assert first.balance == float("inf")
+        reloaded = EstimateCache(path)
+        again = reloaded.synthesize(program, board)
+        assert again.balance == float("inf")

@@ -1,0 +1,119 @@
+"""Unit tests for the behavioral synthesis estimator."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.kernels import FIR
+from repro.synthesis import synthesize
+from repro.synthesis.estimator import LOOP_OVERHEAD_CYCLES
+from repro.target import wildstar_nonpipelined, wildstar_pipelined
+from repro.transform import UnrollVector, compile_design
+
+
+class TestCycleModel:
+    def test_straight_line(self, pipelined_board):
+        program = compile_source("int A[4]; int x;\nx = A[0] + 1;")
+        estimate = synthesize(program, pipelined_board)
+        # read (1) + add (1)
+        assert estimate.cycles == 2
+
+    def test_loop_multiplies_body(self, pipelined_board):
+        program = compile_source(
+            "int A[8]; int B[8];\nfor (i = 0; i < 8; i++) B[i] = A[i] + 1;"
+        )
+        estimate = synthesize(program, pipelined_board)
+        body = 1 + 1 + 1  # read, add, write
+        assert estimate.cycles == 8 * (body + LOOP_OVERHEAD_CYCLES)
+
+    def test_nested_loops(self, pipelined_board):
+        program = compile_source("""
+        int A[4][4];
+        for (i = 0; i < 4; i++)
+          for (j = 0; j < 4; j++)
+            A[i][j] = 1;
+        """)
+        estimate = synthesize(program, pipelined_board)
+        inner = 4 * (1 + LOOP_OVERHEAD_CYCLES)
+        assert estimate.cycles == 4 * (inner + LOOP_OVERHEAD_CYCLES)
+
+    def test_nonpipelined_memory_slower(self, fir_program):
+        pipelined = synthesize(fir_program, wildstar_pipelined())
+        nonpipelined = synthesize(fir_program, wildstar_nonpipelined())
+        assert nonpipelined.cycles > pipelined.cycles
+
+
+class TestBalance:
+    def test_no_memory_traffic_is_compute_bound(self, pipelined_board):
+        program = compile_source("""
+        int x; int A[1];
+        A[0] = 1;
+        for (i = 0; i < 8; i++) x = x + i * 3;
+        """)
+        estimate = synthesize(program, pipelined_board)
+        assert estimate.balance == float("inf")
+        assert estimate.compute_bound
+
+    def test_pure_copies_memory_bound(self, pipelined_board):
+        program = compile_source("""
+        int A[8]; int B[8];
+        for (i = 0; i < 8; i++) B[i] = A[i];
+        """)
+        estimate = synthesize(program, pipelined_board)
+        assert estimate.balance == 0.0
+        assert estimate.memory_bound
+
+    def test_rates_consistent_with_balance(self, fir_program, pipelined_board):
+        estimate = synthesize(fir_program, pipelined_board)
+        assert estimate.balance == pytest.approx(
+            estimate.fetch_rate / estimate.consumption_rate
+        )
+
+
+class TestArea:
+    def test_breakdown_sums(self, fir_program, pipelined_board):
+        estimate = synthesize(fir_program, pipelined_board)
+        area = estimate.area
+        assert estimate.space == area.total
+        assert area.total == (
+            area.operators + area.registers + area.memory_interface + area.controller
+        )
+
+    def test_unrolling_grows_area(self, fir_program, pipelined_board):
+        small = synthesize(fir_program, pipelined_board)
+        design = compile_design(fir_program, UnrollVector.of(4, 4), 4)
+        large = synthesize(design.program, pipelined_board, design.plan)
+        assert large.space > small.space
+        assert large.operator_demand[("*", 32)] > 1
+
+    def test_register_bits_counted(self, fir_program, pipelined_board):
+        design = compile_design(fir_program, UnrollVector.of(2, 2), 4)
+        estimate = synthesize(design.program, pipelined_board, design.plan)
+        # 35 32-bit registers plus loop counters
+        assert estimate.register_bits >= 35 * 32
+
+    def test_capacity_check(self, fir_program, pipelined_board):
+        design = compile_design(fir_program, UnrollVector.of(32, 32), 4)
+        estimate = synthesize(design.program, pipelined_board, design.plan)
+        assert not estimate.fits(pipelined_board)
+
+
+class TestEstimateConveniences:
+    def test_execution_time(self, fir_program, pipelined_board):
+        estimate = synthesize(fir_program, pipelined_board)
+        assert estimate.execution_time_us == pytest.approx(
+            estimate.cycles * 40.0 / 1000.0
+        )
+
+    def test_summary_mentions_kind(self, fir_program, pipelined_board):
+        estimate = synthesize(fir_program, pipelined_board)
+        assert "bound" in estimate.summary()
+
+
+class TestSteadyStateSelection:
+    def test_prologue_does_not_dominate_balance(self, fir_program, pipelined_board):
+        """The peeled prologue runs once; balance must reflect the main
+        nest.  Compare against an estimate of the main nest alone."""
+        design = compile_design(fir_program, UnrollVector.of(2, 2), 4)
+        estimate = synthesize(design.program, pipelined_board, design.plan)
+        # the steady state of FIR(2,2) pipelined is compute bound
+        assert estimate.compute_bound

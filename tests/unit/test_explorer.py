@@ -1,0 +1,41 @@
+"""Unit tests for the top-level explore() API."""
+
+import pytest
+
+from repro.dse import explore
+from repro.kernels import FIR, MM
+
+
+class TestExplore:
+    @pytest.fixture(scope="class")
+    def fir_result(self):
+        from repro.target import wildstar_pipelined
+        return explore(FIR.program(), wildstar_pipelined())
+
+    def test_speedup_positive(self, fir_result):
+        assert fir_result.speedup > 1.0
+
+    def test_fraction_searched(self, fir_result):
+        assert 0 < fir_result.fraction_searched < 0.02
+        assert fir_result.design_space_size == 2048
+
+    def test_baseline_is_no_unrolling(self, fir_result):
+        assert fir_result.baseline.unroll.product == 1
+
+    def test_selected_fits(self, fir_result):
+        from repro.target import wildstar_pipelined
+        assert fir_result.selected.estimate.fits(wildstar_pipelined())
+
+    def test_report_contents(self, fir_result):
+        text = fir_result.report()
+        assert "kernel fir" in text
+        assert "Psat=4" in text
+        assert "speedup" in text
+        assert "selected U=" in text
+
+    def test_mm_pins_innermost_automatically(self):
+        from repro.target import wildstar_pipelined
+        result = explore(MM.program(), wildstar_pipelined())
+        assert result.selected.unroll[2] == 1
+        # and the design space reflects all three loops
+        assert result.design_space_size == 32 * 4 * 16

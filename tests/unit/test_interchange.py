@@ -1,0 +1,126 @@
+"""Unit tests for loop interchange and reduction recognition."""
+
+import pytest
+
+from repro.analysis.reduction import find_reductions
+from repro.errors import TransformError
+from repro.frontend import compile_source
+from repro.ir import LoopNest, run_program
+from repro.transform.interchange import interchange_loops
+
+
+class TestReductionRecognition:
+    def test_plain_sum(self):
+        p = compile_source("""
+        int A[4][4]; int S[4];
+        for (i = 0; i < 4; i++)
+          for (j = 0; j < 4; j++)
+            S[i] = S[i] + A[i][j];
+        """)
+        found = find_reductions(p.body)
+        assert len(found) == 2  # target + RHS read, same statement
+        assert next(iter(found.values())).op == "+"
+
+    def test_operand_order_flexible(self):
+        p = compile_source("""
+        int A[4]; int S[4];
+        for (i = 0; i < 4; i++) S[0] = A[i] + S[0];
+        """)
+        assert find_reductions(p.body)
+
+    def test_min_reduction(self):
+        p = compile_source("""
+        int A[4]; int S[1];
+        for (i = 0; i < 4; i++) S[0] = min(S[0], A[i]);
+        """)
+        found = find_reductions(p.body)
+        assert next(iter(found.values())).op == "min"
+
+    def test_subtraction_is_not_a_reduction(self):
+        p = compile_source("""
+        int A[4]; int S[1];
+        for (i = 0; i < 4; i++) S[0] = S[0] - A[i];
+        """)
+        assert not find_reductions(p.body)
+
+    def test_different_element_not_a_reduction(self):
+        p = compile_source("""
+        int S[8];
+        for (i = 0; i < 4; i++) S[i] = S[i + 1] + 1;
+        """)
+        assert not find_reductions(p.body)
+
+
+class TestInterchange:
+    def test_independent_loops_swap(self):
+        src = """
+        int A[4][6];
+        for (i = 0; i < 4; i++)
+          for (j = 0; j < 6; j++)
+            A[i][j] = i * 10 + j;
+        """
+        program = compile_source(src)
+        swapped = interchange_loops(program, "i", "j")
+        nest = LoopNest(swapped)
+        assert nest.index_vars == ("j", "i")
+        assert run_program(swapped).arrays["A"].cells == \
+            run_program(program).arrays["A"].cells
+
+    def test_reduction_interchange_allowed(self, fir_program):
+        from repro.kernels import FIR
+        swapped = interchange_loops(fir_program, "j", "i")
+        assert LoopNest(swapped).index_vars == ("i", "j")
+        inputs = FIR.random_inputs(1)
+        assert run_program(swapped, inputs).arrays["D"].cells == \
+            run_program(fir_program, inputs).arrays["D"].cells
+
+    def test_true_recurrence_blocked(self):
+        # A[i][j] depends on A[i-1][j+1]: distance (1, -1); interchange
+        # would make it (-1, 1) — reversed.
+        src = """
+        int A[8][8];
+        for (i = 1; i < 8; i++)
+          for (j = 0; j < 7; j++)
+            A[i][j] = A[i - 1][j + 1] + 1;
+        """
+        with pytest.raises(TransformError, match="reverses"):
+            interchange_loops(compile_source(src), "i", "j")
+
+    def test_interchangeable_recurrence_allowed(self):
+        # distance (1, 1) stays positive under interchange.
+        src = """
+        int A[8][8];
+        for (i = 1; i < 8; i++)
+          for (j = 1; j < 8; j++)
+            A[i][j] = A[i - 1][j - 1] + 1;
+        """
+        program = compile_source(src)
+        swapped = interchange_loops(program, "i", "j")
+        assert run_program(swapped).arrays["A"].cells == \
+            run_program(program).arrays["A"].cells
+
+    def test_non_adjacent_rejected(self, mm_program):
+        with pytest.raises(TransformError, match="not adjacent"):
+            interchange_loops(mm_program, "i", "k")
+
+    def test_imperfect_pair_rejected(self):
+        src = """
+        int A[4][4]; int t;
+        for (i = 0; i < 4; i++) {
+          t = i;
+          for (j = 0; j < 4; j++) A[i][j] = t;
+        }
+        """
+        with pytest.raises(TransformError, match="perfectly nested"):
+            interchange_loops(compile_source(src), "i", "j")
+
+    def test_non_reduction_scalar_write_blocked(self):
+        # B[j] = i is not a reduction; last-writer order matters.
+        src = """
+        int B[8];
+        for (i = 0; i < 4; i++)
+          for (j = 0; j < 8; j++)
+            B[j] = i;
+        """
+        with pytest.raises(TransformError):
+            interchange_loops(compile_source(src), "i", "j")

@@ -1,0 +1,135 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.builder import arr, assign, decl, if_, loop, program, rotate, var
+from repro.ir.interp import InterpError, Interpreter, run_program
+from repro.ir.types import INT8
+
+
+class TestBasics:
+    def test_scalar_assignment(self):
+        p = program("p", [decl("x")], [assign("x", 42)])
+        assert run_program(p).scalars["x"] == 42
+
+    def test_loop_accumulation(self):
+        src = "int total; for (i = 0; i < 10; i++) total = total + i;"
+        state = run_program(compile_source(src))
+        assert state.scalars["total"] == 45
+
+    def test_array_write_and_read(self):
+        src = """
+        int A[4]; int x;
+        for (i = 0; i < 4; i++) A[i] = i * i;
+        x = A[3];
+        """
+        state = run_program(compile_source(src))
+        assert state.arrays["A"].cells == [0, 1, 4, 9]
+        assert state.scalars["x"] == 9
+
+    def test_inputs_initialize_arrays(self):
+        src = "int A[3]; int s; for (i = 0; i < 3; i++) s = s + A[i];"
+        state = run_program(compile_source(src), {"A": [5, 6, 7]})
+        assert state.scalars["s"] == 18
+
+    def test_if_else(self):
+        src = """
+        int A[4]; int B[4];
+        for (i = 0; i < 4; i++) {
+          if (A[i] > 0) B[i] = 1; else B[i] = 0 - 1;
+        }
+        """
+        state = run_program(compile_source(src), {"A": [3, -2, 0, 9]})
+        assert state.arrays["B"].cells == [1, -1, -1, 1]
+
+    def test_short_circuit_avoids_division_by_zero(self):
+        src = "int x; int y; if (x != 0 && 10 / x > 1) y = 1;"
+        state = run_program(compile_source(src), {"x": 0})
+        assert state.scalars["y"] == 0
+
+
+class TestWrapping:
+    def test_int8_array_wraps(self):
+        p = program(
+            "p", [decl("A", INT8, (1,))],
+            [assign(arr("A", 0), 200)],
+        )
+        assert run_program(p).arrays["A"].cells == [-56]
+
+    def test_scalar_decl_wraps(self):
+        p = program("p", [decl("x", INT8)], [assign("x", 130)])
+        assert run_program(p).scalars["x"] == -126
+
+
+class TestRotation:
+    def test_rotate_left(self):
+        p = program(
+            "p", [decl("a"), decl("b"), decl("c")],
+            [assign("a", 1), assign("b", 2), assign("c", 3), rotate("a", "b", "c")],
+        )
+        state = run_program(p)
+        assert (state.scalars["a"], state.scalars["b"], state.scalars["c"]) == (2, 3, 1)
+
+    def test_full_rotation_cycle_restores(self):
+        body = [assign("a", 1), assign("b", 2), assign("c", 3)]
+        body += [rotate("a", "b", "c")] * 3
+        p = program("p", [decl("a"), decl("b"), decl("c")], body)
+        state = run_program(p)
+        assert (state.scalars["a"], state.scalars["b"], state.scalars["c"]) == (1, 2, 3)
+
+
+class TestErrors:
+    def test_out_of_bounds_read(self):
+        p = program("p", [decl("A", dims=(4,)), decl("x")],
+                    [assign("x", arr("A", 4))])
+        with pytest.raises(InterpError, match="out of bounds"):
+            run_program(p)
+
+    def test_negative_index(self):
+        p = program("p", [decl("A", dims=(4,)), decl("x")],
+                    [assign("x", arr("A", -1))])
+        with pytest.raises(InterpError, match="out of bounds"):
+            run_program(p)
+
+    def test_division_by_zero(self):
+        src = "int x; int y; y = 10 / x;"
+        with pytest.raises(InterpError, match="division by zero"):
+            run_program(compile_source(src))
+
+    def test_unknown_input_name_rejected(self):
+        src = "int x; x = 1;"
+        with pytest.raises(InterpError, match="undeclared"):
+            run_program(compile_source(src), {"nope": 3})
+
+    def test_wrong_input_length_rejected(self):
+        src = "int A[4]; int x; x = A[0];"
+        with pytest.raises(InterpError, match="expected 4 values"):
+            run_program(compile_source(src), {"A": [1, 2]})
+
+    def test_step_limit(self):
+        src = "int x; for (i = 0; i < 1000; i++) x = x + i;"
+        interp = Interpreter(compile_source(src), max_steps=100)
+        with pytest.raises(InterpError, match="exceeded"):
+            interp.run()
+
+
+class TestAccessCounters:
+    def test_read_write_counts(self):
+        src = """
+        int A[4]; int B[4];
+        for (i = 0; i < 4; i++) B[i] = A[i] + A[i];
+        """
+        state = run_program(compile_source(src))
+        assert state.memory_reads == 8
+        assert state.memory_writes == 4
+
+    def test_multidim_row_major(self):
+        src = """
+        int A[2][3]; int x;
+        A[1][2] = 7;
+        x = A[1][2];
+        """
+        state = run_program(compile_source(src))
+        assert state.arrays["A"].cells == [0, 0, 0, 0, 0, 7]
+        assert state.scalars["x"] == 7

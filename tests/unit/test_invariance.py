@@ -1,0 +1,48 @@
+"""Unit tests for loop-invariance predicates."""
+
+from repro.analysis.invariance import (
+    access_varies_with, assigned_scalars, expr_is_invariant, written_arrays,
+)
+from repro.frontend import compile_source
+from repro.ir.builder import add, arr, assign, lit, loop, rotate, var
+
+
+class TestAssignedScalars:
+    def test_plain_assignments(self):
+        body = [assign("a", 1), assign("b", 2)]
+        assert assigned_scalars(body) == {"a", "b"}
+
+    def test_rotation_counts_as_write(self):
+        assert assigned_scalars([rotate("r0", "r1")]) == {"r0", "r1"}
+
+    def test_nested_loop_index_counts(self):
+        body = [loop("k", 0, 3, [assign("a", "k")])]
+        assert assigned_scalars(body) == {"a", "k"}
+
+
+class TestInvariance:
+    def test_constant_is_invariant(self):
+        the_loop = loop("i", 0, 4, [assign("x", 1)])
+        assert expr_is_invariant(lit(5), the_loop)
+
+    def test_loop_var_not_invariant(self):
+        the_loop = loop("i", 0, 4, [assign("x", "i")])
+        assert not expr_is_invariant(var("i"), the_loop)
+
+    def test_mutated_scalar_not_invariant(self):
+        the_loop = loop("i", 0, 4, [assign("x", add("x", 1))])
+        assert not expr_is_invariant(add("x", 2), the_loop)
+
+    def test_array_read_invariant_unless_written(self):
+        read_only = loop("i", 0, 4, [assign("x", arr("A", 0))])
+        assert expr_is_invariant(arr("A", 0), read_only)
+        writing = loop("i", 0, 4, [assign(arr("A", "i"), 1)])
+        assert not expr_is_invariant(arr("A", 0), writing)
+
+    def test_written_arrays(self):
+        body = [assign(arr("A", 1), 2), assign("x", arr("B", 0))]
+        assert written_arrays(body) == {"A"}
+
+    def test_access_varies_with(self):
+        assert access_varies_with(arr("A", add("i", 1)), "i")
+        assert not access_varies_with(arr("A", "j"), "i")

@@ -1,0 +1,115 @@
+"""Unit tests for the kernel registry and the LoopNest facade."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frontend import compile_source
+from repro.ir import LoopNest
+from repro.kernels import ALL_KERNELS, FIR, MM, kernel_by_name
+
+
+class TestKernels:
+    def test_registry_complete(self):
+        assert [k.name for k in ALL_KERNELS] == ["fir", "mm", "pat", "jac", "sobel"]
+
+    def test_lookup_case_insensitive(self):
+        assert kernel_by_name("FIR") is FIR
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            kernel_by_name("fft")
+
+    @pytest.mark.parametrize("k", ALL_KERNELS, ids=lambda k: k.name)
+    def test_programs_compile(self, k):
+        program = k.program()
+        nest = LoopNest(program)
+        assert nest.depth >= 2
+
+    @pytest.mark.parametrize("k", ALL_KERNELS, ids=lambda k: k.name)
+    def test_random_inputs_cover_declared_arrays(self, k):
+        program = k.program()
+        inputs = k.random_inputs(0)
+        for name in k.input_arrays:
+            assert len(inputs[name]) == program.decl(name).element_count
+
+    def test_random_inputs_deterministic(self):
+        assert FIR.random_inputs(3) == FIR.random_inputs(3)
+        assert FIR.random_inputs(3) != FIR.random_inputs(4)
+
+    def test_pat_uses_bytes(self):
+        program = kernel_by_name("pat").program()
+        assert program.decl("S").type.width == 8
+
+    def test_fir_matches_paper_sizes(self):
+        """32-tap MAC over a 64-element output (Section 6.1)."""
+        nest = LoopNest(FIR.program())
+        assert nest.trip_counts == (64, 32)
+
+    def test_mm_matches_paper_sizes(self):
+        """(32x16) * (16x4)."""
+        program = MM.program()
+        assert program.decl("a").dims == (32, 16)
+        assert program.decl("b").dims == (16, 4)
+        assert program.decl("c").dims == (32, 4)
+
+
+class TestLoopNest:
+    def test_properties(self, fir_program):
+        nest = LoopNest(fir_program)
+        assert nest.index_vars == ("j", "i")
+        assert nest.trip_counts == (64, 32)
+        assert nest.iteration_space_size() == 2048
+        assert nest.is_perfect()
+        assert nest.depth_of("i") == 1
+
+    def test_innermost_body(self, fir_program):
+        nest = LoopNest(fir_program)
+        assert len(nest.innermost_body) == 1
+        assert len(nest.assignments()) == 1
+
+    def test_no_loop_rejected(self):
+        with pytest.raises(AnalysisError, match="no loop nest"):
+            LoopNest(compile_source("int x; x = 1;"))
+
+    def test_two_top_level_loops_rejected(self):
+        src = """
+        int A[4];
+        for (i = 0; i < 4; i++) A[i] = 1;
+        for (j = 0; j < 4; j++) A[j] = 2;
+        """
+        with pytest.raises(AnalysisError, match="top-level loops"):
+            LoopNest(compile_source(src))
+
+    def test_sibling_inner_loops_rejected(self):
+        src = """
+        int A[4];
+        for (i = 0; i < 4; i++) {
+          for (j = 0; j < 4; j++) A[j] = i;
+          for (k = 0; k < 4; k++) A[k] = i;
+        }
+        """
+        with pytest.raises(AnalysisError, match="sibling"):
+            LoopNest(compile_source(src))
+
+    def test_near_perfect_allowed(self):
+        src = """
+        int A[4]; int t;
+        for (i = 0; i < 4; i++) {
+          t = i * 2;
+          for (j = 0; j < 4; j++) A[j] = t;
+        }
+        """
+        nest = LoopNest(compile_source(src))
+        assert not nest.is_perfect()
+        assert nest.depth == 2
+
+    def test_unknown_loop_name(self, fir_program):
+        with pytest.raises(AnalysisError, match="no loop"):
+            LoopNest(fir_program).loop_named("zz")
+
+    def test_control_flow_detection(self):
+        src = """
+        int A[4];
+        for (i = 0; i < 4; i++) { if (i == 0) A[i] = 1; }
+        """
+        assert LoopNest(compile_source(src)).has_control_flow()

@@ -1,0 +1,175 @@
+"""Unit tests for custom data layout: renaming, interleaving, mapping."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.frontend import compile_source
+from repro.ir import print_program, run_program
+from repro.layout import apply_layout, derive_moduli, observe_accesses, rename_arrays
+from repro.layout.plan import BankedArray, InterleavedArray, LayoutPlan
+from repro.transform import UnrollVector, compile_design
+
+
+class TestDeriveModuli:
+    def accesses_for(self, src):
+        program = compile_source(src)
+        return program, observe_accesses(program)
+
+    def test_uniform_stride_two(self):
+        program, accesses = self.accesses_for("""
+        int A[64]; int x;
+        for (i = 0; i < 16; i++) x = x + A[2 * i] + A[2 * i + 1];
+        """)
+        assert derive_moduli(accesses, program.decl("A")) == (2,)
+
+    def test_unit_stride_gives_one(self):
+        program, accesses = self.accesses_for("""
+        int A[64]; int x;
+        for (i = 0; i < 16; i++) x = x + A[i] + A[i + 1];
+        """)
+        assert derive_moduli(accesses, program.decl("A")) == (1,)
+
+    def test_mixed_strides_take_gcd(self):
+        program, accesses = self.accesses_for("""
+        int A[64]; int x;
+        for (i = 0; i < 8; i++) x = x + A[4 * i] + A[2 * i];
+        """)
+        assert derive_moduli(accesses, program.decl("A")) == (2,)
+
+    def test_multidim(self):
+        program, accesses = self.accesses_for("""
+        int A[8][8]; int x;
+        for (i = 0; i < 4; i++)
+          for (j = 0; j < 4; j++)
+            x = x + A[2 * i][2 * j + 1];
+        """)
+        assert derive_moduli(accesses, program.decl("A")) == (2, 2)
+
+
+class TestBankedArray:
+    def make(self):
+        return BankedArray(
+            original="A",
+            moduli=(2,),
+            original_dims=(8,),
+            banks={(0,): "A0", (1,): "A1"},
+            bank_dims=(4,),
+        )
+
+    def test_bank_of(self):
+        banked = self.make()
+        assert banked.bank_of((5,)) == ((1,), (2,))
+        assert banked.bank_of((4,)) == ((0,), (2,))
+
+    def test_distribute_gather_roundtrip(self):
+        banked = self.make()
+        values = list(range(10, 18))
+        contents = banked.distribute(values)
+        assert contents["A0"] == [10, 12, 14, 16]
+        assert contents["A1"] == [11, 13, 15, 17]
+        assert banked.gather(contents) == values
+
+    def test_distribute_wrong_length(self):
+        with pytest.raises(LayoutError, match="expected 8 values"):
+            self.make().distribute([1, 2, 3])
+
+    def test_padding_for_nondivisible_extent(self):
+        banked = BankedArray(
+            original="B", moduli=(2,), original_dims=(5,),
+            banks={(0,): "B0", (1,): "B1"}, bank_dims=(3,),
+        )
+        contents = banked.distribute([1, 2, 3, 4, 5])
+        assert contents["B0"] == [1, 3, 5]
+        assert contents["B1"] == [2, 4, 0]  # padded
+        assert banked.gather(contents) == [1, 2, 3, 4, 5]
+
+
+class TestRenaming:
+    def test_figure_1d_banking(self, fir_program):
+        """Unrolled-by-2 FIR splits S, C, D into even/odd banks."""
+        design = compile_design(fir_program, UnrollVector.of(2, 2), 4)
+        assert set(design.plan.banked) == {"S", "C", "D"}
+        assert design.plan.banked["S"].moduli == (2,)
+        text = print_program(design.program)
+        assert "S0[" in text and "S1[" in text
+
+    def test_renamed_subscripts_divided(self, fir_program):
+        design = compile_design(fir_program, UnrollVector.of(2, 2), 4)
+        text = print_program(design.program)
+        # the steady body indexes banks by i + j (normalized), not 2i+2j
+        assert "S0[i + j + 1]" in text
+
+    def test_original_decl_removed(self, fir_program):
+        design = compile_design(fir_program, UnrollVector.of(2, 2), 4)
+        assert not design.program.has_decl("S")
+        assert design.program.has_decl("S0")
+
+    def test_bank_cap_respected(self):
+        src = """
+        int A[64]; int x;
+        for (i = 0; i < 8; i++) x = x + A[8 * i];
+        """
+        result = rename_arrays(compile_source(src), max_total_banks=4)
+        if "A" in result.banked:
+            assert result.banked["A"].bank_count <= 4
+
+
+class TestInterleaving:
+    def test_fir_outer_only_unroll_interleaves_s(self, fir_program):
+        design = compile_design(fir_program, UnrollVector.of(4, 1), 4)
+        assert "S" in design.plan.interleaved
+        spec = design.plan.interleaved["S"]
+        assert spec.modulus == 4
+        assert len(set(spec.memories)) == 4
+
+    def test_interleaved_array_not_renamed(self, fir_program):
+        design = compile_design(fir_program, UnrollVector.of(4, 1), 4)
+        assert design.program.has_decl("S")
+
+    def test_memory_for_offset_cycles(self):
+        spec = InterleavedArray("S", dim=0, modulus=4, memories=(1, 2, 3, 0))
+        assert spec.memory_for_offset(0) == 1
+        assert spec.memory_for_offset(5) == 2
+
+    def test_single_memory_board_never_interleaves(self, fir_program):
+        design = compile_design(fir_program, UnrollVector.of(4, 1), 1)
+        assert not design.plan.interleaved
+
+
+class TestMapping:
+    def test_steady_state_arrays_spread(self, fir_program):
+        design = compile_design(fir_program, UnrollVector.of(2, 2), 4)
+        plan = design.plan
+
+        def memories(original):
+            found = set()
+            for name in plan.banked[original].banks.values():
+                found.update(plan.memories_of(name))
+            return found
+
+        # each banked array reaches at least two memories
+        assert len(memories("S")) >= 2
+        assert len(memories("D")) >= 2
+
+    def test_all_ids_within_board(self, fir_program):
+        design = compile_design(fir_program, UnrollVector.of(2, 2), 4)
+        assert all(0 <= m < 4 for m in design.plan.physical.values())
+        for spec in design.plan.interleaved.values():
+            assert all(0 <= m < 4 for m in spec.memories)
+
+    def test_plan_describe_mentions_everything(self, fir_program):
+        design = compile_design(fir_program, UnrollVector.of(2, 2), 4)
+        text = design.plan.describe()
+        assert "4 physical memories" in text
+        assert "S" in text
+
+
+class TestSemanticsThroughLayout:
+    @pytest.mark.parametrize("factors", [(1, 1), (2, 2), (4, 1), (4, 4)])
+    def test_fir_roundtrip(self, fir_program, factors):
+        from repro.kernels import FIR
+        inputs = FIR.random_inputs(21)
+        expected = run_program(fir_program, inputs).arrays["D"].cells
+        design = compile_design(fir_program, UnrollVector.of(*factors), 4)
+        state = run_program(design.program, design.plan.distribute_inputs(inputs))
+        assert design.plan.gather_array(state.snapshot_arrays(), "D") == expected

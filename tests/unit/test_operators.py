@@ -1,0 +1,65 @@
+"""Unit tests for the hardware operator library."""
+
+import pytest
+
+from repro.synthesis.operators import OperatorLibrary, default_library
+
+
+class TestSpecs:
+    def setup_method(self):
+        self.library = default_library()
+
+    def test_adder_latency_and_area(self):
+        spec = self.library.spec("+", 32)
+        assert spec.latency == 1
+        assert spec.area_slices == 16  # half a slice per bit
+
+    def test_multiplier_slower_and_bigger(self):
+        add = self.library.spec("+", 32)
+        mul = self.library.spec("*", 32)
+        assert mul.latency > add.latency
+        assert mul.area_slices > add.area_slices
+
+    def test_divider_most_expensive(self):
+        mul = self.library.spec("*", 32)
+        div = self.library.spec("/", 32)
+        assert div.latency > mul.latency
+        assert div.area_slices > mul.area_slices
+
+    def test_area_grows_with_width(self):
+        for kind in ("+", "*", "<", "&", "<<"):
+            narrow = self.library.spec(kind, 8).area_slices
+            wide = self.library.spec(kind, 32).area_slices
+            assert wide > narrow, kind
+
+    def test_comparison_single_cycle(self):
+        assert self.library.spec("==", 16).latency == 1
+
+    def test_intrinsics_supported(self):
+        for kind in ("abs", "min", "max"):
+            assert self.library.spec(kind, 16).latency == 1
+
+    def test_select_cheap(self):
+        assert self.library.spec("select", 32).area_slices <= 8
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            self.library.spec("sqrt", 32)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            self.library.spec("+", 0)
+
+    def test_specs_cached(self):
+        assert self.library.spec("+", 32) is self.library.spec("+", 32)
+
+
+class TestRegisters:
+    def test_two_bits_per_slice(self):
+        library = default_library()
+        assert library.register_slices(32) == 16
+        assert library.register_slices(33) == 17  # ceil
+
+    def test_custom_calibration(self):
+        library = OperatorLibrary(mul_latency=3)
+        assert library.spec("*", 16).latency == 3

@@ -1,0 +1,146 @@
+"""Unit tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.parser import parse_program
+from repro.ir.expr import ArrayRef, BinOp, IntLit, UnOp, VarRef
+from repro.ir.stmt import Assign, For, If, RotateRegisters
+from repro.ir.types import INT8, INT16, INT32, UINT8
+
+
+class TestDeclarations:
+    def test_scalar_types(self):
+        p = parse_program("int a; char b; short c; unsigned char d;")
+        types = {d.name: d.type for d in p.decls}
+        assert types == {"a": INT32, "b": INT8, "c": INT16, "d": UINT8}
+
+    def test_array_dims(self):
+        p = parse_program("int A[4][8];")
+        assert p.decl("A").dims == (4, 8)
+
+    def test_constant_expression_dims(self):
+        p = parse_program("int A[2 * 32];")
+        assert p.decl("A").dims == (64,)
+
+    def test_nonpositive_dim_rejected(self):
+        with pytest.raises(ParseError, match="positive"):
+            parse_program("int A[0];")
+
+    def test_unsigned_alone_is_unsigned_int(self):
+        p = parse_program("unsigned x;")
+        assert p.decl("x").type.signed is False
+        assert p.decl("x").type.width == 32
+
+
+class TestLoops:
+    def test_plain_increment(self):
+        p = parse_program("int A[4]; for (i = 0; i < 4; i++) A[i] = 0;")
+        loop = p.body[0]
+        assert isinstance(loop, For)
+        assert (loop.lower, loop.upper, loop.step) == (0, 4, 1)
+
+    def test_strided_increment_forms(self):
+        for incr in ("i += 2", "i = i + 2"):
+            p = parse_program(f"int A[8]; for (i = 0; i < 8; {incr}) A[i] = 0;")
+            assert p.body[0].step == 2
+
+    def test_le_condition_normalized(self):
+        p = parse_program("int A[8]; for (i = 0; i <= 6; i++) A[i] = 0;")
+        assert p.body[0].upper == 7
+
+    def test_wrong_condition_variable(self):
+        with pytest.raises(ParseError, match="loop condition"):
+            parse_program("int A[4]; for (i = 0; j < 4; i++) A[i] = 0;")
+
+    def test_wrong_increment_variable(self):
+        with pytest.raises(ParseError, match="loop increment"):
+            parse_program("int A[4]; for (i = 0; i < 4; j++) A[i] = 0;")
+
+    def test_nonconstant_bound_rejected(self):
+        with pytest.raises(ParseError, match="constant"):
+            parse_program("int n; int A[4]; for (i = 0; i < n; i++) A[i] = 0;")
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ParseError, match="positive"):
+            parse_program("int A[4]; for (i = 0; i < 4; i += 0) A[i] = 0;")
+
+
+class TestExpressions:
+    def parse_rhs(self, text):
+        p = parse_program(f"int x; int A[10]; x = {text};")
+        return p.body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.parse_rhs("1 + 2 * 3")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = self.parse_rhs("10 - 3 - 2")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "-"
+
+    def test_parentheses(self):
+        expr = self.parse_rhs("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = self.parse_rhs("-x")
+        assert isinstance(expr, UnOp) and expr.op == "-"
+
+    def test_unary_plus_is_noop(self):
+        assert self.parse_rhs("+x") == VarRef("x")
+
+    def test_comparison_chain_with_logical(self):
+        expr = self.parse_rhs("x < 3 && x > 0")
+        assert expr.op == "&&"
+
+    def test_intrinsic_call(self):
+        expr = self.parse_rhs("abs(x - 1)")
+        assert expr.name == "abs"
+
+    def test_bad_intrinsic_arity(self):
+        with pytest.raises(ParseError):
+            self.parse_rhs("abs(1, 2)")
+
+    def test_subscripted_reference(self):
+        expr = self.parse_rhs("A[x + 1]")
+        assert isinstance(expr, ArrayRef)
+
+
+class TestStatements:
+    def test_compound_assignment_desugars(self):
+        p = parse_program("int A[4]; for (i = 0; i < 4; i++) A[i] += 2;")
+        stmt = p.body[0].body[0]
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.value, BinOp) and stmt.value.op == "+"
+        assert stmt.value.left == stmt.target
+
+    def test_if_else(self):
+        p = parse_program("""
+        int x; int y;
+        if (x == 0) y = 1; else { y = 2; x = 3; }
+        """)
+        stmt = p.body[0]
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 2
+
+    def test_rotate_registers_statement(self):
+        p = parse_program("int a; int b; rotate_registers(a, b);")
+        assert isinstance(p.body[0], RotateRegisters)
+        assert p.body[0].registers == ("a", "b")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated block"):
+            parse_program("int x; for (i = 0; i < 3; i++) { x = 1;")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            parse_program("int x; 42;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("int x; x = 1")

@@ -1,0 +1,105 @@
+"""Unit tests for loop peeling and guard simplification."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.frontend import compile_source
+from repro.ir import For, print_program, run_program
+from repro.kernels import FIR, MM
+from repro.transform.peel import peel_loop, simplify_guards
+from repro.transform.scalar_replacement import scalar_replace
+from repro.transform.unroll import UnrollVector, unroll_and_jam
+
+
+class TestPeel:
+    def test_peeled_copy_precedes_loop(self):
+        src = """
+        int A[4];
+        for (i = 0; i < 4; i++) A[i] = i + 1;
+        """
+        program = peel_loop(compile_source(src), "i")
+        # first statement is the substituted copy, then the shortened loop
+        text = print_program(program)
+        assert "A[0] = 1;" in text
+        assert "for (i = 1; i < 4; i++)" in text
+
+    def test_semantics(self):
+        src = """
+        int A[8]; int B[8];
+        for (i = 0; i < 8; i++) B[i] = A[i] * 2;
+        """
+        program = compile_source(src)
+        inputs = {"A": list(range(8))}
+        expected = run_program(program, inputs).arrays["B"].cells
+        peeled = peel_loop(program, "i")
+        assert run_program(peeled, inputs).arrays["B"].cells == expected
+
+    def test_single_iteration_loop_fully_peeled(self):
+        src = "int A[4]; for (i = 0; i < 1; i++) A[i] = 7;"
+        peeled = peel_loop(compile_source(src), "i")
+        assert not any(isinstance(s, For) for s in peeled.body)
+
+    def test_unknown_variable_rejected(self, fir_program):
+        with pytest.raises(TransformError, match="no loop"):
+            peel_loop(fir_program, "zz")
+
+    def test_all_occurrences_peeled(self, mm_program):
+        """After peeling i, both copies of the j loop must peel."""
+        replaced = scalar_replace(mm_program)
+        once = peel_loop(replaced.program, "i")
+        twice = peel_loop(once, "j")
+        inputs = MM.random_inputs(2)
+        expected = run_program(mm_program, inputs).arrays["c"].cells
+        assert run_program(twice, inputs).arrays["c"].cells == expected
+        # no first-iteration guards survive
+        assert "if (j == 0)" not in print_program(twice)
+        assert "if (i == 0)" not in print_program(twice)
+
+
+class TestGuardSimplification:
+    def test_guards_fold_in_peeled_copy_and_vanish_in_main(self, fir_program):
+        replaced = scalar_replace(unroll_and_jam(fir_program, UnrollVector.of(2, 2)))
+        peeled = peel_loop(replaced.program, "j")
+        text = print_program(peeled)
+        assert "if (j == 0)" not in text      # decided everywhere
+        assert "c_0_0 = C[i];" in text          # prologue loads unconditional
+
+    def test_semantics_after_guard_removal(self, fir_program):
+        replaced = scalar_replace(unroll_and_jam(fir_program, UnrollVector.of(2, 2)))
+        peeled = peel_loop(replaced.program, "j")
+        inputs = FIR.random_inputs(8)
+        expected = run_program(fir_program, inputs).arrays["D"].cells
+        assert run_program(peeled, inputs).arrays["D"].cells == expected
+
+    def test_impossible_guard_dropped(self):
+        src = """
+        int A[8];
+        for (i = 2; i < 8; i += 2) {
+          if (i == 1) A[0] = 99;
+          A[i] = i;
+        }
+        """
+        simplified = simplify_guards(compile_source(src))
+        assert "99" not in print_program(simplified)
+
+    def test_single_iteration_guard_spliced(self):
+        src = """
+        int A[8];
+        for (i = 3; i < 4; i++) {
+          if (i == 3) A[0] = 1;
+        }
+        """
+        simplified = simplify_guards(compile_source(src))
+        text = print_program(simplified)
+        assert "if" not in text
+        assert "A[0] = 1;" in text
+
+    def test_dynamic_guard_kept(self):
+        src = """
+        int A[8]; int x;
+        for (i = 0; i < 8; i++) {
+          if (x == 3) A[i] = 1;
+        }
+        """
+        simplified = simplify_guards(compile_source(src))
+        assert "if (x == 3)" in print_program(simplified)

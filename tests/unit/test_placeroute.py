@@ -1,0 +1,48 @@
+"""Unit tests for the post-synthesis (place-and-route) effects model."""
+
+import pytest
+
+from repro.kernels import FIR
+from repro.synthesis import place_and_route, synthesize
+from repro.target import wildstar_pipelined
+from repro.transform import UnrollVector, compile_design
+
+
+def implemented(factors, board):
+    design = compile_design(FIR.program(), UnrollVector.of(*factors), 4)
+    estimate = synthesize(design.program, board, design.plan)
+    return estimate, place_and_route(estimate, board)
+
+
+class TestSection64Findings:
+    """Reproduces the qualitative claims of the paper's accuracy study."""
+
+    def test_cycles_never_change(self, pipelined_board):
+        estimate, result = implemented((2, 2), pipelined_board)
+        assert result.cycles == estimate.cycles
+
+    def test_small_designs_degrade_under_ten_percent(self, pipelined_board):
+        _estimate, result = implemented((1, 1), pipelined_board)
+        assert result.clock_degradation < 0.10
+        assert result.meets_target_clock
+
+    def test_large_designs_degrade_much_more(self, pipelined_board):
+        _small_est, small = implemented((2, 2), pipelined_board)
+        _large_est, large = implemented((16, 16), pipelined_board)
+        assert large.clock_degradation > small.clock_degradation
+        assert large.clock_degradation > 0.10
+
+    def test_space_growth_monotone_in_utilization(self, pipelined_board):
+        results = [implemented(f, pipelined_board)[1] for f in ((1, 1), (4, 4), (16, 16))]
+        growths = [r.space_growth for r in results]
+        assert growths == sorted(growths)
+
+    def test_placed_space_at_least_estimate(self, pipelined_board):
+        estimate, result = implemented((4, 4), pipelined_board)
+        assert result.space >= estimate.space
+
+    def test_execution_time_uses_achieved_clock(self, pipelined_board):
+        _estimate, result = implemented((8, 8), pipelined_board)
+        assert result.execution_time_us == pytest.approx(
+            result.cycles * result.achieved_clock_ns / 1000.0
+        )

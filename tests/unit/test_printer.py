@@ -1,0 +1,64 @@
+"""Unit tests for the pretty-printer, including parser round-trips."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.builder import add, arr, binop, lit, mul, neg, sub, var
+from repro.ir.printer import print_expr, print_program
+from repro.kernels import ALL_KERNELS
+
+
+class TestExpressionPrinting:
+    def test_minimal_parentheses(self):
+        assert print_expr(add(mul("a", "b"), 1)) == "a * b + 1"
+        assert print_expr(mul(add("a", "b"), 2)) == "(a + b) * 2"
+
+    def test_same_precedence_right_side(self):
+        assert print_expr(sub("a", sub("b", "c"))) == "a - (b - c)"
+        assert print_expr(sub(sub("a", "b"), "c")) == "a - b - c"
+
+    def test_unary(self):
+        assert print_expr(neg(var("x"))) == "-x"
+        assert print_expr(mul(neg(var("x")), 2)) == "-x * 2"
+
+    def test_array_and_call(self):
+        from repro.ir.builder import call
+        assert print_expr(arr("A", add("i", 1))) == "A[i + 1]"
+        assert print_expr(call("max", "x", 0)) == "max(x, 0)"
+
+    def test_comparison_mix(self):
+        expr = binop("&&", binop("<", "x", 3), binop(">", "y", 0))
+        assert print_expr(expr) == "x < 3 && y > 0"
+
+
+class TestRoundTrip:
+    """Printed programs must re-parse to structurally equal programs."""
+
+    def round_trip(self, program):
+        text = print_program(program)
+        reparsed = compile_source(text, program.name)
+        assert print_program(reparsed) == text
+        return reparsed
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_kernels_round_trip(self, kernel):
+        self.round_trip(kernel.program())
+
+    def test_transformed_fir_round_trips(self):
+        from repro.kernels import FIR
+        from repro.transform import UnrollVector, compile_design
+        design = compile_design(FIR.program(), UnrollVector.of(2, 2), 4)
+        self.round_trip(design.program)
+
+    def test_rotate_round_trips(self):
+        src = "int a; int b; int c;\nrotate_registers(a, b, c);\n"
+        p = compile_source(src)
+        assert "rotate_registers(a, b, c);" in print_program(p)
+        self.round_trip(p)
+
+    def test_if_else_round_trips(self):
+        src = """
+        int x; int y;
+        if (x < 0) { y = 1; } else { y = 2; }
+        """
+        self.round_trip(compile_source(src))

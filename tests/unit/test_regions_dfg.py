@@ -1,0 +1,139 @@
+"""Unit tests for region extraction and dataflow graph construction."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.frontend import compile_source
+from repro.synthesis.dfg import DataflowBuilder
+from repro.synthesis.regions import (
+    LoopBlock, Region, build_blocks, count_loops, iter_regions, program_blocks,
+)
+
+
+def build_dfg(src, memory_of=None):
+    program = compile_source(src)
+    if memory_of is None:
+        memory_of = {decl.name: 0 for decl in program.arrays()}
+    blocks = program_blocks(program)
+    regions = [b for b in blocks if isinstance(b, Region)]
+    builder = DataflowBuilder(program, memory_of, {"i": 6, "j": 6})
+    return builder.build(regions[0]), program
+
+
+class TestRegions:
+    def test_straight_line_groups(self):
+        program = compile_source("""
+        int x; int y; int A[4];
+        x = 1;
+        y = 2;
+        for (i = 0; i < 4; i++) A[i] = x;
+        x = 3;
+        """)
+        blocks = program_blocks(program)
+        assert [type(b).__name__ for b in blocks] == ["Region", "LoopBlock", "Region"]
+        assert len(blocks[0].statements) == 2
+
+    def test_nested_loops(self, mm_program):
+        blocks = program_blocks(mm_program)
+        assert count_loops(blocks) == 3
+
+    def test_iter_regions_multiplies_executions(self, fir_program):
+        blocks = program_blocks(fir_program)
+        regions = list(iter_regions(blocks))
+        assert regions[0][1] == 64 * 32
+
+    def test_loop_under_if_rejected(self):
+        program = compile_source("""
+        int x; int A[4];
+        if (x > 0) { for (i = 0; i < 4; i++) A[i] = 1; }
+        """)
+        with pytest.raises(SynthesisError, match="loop nested under"):
+            program_blocks(program)
+
+
+class TestDataflow:
+    def test_memory_nodes_created(self):
+        dfg, _ = build_dfg("int A[4]; int B[4];\nB[0] = A[1] + A[2];")
+        reads = [n for n in dfg.nodes if n.kind == "read"]
+        writes = [n for n in dfg.nodes if n.kind == "write"]
+        assert len(reads) == 2 and len(writes) == 1
+        assert dfg.memory_bits() == 96
+
+    def test_scalar_def_use_edge(self):
+        dfg, _ = build_dfg("int A[4]; int t; int B[4];\nt = A[0];\nB[0] = t + 1;")
+        add = next(n for n in dfg.nodes if n.kind == "+")
+        read = next(n for n in dfg.nodes if n.kind == "read")
+        assert read in add.preds
+
+    def test_raw_memory_ordering(self):
+        dfg, _ = build_dfg("int A[4]; int x;\nA[0] = 1;\nx = A[0];")
+        write = next(n for n in dfg.nodes if n.kind == "write")
+        read = next(n for n in dfg.nodes if n.kind == "read")
+        assert write in read.preds
+
+    def test_war_memory_ordering(self):
+        dfg, _ = build_dfg("int A[4]; int x;\nx = A[0];\nA[0] = 2;")
+        read = next(n for n in dfg.nodes if n.kind == "read")
+        write = next(n for n in dfg.nodes if n.kind == "write")
+        assert read in write.preds
+
+    def test_if_conversion_creates_select(self):
+        dfg, _ = build_dfg("""
+        int x; int y; int A[4];
+        if (A[0] > 0) { y = 1; } else { y = 2; }
+        x = y;
+        """)
+        assert any(n.kind == "select" for n in dfg.nodes)
+
+    def test_predicated_write_occupies_port(self):
+        dfg, _ = build_dfg("""
+        int x; int A[4];
+        if (x > 0) A[0] = 1;
+        """)
+        write = next(n for n in dfg.nodes if n.kind == "write")
+        assert write.predicated
+
+    def test_rotate_waits_for_uses(self):
+        program = compile_source("""
+        int a; int b; int x; int A[4];
+        x = a * 2;
+        rotate_registers(a, b);
+        """)
+        # 'a' is live-in (no def in region) but its *use* (the multiply)
+        # must precede the rotation.
+        builder = DataflowBuilder(program, {"A": 0}, {})
+        region = program_blocks(program)[0]
+        dfg = builder.build(region)
+        rotate = next(n for n in dfg.nodes if n.kind == "rotate")
+        mul = next(n for n in dfg.nodes if n.kind in ("*", "<<"))
+        assert mul in rotate.preds
+
+    def test_strength_reduction_div_by_power_of_two(self):
+        dfg, _ = build_dfg("int A[4]; int x;\nx = A[0] / 4;")
+        assert any(n.kind == ">>" for n in dfg.nodes)
+        assert not any(n.kind == "/" for n in dfg.nodes)
+
+    def test_real_division_kept(self):
+        dfg, _ = build_dfg("int A[4]; int x;\nx = A[0] / 3;")
+        assert any(n.kind == "/" for n in dfg.nodes)
+
+    def test_widths_from_declarations(self):
+        dfg, _ = build_dfg("char A[4]; int x;\nx = A[0] + A[1];")
+        reads = [n for n in dfg.nodes if n.kind == "read"]
+        assert all(n.width == 8 for n in reads)
+
+    def test_interleaved_port_resolution(self):
+        from repro.layout.plan import InterleavedArray
+        program = compile_source("""
+        int S[96]; int x;
+        for (j = 0; j < 64; j++)
+          x = x + S[j] + S[j + 1] + S[j + 2] + S[j + 4];
+        """)
+        spec = InterleavedArray("S", dim=0, modulus=4, memories=(0, 1, 2, 3))
+        builder = DataflowBuilder(program, {}, {"j": 64}, {"S": spec})
+        blocks = program_blocks(program)
+        region = blocks[0].children[0]
+        dfg = builder.build(region)
+        ports = [n.memory for n in dfg.memory_nodes]
+        # offsets 0,1,2 hit distinct ports; offset 4 collides with 0
+        assert ports == [0, 1, 2, 0]

@@ -1,0 +1,59 @@
+"""Unit tests for the report formatting helpers."""
+
+import pytest
+
+from repro.report import Figure, Series, Table, speedup_table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Title", ["a", "longer"])
+        table.add_row(1, 2.5)
+        table.add_row("xx", 10000.0)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "longer" in lines[2]
+        assert "2.500" in text and "10000" in text
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("t", ["k", "v"])
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("v") == [1, 2]
+
+
+class TestFigure:
+    def test_series_grid(self):
+        figure = Figure("F", "unroll", "balance")
+        s1 = figure.new_series("uj=1")
+        s1.add(1, 0.5)
+        s1.add(2, 0.75)
+        s2 = figure.new_series("uj=2")
+        s2.add(2, 1.25)
+        text = figure.render()
+        assert "uj=1" in text and "uj=2" in text
+        assert "0.500" in text and "1.250" in text
+        # missing point rendered as dash
+        assert "-" in text.splitlines()[-1]
+
+    def test_infinite_values(self):
+        figure = Figure("F", "x", "y")
+        figure.new_series("s").add(1, float("inf"))
+        assert "inf" in figure.render()
+
+
+class TestSpeedupTable:
+    def test_layout_matches_paper(self):
+        table = speedup_table(
+            {"fir": {"non-pipelined": 3.8, "pipelined": 18.1}},
+            "Table 2",
+        )
+        text = table.render()
+        assert "FIR" in text
+        assert "Non-Pipelined" in text and "Pipelined" in text

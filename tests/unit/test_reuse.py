@@ -1,0 +1,158 @@
+"""Unit tests for reuse analysis and replacement-strategy selection."""
+
+import pytest
+
+from repro.analysis.reuse import ReuseAnalysis, ReuseKind
+from repro.frontend import compile_source
+from repro.ir import LoopNest
+from repro.transform.unroll import UnrollVector, unroll_and_jam
+
+
+def analysis_of(source_or_program):
+    if isinstance(source_or_program, str):
+        program = compile_source(source_or_program)
+    else:
+        program = source_or_program
+    return ReuseAnalysis.run(LoopNest(program))
+
+
+def group_for(analysis, array):
+    groups = analysis.group_for(array)
+    assert len(groups) == 1, f"expected one group for {array}"
+    return groups[0]
+
+
+class TestFIRClassification:
+    """Figure 1's running example, strategy by strategy."""
+
+    def test_d_is_invariant(self, fir_program):
+        group = group_for(analysis_of(fir_program), "D")
+        assert group.kind is ReuseKind.INVARIANT
+        assert group.hoist_depth == 0
+        assert group.registers_needed == 1
+
+    def test_c_is_rotating_carried_by_j(self, fir_program):
+        group = group_for(analysis_of(fir_program), "C")
+        assert group.kind is ReuseKind.ROTATING
+        assert group.carrier_depth == 0
+        assert group.registers_needed == 32  # the full bank
+
+    def test_s_has_no_reuse_unubrolled(self, fir_program):
+        group = group_for(analysis_of(fir_program), "S")
+        assert group.kind is ReuseKind.NONE
+
+    def test_s_gains_body_reuse_after_unroll(self, fir_program):
+        unrolled = unroll_and_jam(fir_program, UnrollVector.of(2, 2))
+        group = group_for(analysis_of(unrolled), "S")
+        assert group.kind is ReuseKind.BODY_ONLY
+        assert group.registers_needed == 1  # the single shared S[i+j+1]
+
+    def test_rotating_bank_scales_with_unroll(self, fir_program):
+        unrolled = unroll_and_jam(fir_program, UnrollVector.of(2, 2))
+        group = group_for(analysis_of(unrolled), "C")
+        # two offsets (C[i], C[i+1]) x bank of 16 each
+        assert group.registers_needed == 32
+
+
+class TestMMClassification:
+    def test_c_invariant_in_k(self, mm_program):
+        group = group_for(analysis_of(mm_program), "c")
+        assert group.kind is ReuseKind.INVARIANT
+        assert group.hoist_depth == 1
+
+    def test_a_rotating_carried_by_j(self, mm_program):
+        group = group_for(analysis_of(mm_program), "a")
+        assert group.kind is ReuseKind.ROTATING
+        assert group.carrier_depth == 1
+        assert group.registers_needed == 16
+
+    def test_b_rotating_carried_by_i(self, mm_program):
+        group = group_for(analysis_of(mm_program), "b")
+        assert group.kind is ReuseKind.ROTATING
+        assert group.carrier_depth == 0
+        assert group.registers_needed == 64  # the whole matrix
+
+    def test_total_registers(self, mm_program):
+        assert analysis_of(mm_program).total_registers() == 81
+
+
+class TestPipelineClassification:
+    def test_jacobi_row_chain(self, jac_program):
+        group = group_for(analysis_of(jac_program), "A")
+        assert group.kind is ReuseKind.PIPELINE
+        spans = sorted(chain.span for chain in group.chains)
+        assert spans == [3]  # A[i][j-1] .. A[i][j+1]
+
+    def test_chain_slots(self, jac_program):
+        group = group_for(analysis_of(jac_program), "A")
+        chain = group.chains[0]
+        assert chain.register_slot((0, -1)) == 0
+        assert chain.register_slot((0, 1)) == 2
+
+    def test_writes_block_pipeline(self):
+        src = """
+        int A[34];
+        for (j = 0; j < 4; j++)
+          for (i = 1; i < 31; i++)
+            A[i + 1] = A[i - 1] + 1;
+        """
+        analysis = analysis_of(src)
+        group = group_for(analysis, "A")
+        assert group.kind in (ReuseKind.NONE, ReuseKind.BODY_ONLY)
+
+    def test_strided_chain_respects_residues(self):
+        # The row dimension mentions the outer loop, so no rotating bank
+        # applies; the strided column accesses chain along i.
+        src = """
+        int A[4][40]; int x;
+        for (j = 0; j < 4; j++)
+          for (i = 0; i < 16; i += 2)
+            x = x + A[j][i] + A[j][i + 2] + A[j][i + 1];
+        """
+        group = group_for(analysis_of(src), "A")
+        assert group.kind is ReuseKind.PIPELINE
+        # offsets 0 and 2 chain (advance 2); offset 1 is a different
+        # residue class with a single member -> raw load.
+        assert len(group.chains) == 1
+        assert group.chains[0].span == 2
+
+    def test_rotating_preferred_for_outer_replay(self):
+        # 1-D strided reads not mentioning the outer loop: the outer loop
+        # replays the sequence, so a rotating bank beats a pipeline chain.
+        src = """
+        int A[40]; int x;
+        for (j = 0; j < 4; j++)
+          for (i = 0; i < 16; i += 2)
+            x = x + A[i] + A[i + 2] + A[i + 1];
+        """
+        group = group_for(analysis_of(src), "A")
+        assert group.kind is ReuseKind.ROTATING
+        assert group.carrier_depth == 0
+
+
+class TestSafetyRules:
+    def test_mixed_groups_with_write_not_replaceable(self):
+        # A[i] written while A[2i] read: classification still happens per
+        # group, but scalar replacement's chooser must skip the array.
+        src = """
+        int A[70];
+        for (i = 0; i < 32; i++) A[i] = A[2 * i] + 1;
+        """
+        from repro.transform.scalar_replacement import _choose_groups
+        analysis = analysis_of(src)
+        chosen, _skipped = _choose_groups(analysis, True, None)
+        assert all(group.array != "A" for group in chosen)
+
+    def test_register_cap_drops_largest(self, mm_program):
+        from repro.transform.scalar_replacement import _choose_groups
+        analysis = analysis_of(mm_program)
+        chosen, skipped = _choose_groups(analysis, True, register_cap=30)
+        assert sum(g.registers_needed for g in chosen) <= 30
+        dropped_arrays = {g.array for g in skipped if g.kind is ReuseKind.ROTATING}
+        assert "b" in dropped_arrays  # 64 registers: the big consumer
+
+    def test_disable_outer_reuse(self, fir_program):
+        from repro.transform.scalar_replacement import _choose_groups
+        analysis = analysis_of(fir_program)
+        chosen, _ = _choose_groups(analysis, False, None)
+        assert all(g.kind is not ReuseKind.ROTATING for g in chosen)

@@ -1,0 +1,119 @@
+"""Unit tests for scalar replacement."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import print_program, run_program
+from repro.kernels import FIR, MM
+from repro.transform.scalar_replacement import scalar_replace
+from repro.transform.unroll import UnrollVector, unroll_and_jam
+
+
+class TestFIR:
+    @pytest.fixture
+    def replaced(self, fir_program):
+        return scalar_replace(unroll_and_jam(fir_program, UnrollVector.of(2, 2)))
+
+    def test_semantics_preserved(self, replaced, fir_program):
+        inputs = FIR.random_inputs(5)
+        expected = run_program(fir_program, inputs).arrays["D"].cells
+        assert run_program(replaced.program, inputs).arrays["D"].cells == expected
+
+    def test_memory_traffic_reduced(self, replaced, fir_program):
+        inputs = FIR.random_inputs(5)
+        before = run_program(fir_program, inputs)
+        after = run_program(replaced.program, inputs)
+        assert after.memory_reads < before.memory_reads / 3
+        assert after.memory_writes == 64  # one write per output element
+
+    def test_redundant_writes_eliminated(self, replaced):
+        """The paper's extension over Carr-Kennedy: intermediate stores
+        of the accumulator vanish; only the final store per j remains."""
+        text = print_program(replaced.program)
+        assert "D[j] = d_0;" in text
+        assert text.count("D[j] = D[j]") == 0
+
+    def test_rotating_banks_generated(self, replaced):
+        text = print_program(replaced.program)
+        assert "rotate_registers(c_0_0" in text
+        assert "rotate_registers(c_1_0" in text
+        assert replaced.stats.rotating_banks == 2
+
+    def test_guarded_loads_reference_carrier(self, replaced):
+        text = print_program(replaced.program)
+        assert "if (j == 0)" in text
+
+    def test_carriers_reported_for_peeling(self, replaced):
+        assert replaced.carriers_to_peel == [0]
+
+    def test_loop_independent_merge(self, replaced):
+        """S[i+j+1] is read twice in the unrolled body; one load remains."""
+        text = print_program(replaced.program)
+        assert text.count("= S[i + 1 + j];") == 1
+
+    def test_register_count(self, replaced):
+        # d_0, d_1, s_1, and two banks of 16
+        assert replaced.stats.registers_added == 35
+
+
+class TestMM:
+    def test_all_inner_memory_accesses_removed(self, mm_program):
+        result = scalar_replace(mm_program)
+        inputs = MM.random_inputs(7)
+        before = run_program(mm_program, inputs)
+        after = run_program(result.program, inputs)
+        assert after.arrays["c"].cells == before.arrays["c"].cells
+        # steady-state reads: a once (512), b once (64), c once (128)
+        assert after.memory_reads == 512 + 64 + 128
+        assert after.memory_writes == 128
+
+    def test_two_carriers(self, mm_program):
+        result = scalar_replace(mm_program)
+        assert result.carriers_to_peel == [0, 1]
+
+
+class TestOptions:
+    def test_outer_reuse_disabled_keeps_memory_reads(self, fir_program):
+        full = scalar_replace(fir_program, exploit_outer_loops=True)
+        inner_only = scalar_replace(fir_program, exploit_outer_loops=False)
+        inputs = FIR.random_inputs(3)
+        reads_full = run_program(full.program, inputs).memory_reads
+        reads_inner = run_program(inner_only.program, inputs).memory_reads
+        assert reads_inner > reads_full  # C stays in memory
+
+    def test_register_cap_respected(self, mm_program):
+        result = scalar_replace(mm_program, register_cap=30)
+        assert result.stats.registers_added <= 30
+        inputs = MM.random_inputs(9)
+        expected = run_program(mm_program, inputs).arrays["c"].cells
+        assert run_program(result.program, inputs).arrays["c"].cells == expected
+
+
+class TestAliasingSafety:
+    def test_array_with_conflicting_groups_untouched(self):
+        src = """
+        int A[70]; int B[32];
+        for (j = 0; j < 4; j++)
+          for (i = 0; i < 32; i++)
+            A[i] = A[2 * i] + B[i];
+        """
+        program = compile_source(src)
+        result = scalar_replace(program)
+        inputs = {"A": list(range(70)), "B": list(range(32))}
+        expected = run_program(program, inputs).arrays["A"].cells
+        assert run_program(result.program, inputs).arrays["A"].cells == expected
+        text = print_program(result.program)
+        assert "A[i] = A[2 * i]" in text  # untouched
+
+    def test_writes_to_other_group_block_read_group(self):
+        src = """
+        int A[64];
+        for (j = 0; j < 2; j++)
+          for (i = 0; i < 16; i++)
+            A[2 * i] = A[i] + 1;
+        """
+        program = compile_source(src)
+        result = scalar_replace(program)
+        inputs = {"A": [v % 7 for v in range(64)]}
+        expected = run_program(program, inputs).arrays["A"].cells
+        assert run_program(result.program, inputs).arrays["A"].cells == expected

@@ -1,0 +1,73 @@
+"""Unit tests for the schedule report rendering."""
+
+import re
+
+import pytest
+
+from repro.kernels import FIR
+from repro.synthesis import ResourceConstraints, steady_state_schedule_report
+from repro.target import wildstar_pipelined
+from repro.transform import UnrollVector, compile_design
+
+
+@pytest.fixture(scope="module")
+def report():
+    design = compile_design(FIR.program(), UnrollVector.of(2, 2), 4)
+    return steady_state_schedule_report(
+        design.program, wildstar_pipelined(), design.plan
+    )
+
+
+class TestScheduleReport:
+    def test_header_totals(self, report):
+        assert re.search(r"region schedule: \d+ cycles", report)
+        assert "memory-only" in report and "compute-only" in report
+
+    def test_rows_for_reads_and_ops(self, report):
+        assert "read S" in report
+        assert "* (32b)" in report
+        assert "rotate registers" in report
+
+    def test_bars_match_intervals(self, report):
+        for line in report.splitlines():
+            match = re.search(r"\[\s*(\d+),\s*(\d+)\) ([#=.]+)", line)
+            if not match:
+                continue
+            begin, end, bar = int(match.group(1)), int(match.group(2)), match.group(3)
+            for cycle, char in enumerate(bar):
+                occupied = begin <= cycle < end
+                assert (char in "#=") == occupied, line
+
+    def test_memory_ops_marked_distinctly(self, report):
+        read_lines = [l for l in report.splitlines() if l.startswith("read")]
+        assert read_lines and all("#" in l for l in read_lines)
+
+    def test_constraints_lengthen_schedule(self):
+        design = compile_design(FIR.program(), UnrollVector.of(2, 2), 4)
+        board = wildstar_pipelined()
+        free = steady_state_schedule_report(design.program, board, design.plan)
+        tight = steady_state_schedule_report(
+            design.program, board, design.plan,
+            constraints=ResourceConstraints.of(mul=1),
+        )
+        free_cycles = int(re.search(r"(\d+) cycles", free).group(1))
+        tight_cycles = int(re.search(r"(\d+) cycles", tight).group(1))
+        assert tight_cycles > free_cycles
+
+    def test_empty_program(self):
+        from repro.frontend import compile_source
+        text = steady_state_schedule_report(
+            compile_source("int x;"), wildstar_pipelined()
+        )
+        assert "no schedulable region" in text
+
+    def test_truncation(self):
+        from repro.frontend import compile_source
+        from repro.synthesis import steady_state_schedule_report
+        # a long divide chain overflows the default 64-cycle window
+        program = compile_source(
+            "int A[4]; int x;\n"
+            "x = A[0] / 3 / 3 / 3 / 3 / 3 / 3 / 3 / 3 / 3 / 3;"
+        )
+        text = steady_state_schedule_report(program, wildstar_pipelined())
+        assert "truncated" in text

@@ -1,0 +1,130 @@
+"""Unit tests for ASAP scheduling under memory port constraints."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.synthesis.dfg import DataflowBuilder
+from repro.synthesis.operators import default_library
+from repro.synthesis.regions import Region, program_blocks
+from repro.synthesis.scheduling import merge_operator_demand, schedule_region
+from repro.target.memory import nonpipelined_memory, pipelined_memory
+
+
+def schedule(src, memory, memory_of=None):
+    program = compile_source(src)
+    if memory_of is None:
+        memory_of = {decl.name: index for index, decl in enumerate(program.arrays())}
+    blocks = program_blocks(program)
+    region = next(b for b in blocks if isinstance(b, Region))
+    dfg = DataflowBuilder(program, memory_of, {}).build(region)
+    return schedule_region(dfg, memory, default_library())
+
+
+class TestPortConstraints:
+    def test_parallel_reads_on_distinct_memories(self):
+        result = schedule(
+            "int A[4]; int B[4]; int x;\nx = A[0] + B[0];",
+            pipelined_memory(),
+        )
+        # both reads at cycle 0, add after the 1-cycle latency
+        assert result.length == 2
+
+    def test_serialized_reads_on_one_memory(self):
+        result = schedule(
+            "int A[4]; int x;\nx = A[0] + A[1];",
+            pipelined_memory(),
+        )
+        # second read issues at cycle 1 (port busy), finishes at 2, add at 3
+        assert result.length == 3
+
+    def test_nonpipelined_read_occupies_port(self):
+        result = schedule(
+            "int A[4]; int x;\nx = A[0] + A[1];",
+            nonpipelined_memory(),
+        )
+        # reads at 0 and 7 (7-cycle interval), data at 14, add ends 15
+        assert result.length == 15
+
+    def test_nonpipelined_write_interval(self):
+        result = schedule(
+            "int A[4];\nA[0] = 1;\nA[1] = 2;",
+            nonpipelined_memory(),
+        )
+        # writes at 0 and 3 (3-cycle interval), second completes at 6
+        assert result.length == 6
+
+    def test_memory_only_length(self):
+        result = schedule(
+            "int A[4]; int x;\nx = A[0] + A[1];",
+            pipelined_memory(),
+        )
+        assert result.memory_only_length == 2  # two back-to-back reads
+
+    def test_memory_traffic_recorded(self):
+        result = schedule(
+            "int A[4]; int B[4]; int x;\nx = A[0] + A[1] + B[0];",
+            pipelined_memory(),
+        )
+        assert result.memory_traffic == {0: 2, 1: 1}
+
+
+class TestComputeOnly:
+    def test_critical_path_ignores_ports(self):
+        result = schedule(
+            "int A[4]; int x;\nx = A[0] * A[1];",
+            nonpipelined_memory(),
+        )
+        # compute view: reads free, one 2-cycle multiply
+        assert result.compute_only_length == 2
+
+    def test_chain_depth(self):
+        result = schedule(
+            "int A[4]; int x;\nx = A[0] + A[1] + A[2] + A[3];",
+            pipelined_memory(),
+        )
+        assert result.compute_only_length == 3  # left-deep add chain
+
+    def test_memory_bits(self):
+        result = schedule(
+            "char A[4]; int B[4];\nB[0] = A[0];",
+            pipelined_memory(),
+        )
+        assert result.memory_bits == 8 + 32
+
+
+class TestOperatorDemand:
+    def test_parallel_ops_need_operators(self):
+        result = schedule(
+            "int A[4]; int B[4]; int x; int y;\nx = A[0] * 3;\ny = B[0] * 5;",
+            pipelined_memory(),
+        )
+        # both multiplies can run concurrently after their reads
+        assert result.operator_demand[("*", 32)] == 2
+
+    def test_sequential_ops_share(self):
+        result = schedule(
+            "int A[4]; int x;\nx = A[0] + A[1] + A[2];",
+            pipelined_memory(),
+        )
+        assert result.operator_demand[("+", 32)] == 1
+
+    def test_merge_takes_max_across_regions(self):
+        first = schedule(
+            "int A[4]; int B[4]; int x; int y;\nx = A[0] * 3;\ny = B[0] * 5;",
+            pipelined_memory(),
+        )
+        second = schedule(
+            "int A[4]; int x;\nx = A[0] * 7;",
+            pipelined_memory(),
+        )
+        merged = merge_operator_demand([first, second])
+        assert merged[("*", 32)] == 2
+
+
+class TestRotation:
+    def test_rotate_costs_one_cycle(self):
+        src = "int a; int b; int x;\nx = a + b;\nrotate_registers(a, b);"
+        result = schedule(src, pipelined_memory())
+        # add at 0-1; rotation waits for the uses, then 1 cycle
+        assert result.length == 2
+        assert result.compute_only_length == 2

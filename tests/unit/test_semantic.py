@@ -1,0 +1,85 @@
+"""Unit tests for the semantic checker."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import compile_source
+
+
+def check_fails(source, pattern):
+    with pytest.raises(SemanticError, match=pattern):
+        compile_source(source)
+
+
+class TestNameResolution:
+    def test_undeclared_read(self):
+        check_fails("int x; x = y;", "undeclared variable 'y'")
+
+    def test_undeclared_write(self):
+        check_fails("int x; y = x;", "undeclared variable 'y'")
+
+    def test_undeclared_array(self):
+        check_fails("int x; x = A[0];", "undeclared array 'A'")
+
+    def test_loop_var_usable_in_body(self):
+        compile_source("int A[4]; for (i = 0; i < 4; i++) A[i] = i;")
+
+
+class TestArrayShape:
+    def test_scalar_subscripted(self):
+        check_fails("int x; int y; y = x[0];", "scalar 'x' used with subscripts")
+
+    def test_array_without_subscripts(self):
+        check_fails("int A[4]; int x; x = A;", "array 'A' used without subscripts")
+
+    def test_array_assigned_bare(self):
+        check_fails("int A[4]; A = 1;", "assigned without subscripts")
+
+    def test_wrong_arity(self):
+        check_fails(
+            "int A[4][4]; int x; x = A[1];",
+            "2 dimension\\(s\\) but is referenced with 1",
+        )
+
+
+class TestLoopVariables:
+    def test_shadowing_rejected(self):
+        check_fails(
+            "int A[4]; for (i = 0; i < 4; i++) for (i = 0; i < 4; i++) A[i] = 0;",
+            "shadows",
+        )
+
+    def test_loop_var_conflicting_with_decl(self):
+        check_fails(
+            "int i; int A[4]; for (i = 0; i < 4; i++) A[i] = 0;",
+            "also a declared variable",
+        )
+
+    def test_assignment_to_index_rejected(self):
+        check_fails(
+            "int A[4]; for (i = 0; i < 4; i++) i = 2;",
+            "assignment to loop index",
+        )
+
+    def test_sibling_loops_may_share_names(self):
+        compile_source("""
+        int A[4];
+        for (i = 0; i < 4; i++) A[i] = 1;
+        for (i = 0; i < 4; i++) A[i] = 2;
+        """)
+
+
+class TestRotate:
+    def test_rotate_undeclared(self):
+        check_fails("rotate_registers(a, b);", "undeclared")
+
+    def test_rotate_array_rejected(self):
+        check_fails("int A[4]; int b; rotate_registers(A, b);", "scalars only")
+
+
+class TestMultipleErrors:
+    def test_all_errors_reported(self):
+        with pytest.raises(SemanticError) as info:
+            compile_source("int x; x = a; x = b;")
+        message = str(info.value)
+        assert "'a'" in message and "'b'" in message

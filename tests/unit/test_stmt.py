@@ -1,0 +1,70 @@
+"""Unit tests for statement nodes."""
+
+import pytest
+
+from repro.ir.builder import arr, assign, if_, loop, rotate, var
+from repro.ir.stmt import Assign, For, RotateRegisters, count_statements, walk_all
+
+
+class TestFor:
+    def test_trip_count_step_one(self):
+        assert loop("i", 0, 10, []).trip_count == 10
+
+    def test_trip_count_with_step(self):
+        assert loop("i", 0, 10, [], step=3).trip_count == 4
+        assert loop("i", 0, 9, [], step=3).trip_count == 3
+
+    def test_trip_count_nonzero_lower(self):
+        assert loop("i", 2, 10, []).trip_count == 8
+
+    def test_empty_range(self):
+        assert loop("i", 5, 5, []).trip_count == 0
+        assert loop("i", 7, 3, []).trip_count == 0
+
+    def test_iteration_values(self):
+        assert list(loop("i", 1, 8, [], step=2).iteration_values()) == [1, 3, 5, 7]
+
+    def test_nonpositive_step_rejected(self):
+        with pytest.raises(ValueError):
+            For("i", 0, 10, 0, ())
+        with pytest.raises(ValueError):
+            For("i", 0, 10, -1, ())
+
+
+class TestRotate:
+    def test_needs_two_registers(self):
+        with pytest.raises(ValueError):
+            RotateRegisters(("only",))
+
+    def test_str(self):
+        assert "rotate_registers(a, b)" in str(rotate("a", "b"))
+
+
+class TestAssign:
+    def test_rejects_non_lvalue(self):
+        from repro.ir.builder import add
+        with pytest.raises(TypeError):
+            Assign(add(1, 2), var("x"))
+
+    def test_expressions_of_assign(self):
+        stmt = assign(arr("A", "i"), var("x"))
+        assert stmt.expressions() == (stmt.target, stmt.value)
+
+
+class TestWalk:
+    def test_walk_enters_branches_and_loops(self):
+        inner = assign("t", 1)
+        stmt = loop("i", 0, 4, [if_(var("c"), [inner], [assign("t", 2)])])
+        found = list(stmt.walk())
+        assert len(found) == 4  # loop, if, two assigns
+
+    def test_count_statements(self):
+        body = (
+            assign("a", 1),
+            loop("i", 0, 2, [assign("b", 2), assign("c", 3)]),
+        )
+        assert count_statements(body) == 4
+
+    def test_walk_all_order(self):
+        first, second = assign("a", 1), assign("b", 2)
+        assert list(walk_all((first, second))) == [first, second]

@@ -1,0 +1,55 @@
+"""Unit tests for the alternative search strategies."""
+
+import pytest
+
+from repro.dse import DesignSpace
+from repro.dse.strategies import (
+    BalanceStrategy, HillClimbStrategy, LinearScanStrategy, RandomStrategy,
+)
+from repro.kernels import FIR
+from repro.target import wildstar_pipelined
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(FIR.program(), wildstar_pipelined())
+
+
+class TestStrategies:
+    def test_balance_strategy_matches_search(self, space):
+        result = BalanceStrategy().run(space)
+        assert result.selected.estimate.fits(space.board)
+        assert result.points_synthesized >= 2
+
+    def test_linear_scan_improves_on_baseline(self, space):
+        result = LinearScanStrategy().run(space)
+        baseline = space.evaluate(space.baseline_vector())
+        assert result.selected.cycles < baseline.cycles
+        assert result.selected.estimate.fits(space.board)
+
+    def test_random_deterministic_by_seed(self):
+        board = wildstar_pipelined()
+        first = RandomStrategy(samples=5, seed=7).run(
+            DesignSpace(FIR.program(), board)
+        )
+        second = RandomStrategy(samples=5, seed=7).run(
+            DesignSpace(FIR.program(), board)
+        )
+        assert first.selected.unroll == second.selected.unroll
+
+    def test_random_respects_sample_budget(self, space):
+        result = RandomStrategy(samples=4, seed=1).run(space)
+        assert result.points_synthesized <= 4
+
+    def test_hill_climb_monotone_improvement(self, space):
+        result = HillClimbStrategy().run(space)
+        start = space.evaluate(
+            __import__("repro.dse.search", fromlist=["BalanceGuidedSearch"])
+            .BalanceGuidedSearch(space).initial_vector()
+        )
+        assert result.selected.cycles <= start.cycles
+        assert result.selected.estimate.fits(space.board)
+
+    def test_results_stringify(self, space):
+        result = LinearScanStrategy().run(space)
+        assert "cycles" in str(result)

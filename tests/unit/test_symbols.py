@@ -1,0 +1,63 @@
+"""Unit tests for declarations and the Program node."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.ir.builder import arr, assign, decl, loop, program, var
+from repro.ir.symbols import Program, VarDecl
+from repro.ir.types import INT8, INT32
+
+
+class TestVarDecl:
+    def test_scalar_properties(self):
+        d = decl("x")
+        assert not d.is_array
+        assert d.element_count == 1
+        assert d.size_bits == 32
+
+    def test_array_properties(self):
+        d = decl("A", INT8, (4, 8))
+        assert d.is_array
+        assert d.element_count == 32
+        assert d.size_bits == 256
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ValueError):
+            VarDecl("A", INT32, (0,))
+
+    def test_str(self):
+        assert str(decl("A", INT8, (4,))) == "int8 A[4];"
+
+
+class TestProgram:
+    def test_duplicate_decl_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            program("p", [decl("x"), decl("x")], [])
+
+    def test_decl_lookup(self):
+        p = program("p", [decl("x"), decl("A", INT32, (4,))], [])
+        assert p.decl("A").dims == (4,)
+        assert p.has_decl("x")
+        assert not p.has_decl("y")
+        with pytest.raises(SemanticError):
+            p.decl("missing")
+
+    def test_with_decl_appends(self):
+        p = program("p", [decl("x")], [])
+        extended = p.with_decl(decl("y"))
+        assert extended.has_decl("y")
+        assert not p.has_decl("y")  # original untouched
+
+    def test_arrays_and_scalars_partition(self):
+        p = program("p", [decl("x"), decl("A", INT32, (4,)), decl("y")], [])
+        assert [d.name for d in p.arrays()] == ["A"]
+        assert [d.name for d in p.scalars()] == ["x", "y"]
+
+    def test_written_arrays(self):
+        p = program(
+            "p",
+            [decl("A", INT32, (4,)), decl("B", INT32, (4,))],
+            [loop("i", 0, 4, [assign(arr("A", "i"), arr("B", "i"))])],
+        )
+        assert p.written_arrays() == {"A"}
+        assert "B" in p.read_arrays()

@@ -1,0 +1,68 @@
+"""Unit tests for target platform models."""
+
+import pytest
+
+from repro.target.board import Board, wildstar_nonpipelined, wildstar_pipelined
+from repro.target.fpga import FPGAModel, virtex_300, virtex_1000
+from repro.target.memory import MemoryModel, nonpipelined_memory, pipelined_memory
+
+
+class TestMemoryModel:
+    def test_pipelined_intervals(self):
+        memory = pipelined_memory()
+        assert memory.read_interval() == 1
+        assert memory.write_interval() == 1
+        assert memory.latency(is_write=False) == 1
+
+    def test_nonpipelined_wildstar_latencies(self):
+        """The paper's numbers: read 7 cycles, write 3 cycles."""
+        memory = nonpipelined_memory()
+        assert memory.read_latency == 7
+        assert memory.write_latency == 3
+        assert memory.read_interval() == 7
+        assert memory.write_interval() == 3
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            MemoryModel(read_latency=0, write_latency=1, pipelined=True)
+
+
+class TestFPGA:
+    def test_virtex_1000_capacity(self):
+        """12,288 slices — the capacity line in the area plots."""
+        assert virtex_1000().capacity_slices == 12_288
+
+    def test_fits_and_utilization(self):
+        fpga = virtex_300()
+        assert fpga.fits(3_072)
+        assert not fpga.fits(3_073)
+        assert fpga.utilization(1_536) == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FPGAModel("junk", 0)
+
+
+class TestBoard:
+    def test_wildstar_defaults(self):
+        board = wildstar_pipelined()
+        assert board.num_memories == 4
+        assert board.clock_ns == 40.0
+        assert board.clock_mhz == pytest.approx(25.0)
+        assert board.fpga.capacity_slices == 12_288
+
+    def test_modes_differ_only_in_memory(self):
+        a, b = wildstar_pipelined(), wildstar_nonpipelined()
+        assert a.memory.pipelined and not b.memory.pipelined
+        assert a.fpga == b.fpga
+        assert a.num_memories == b.num_memories
+
+    def test_seconds(self):
+        board = wildstar_pipelined()
+        assert board.seconds(25_000_000) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Board("x", virtex_1000(), pipelined_memory(), num_memories=0)
+        with pytest.raises(ValueError):
+            Board("x", virtex_1000(), pipelined_memory(), clock_ns=0)

@@ -1,0 +1,90 @@
+"""Unit tests for fixed-width integer types."""
+
+import pytest
+
+from repro.ir.types import (
+    BOOL, INT8, INT16, INT32, UINT8, UINT16,
+    IntType, common_type, type_from_name,
+)
+
+
+class TestRanges:
+    def test_int8_range(self):
+        assert INT8.min_value == -128
+        assert INT8.max_value == 127
+
+    def test_uint8_range(self):
+        assert UINT8.min_value == 0
+        assert UINT8.max_value == 255
+
+    def test_int32_range(self):
+        assert INT32.min_value == -(2 ** 31)
+        assert INT32.max_value == 2 ** 31 - 1
+
+    def test_bool_is_one_bit(self):
+        assert BOOL.width == 1
+        assert BOOL.max_value == 1
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(65)
+
+
+class TestWrap:
+    def test_wrap_identity_in_range(self):
+        for value in (-128, -1, 0, 1, 127):
+            assert INT8.wrap(value) == value
+
+    def test_wrap_signed_overflow(self):
+        assert INT8.wrap(128) == -128
+        assert INT8.wrap(255) == -1
+        assert INT8.wrap(256) == 0
+
+    def test_wrap_signed_underflow(self):
+        assert INT8.wrap(-129) == 127
+        assert INT8.wrap(-256) == 0
+
+    def test_wrap_unsigned(self):
+        assert UINT8.wrap(256) == 0
+        assert UINT8.wrap(-1) == 255
+        assert UINT8.wrap(300) == 44
+
+    def test_wrap_is_idempotent(self):
+        for value in (-1000, -129, 127, 128, 1000):
+            once = INT8.wrap(value)
+            assert INT8.wrap(once) == once
+
+    def test_contains(self):
+        assert INT8.contains(127)
+        assert not INT8.contains(128)
+        assert UINT8.contains(255)
+        assert not UINT8.contains(-1)
+
+
+class TestNames:
+    def test_c_names(self):
+        assert type_from_name("int") == INT32
+        assert type_from_name("char") == INT8
+        assert type_from_name("short") == INT16
+        assert type_from_name("unsigned char") == UINT8
+
+    def test_unknown_name_message(self):
+        with pytest.raises(KeyError, match="unknown type name"):
+            type_from_name("float")
+
+    def test_str(self):
+        assert str(INT16) == "int16"
+        assert str(UINT8) == "uint8"
+
+
+class TestCommonType:
+    def test_wider_wins(self):
+        assert common_type(INT8, INT32) == INT32
+        assert common_type(INT16, INT8) == INT16
+
+    def test_signedness_preserved_only_when_agreed(self):
+        assert common_type(INT8, INT8).signed
+        assert not common_type(UINT8, INT8).signed
+        assert not common_type(UINT8, UINT16).signed

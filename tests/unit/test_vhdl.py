@@ -1,0 +1,104 @@
+"""Unit tests for the VHDL backend and its linter."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.hdl import emit_vhdl, lint_vhdl
+from repro.hdl.vhdl import VHDLEmitError
+from repro.kernels import ALL_KERNELS
+from repro.transform import UnrollVector, compile_design
+
+
+def emit(src, name="test"):
+    return emit_vhdl(compile_source(src, name))
+
+
+class TestStructure:
+    def test_entity_named_after_program(self):
+        text = emit("int x; x = 1;", name="my_kernel")
+        assert "entity my_kernel is" in text
+        assert "end entity my_kernel;" in text
+
+    def test_name_sanitized(self):
+        text = emit("int x; x = 1;", name="fir@2x2")
+        assert "entity fir_2x2 is" in text
+
+    def test_standard_ports(self):
+        text = emit("int x; x = 1;")
+        for port in ("clk", "reset", "start", "done"):
+            assert port in text
+
+    def test_scalars_become_ranged_variables(self):
+        text = emit("char x; x = 1;")
+        assert "variable x : integer range -128 to 127" in text
+
+    def test_memories_become_array_signals(self):
+        text = emit("int A[16]; A[0] = 1;")
+        assert "type mem0_t is array (0 to 15) of integer;" in text
+        assert "signal mem0 : mem0_t;" in text
+
+    def test_multidim_flattened_row_major(self):
+        text = emit("int A[4][8]; A[1][2] = 5;")
+        assert "mem0((1) * 8 + (2)) <= 5;" in text
+
+    def test_loops_use_iteration_counters(self):
+        text = emit("int A[8]; for (i = 2; i < 8; i += 2) A[i] = i;")
+        assert "for i_iter in 0 to 2 loop" in text
+        assert "i := 2 + 2 * i_iter;" in text
+
+    def test_rotation_expands_to_shift(self):
+        text = emit("int a; int b; rotate_registers(a, b);")
+        assert "rotate_tmp := a;" in text
+        assert "a := b;" in text
+        assert "b := rotate_tmp;" in text
+
+    def test_if_else(self):
+        text = emit("int x; int y; if (x < 0) y = 1; else y = 2;")
+        assert "if x < 0 then" in text
+        assert "else" in text
+        assert "end if;" in text
+
+    def test_comparison_in_arithmetic_context(self):
+        text = emit("int x; int y; y = y + (x == 3);")
+        assert "boolean'pos(x = 3)" in text
+
+    def test_abs_intrinsic(self):
+        text = emit("int x; int y; y = abs(x);")
+        assert "abs(x)" in text
+
+    def test_operators_translated(self):
+        text = emit("int x; int y; y = x % 3 & 1;")
+        assert "mod" in text and "and" in text
+
+
+class TestLint:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_kernels_lint_clean(self, kernel):
+        report = lint_vhdl(emit_vhdl(kernel.program()))
+        assert report.ok, report.errors
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_transformed_kernels_lint_clean(self, kernel):
+        from repro.ir import LoopNest
+        program = kernel.program()
+        trips = LoopNest(program).trip_counts
+        factors = tuple(min(2, t) for t in trips)
+        design = compile_design(program, UnrollVector(factors), 4)
+        report = lint_vhdl(emit_vhdl(design.program, design.plan))
+        assert report.ok, report.errors
+
+    def test_lint_catches_unbalanced_scopes(self):
+        broken = "entity x is\nend entity x;\narchitecture b of x is\nbegin\n"
+        report = lint_vhdl(broken)
+        assert not report.ok
+        assert any("unclosed" in e for e in report.errors)
+
+    def test_lint_catches_undeclared_identifier(self):
+        text = emit("int x; x = 1;").replace("x := 1;", "x := ghost;")
+        report = lint_vhdl(text)
+        assert any("ghost" in e for e in report.errors)
+
+    def test_interleave_documented_in_header(self, fir_program):
+        design = compile_design(fir_program, UnrollVector.of(4, 1), 4)
+        text = emit_vhdl(design.program, design.plan)
+        assert "interleaved mod" in text
