@@ -3,13 +3,17 @@
 The flow as a tool::
 
     python -m repro explore fir.c --board pipelined --vhdl fir.vhd
+    python -m repro explore kernel:fir kernel:mm --parallel --jobs 2
     python -m repro compile kernel:mm --unroll 4,2,1 --print-code
     python -m repro estimate kernel:fir --unroll 8,8 --board nonpipelined
+    python -m repro batch manifest.json --jobs 4 --cache estimates.json \\
+        --trace trace.jsonl
     python -m repro kernels
 
 Input programs come from a C-subset file or from the built-in kernel
 registry via ``kernel:<name>``.  Exit status is 0 on success, 1 on any
-compilation or exploration error (with the message on stderr).
+compilation or exploration error (with the message on stderr); ``batch``
+additionally exits 1 when any job in the manifest fails.
 """
 
 from __future__ import annotations
@@ -77,8 +81,12 @@ def _pipeline_options(args, kernel) -> PipelineOptions:
     )
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("program", help="C-subset file, or kernel:<name>")
+def _add_common(parser: argparse.ArgumentParser, multi: bool = False) -> None:
+    if multi:
+        parser.add_argument("program", nargs="+",
+                            help="C-subset file(s), or kernel:<name>")
+    else:
+        parser.add_argument("program", help="C-subset file, or kernel:<name>")
     parser.add_argument("--board", default="pipelined",
                         help="pipelined (default) or nonpipelined")
     parser.add_argument("--narrow", action="store_true",
@@ -101,7 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
     explore_cmd = commands.add_parser(
         "explore", help="search the unroll design space for a loop nest"
     )
-    _add_common(explore_cmd)
+    _add_common(explore_cmd, multi=True)
+    explore_cmd.add_argument("--parallel", action="store_true",
+                             help="run through the batch engine in worker "
+                                  "processes (several programs fan out)")
+    explore_cmd.add_argument("--jobs", type=int, default=2, metavar="N",
+                             help="worker processes with --parallel "
+                                  "(default 2)")
+    explore_cmd.add_argument("--cache", metavar="PATH",
+                             help="shared estimate cache file")
+    explore_cmd.add_argument("--trace", metavar="FILE",
+                             help="write JSONL telemetry here "
+                                  "(--parallel only)")
     explore_cmd.add_argument("--vhdl", metavar="FILE",
                              help="write the selected design's VHDL here")
     explore_cmd.add_argument("--verilog", metavar="FILE",
@@ -134,6 +153,23 @@ def build_parser() -> argparse.ArgumentParser:
     estimate_cmd.add_argument("--multipliers", type=int, default=None,
                               help="bound the multiplier allocation (§2.3)")
 
+    batch_cmd = commands.add_parser(
+        "batch", help="run a manifest of explorations through the "
+                      "parallel batch engine"
+    )
+    batch_cmd.add_argument("manifest", help="JSON job manifest")
+    batch_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes (1 = serial in-process)")
+    batch_cmd.add_argument("--cache", metavar="PATH",
+                           help="shared estimate cache file")
+    batch_cmd.add_argument("--trace", metavar="FILE",
+                           help="write JSONL telemetry events here")
+    batch_cmd.add_argument("--timeout", type=float, default=None, metavar="S",
+                           help="per-job timeout in seconds (jobs may "
+                                "override; needs --jobs >= 2)")
+    batch_cmd.add_argument("--json", metavar="FILE",
+                           help="write a machine-readable batch summary here")
+
     commands.add_parser("kernels", help="list the built-in paper kernels")
     return parser
 
@@ -160,13 +196,32 @@ def _dispatch(args) -> int:
         for kernel in ALL_KERNELS:
             print(f"{kernel.name:8} {kernel.description}")
         return 0
+    if args.command == "batch":
+        return _run_batch(args)
+
+    if args.command == "explore":
+        if args.parallel:
+            return _run_explore_parallel(args)
+        board = _board(args.board)
+        if len(args.program) > 1 and (
+            args.vhdl or args.verilog or args.testbench or args.json
+        ):
+            raise ReproError(
+                "--vhdl/--verilog/--testbench/--json need a single program"
+            )
+        status = 0
+        for spec in args.program:
+            program, kernel = _load_program(spec)
+            options = _pipeline_options(args, kernel)
+            status = max(
+                status, _run_explore(args, program, kernel, board, options)
+            )
+        return status
 
     program, kernel = _load_program(args.program)
     board = _board(args.board)
     options = _pipeline_options(args, kernel)
 
-    if args.command == "explore":
-        return _run_explore(args, program, kernel, board, options)
     if args.command == "compile":
         return _run_compile(args, program, board, options)
     if args.command == "estimate":
@@ -213,6 +268,82 @@ def _run_explore(args, program, kernel, board, options) -> int:
         Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {args.json}")
     return 0
+
+
+def _run_explore_parallel(args) -> int:
+    """``explore --parallel``: the program list becomes an in-memory
+    manifest and runs through the batch engine's worker processes."""
+    from repro.service import parse_manifest
+    if args.vhdl or args.verilog or args.testbench or args.json:
+        raise ReproError(
+            "--vhdl/--verilog/--testbench/--json are not supported with "
+            "--parallel; use the serial explore for artifact output"
+        )
+    pipeline = {
+        "exploit_outer_reuse": not args.no_outer_reuse,
+        "apply_data_layout": not args.no_layout,
+        "narrow_bitwidths": args.narrow,
+    }
+    if args.register_cap is not None:
+        pipeline["register_cap"] = args.register_cap
+    manifest = parse_manifest({
+        "defaults": {"board": _board_name(args.board), "pipeline": pipeline},
+        "jobs": [{"program": spec} for spec in args.program],
+    }, source="<explore --parallel>", base_dir=Path.cwd())
+    return _drive_batch(manifest, args.jobs, args.cache, args.trace,
+                        timeout=None, json_path=None)
+
+
+def _run_batch(args) -> int:
+    from repro.service import load_manifest
+    manifest = load_manifest(Path(args.manifest))
+    return _drive_batch(manifest, args.jobs, args.cache, args.trace,
+                        timeout=args.timeout, json_path=args.json)
+
+
+def _drive_batch(manifest, jobs, cache, trace, timeout, json_path) -> int:
+    from repro.report import batch_summary_table
+    from repro.service import BatchRunner, Telemetry
+    with Telemetry(Path(trace) if trace else None) as telemetry:
+        runner = BatchRunner(
+            manifest,
+            workers=jobs,
+            cache_path=Path(cache) if cache else None,
+            telemetry=telemetry,
+            default_timeout_s=timeout,
+        )
+        result = runner.run()
+    print(result.report())
+    print()
+    print(batch_summary_table(result.summary).render())
+    if trace:
+        print(f"wrote {trace}")
+    if json_path:
+        summary = {
+            "summary": result.summary,
+            "jobs": [
+                {
+                    "id": job.spec.id,
+                    "status": job.status,
+                    "attempts": job.attempts,
+                    **({"error": job.error} if job.error else {}),
+                    **(job.payload or {}),
+                }
+                for job in result.results
+            ],
+        }
+        Path(json_path).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {json_path}")
+    return 0 if result.all_ok else 1
+
+
+def _board_name(name: str) -> str:
+    """Normalize a CLI board alias to the manifest vocabulary."""
+    if name in ("pipelined", "p"):
+        return "pipelined"
+    if name in ("nonpipelined", "non-pipelined", "np"):
+        return "nonpipelined"
+    raise ReproError(f"unknown board {name!r}; use pipelined or nonpipelined")
 
 
 def _run_compile(args, program, board, options) -> int:

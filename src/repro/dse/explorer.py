@@ -83,6 +83,7 @@ def explore(
     pipeline_options: Optional[PipelineOptions] = None,
     library: Optional[OperatorLibrary] = None,
     pinned_depths: Optional[Tuple[int, ...]] = None,
+    estimate_cache: Optional["EstimateCache"] = None,
 ) -> ExplorationResult:
     """Run the full DEFACTO design space exploration for one loop nest.
 
@@ -95,13 +96,21 @@ def explore(
         pinned_depths: loops to exclude from unrolling entirely; when
             omitted, loops that add no memory parallelism are pinned
             automatically (the paper fixes MM's innermost loop this way).
+        estimate_cache: pluggable evaluation backend — a
+            :class:`repro.synthesis.EstimateCache` (or compatible
+            object with a ``synthesize(program, board, plan, library)``
+            method) that serves estimates instead of direct synthesis.
+            The batch service passes a process-shared cache here.
 
     Returns an :class:`ExplorationResult`; ``result.selected`` carries
     the chosen design (transformed program, layout plan, estimate).
     """
     # A first space to discover the saturation structure, possibly
     # re-created with automatic pins.
-    space = DesignSpace(program, board, pipeline_options, library, pinned_depths)
+    space = DesignSpace(
+        program, board, pipeline_options, library, pinned_depths,
+        estimate_cache=estimate_cache,
+    )
     searcher = BalanceGuidedSearch(space, search_options)
     if pinned_depths is None:
         varying = set(searcher.saturation.memory_varying_depths)
@@ -110,7 +119,8 @@ def explore(
         )
         if auto_pins:
             space = DesignSpace(
-                program, board, pipeline_options, library, auto_pins
+                program, board, pipeline_options, library, auto_pins,
+                estimate_cache=estimate_cache,
             )
             searcher = BalanceGuidedSearch(space, search_options)
 

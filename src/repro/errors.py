@@ -76,3 +76,11 @@ class CapacityError(SynthesisError):
 
 class SearchError(ReproError):
     """The design space exploration was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The batch exploration service was misconfigured.
+
+    Examples: a job manifest that fails validation, an unknown board
+    name in a job entry, a manifest file that is not valid JSON.
+    """

@@ -114,6 +114,32 @@ def _format_cell(cell: Cell) -> str:
     return str(cell)
 
 
+def batch_summary_table(summary: Dict[str, object],
+                        title: str = "batch summary") -> Table:
+    """Render a batch-service metrics summary (see
+    :func:`repro.service.telemetry.summarize_events`) as a two-column
+    metric/value table, phases included as indented rows."""
+    table = Table(title, ["Metric", "Value"])
+    table.add_row("jobs", summary.get("jobs", 0))
+    table.add_row("succeeded", summary.get("succeeded", 0))
+    table.add_row("failed", summary.get("failed", 0))
+    table.add_row("retries", summary.get("retries", 0))
+    table.add_row("points synthesized", summary.get("points_synthesized", 0))
+    hits = summary.get("cache_hits", 0)
+    misses = summary.get("cache_misses", 0)
+    table.add_row("cache hits", hits)
+    table.add_row("cache misses", misses)
+    lookups = (hits or 0) + (misses or 0)
+    table.add_row("cache hit rate", (hits / lookups) if lookups else 0.0)
+    table.add_row("job wall seconds", summary.get("wall_seconds", 0.0))
+    phases = summary.get("phase_seconds", {}) or {}
+    for phase in sorted(phases):
+        table.add_row(f"  phase: {phase}", phases[phase])
+    if summary.get("serial_fallbacks"):
+        table.add_row("serial fallbacks", summary["serial_fallbacks"])
+    return table
+
+
 def speedup_table(results: Dict[str, Dict[str, float]], title: str) -> Table:
     """Render the Table-2 layout: kernels x {non-pipelined, pipelined}."""
     table = Table(title, ["Program", "Non-Pipelined", "Pipelined"])

@@ -1,0 +1,33 @@
+"""Batch exploration service: many explorations, one managed run.
+
+The paper's insight is that synthesis estimation is the scarce resource;
+this subsystem treats design space exploration as a service over many
+concurrent evaluations.  A JSON *manifest* of jobs (program x board x
+options) fans out across a ``concurrent.futures`` process pool, workers
+pool their synthesis estimates through one crash-safe shared cache, and
+every scheduling decision lands in a structured JSONL trace:
+
+    manifest -> queue -> workers -> shared estimate cache
+                   \\-> telemetry (JSONL + summary table)
+
+Entry points: the :class:`BatchRunner` engine (or :func:`run_batch`
+convenience wrapper) from Python, and ``python -m repro batch
+manifest.json --jobs N --cache estimates.json --trace trace.jsonl`` from
+the shell.  The engine guarantees determinism — parallelism changes wall
+time and cache counters, never which designs are selected.
+"""
+
+from repro.service.jobs import BatchManifest, JobSpec, load_manifest, parse_manifest
+from repro.service.runner import BatchResult, BatchRunner, JobResult, run_batch
+from repro.service.shared_cache import FileLock, SharedEstimateCache
+from repro.service.telemetry import (
+    Telemetry, TelemetryEvent, read_trace, summarize_events,
+)
+from repro.service.worker import execute_job
+
+__all__ = [
+    "BatchManifest", "BatchResult", "BatchRunner", "FileLock", "JobResult",
+    "JobSpec", "SharedEstimateCache", "Telemetry", "TelemetryEvent",
+    "execute_job", "load_manifest", "parse_manifest", "read_trace",
+    "run_batch", "summarize_events",
+]

@@ -1,0 +1,235 @@
+"""Job manifests: what the batch engine runs.
+
+A *job* is one complete exploration — a program (built-in kernel or
+C-subset source file) on one board with one set of search and pipeline
+options.  A *manifest* is an ordered list of jobs plus shared defaults,
+written as JSON::
+
+    {
+      "defaults": {"board": "pipelined", "timeout_s": 300},
+      "jobs": [
+        {"program": "kernel:fir"},
+        {"program": "kernel:mm", "board": "nonpipelined",
+         "search": {"balance_tolerance": 0.05}},
+        {"program": "designs/sobel.c",
+         "pipeline": {"narrow_bitwidths": true}}
+      ]
+    }
+
+A bare JSON list is also accepted as shorthand for ``{"jobs": [...]}``,
+and a job may be just the program string.  Everything here is plain
+data: a :class:`JobSpec` crosses process boundaries as a primitives-only
+payload dict, and the worker re-resolves programs, boards, and options
+on its own side of the pipe, so no IR objects are ever pickled.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+
+#: Manifest/job keys accepted by :func:`parse_manifest`.
+_JOB_KEYS = {
+    "id", "program", "board", "search", "pipeline", "timeout_s", "max_attempts",
+}
+_MANIFEST_KEYS = {"defaults", "jobs"}
+_DEFAULT_KEYS = _JOB_KEYS - {"id", "program"}
+_SEARCH_KEYS = {"balance_tolerance", "max_iterations"}
+_PIPELINE_KEYS = {
+    "exploit_outer_reuse", "register_cap", "apply_data_layout",
+    "run_licm", "narrow_bitwidths",
+}
+_BOARDS = ("pipelined", "nonpipelined")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One exploration request, as plain picklable data.
+
+    Attributes:
+        id: unique name within the manifest (generated when omitted).
+        program: ``kernel:<name>`` or a path to a C-subset source file.
+        board: ``pipelined`` or ``nonpipelined`` (WildStar presets).
+        search: overrides for :class:`repro.dse.SearchOptions` fields.
+        pipeline: overrides for :class:`repro.transform.PipelineOptions`
+            fields (primitive-valued ones only).
+        timeout_s: per-job wall-clock limit; enforced only when the job
+            runs in a worker process (serial execution cannot preempt).
+        max_attempts: total tries before the job is reported failed.
+    """
+
+    id: str
+    program: str
+    board: str = "pipelined"
+    search: Tuple[Tuple[str, Any], ...] = ()
+    pipeline: Tuple[Tuple[str, Any], ...] = ()
+    timeout_s: Optional[float] = None
+    max_attempts: int = 2
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The primitives-only dict shipped to worker processes."""
+        return {
+            "id": self.id,
+            "program": self.program,
+            "board": self.board,
+            "search": dict(self.search),
+            "pipeline": dict(self.pipeline),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "JobSpec":
+        """Rebuild a spec on the worker side of the pipe."""
+        return cls(
+            id=payload["id"],
+            program=payload["program"],
+            board=payload.get("board", "pipelined"),
+            search=tuple(sorted(payload.get("search", {}).items())),
+            pipeline=tuple(sorted(payload.get("pipeline", {}).items())),
+        )
+
+
+@dataclass(frozen=True)
+class BatchManifest:
+    """An ordered, validated collection of jobs."""
+
+    jobs: Tuple[JobSpec, ...]
+    source: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+
+def load_manifest(path: Path) -> BatchManifest:
+    """Parse and validate a manifest JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise ServiceError(f"no such manifest: {path}")
+    try:
+        raw = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ServiceError(f"manifest {path} is not valid JSON: {error}") from None
+    return parse_manifest(raw, source=str(path), base_dir=path.parent)
+
+
+def parse_manifest(
+    raw: Any,
+    source: Optional[str] = None,
+    base_dir: Optional[Path] = None,
+) -> BatchManifest:
+    """Validate a decoded manifest object into a :class:`BatchManifest`.
+
+    ``base_dir`` anchors relative source-file paths (the manifest's own
+    directory when loaded from disk), so a manifest works no matter
+    where the engine is launched from.
+    """
+    if isinstance(raw, list):
+        raw = {"jobs": raw}
+    if not isinstance(raw, dict):
+        raise ServiceError("manifest must be a JSON object or list of jobs")
+    unknown = set(raw) - _MANIFEST_KEYS
+    if unknown:
+        raise ServiceError(f"unknown manifest keys: {sorted(unknown)}")
+    defaults = raw.get("defaults", {})
+    _check_keys("defaults", defaults, _DEFAULT_KEYS)
+    entries = raw.get("jobs")
+    if not isinstance(entries, list) or not entries:
+        raise ServiceError("manifest needs a non-empty 'jobs' list")
+
+    jobs: List[JobSpec] = []
+    seen_ids = set()
+    for position, entry in enumerate(entries):
+        if isinstance(entry, str):
+            entry = {"program": entry}
+        if not isinstance(entry, dict):
+            raise ServiceError(
+                f"job {position} must be an object or a program string"
+            )
+        _check_keys(f"job {position}", entry, _JOB_KEYS)
+        merged = {**defaults, **entry}
+        spec = _build_job(position, merged, base_dir)
+        if spec.id in seen_ids:
+            raise ServiceError(f"duplicate job id {spec.id!r}")
+        seen_ids.add(spec.id)
+        jobs.append(spec)
+    return BatchManifest(jobs=tuple(jobs), source=source)
+
+
+def _build_job(
+    position: int, entry: Mapping[str, Any], base_dir: Optional[Path]
+) -> JobSpec:
+    program = entry.get("program")
+    if not isinstance(program, str) or not program:
+        raise ServiceError(f"job {position} needs a 'program' string")
+    program = _resolve_program(position, program, base_dir)
+
+    board = entry.get("board", "pipelined")
+    if board not in _BOARDS:
+        raise ServiceError(
+            f"job {position}: unknown board {board!r}; expected one of {_BOARDS}"
+        )
+
+    search = entry.get("search", {})
+    _check_keys(f"job {position} search", search, _SEARCH_KEYS)
+    pipeline = entry.get("pipeline", {})
+    _check_keys(f"job {position} pipeline", pipeline, _PIPELINE_KEYS)
+
+    timeout_s = entry.get("timeout_s")
+    if timeout_s is not None and (
+        not isinstance(timeout_s, (int, float)) or timeout_s <= 0
+    ):
+        raise ServiceError(f"job {position}: timeout_s must be positive")
+    max_attempts = entry.get("max_attempts", 2)
+    if not isinstance(max_attempts, int) or max_attempts < 1:
+        raise ServiceError(f"job {position}: max_attempts must be >= 1")
+
+    job_id = entry.get("id") or _default_id(position, program, board)
+    return JobSpec(
+        id=str(job_id),
+        program=program,
+        board=board,
+        search=tuple(sorted(search.items())),
+        pipeline=tuple(sorted(pipeline.items())),
+        timeout_s=timeout_s,
+        max_attempts=max_attempts,
+    )
+
+
+def _resolve_program(
+    position: int, program: str, base_dir: Optional[Path]
+) -> str:
+    """Fail fast on unknown kernels and missing source files."""
+    if program.startswith("kernel:"):
+        from repro.kernels import kernel_by_name
+        try:
+            kernel_by_name(program.split(":", 1)[1])
+        except KeyError as error:
+            raise ServiceError(f"job {position}: {error.args[0]}") from None
+        return program
+    path = Path(program)
+    if not path.is_absolute() and base_dir is not None:
+        path = Path(base_dir) / path
+    if not path.exists():
+        raise ServiceError(f"job {position}: no such program file: {program}")
+    return str(path)
+
+
+def _default_id(position: int, program: str, board: str) -> str:
+    stem = program.split(":", 1)[1] if program.startswith("kernel:") else (
+        Path(program).stem
+    )
+    return f"job{position}-{stem}-{board}"
+
+
+def _check_keys(context: str, mapping: Any, allowed: set) -> None:
+    if not isinstance(mapping, dict):
+        raise ServiceError(f"{context} must be an object")
+    unknown = set(mapping) - allowed
+    if unknown:
+        raise ServiceError(f"{context}: unknown keys {sorted(unknown)}")

@@ -1,0 +1,336 @@
+"""The batch exploration engine: queue -> workers -> results.
+
+:class:`BatchRunner` takes a validated manifest and drives every job to
+a terminal state.  Scheduling is wave-based: each wave submits all
+runnable jobs to a fresh ``concurrent.futures`` process pool, collects
+completions, and carries failures (worker exceptions, crashed worker
+processes, per-job timeouts) into the next wave until each job either
+succeeds or exhausts its ``max_attempts``.  A fresh pool per wave keeps
+the failure semantics simple and honest: a hung or crashed worker can
+poison a pool, and recycling the pool is the only reliable reclaim.
+
+Degradation is graceful and explicit: with ``workers <= 1``, or when a
+process pool cannot be created at all (restricted environments), jobs
+run serially in-process through the *same* worker function, a
+``pool_unavailable`` event is emitted, and only timeout preemption is
+lost.
+
+Determinism guarantee: jobs are independent and each exploration is a
+deterministic function of its job spec, and the shared cache is
+value-transparent (fingerprint keys cover every input to an estimate).
+Parallel execution therefore changes wall time and cache hit/miss
+counters, never selections — ``--jobs 8`` picks bit-identical designs
+to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.service.jobs import BatchManifest, JobSpec
+from repro.service.telemetry import Telemetry
+from repro.service.worker import execute_job
+
+#: How often the coordinator wakes to check deadlines (seconds).
+_POLL_S = 0.05
+
+
+@dataclass
+class JobResult:
+    """Terminal state of one job after the engine is done with it."""
+
+    spec: JobSpec
+    status: str                       # "ok" | "failed"
+    attempts: int
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class BatchResult:
+    """Everything a batch run produced, jobs in manifest order."""
+
+    results: List[JobResult]
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> List[JobResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> List[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.failed
+
+    def report(self) -> str:
+        """One line per job plus failure details — the CLI's output."""
+        lines = []
+        for result in self.results:
+            if result.ok:
+                payload = result.payload
+                unroll = ",".join(str(f) for f in payload["selected_unroll"])
+                lines.append(
+                    f"{result.spec.id}: U={unroll} {payload['cycles']} cycles "
+                    f"{payload['space']} slices speedup {payload['speedup']:.2f}x "
+                    f"({payload['points_searched']} of "
+                    f"{payload['design_space_size']} points)"
+                )
+            else:
+                lines.append(
+                    f"{result.spec.id}: FAILED after {result.attempts} "
+                    f"attempt(s): {result.error}"
+                )
+        return "\n".join(lines)
+
+
+class BatchRunner:
+    """Fans a manifest's jobs out over a process pool.
+
+    Args:
+        manifest: the validated jobs to run.
+        workers: process-pool size; ``<= 1`` means serial in-process.
+        cache_path: shared estimate cache file (optional but what makes
+            the engine pay off across jobs and runs).
+        telemetry: event sink; a silent in-memory one is created when
+            omitted.
+        worker: the job-execution callable — injectable for tests; must
+            be picklable (module-level) when ``workers > 1``.
+        default_timeout_s: per-job timeout for jobs that do not set
+            their own; only enforceable in pool mode.
+    """
+
+    def __init__(
+        self,
+        manifest: BatchManifest,
+        workers: int = 1,
+        cache_path: Optional[Path] = None,
+        telemetry: Optional[Telemetry] = None,
+        worker: Callable[..., Dict[str, Any]] = execute_job,
+        default_timeout_s: Optional[float] = None,
+    ):
+        self.manifest = manifest
+        self.workers = max(1, int(workers))
+        self.cache_path = str(cache_path) if cache_path else None
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.worker = worker
+        self.default_timeout_s = default_timeout_s
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self) -> BatchResult:
+        """Drive every job to success or exhaustion; never raises for
+        job-level failures (they are reported in the result)."""
+        self.telemetry.emit(
+            "batch_start",
+            jobs=len(self.manifest),
+            workers=self.workers,
+            cache=self.cache_path,
+            manifest=self.manifest.source,
+        )
+        results: Dict[str, JobResult] = {}
+        queue: List[Tuple[JobSpec, int]] = [
+            (spec, 1) for spec in self.manifest.jobs
+        ]
+        if self.workers <= 1:
+            self._run_serial(queue, results)
+        else:
+            self._run_pool(queue, results)
+        ordered = [results[spec.id] for spec in self.manifest.jobs]
+        batch = BatchResult(results=ordered, summary=self.telemetry.summary())
+        self.telemetry.emit(
+            "batch_finish",
+            succeeded=len(batch.succeeded),
+            failed=len(batch.failed),
+            cache_hits=batch.summary.get("cache_hits", 0),
+            cache_misses=batch.summary.get("cache_misses", 0),
+            points_synthesized=batch.summary.get("points_synthesized", 0),
+        )
+        return batch
+
+    # -- serial path ----------------------------------------------------------
+
+    def _run_serial(
+        self, queue: List[Tuple[JobSpec, int]], results: Dict[str, JobResult]
+    ) -> None:
+        """In-process execution: same worker function, no preemption."""
+        pending = list(queue)
+        while pending:
+            spec, attempt = pending.pop(0)
+            self.telemetry.emit("job_start", job_id=spec.id, attempt=attempt)
+            try:
+                payload = self.worker(spec.to_payload(), self.cache_path)
+            except Exception as error:  # noqa: BLE001 - isolate job failures
+                self._note_failure(
+                    spec, attempt, f"{type(error).__name__}: {error}",
+                    pending, results,
+                )
+                continue
+            self._note_success(spec, attempt, payload, results)
+
+    # -- pool path ------------------------------------------------------------
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        """Build the wave's pool; overridable/injectable for tests."""
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _run_pool(
+        self, queue: List[Tuple[JobSpec, int]], results: Dict[str, JobResult]
+    ) -> None:
+        pending = list(queue)
+        while pending:
+            try:
+                executor = self._make_executor()
+            except Exception as error:  # noqa: BLE001 - degrade, don't die
+                self.telemetry.emit(
+                    "pool_unavailable", error=f"{type(error).__name__}: {error}"
+                )
+                self._run_serial(pending, results)
+                return
+            pending = self._run_wave(executor, pending, results)
+
+    def _run_wave(
+        self,
+        executor: ProcessPoolExecutor,
+        wave: List[Tuple[JobSpec, int]],
+        results: Dict[str, JobResult],
+    ) -> List[Tuple[JobSpec, int]]:
+        """Submit one wave; returns the retry list for the next wave.
+
+        Any timeout or worker crash marks the pool dirty: it is shut
+        down without waiting (the stuck process cannot be reclaimed
+        through the executor API) and the next wave gets a fresh one.
+        """
+        retry: List[Tuple[JobSpec, int]] = []
+        info: Dict[Any, Tuple[JobSpec, int, float]] = {}
+        for spec, attempt in wave:
+            self.telemetry.emit("job_start", job_id=spec.id, attempt=attempt)
+            future = executor.submit(
+                self.worker, spec.to_payload(), self.cache_path
+            )
+            info[future] = (spec, attempt, time.monotonic())
+
+        dirty = False
+        outstanding = set(info)
+        while outstanding:
+            done, outstanding = wait(
+                outstanding, timeout=_POLL_S, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                spec, attempt, _t0 = info.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    # The culprit cannot be identified from outside, so
+                    # every job caught in the broken pool retries.
+                    dirty = True
+                    self._note_failure(
+                        spec, attempt, "worker process crashed",
+                        retry, results,
+                    )
+                except Exception as error:  # noqa: BLE001 - per-job isolation
+                    self._note_failure(
+                        spec, attempt, f"{type(error).__name__}: {error}",
+                        retry, results,
+                    )
+                else:
+                    self._note_success(spec, attempt, payload, results)
+            # deadline sweep over the still-running futures
+            now = time.monotonic()
+            for future in list(outstanding):
+                spec, attempt, t0 = info[future]
+                timeout_s = (
+                    spec.timeout_s
+                    if spec.timeout_s is not None else self.default_timeout_s
+                )
+                if timeout_s is None or now - t0 <= timeout_s:
+                    continue
+                info.pop(future)
+                outstanding.discard(future)
+                if not future.cancel():
+                    dirty = True  # already running: pool must be recycled
+                self._note_failure(
+                    spec, attempt, f"timed out after {timeout_s:.1f}s",
+                    retry, results,
+                )
+        if dirty:
+            executor.shutdown(wait=False, cancel_futures=True)
+        else:
+            executor.shutdown(wait=True)
+        return retry
+
+    # -- shared bookkeeping ----------------------------------------------------
+
+    def _note_success(
+        self,
+        spec: JobSpec,
+        attempt: int,
+        payload: Dict[str, Any],
+        results: Dict[str, JobResult],
+    ) -> None:
+        finish_fields = {
+            key: payload.get(key)
+            for key in (
+                "program", "board", "cycles", "space", "speedup",
+                "points_searched", "design_space_size",
+                "cache_hits", "cache_misses", "wall_seconds", "phase_seconds",
+            )
+        }
+        self.telemetry.emit(
+            "job_finish", job_id=spec.id, attempt=attempt,
+            selected_unroll=payload.get("selected_unroll"), **finish_fields,
+        )
+        results[spec.id] = JobResult(
+            spec=spec, status="ok", attempts=attempt, payload=payload,
+        )
+
+    def _note_failure(
+        self,
+        spec: JobSpec,
+        attempt: int,
+        reason: str,
+        retry: List[Tuple[JobSpec, int]],
+        results: Dict[str, JobResult],
+    ) -> None:
+        if attempt < spec.max_attempts:
+            self.telemetry.emit(
+                "job_retry", job_id=spec.id, attempt=attempt, reason=reason,
+            )
+            retry.append((spec, attempt + 1))
+            return
+        self.telemetry.emit(
+            "job_failed", job_id=spec.id, attempt=attempt, reason=reason,
+        )
+        results[spec.id] = JobResult(
+            spec=spec, status="failed", attempts=attempt, error=reason,
+        )
+
+
+def run_batch(
+    manifest: BatchManifest,
+    workers: int = 1,
+    cache_path: Optional[Path] = None,
+    trace_path: Optional[Path] = None,
+    default_timeout_s: Optional[float] = None,
+) -> BatchResult:
+    """One-call convenience wrapper: build telemetry, run, close."""
+    with Telemetry(trace_path) as telemetry:
+        runner = BatchRunner(
+            manifest,
+            workers=workers,
+            cache_path=cache_path,
+            telemetry=telemetry,
+            default_timeout_s=default_timeout_s,
+        )
+        return runner.run()

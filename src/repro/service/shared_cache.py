@@ -1,0 +1,132 @@
+"""A process-shared estimate cache.
+
+Synthesis estimates are the expensive resource (the paper's premise), so
+parallel workers must pool what they learn.  Plain
+:class:`~repro.synthesis.cache.EstimateCache` instances pointed at one
+file would clobber each other: last writer wins and every other worker's
+estimates are lost.  :class:`SharedEstimateCache` fixes the write side —
+``save()`` takes an exclusive file lock, re-reads what other workers
+persisted meanwhile, merges, and atomically replaces the file — so the
+cache only ever grows.
+
+Merging is safe because entries are value-transparent: the fingerprint
+key covers everything an estimate depends on, so two processes can only
+ever write identical payloads under the same key.  That is also why the
+engine's determinism guarantee holds — sharing the cache changes hit/miss
+counters and wall time, never results.
+
+Locking uses ``fcntl.flock`` on a sibling ``<cache>.lock`` file where
+available, falling back to an atomic mkdir spin-lock elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.synthesis.cache import EstimateCache, load_entries
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback exercised via flag
+    fcntl = None
+
+
+class FileLock:
+    """An exclusive inter-process lock tied to a filesystem path.
+
+    Reentrant within one instance is *not* supported — use one lock per
+    critical section.  With ``fcntl`` the lock dies with the process, so
+    a killed worker cannot leave the cache wedged; the mkdir fallback
+    additionally honors ``stale_s`` to break locks left by crashes.
+    """
+
+    def __init__(self, path: Path, timeout_s: float = 30.0, stale_s: float = 60.0):
+        self.path = Path(path)
+        self.timeout_s = timeout_s
+        self.stale_s = stale_s
+        self._handle = None
+        self._use_fcntl = fcntl is not None
+
+    def acquire(self) -> None:
+        """Block until the lock is held (or raise ``TimeoutError``)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._use_fcntl:
+            handle = open(self.path, "a+")
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            self._handle = handle
+            return
+        deadline = time.monotonic() + self.timeout_s
+        lock_dir = self.path.with_suffix(self.path.suffix + ".d")
+        while True:
+            try:
+                os.mkdir(lock_dir)
+                self._handle = lock_dir
+                return
+            except FileExistsError:
+                try:
+                    age = time.time() - lock_dir.stat().st_mtime
+                    if age > self.stale_s:
+                        os.rmdir(lock_dir)
+                        continue
+                except OSError:
+                    pass
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"could not lock {self.path}") from None
+                time.sleep(0.01)
+
+    def release(self) -> None:
+        """Release the lock if held; never raises."""
+        if self._handle is None:
+            return
+        try:
+            if self._use_fcntl:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+                self._handle.close()
+            else:
+                os.rmdir(self._handle)
+        except OSError:
+            pass
+        self._handle = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class SharedEstimateCache(EstimateCache):
+    """An :class:`EstimateCache` safe for many concurrent processes.
+
+    Reads stay lock-free (a snapshot is loaded at construction and on
+    :meth:`refresh`); only persistence takes the lock.  ``save()`` is
+    merge-on-write: lock, re-read the file, adopt entries other workers
+    added, write the union atomically, unlock.
+    """
+
+    def __init__(self, path: Path, lock_timeout_s: float = 30.0):
+        super().__init__(path)
+        self._lock_path = self.path.with_suffix(self.path.suffix + ".lock")
+        self._lock_timeout_s = lock_timeout_s
+
+    def _make_lock(self) -> FileLock:
+        return FileLock(self._lock_path, timeout_s=self._lock_timeout_s)
+
+    def refresh(self) -> int:
+        """Adopt entries other workers have persisted since our last
+        look.  Returns how many new entries arrived."""
+        before = len(self._entries)
+        with self._make_lock():
+            self.merge(load_entries(self.path))
+        return len(self._entries) - before
+
+    def save(self) -> None:
+        """Merge-on-write persistence: the file ends up holding the
+        union of every saver's entries, whatever the interleaving."""
+        with self._make_lock():
+            self.merge(load_entries(self.path))
+            super().save()

@@ -1,0 +1,119 @@
+"""The per-job execution function that runs inside worker processes.
+
+:func:`execute_job` is the unit of work the batch engine distributes: it
+rebuilds the program, board, and options from a primitives-only payload
+(nothing rich crosses the pipe inbound), runs the full exploration, and
+returns a primitives-only result dict (nothing rich crosses back out
+either — ``CompiledDesign`` IR stays in the worker).  The same function
+runs unchanged in-process when the engine degrades to serial execution,
+so both paths share one code path and one telemetry shape.
+
+Each invocation opens its own :class:`SharedEstimateCache` view of the
+shared cache file and saves (merge-on-write) before returning, so
+estimates learned by one job are visible to jobs scheduled later.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.service.jobs import JobSpec
+from repro.service.shared_cache import SharedEstimateCache
+
+
+def resolve_board(name: str):
+    """A board preset from its manifest name."""
+    from repro.target import wildstar_nonpipelined, wildstar_pipelined
+    if name == "pipelined":
+        return wildstar_pipelined()
+    if name == "nonpipelined":
+        return wildstar_nonpipelined()
+    from repro.errors import ServiceError
+    raise ServiceError(f"unknown board {name!r}")
+
+
+def load_program(spec: str) -> Tuple[Any, Optional[Any]]:
+    """``(program, kernel-or-None)`` from ``kernel:<name>`` or a path."""
+    from repro.errors import ServiceError
+    from repro.frontend import compile_source
+    from repro.kernels import kernel_by_name
+    if spec.startswith("kernel:"):
+        try:
+            kernel = kernel_by_name(spec.split(":", 1)[1])
+        except KeyError as error:
+            raise ServiceError(error.args[0]) from None
+        return kernel.program(), kernel
+    path = Path(spec)
+    if not path.exists():
+        raise ServiceError(f"no such program file: {spec}")
+    return compile_source(path.read_text(), name=path.stem), None
+
+
+def build_options(spec: JobSpec, kernel) -> Tuple[Any, Any]:
+    """(SearchOptions, PipelineOptions) from a spec's override maps."""
+    from repro.dse import SearchOptions
+    from repro.transform import PipelineOptions
+    search = SearchOptions(**dict(spec.search))
+    pipeline_overrides = dict(spec.pipeline)
+    options = PipelineOptions(**pipeline_overrides)
+    if options.narrow_bitwidths and kernel is not None:
+        options.input_value_ranges = kernel.value_ranges()
+    return search, options
+
+
+def execute_job(
+    payload: Mapping[str, Any], cache_path: Optional[str] = None
+) -> Dict[str, Any]:
+    """Run one exploration job; returns the primitives-only result dict.
+
+    The dict carries everything the coordinator reports: the selection
+    (unroll/cycles/space/balance), baseline and speedup, search effort
+    (points vs design-space size), the narrative trace, this job's cache
+    hit/miss counters, and wall seconds split by phase.
+    """
+    spec = JobSpec.from_payload(payload)
+    t_start = time.perf_counter()
+    program, kernel = load_program(spec.program)
+    board = resolve_board(spec.board)
+    search_options, pipeline_options = build_options(spec, kernel)
+    t_loaded = time.perf_counter()
+
+    cache = SharedEstimateCache(Path(cache_path)) if cache_path else None
+    from repro.dse import explore
+    result = explore(
+        program, board,
+        search_options=search_options,
+        pipeline_options=pipeline_options,
+        estimate_cache=cache,
+    )
+    t_explored = time.perf_counter()
+    if cache is not None:
+        cache.save()
+    t_saved = time.perf_counter()
+
+    return {
+        "job_id": spec.id,
+        "program": result.program_name,
+        "board": result.board_name,
+        "selected_unroll": list(result.selected.unroll),
+        "cycles": result.selected.cycles,
+        "space": result.selected.space,
+        "balance": result.selected.balance,
+        "baseline_cycles": result.baseline.cycles,
+        "baseline_space": result.baseline.space,
+        "speedup": result.speedup,
+        "points_searched": result.points_searched,
+        "design_space_size": result.design_space_size,
+        "trace": [str(step) for step in result.search.trace],
+        "cache_hits": cache.hits if cache is not None else 0,
+        "cache_misses": cache.misses if cache is not None else 0,
+        "wall_seconds": t_saved - t_start,
+        "phase_seconds": {
+            "load": t_loaded - t_start,
+            "explore": t_explored - t_loaded,
+            "cache_save": t_saved - t_explored,
+        },
+        "report": result.report(),
+    }

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -32,14 +34,9 @@ class EstimateCache:
 
     def __init__(self, path: Path):
         self.path = Path(path)
-        self._entries: Dict[str, dict] = {}
+        self._entries: Dict[str, dict] = load_entries(self.path)
         self.hits = 0
         self.misses = 0
-        if self.path.exists():
-            try:
-                self._entries = json.loads(self.path.read_text())
-            except (json.JSONDecodeError, OSError):
-                self._entries = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -94,14 +91,64 @@ class EstimateCache:
         return estimate
 
     def save(self) -> None:
+        """Persist atomically: write a sibling temp file, then
+        ``os.replace`` it into place.  A worker killed mid-save leaves
+        either the old file or the new one — never a truncated JSON that
+        would poison later runs (truncated files load as empty anyway,
+        see :func:`load_entries`)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(self._entries, indent=1))
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=self.path.parent, prefix=self.path.name + ".",
+            suffix=".tmp", delete=False,
+        )
+        try:
+            with handle as stream:
+                json.dump(self._entries, stream, indent=1)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(handle.name, self.path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def merge(self, entries: Dict[str, dict]) -> None:
+        """Adopt entries computed elsewhere (another process's cache).
+
+        Existing keys win: a fingerprint determines its estimate, so a
+        collision carries the same payload and keeping ours avoids
+        churn."""
+        for key, entry in entries.items():
+            self._entries.setdefault(key, entry)
+
+    @property
+    def entries(self) -> Dict[str, dict]:
+        """A snapshot of the raw fingerprint -> estimate-dict map."""
+        return dict(self._entries)
 
     def __enter__(self) -> "EstimateCache":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.save()
+
+
+def load_entries(path: Path) -> Dict[str, dict]:
+    """Read a cache file's raw entry map, treating every failure mode —
+    missing file, truncated/corrupt JSON, or JSON of the wrong shape —
+    as an empty cache.  A killed worker can therefore never poison later
+    runs; the worst outcome is re-synthesizing."""
+    try:
+        loaded = json.loads(Path(path).read_text())
+    except (json.JSONDecodeError, OSError):
+        return {}
+    if not isinstance(loaded, dict):
+        return {}
+    return {
+        key: entry for key, entry in loaded.items() if isinstance(entry, dict)
+    }
 
 
 def _encode(estimate: Estimate) -> dict:

@@ -1,0 +1,27 @@
+"""Target platform models: FPGA devices, memory systems, boards.
+
+The paper's experiments are parameterized by exactly one platform — the
+Annapolis WildStar board (Section 6.1): one Xilinx Virtex 1000 FPGA
+(12,288 slices of configurable logic) attached to four external SRAMs,
+clocked at 40 ns (25 MHz).  The memories run in one of two modes, and
+Table 2 reports both columns:
+
+* **non-pipelined** — a read takes 7 cycles, a write 3, and the port is
+  busy for the whole access;
+* **pipelined** — accesses stream back to back, one per cycle.
+
+:func:`wildstar_pipelined` and :func:`wildstar_nonpipelined` build those
+two presets; :class:`Board` composes arbitrary FPGA/memory combinations
+for the parameterization studies.
+"""
+
+from repro.target.board import Board, wildstar_nonpipelined, wildstar_pipelined
+from repro.target.fpga import FPGAModel, virtex_300, virtex_1000
+from repro.target.memory import MemoryModel, nonpipelined_memory, pipelined_memory
+
+__all__ = [
+    "Board", "FPGAModel", "MemoryModel",
+    "nonpipelined_memory", "pipelined_memory",
+    "virtex_1000", "virtex_300",
+    "wildstar_nonpipelined", "wildstar_pipelined",
+]

@@ -1,0 +1,78 @@
+"""Board models: an FPGA plus external memories plus a clock.
+
+The Annapolis WildStar board of Section 6.1 pairs one Virtex 1000 with
+four external SRAMs at a 40 ns (25 MHz) clock — "the compiler currently
+fixes the clock period to be 40ns" (Section 6.2).  The two presets below
+differ only in the memory mode, which is exactly how Table 2 presents
+its two columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.target.fpga import FPGAModel, virtex_1000
+from repro.target.memory import MemoryModel, nonpipelined_memory, pipelined_memory
+
+
+@dataclass(frozen=True)
+class Board:
+    """One synthesis target: FPGA + memory system + clock.
+
+    Attributes:
+        name: board name used in reports and cache fingerprints.
+        fpga: the device model (capacity constraint).
+        memory: timing of every external memory port.
+        num_memories: externally attached memories — the upper bound on
+            memory parallelism that saturation analysis works toward.
+        clock_ns: the fixed design clock period in nanoseconds.
+    """
+
+    name: str
+    fpga: FPGAModel
+    memory: MemoryModel
+    num_memories: int = 4
+    clock_ns: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.num_memories < 1:
+            raise ValueError(
+                f"board {self.name!r} needs at least one memory, "
+                f"got {self.num_memories}"
+            )
+        if self.clock_ns <= 0:
+            raise ValueError(
+                f"board {self.name!r} needs a positive clock period, "
+                f"got {self.clock_ns}"
+            )
+
+    @property
+    def clock_mhz(self) -> float:
+        """Clock frequency in MHz (25 MHz at the paper's 40 ns)."""
+        return 1000.0 / self.clock_ns
+
+    def seconds(self, cycles: int) -> float:
+        """Wall-clock execution time of ``cycles`` at this board's clock."""
+        return cycles * self.clock_ns * 1e-9
+
+
+def wildstar_pipelined() -> Board:
+    """The WildStar board with its SRAMs in pipelined mode."""
+    return Board(
+        name="wildstar-pipelined",
+        fpga=virtex_1000(),
+        memory=pipelined_memory(),
+        num_memories=4,
+        clock_ns=40.0,
+    )
+
+
+def wildstar_nonpipelined() -> Board:
+    """The WildStar board with its SRAMs in non-pipelined mode."""
+    return Board(
+        name="wildstar-nonpipelined",
+        fpga=virtex_1000(),
+        memory=nonpipelined_memory(),
+        num_memories=4,
+        clock_ns=40.0,
+    )

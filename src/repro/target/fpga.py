@@ -1,0 +1,59 @@
+"""FPGA device models.
+
+The DSE algorithm needs exactly one device fact: the slice capacity that
+defines the ``Space(u) <= Capacity`` feasibility constraint (Section 3).
+The Virtex 1000's 12,288 slices is the capacity line drawn across every
+area plot in the paper; the smaller Virtex 300 serves the shared-device
+multi-nest experiments where capacity pressure matters at small unrolls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FPGAModel:
+    """A slice-capacity model of one FPGA device.
+
+    Attributes:
+        name: device name as it appears in reports.
+        capacity_slices: configurable logic blocks available; the
+            ``Capacity`` constant of Section 3's feasibility constraint.
+        luts_per_slice: lookup tables per slice (2 for Virtex).
+        ff_per_slice: flip-flops per slice (2 for Virtex).
+    """
+
+    name: str
+    capacity_slices: int
+    luts_per_slice: int = 2
+    ff_per_slice: int = 2
+
+    def __post_init__(self) -> None:
+        if self.capacity_slices < 1:
+            raise ValueError(
+                f"FPGA {self.name!r} needs a positive slice capacity, "
+                f"got {self.capacity_slices}"
+            )
+        if self.luts_per_slice < 1 or self.ff_per_slice < 1:
+            raise ValueError("slices must hold at least one LUT and one FF")
+
+    def fits(self, slices: int) -> bool:
+        """Does a design of ``slices`` satisfy the capacity constraint?"""
+        return slices <= self.capacity_slices
+
+    def utilization(self, slices: int) -> float:
+        """Fraction of the device a design occupies (may exceed 1.0 for
+        infeasible designs — the area plots show those above the line)."""
+        return slices / self.capacity_slices
+
+
+def virtex_1000() -> FPGAModel:
+    """The Xilinx Virtex 1000 on the WildStar board: 12,288 slices."""
+    return FPGAModel("XCV1000", 12_288)
+
+
+def virtex_300() -> FPGAModel:
+    """A quarter-capacity Virtex 300 (3,072 slices) for capacity-pressure
+    studies."""
+    return FPGAModel("XCV300", 3_072)

@@ -1,0 +1,66 @@
+"""External memory timing models.
+
+Scheduling needs two numbers per access (Section 5.2): the *latency*
+until the result is available, and the *initiation interval* before the
+port accepts another access.  The WildStar SRAMs give the paper its two
+operating modes:
+
+* non-pipelined: reads take 7 cycles, writes 3, and the port is busy
+  for the whole access (interval == latency);
+* pipelined: a new access can issue every cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Timing of one external memory port.
+
+    Attributes:
+        read_latency: cycles from issuing a read to data valid.
+        write_latency: cycles a write occupies before committing.
+        pipelined: when True the port initiates one access per cycle
+            regardless of latency; otherwise the port blocks for the
+            access's full latency.
+    """
+
+    read_latency: int
+    write_latency: int
+    pipelined: bool
+
+    def __post_init__(self) -> None:
+        if self.read_latency < 1 or self.write_latency < 1:
+            raise ValueError(
+                "memory latencies must be at least one cycle, got "
+                f"read={self.read_latency} write={self.write_latency}"
+            )
+
+    def latency(self, is_write: bool) -> int:
+        """Cycles until the access completes."""
+        return self.write_latency if is_write else self.read_latency
+
+    def interval(self, is_write: bool) -> int:
+        """Cycles before the port can initiate the next access."""
+        return 1 if self.pipelined else self.latency(is_write)
+
+    def read_interval(self) -> int:
+        """Initiation interval between reads on one port."""
+        return self.interval(is_write=False)
+
+    def write_interval(self) -> int:
+        """Initiation interval between writes on one port."""
+        return self.interval(is_write=True)
+
+
+def pipelined_memory() -> MemoryModel:
+    """WildStar SRAM in pipelined mode: one access per cycle."""
+    return MemoryModel(read_latency=1, write_latency=1, pipelined=True)
+
+
+def nonpipelined_memory() -> MemoryModel:
+    """WildStar SRAM in non-pipelined mode: 7-cycle reads, 3-cycle
+    writes, port busy throughout (the paper's Section 6.1 numbers)."""
+    return MemoryModel(read_latency=7, write_latency=3, pipelined=False)

@@ -16,8 +16,8 @@ import repro
 
 PACKAGES = [
     "repro", "repro.analysis", "repro.dse", "repro.frontend", "repro.hdl",
-    "repro.ir", "repro.kernels", "repro.layout", "repro.synthesis",
-    "repro.target", "repro.transform",
+    "repro.ir", "repro.kernels", "repro.layout", "repro.service",
+    "repro.synthesis", "repro.target", "repro.transform",
 ]
 
 

@@ -1,0 +1,121 @@
+"""Unit tests for crash-safe saving and the process-shared cache."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.kernels import FIR
+from repro.service import SharedEstimateCache
+from repro.synthesis import EstimateCache
+from repro.synthesis.cache import load_entries
+from repro.target import wildstar_pipelined
+from repro.transform import UnrollVector, compile_design
+
+
+@pytest.fixture
+def design():
+    return compile_design(FIR.program(), UnrollVector.of(2, 2), 4)
+
+
+class TestCrashSafeSave:
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path, design):
+        path = tmp_path / "cache.json"
+        cache = EstimateCache(path)
+        cache.synthesize(design.program, wildstar_pipelined(), design.plan)
+        cache.save()
+        assert json.loads(path.read_text())  # a complete, valid document
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+    def test_save_over_corrupt_file(self, tmp_path, design):
+        path = tmp_path / "cache.json"
+        path.write_text('{"trunca')  # a killed writer's leftovers
+        cache = EstimateCache(path)
+        assert len(cache) == 0
+        cache.synthesize(design.program, wildstar_pipelined(), design.plan)
+        cache.save()
+        assert len(EstimateCache(path)) == 1
+
+    def test_wrong_shape_json_treated_as_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(["not", "a", "mapping"]))
+        assert len(EstimateCache(path)) == 0
+        path.write_text(json.dumps({"key": "not-an-entry-dict"}))
+        assert len(EstimateCache(path)) == 0
+
+    def test_load_entries_missing_file(self, tmp_path):
+        assert load_entries(tmp_path / "absent.json") == {}
+
+
+class TestMerge:
+    def test_merge_keeps_existing_and_adopts_new(self, tmp_path):
+        cache = EstimateCache(tmp_path / "cache.json")
+        cache._entries = {"a": {"v": 1}}
+        cache.merge({"a": {"v": 999}, "b": {"v": 2}})
+        assert cache.entries == {"a": {"v": 1}, "b": {"v": 2}}
+
+
+class TestSharedCache:
+    def test_two_writers_union(self, tmp_path):
+        path = tmp_path / "cache.json"
+        first = SharedEstimateCache(path)
+        second = SharedEstimateCache(path)
+        first._entries["only-first"] = {"v": 1}
+        second._entries["only-second"] = {"v": 2}
+        first.save()
+        second.save()  # must not clobber first's entry
+        final = load_entries(path)
+        assert set(final) == {"only-first", "only-second"}
+
+    def test_refresh_adopts_other_workers_entries(self, tmp_path):
+        path = tmp_path / "cache.json"
+        mine = SharedEstimateCache(path)
+        other = SharedEstimateCache(path)
+        other._entries["theirs"] = {"v": 1}
+        other.save()
+        assert mine.refresh() == 1
+        assert "theirs" in mine.entries
+
+    def test_real_estimates_shared_between_instances(self, tmp_path, design):
+        path = tmp_path / "cache.json"
+        board = wildstar_pipelined()
+        writer = SharedEstimateCache(path)
+        direct = writer.synthesize(design.program, board, design.plan)
+        writer.save()
+        reader = SharedEstimateCache(path)
+        cached = reader.synthesize(design.program, board, design.plan)
+        assert reader.hits == 1 and reader.misses == 0
+        assert cached.cycles == direct.cycles
+        assert cached.space == direct.space
+
+    def test_concurrent_writers_lose_nothing(self, tmp_path):
+        path = tmp_path / "cache.json"
+        workers = 4
+        per_worker = 25
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(
+                target=_hammer_cache, args=(str(path), worker, per_worker)
+            )
+            for worker in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        final = load_entries(path)
+        expected = {
+            f"w{worker}-{i}" for worker in range(workers)
+            for i in range(per_worker)
+        }
+        assert set(final) == expected
+
+
+def _hammer_cache(path: str, worker: int, count: int) -> None:
+    """Child-process body: save one new entry at a time, under contention."""
+    for i in range(count):
+        cache = SharedEstimateCache(path)
+        cache._entries[f"w{worker}-{i}"] = {"v": worker * 1000 + i}
+        cache.save()

@@ -1,0 +1,126 @@
+"""Unit tests for batch job manifests."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobSpec, load_manifest, parse_manifest
+
+
+class TestParseManifest:
+    def test_full_manifest(self):
+        manifest = parse_manifest({
+            "defaults": {"board": "pipelined", "timeout_s": 30},
+            "jobs": [
+                {"program": "kernel:fir"},
+                {"program": "kernel:mm", "board": "nonpipelined",
+                 "search": {"balance_tolerance": 0.05},
+                 "pipeline": {"narrow_bitwidths": True}},
+            ],
+        })
+        assert len(manifest) == 2
+        first, second = manifest.jobs
+        assert first.program == "kernel:fir"
+        assert first.board == "pipelined"
+        assert first.timeout_s == 30
+        assert second.board == "nonpipelined"
+        assert dict(second.search) == {"balance_tolerance": 0.05}
+        assert dict(second.pipeline) == {"narrow_bitwidths": True}
+
+    def test_bare_list_and_string_jobs(self):
+        manifest = parse_manifest(["kernel:fir", {"program": "kernel:jac"}])
+        assert [job.program for job in manifest] == ["kernel:fir", "kernel:jac"]
+
+    def test_generated_ids_unique(self):
+        manifest = parse_manifest(["kernel:fir", "kernel:fir"])
+        ids = [job.id for job in manifest]
+        assert len(set(ids)) == 2
+        assert all("fir" in job_id for job_id in ids)
+
+    def test_duplicate_explicit_ids_rejected(self):
+        with pytest.raises(ServiceError, match="duplicate job id"):
+            parse_manifest([
+                {"program": "kernel:fir", "id": "x"},
+                {"program": "kernel:jac", "id": "x"},
+            ])
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ServiceError, match="non-empty"):
+            parse_manifest({"jobs": []})
+
+    def test_unknown_manifest_key_rejected(self):
+        with pytest.raises(ServiceError, match="unknown manifest keys"):
+            parse_manifest({"jobs": ["kernel:fir"], "typo": 1})
+
+    def test_unknown_job_key_rejected(self):
+        with pytest.raises(ServiceError, match="unknown keys"):
+            parse_manifest([{"program": "kernel:fir", "boardd": "p"}])
+
+    def test_unknown_board_rejected(self):
+        with pytest.raises(ServiceError, match="unknown board"):
+            parse_manifest([{"program": "kernel:fir", "board": "warp"}])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ServiceError, match="unknown kernel"):
+            parse_manifest(["kernel:nope"])
+
+    def test_missing_source_file_rejected(self):
+        with pytest.raises(ServiceError, match="no such program file"):
+            parse_manifest(["/does/not/exist.c"])
+
+    def test_relative_source_resolved_against_base_dir(self, tmp_path):
+        (tmp_path / "k.c").write_text(
+            "int A[8]; int B[8];\nfor (i = 0; i < 8; i++) B[i] = A[i];"
+        )
+        manifest = parse_manifest(["k.c"], base_dir=tmp_path)
+        assert manifest.jobs[0].program == str(tmp_path / "k.c")
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ServiceError, match="timeout_s"):
+            parse_manifest([{"program": "kernel:fir", "timeout_s": -1}])
+
+    def test_bad_max_attempts_rejected(self):
+        with pytest.raises(ServiceError, match="max_attempts"):
+            parse_manifest([{"program": "kernel:fir", "max_attempts": 0}])
+
+    def test_unknown_search_key_rejected(self):
+        with pytest.raises(ServiceError, match="search"):
+            parse_manifest(
+                [{"program": "kernel:fir", "search": {"tolerance": 0.1}}]
+            )
+
+
+class TestLoadManifest:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"jobs": [{"program": "kernel:fir"}]}))
+        manifest = load_manifest(path)
+        assert manifest.source == str(path)
+        assert manifest.jobs[0].program == "kernel:fir"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ServiceError, match="no such manifest"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ nope")
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            load_manifest(path)
+
+
+class TestPayloadRoundTrip:
+    def test_spec_survives_the_pipe(self):
+        spec = JobSpec(
+            id="j1", program="kernel:mm", board="nonpipelined",
+            search=(("balance_tolerance", 0.05),),
+            pipeline=(("narrow_bitwidths", True),),
+            timeout_s=10.0, max_attempts=3,
+        )
+        rebuilt = JobSpec.from_payload(spec.to_payload())
+        assert rebuilt.id == spec.id
+        assert rebuilt.program == spec.program
+        assert rebuilt.board == spec.board
+        assert rebuilt.search == spec.search
+        assert rebuilt.pipeline == spec.pipeline

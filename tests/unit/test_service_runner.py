@@ -1,0 +1,188 @@
+"""Unit tests for the batch runner: retries, timeouts, crashes, fallback.
+
+The workers injected here are module-level functions (the process pool
+pickles work items), each simulating one failure mode the engine must
+survive.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.service import BatchManifest, BatchRunner, JobSpec, Telemetry
+
+
+def _spec(job_id, program="kernel:fir", **overrides):
+    return JobSpec(id=job_id, program=program, **overrides)
+
+
+def _manifest(*specs):
+    return BatchManifest(jobs=tuple(specs))
+
+
+def _events(telemetry, name):
+    return [event for event in telemetry.events if event.event == name]
+
+
+# -- injected workers ---------------------------------------------------------
+
+def _ok_worker(payload, cache_path=None):
+    return {
+        "job_id": payload["id"],
+        "selected_unroll": [1, 1],
+        "cycles": 100, "space": 50, "speedup": 1.0, "balance": 1.0,
+        "points_searched": 1, "design_space_size": 10,
+        "cache_hits": 0, "cache_misses": 1,
+        "wall_seconds": 0.0, "phase_seconds": {},
+    }
+
+
+def _failing_worker(payload, cache_path=None):
+    raise ValueError(f"boom for {payload['id']}")
+
+
+def _flaky_worker(payload, cache_path=None):
+    """Fails on the first attempt; payload['program'] is a marker path."""
+    marker = payload["program"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as stream:
+            stream.write("tried")
+        raise RuntimeError("first attempt fails")
+    return _ok_worker(payload, cache_path)
+
+
+def _sleepy_worker(payload, cache_path=None):
+    time.sleep(2.0)
+    return _ok_worker(payload, cache_path)
+
+
+def _crashing_worker(payload, cache_path=None):
+    if payload["id"].startswith("crash"):
+        os._exit(3)  # simulate a segfaulting worker process
+    return _ok_worker(payload, cache_path)
+
+
+# -- serial path --------------------------------------------------------------
+
+class TestSerial:
+    def test_results_in_manifest_order(self):
+        manifest = _manifest(_spec("a"), _spec("b"), _spec("c"))
+        result = BatchRunner(manifest, workers=1, worker=_ok_worker).run()
+        assert [r.spec.id for r in result.results] == ["a", "b", "c"]
+        assert result.all_ok
+        assert result.summary["succeeded"] == 3
+
+    def test_failure_retried_then_reported(self):
+        telemetry = Telemetry()
+        manifest = _manifest(_spec("a", max_attempts=3))
+        result = BatchRunner(
+            manifest, workers=1, worker=_failing_worker, telemetry=telemetry,
+        ).run()
+        job = result.results[0]
+        assert job.status == "failed"
+        assert job.attempts == 3
+        assert "boom" in job.error
+        assert len(_events(telemetry, "job_retry")) == 2
+        assert len(_events(telemetry, "job_failed")) == 1
+
+    def test_flaky_job_recovers(self, tmp_path):
+        marker = tmp_path / "marker"
+        manifest = _manifest(
+            _spec("a", program=str(marker), max_attempts=2)
+        )
+        result = BatchRunner(manifest, workers=1, worker=_flaky_worker).run()
+        assert result.all_ok
+        assert result.results[0].attempts == 2
+
+    def test_one_failure_does_not_sink_the_batch(self):
+        manifest = _manifest(
+            _spec("bad", max_attempts=1), _spec("good", max_attempts=1)
+        )
+
+        def worker(payload, cache_path=None):
+            if payload["id"] == "bad":
+                raise ValueError("nope")
+            return _ok_worker(payload, cache_path)
+
+        result = BatchRunner(manifest, workers=1, worker=worker).run()
+        assert [r.status for r in result.results] == ["failed", "ok"]
+        assert "FAILED" in result.report()
+
+
+# -- pool path ----------------------------------------------------------------
+
+class TestPool:
+    def test_parallel_results_in_manifest_order(self):
+        manifest = _manifest(_spec("a"), _spec("b"), _spec("c"), _spec("d"))
+        result = BatchRunner(manifest, workers=2, worker=_ok_worker).run()
+        assert [r.spec.id for r in result.results] == ["a", "b", "c", "d"]
+        assert result.all_ok
+
+    def test_worker_exception_retried_in_pool(self):
+        telemetry = Telemetry()
+        manifest = _manifest(_spec("a", max_attempts=2))
+        result = BatchRunner(
+            manifest, workers=2, worker=_failing_worker, telemetry=telemetry,
+        ).run()
+        assert result.results[0].status == "failed"
+        assert result.results[0].attempts == 2
+        assert len(_events(telemetry, "job_retry")) == 1
+
+    def test_flaky_job_recovers_across_waves(self, tmp_path):
+        marker = tmp_path / "marker"
+        steady = tmp_path / "steady"
+        steady.write_text("ok")  # pre-created: job b succeeds first try
+        manifest = _manifest(
+            _spec("a", program=str(marker), max_attempts=2),
+            _spec("b", program=str(steady)),
+        )
+        result = BatchRunner(manifest, workers=2, worker=_flaky_worker).run()
+        assert result.all_ok
+
+    def test_timeout_enforced(self):
+        telemetry = Telemetry()
+        manifest = _manifest(_spec("slow", timeout_s=0.3, max_attempts=1))
+        start = time.monotonic()
+        result = BatchRunner(
+            manifest, workers=2, worker=_sleepy_worker, telemetry=telemetry,
+        ).run()
+        elapsed = time.monotonic() - start
+        job = result.results[0]
+        assert job.status == "failed"
+        assert "timed out" in job.error
+        assert elapsed < 1.5  # did not wait out the 2 s sleep
+
+    def test_crashed_worker_process_handled(self):
+        telemetry = Telemetry()
+        manifest = _manifest(
+            _spec("crash", max_attempts=2), _spec("ok", max_attempts=3)
+        )
+        result = BatchRunner(
+            manifest, workers=2, worker=_crashing_worker, telemetry=telemetry,
+        ).run()
+        by_id = {r.spec.id: r for r in result.results}
+        assert by_id["crash"].status == "failed"
+        assert by_id["crash"].attempts == 2
+        assert "crashed" in by_id["crash"].error
+        assert by_id["ok"].status == "ok"
+
+
+# -- degradation --------------------------------------------------------------
+
+class TestSerialFallback:
+    def test_pool_unavailable_degrades_to_serial(self, monkeypatch):
+        telemetry = Telemetry()
+        manifest = _manifest(_spec("a"), _spec("b"))
+        runner = BatchRunner(
+            manifest, workers=4, worker=_ok_worker, telemetry=telemetry,
+        )
+
+        def refuse():
+            raise OSError("no process support here")
+
+        monkeypatch.setattr(runner, "_make_executor", refuse)
+        result = runner.run()
+        assert result.all_ok
+        assert len(_events(telemetry, "pool_unavailable")) == 1
+        assert result.summary["serial_fallbacks"] == 1
