@@ -157,7 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="run a manifest of explorations through the "
                       "parallel batch engine"
     )
-    batch_cmd.add_argument("manifest", help="JSON job manifest")
+    batch_cmd.add_argument("manifest", nargs="?", default=None,
+                           help="JSON job manifest (omit with --resume)")
     batch_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
                            help="worker processes (1 = serial in-process)")
     batch_cmd.add_argument("--cache", metavar="PATH",
@@ -167,6 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--timeout", type=float, default=None, metavar="S",
                            help="per-job timeout in seconds (jobs may "
                                 "override; needs --jobs >= 2)")
+    batch_cmd.add_argument("--run-dir", metavar="DIR", default=None,
+                           help="journal the run here (ledger + manifest "
+                                "snapshot; cache and trace default inside); "
+                                "makes the run resumable after a crash")
+    batch_cmd.add_argument("--resume", metavar="DIR", default=None,
+                           help="resume a journaled run directory: adopt "
+                                "completed jobs, re-run only what was in "
+                                "flight (no manifest argument)")
+    batch_cmd.add_argument("--call-deadline", type=float, default=None,
+                           metavar="S",
+                           help="per-estimator-call deadline in seconds "
+                                "(jobs may override via call_deadline_s)")
+    batch_cmd.add_argument("--cache-max-entries", type=int, default=None,
+                           metavar="N",
+                           help="bound the estimate cache to N entries "
+                                "(LRU eviction)")
+    batch_cmd.add_argument("--fault-spec", metavar="FILE", default=None,
+                           help="fault-injection spec for chaos testing "
+                                "(see repro.faults)")
     batch_cmd.add_argument("--json", metavar="FILE",
                            help="write a machine-readable batch summary here")
 
@@ -296,23 +316,44 @@ def _run_explore_parallel(args) -> int:
 
 def _run_batch(args) -> int:
     from repro.service import load_manifest
-    manifest = load_manifest(Path(args.manifest))
-    return _drive_batch(manifest, args.jobs, args.cache, args.trace,
-                        timeout=args.timeout, json_path=args.json)
+    if args.resume and args.run_dir:
+        raise ReproError("--resume already names the run directory; "
+                         "do not also pass --run-dir")
+    if args.resume:
+        if args.manifest:
+            raise ReproError("--resume loads the manifest snapshot from the "
+                             "run directory; do not pass a manifest")
+        manifest = None
+    else:
+        if not args.manifest:
+            raise ReproError("a manifest is required (or use --resume DIR)")
+        manifest = load_manifest(Path(args.manifest))
+    return _drive_batch(
+        manifest, args.jobs, args.cache, args.trace,
+        timeout=args.timeout, json_path=args.json,
+        run_dir=args.resume or args.run_dir, resume=bool(args.resume),
+        call_deadline=args.call_deadline,
+        cache_max_entries=args.cache_max_entries, fault_spec=args.fault_spec,
+    )
 
 
-def _drive_batch(manifest, jobs, cache, trace, timeout, json_path) -> int:
+def _drive_batch(manifest, jobs, cache, trace, timeout, json_path,
+                 run_dir=None, resume=False, call_deadline=None,
+                 cache_max_entries=None, fault_spec=None) -> int:
     from repro.report import batch_summary_table
-    from repro.service import BatchRunner, Telemetry
-    with Telemetry(Path(trace) if trace else None) as telemetry:
-        runner = BatchRunner(
-            manifest,
-            workers=jobs,
-            cache_path=Path(cache) if cache else None,
-            telemetry=telemetry,
-            default_timeout_s=timeout,
-        )
-        result = runner.run()
+    from repro.service import run_batch
+    result = run_batch(
+        manifest,
+        workers=jobs,
+        cache_path=Path(cache) if cache else None,
+        trace_path=Path(trace) if trace else None,
+        default_timeout_s=timeout,
+        run_dir=Path(run_dir) if run_dir else None,
+        resume=resume,
+        call_deadline_s=call_deadline,
+        cache_max_entries=cache_max_entries,
+        fault_spec=fault_spec,
+    )
     print(result.report())
     print()
     print(batch_summary_table(result.summary).render())

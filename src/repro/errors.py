@@ -6,6 +6,21 @@ Subsystem-specific errors refine it: the frontend raises
 :class:`FrontendError` subclasses with source locations, analyses raise
 :class:`AnalysisError` when a program falls outside the affine domain the
 paper supports, and so on.
+
+Failure taxonomy.  Errors that can cross the batch service's process
+boundary carry two class attributes the engine keys its behaviour on:
+
+* ``kind`` — a short stable string ("estimation", "deadline", ...) used
+  in ledger records and telemetry events, so traces never depend on
+  Python class names.
+* ``transient`` — whether retrying the *same* operation can plausibly
+  succeed.  Transient failures (deadline overruns, injected flakes,
+  lock timeouts) are retried with backoff; permanent ones (a parse
+  error, a corrupt estimate) fail fast — re-running a deterministic
+  computation cannot change its outcome.
+
+Use :func:`failure_kind` / :func:`is_transient` to classify arbitrary
+exceptions, including non-repro ones, under one policy.
 """
 
 from __future__ import annotations
@@ -13,6 +28,12 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
+
+    #: Stable taxonomy tag for ledger/telemetry records.
+    kind = "error"
+    #: Permanent by default: repro errors describe deterministic facts
+    #: about the input (bad program, bad config), which retries cannot fix.
+    transient = False
 
 
 class FrontendError(ReproError):
@@ -65,6 +86,29 @@ class LayoutError(ReproError):
 class SynthesisError(ReproError):
     """Behavioral synthesis estimation failed for a design."""
 
+    kind = "synthesis"
+
+
+class EstimationError(SynthesisError):
+    """The estimation backend failed permanently for a design.
+
+    This is the typed terminal state for an estimator call that raised,
+    or returned something unusable, in a way retrying cannot fix.
+    """
+
+    kind = "estimation"
+
+
+class CorruptEstimate(EstimationError):
+    """The estimation backend returned a structurally invalid estimate.
+
+    Example: negative cycles or NaN balance from a faulty (or
+    fault-injected) backend.  Detected by the guard's validation before
+    the value can reach the search or be cached.
+    """
+
+    kind = "corrupt_estimate"
+
 
 class CapacityError(SynthesisError):
     """A design exceeds the capacity of the target FPGA.
@@ -84,3 +128,73 @@ class ServiceError(ReproError):
     Examples: a job manifest that fails validation, an unknown board
     name in a job entry, a manifest file that is not valid JSON.
     """
+
+    kind = "service"
+
+
+class LedgerError(ServiceError):
+    """The run ledger is unusable or inconsistent with its manifest.
+
+    Raised when resuming a run directory whose manifest no longer
+    matches the fingerprints the ledger recorded — resuming would mix
+    results from two different batches, so the engine refuses.
+    """
+
+    kind = "ledger"
+
+
+class TransientError(ReproError):
+    """A retryable fault: the same operation may succeed if repeated.
+
+    The estimation guard retries these with exponential backoff, and
+    the batch engine re-enqueues jobs that ultimately fail with one.
+    """
+
+    kind = "transient"
+    transient = True
+
+
+class DeadlineExceeded(TransientError):
+    """An estimator call overran its per-call deadline.
+
+    Distinct from a job's ``timeout_s``: the deadline bounds one
+    ``synthesize`` call inside a worker, the timeout bounds the whole
+    job from the coordinator's side.
+    """
+
+    kind = "deadline"
+
+
+class CacheLockTimeout(ReproError, TimeoutError):
+    """The shared estimate cache's file lock could not be acquired.
+
+    A live-but-hung peer can hold the flock indefinitely; rather than
+    blocking the worker forever, acquisition times out with this typed
+    error.  Transient: the peer may recover or be reclaimed.  Inherits
+    ``TimeoutError`` so callers treating it generically keep working.
+    """
+
+    kind = "cache_lock_timeout"
+    transient = True
+
+
+def failure_kind(error: BaseException) -> str:
+    """The taxonomy tag for any exception (repro-typed or foreign)."""
+    kind = getattr(error, "kind", None)
+    if isinstance(kind, str) and kind:
+        return kind
+    return "exception"
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether retrying the failed operation can plausibly succeed.
+
+    Repro errors declare themselves via ``transient``; ``OSError`` (I/O
+    flakes, ENOSPC that may clear) and foreign exceptions default to
+    transient — the engine has no evidence they are deterministic, and
+    bounded retries of a deterministic failure only cost attempts.
+    """
+    transient = getattr(error, "transient", None)
+    if isinstance(transient, bool):
+        return transient
+    return True

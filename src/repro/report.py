@@ -137,6 +137,20 @@ def batch_summary_table(summary: Dict[str, object],
         table.add_row(f"  phase: {phase}", phases[phase])
     if summary.get("serial_fallbacks"):
         table.add_row("serial fallbacks", summary["serial_fallbacks"])
+    # robustness rows appear only when something actually happened, so
+    # the quiet-path table stays identical to earlier releases
+    if summary.get("resumed"):
+        table.add_row("jobs resumed", summary["resumed"])
+    if summary.get("estimator_retries"):
+        table.add_row("estimator retries", summary["estimator_retries"])
+    if summary.get("deadline_hits"):
+        table.add_row("deadline hits", summary["deadline_hits"])
+    if summary.get("cache_evictions"):
+        table.add_row("cache evictions", summary["cache_evictions"])
+    if summary.get("telemetry_dropped"):
+        table.add_row("telemetry drops", summary["telemetry_dropped"])
+    if summary.get("ledger_dropped"):
+        table.add_row("ledger drops", summary["ledger_dropped"])
     return table
 
 

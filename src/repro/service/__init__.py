@@ -9,16 +9,40 @@ every scheduling decision lands in a structured JSONL trace:
 
     manifest -> queue -> workers -> shared estimate cache
                    \\-> telemetry (JSONL + summary table)
+                   \\-> run ledger (journal; --resume replays it)
 
 Entry points: the :class:`BatchRunner` engine (or :func:`run_batch`
 convenience wrapper) from Python, and ``python -m repro batch
-manifest.json --jobs N --cache estimates.json --trace trace.jsonl`` from
-the shell.  The engine guarantees determinism — parallelism changes wall
-time and cache counters, never which designs are selected.
+manifest.json --jobs N --run-dir runs/exp1`` from the shell (then
+``repro batch --resume runs/exp1`` after any crash).  The engine
+guarantees determinism — parallelism, cache sharing, and kill/resume
+change wall time and cache counters, never which designs are selected.
+
+Robustness stack (each layer independent, all typed through
+:mod:`repro.errors`):
+
+* :mod:`~repro.service.ledger` — fsync'd JSONL journal; resume adopts
+  completed jobs and re-runs only what was in flight.
+* :mod:`~repro.service.guard` — per-call estimator deadline, bounded
+  backoff on transient faults, corrupt-estimate validation.
+* :mod:`~repro.service.shared_cache` — bounded lock acquisition
+  (:class:`~repro.errors.CacheLockTimeout`) and LRU-bounded growth.
+* :mod:`~repro.service.telemetry` — write failures degrade to counted
+  drops, never abort the batch.
 """
 
 from repro.service.jobs import BatchManifest, JobSpec, load_manifest, parse_manifest
-from repro.service.runner import BatchResult, BatchRunner, JobResult, run_batch
+from repro.service.guard import (
+    EstimationGuard, GuardedEstimateCache, GuardedSharedEstimateCache,
+    GuardPolicy, validate_estimate,
+)
+from repro.service.ledger import (
+    LedgerState, RunLedger, manifest_document, manifest_fingerprint, replay,
+    spec_hash,
+)
+from repro.service.runner import (
+    BatchResult, BatchRunner, JobFailure, JobResult, run_batch,
+)
 from repro.service.shared_cache import FileLock, SharedEstimateCache
 from repro.service.telemetry import (
     Telemetry, TelemetryEvent, read_trace, summarize_events,
@@ -26,8 +50,11 @@ from repro.service.telemetry import (
 from repro.service.worker import execute_job
 
 __all__ = [
-    "BatchManifest", "BatchResult", "BatchRunner", "FileLock", "JobResult",
-    "JobSpec", "SharedEstimateCache", "Telemetry", "TelemetryEvent",
-    "execute_job", "load_manifest", "parse_manifest", "read_trace",
-    "run_batch", "summarize_events",
+    "BatchManifest", "BatchResult", "BatchRunner", "EstimationGuard",
+    "FileLock", "GuardPolicy", "GuardedEstimateCache",
+    "GuardedSharedEstimateCache", "JobFailure", "JobResult", "JobSpec",
+    "LedgerState", "RunLedger", "SharedEstimateCache", "Telemetry",
+    "TelemetryEvent", "execute_job", "load_manifest", "manifest_document",
+    "manifest_fingerprint", "parse_manifest", "read_trace", "replay",
+    "run_batch", "spec_hash", "summarize_events", "validate_estimate",
 ]

@@ -34,7 +34,8 @@ from repro.errors import ServiceError
 
 #: Manifest/job keys accepted by :func:`parse_manifest`.
 _JOB_KEYS = {
-    "id", "program", "board", "search", "pipeline", "timeout_s", "max_attempts",
+    "id", "program", "board", "search", "pipeline", "timeout_s",
+    "max_attempts", "call_deadline_s",
 }
 _MANIFEST_KEYS = {"defaults", "jobs"}
 _DEFAULT_KEYS = _JOB_KEYS - {"id", "program"}
@@ -60,6 +61,9 @@ class JobSpec:
         timeout_s: per-job wall-clock limit; enforced only when the job
             runs in a worker process (serial execution cannot preempt).
         max_attempts: total tries before the job is reported failed.
+        call_deadline_s: wall-clock limit for *one* estimator call inside
+            the worker (the guard raises ``DeadlineExceeded`` past it) —
+            distinct from ``timeout_s``, which bounds the whole job.
     """
 
     id: str
@@ -69,6 +73,7 @@ class JobSpec:
     pipeline: Tuple[Tuple[str, Any], ...] = ()
     timeout_s: Optional[float] = None
     max_attempts: int = 2
+    call_deadline_s: Optional[float] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """The primitives-only dict shipped to worker processes."""
@@ -78,6 +83,7 @@ class JobSpec:
             "board": self.board,
             "search": dict(self.search),
             "pipeline": dict(self.pipeline),
+            "call_deadline_s": self.call_deadline_s,
         }
 
     @classmethod
@@ -89,6 +95,7 @@ class JobSpec:
             board=payload.get("board", "pipelined"),
             search=tuple(sorted(payload.get("search", {}).items())),
             pipeline=tuple(sorted(payload.get("pipeline", {}).items())),
+            call_deadline_s=payload.get("call_deadline_s"),
         )
 
 
@@ -185,6 +192,11 @@ def _build_job(
         not isinstance(timeout_s, (int, float)) or timeout_s <= 0
     ):
         raise ServiceError(f"job {position}: timeout_s must be positive")
+    call_deadline_s = entry.get("call_deadline_s")
+    if call_deadline_s is not None and (
+        not isinstance(call_deadline_s, (int, float)) or call_deadline_s <= 0
+    ):
+        raise ServiceError(f"job {position}: call_deadline_s must be positive")
     max_attempts = entry.get("max_attempts", 2)
     if not isinstance(max_attempts, int) or max_attempts < 1:
         raise ServiceError(f"job {position}: max_attempts must be >= 1")
@@ -198,6 +210,7 @@ def _build_job(
         pipeline=tuple(sorted(pipeline.items())),
         timeout_s=timeout_s,
         max_attempts=max_attempts,
+        call_deadline_s=call_deadline_s,
     )
 
 

@@ -1,0 +1,338 @@
+"""The journaled run ledger: what makes a batch killable.
+
+A batch that dies — OOM kill, SIGKILL, power loss — must not forfeit
+the explorations it already finished.  The ledger is an append-only
+JSONL journal inside a *run directory*, fsync'd per event, recording
+every job's attempts and terminal result.  ``--resume <run-dir>``
+replays it, adopts every terminal result verbatim, re-enqueues attempts
+that were in flight when the run died, and runs only what is missing —
+so a resumed batch produces selections bit-identical to an
+uninterrupted one (each job is a deterministic function of its spec,
+and terminal payloads are adopted bytes-for-bytes).
+
+Run directory layout::
+
+    <run-dir>/
+      manifest.json    normalized manifest snapshot (paths resolved)
+      ledger.jsonl     the journal: run_start, job_attempt, job_done, ...
+      trace.jsonl      telemetry (default location; append on resume)
+      estimates.json   shared estimate cache (default location)
+
+Consistency: ``run_start`` records a fingerprint over every job's
+*spec hash* (the result-determining fields: program, board, search and
+pipeline options).  Resume recomputes it from the manifest snapshot and
+refuses a mismatch with :class:`~repro.errors.LedgerError` — resuming a
+ledger against a different manifest would silently mix two batches.
+Robustness knobs (``timeout_s``, ``max_attempts``, ``call_deadline_s``)
+are deliberately outside the hash: tightening them between resumes does
+not change results.
+
+Crash-window analysis, event by event: a torn or missing ``job_attempt``
+only loses an attempt count; a torn ``job_done`` means the job re-runs
+on resume — wasteful, never wrong, because the re-run recomputes the
+identical payload.  Replay therefore skips unparseable lines instead of
+aborting.  A *failed* append (ENOSPC, injected fault) degrades the same
+way: it is counted on :attr:`RunLedger.dropped_writes`, surfaced in the
+batch summary, and the batch keeps running on its in-memory state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro import faults
+from repro.errors import LedgerError
+from repro.service.jobs import BatchManifest, JobSpec, parse_manifest
+
+LEDGER_NAME = "ledger.jsonl"
+MANIFEST_NAME = "manifest.json"
+
+
+# -- identity -----------------------------------------------------------------
+
+def spec_hash(spec: JobSpec) -> str:
+    """Hash of a job's result-determining fields.
+
+    Covers exactly what :func:`repro.service.worker.execute_job` feeds
+    the exploration; retry/timeout knobs are excluded on purpose.
+    """
+    doc = {
+        "id": spec.id,
+        "program": spec.program,
+        "board": spec.board,
+        "search": dict(spec.search),
+        "pipeline": dict(spec.pipeline),
+    }
+    encoded = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def manifest_fingerprint(manifest: BatchManifest) -> str:
+    """Order-sensitive fingerprint over every job's spec hash."""
+    joined = "\n".join(spec_hash(spec) for spec in manifest.jobs)
+    return hashlib.sha256(joined.encode()).hexdigest()
+
+
+def manifest_document(manifest: BatchManifest) -> Dict[str, Any]:
+    """A normalized manifest snapshot that re-parses to the same jobs.
+
+    Source-file paths were resolved to absolute paths at load time, so
+    the snapshot is location-independent.
+    """
+    jobs: List[Dict[str, Any]] = []
+    for spec in manifest.jobs:
+        job: Dict[str, Any] = {
+            "id": spec.id, "program": spec.program, "board": spec.board,
+            "max_attempts": spec.max_attempts,
+        }
+        if spec.search:
+            job["search"] = dict(spec.search)
+        if spec.pipeline:
+            job["pipeline"] = dict(spec.pipeline)
+        if spec.timeout_s is not None:
+            job["timeout_s"] = spec.timeout_s
+        if spec.call_deadline_s is not None:
+            job["call_deadline_s"] = spec.call_deadline_s
+        jobs.append(job)
+    return {"jobs": jobs}
+
+
+# -- replay state -------------------------------------------------------------
+
+@dataclass
+class LedgerState:
+    """What a replayed ledger says about a run.
+
+    Attributes:
+        completed: job id -> its terminal ``job_done`` record (the
+            payload/failure inside is adopted verbatim on resume).
+        in_flight: job id -> the highest attempt number that started
+            without reaching a terminal record (re-enqueued on resume).
+        fingerprint: the manifest fingerprint ``run_start`` recorded.
+        resumes: how many times this run has been resumed before.
+    """
+
+    completed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    in_flight: Dict[str, int] = field(default_factory=dict)
+    fingerprint: Optional[str] = None
+    resumes: int = 0
+
+
+def replay(path: Path) -> LedgerState:
+    """Fold a ledger file into its end state, skipping torn lines."""
+    state = LedgerState()
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return state
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn write: a crash mid-append
+        if not isinstance(record, dict):
+            continue
+        event = record.get("event")
+        if event == "run_start":
+            state.fingerprint = record.get("fingerprint")
+        elif event == "run_resume":
+            state.resumes += 1
+        elif event == "job_attempt":
+            job_id = record.get("job_id")
+            if isinstance(job_id, str) and job_id not in state.completed:
+                attempt = record.get("attempt", 1)
+                state.in_flight[job_id] = max(
+                    state.in_flight.get(job_id, 1),
+                    attempt if isinstance(attempt, int) else 1,
+                )
+        elif event == "job_done":
+            job_id = record.get("job_id")
+            if isinstance(job_id, str):
+                state.completed[job_id] = record
+                state.in_flight.pop(job_id, None)
+    return state
+
+
+# -- the ledger ---------------------------------------------------------------
+
+class RunLedger:
+    """Append-only journal of one batch run, fsync'd per event.
+
+    Construct through :meth:`create` (fresh run directory) or
+    :meth:`resume` (existing one); both leave the ledger open for
+    appending.  Append failures never raise — they are counted on
+    :attr:`dropped_writes` (losing a journal entry only costs re-work on
+    the *next* resume, while raising would fail the job that just
+    finished).
+    """
+
+    def __init__(self, run_dir: Path, fingerprint: str, clock=time.time):
+        self.run_dir = Path(run_dir)
+        self.path = self.run_dir / LEDGER_NAME
+        self.fingerprint = fingerprint
+        self.dropped_writes = 0
+        self._clock = clock
+        self._stream = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, run_dir: Path, manifest: BatchManifest, clock=time.time
+    ) -> "RunLedger":
+        """Start a fresh run directory; refuses to clobber an existing
+        ledger (that is what :meth:`resume` is for)."""
+        run_dir = Path(run_dir)
+        ledger_path = run_dir / LEDGER_NAME
+        if ledger_path.exists():
+            raise LedgerError(
+                f"{ledger_path} already exists; resume the run instead"
+            )
+        run_dir.mkdir(parents=True, exist_ok=True)
+        snapshot = manifest_document(manifest)
+        (run_dir / MANIFEST_NAME).write_text(
+            json.dumps(snapshot, indent=2) + "\n"
+        )
+        ledger = cls(run_dir, manifest_fingerprint(manifest), clock=clock)
+        ledger._open()
+        ledger._append({
+            "event": "run_start",
+            "fingerprint": ledger.fingerprint,
+            "jobs": len(manifest),
+            "manifest_source": manifest.source,
+        })
+        return ledger
+
+    @classmethod
+    def resume(
+        cls, run_dir: Path, clock=time.time
+    ) -> Tuple["RunLedger", BatchManifest, LedgerState]:
+        """Reopen a run directory: replay the journal, verify it against
+        the manifest snapshot, and return everything a resumed run needs.
+        """
+        run_dir = Path(run_dir)
+        ledger_path = run_dir / LEDGER_NAME
+        manifest_path = run_dir / MANIFEST_NAME
+        if not ledger_path.exists() or not manifest_path.exists():
+            raise LedgerError(
+                f"{run_dir} is not a run directory (missing "
+                f"{LEDGER_NAME} or {MANIFEST_NAME})"
+            )
+        try:
+            raw = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as error:
+            raise LedgerError(
+                f"manifest snapshot {manifest_path} is corrupt: {error}"
+            ) from None
+        manifest = parse_manifest(
+            raw, source=str(manifest_path), base_dir=run_dir
+        )
+        state = replay(ledger_path)
+        fingerprint = manifest_fingerprint(manifest)
+        if state.fingerprint is None:
+            raise LedgerError(
+                f"{ledger_path} has no readable run_start record"
+            )
+        if state.fingerprint != fingerprint:
+            raise LedgerError(
+                f"{run_dir}: manifest does not match the ledger "
+                f"(fingerprint {fingerprint[:12]} vs recorded "
+                f"{state.fingerprint[:12]}); refusing to resume"
+            )
+        hashes = {spec.id: spec_hash(spec) for spec in manifest.jobs}
+        for job_id, record in state.completed.items():
+            if job_id not in hashes:
+                raise LedgerError(
+                    f"{run_dir}: ledger records job {job_id!r} that is "
+                    f"not in the manifest; refusing to resume"
+                )
+            recorded = record.get("spec_hash")
+            if recorded is not None and recorded != hashes[job_id]:
+                raise LedgerError(
+                    f"{run_dir}: job {job_id!r} changed since it was "
+                    f"recorded; refusing to resume"
+                )
+        ledger = cls(run_dir, fingerprint, clock=clock)
+        ledger._open()
+        ledger._append({
+            "event": "run_resume",
+            "completed": len(state.completed),
+            "in_flight": len(state.in_flight),
+        })
+        return ledger, manifest, state
+
+    def _open(self) -> None:
+        self._stream = open(self.path, "a")
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- recording ------------------------------------------------------------
+
+    def record_attempt(self, spec: JobSpec, attempt: int) -> None:
+        self._append({
+            "event": "job_attempt", "job_id": spec.id, "attempt": attempt,
+            "spec_hash": spec_hash(spec),
+        })
+
+    def record_success(
+        self, spec: JobSpec, attempt: int, payload: Mapping[str, Any]
+    ) -> None:
+        self._append({
+            "event": "job_done", "job_id": spec.id, "status": "ok",
+            "attempts": attempt, "spec_hash": spec_hash(spec),
+            "payload": dict(payload),
+        })
+
+    def record_failure(
+        self, spec: JobSpec, attempt: int, failure: Mapping[str, Any]
+    ) -> None:
+        self._append({
+            "event": "job_done", "job_id": spec.id, "status": "failed",
+            "attempts": attempt, "spec_hash": spec_hash(spec),
+            "failure": dict(failure),
+        })
+
+    def record_finish(self, succeeded: int, failed: int) -> None:
+        self._append({
+            "event": "run_finish", "succeeded": succeeded, "failed": failed,
+        })
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        """One fsync'd journal line; failures become counted drops."""
+        if self._stream is None:
+            self.dropped_writes += 1
+            return
+        record = {"ts": self._clock(), **record}
+        try:
+            faults.check("ledger_write")
+            line = json.dumps(record)
+        except (OSError, TypeError, ValueError):
+            self.dropped_writes += 1
+            return
+        written = faults.mangle("ledger_line", line)
+        if written != line:
+            self.dropped_writes += 1  # a torn write loses the record too
+        try:
+            self._stream.write(written + "\n")
+            self._stream.flush()
+            os.fsync(self._stream.fileno())
+        except (OSError, ValueError):
+            self.dropped_writes += 1

@@ -9,6 +9,21 @@ succeeds or exhausts its ``max_attempts``.  A fresh pool per wave keeps
 the failure semantics simple and honest: a hung or crashed worker can
 poison a pool, and recycling the pool is the only reliable reclaim.
 
+Failures are *typed*, not stringly: every terminal failure is a
+:class:`JobFailure` carrying the stable ``kind`` and ``transient``
+classification from :mod:`repro.errors`.  Classification drives the
+retry policy — transient failures (crashes, timeouts, deadline
+overruns, foreign exceptions) retry up to ``max_attempts``; permanent
+ones (parse errors, corrupt estimates, bad manifests) fail fast, since
+re-running a deterministic function on the same input cannot help.
+
+Crash safety: give the runner a :class:`~repro.service.ledger.RunLedger`
+and every attempt start and terminal result is journaled (fsync'd)
+before the engine moves on; give it a replayed
+:class:`~repro.service.ledger.LedgerState` and it adopts completed jobs
+verbatim (emitting ``job_resumed``) and re-enqueues in-flight attempts
+— the mechanics behind ``repro batch --resume``.
+
 Degradation is graceful and explicit: with ``workers <= 1``, or when a
 process pool cannot be created at all (restricted environments), jobs
 run serially in-process through the *same* worker function, a
@@ -20,7 +35,8 @@ deterministic function of its job spec, and the shared cache is
 value-transparent (fingerprint keys cover every input to an estimate).
 Parallel execution therefore changes wall time and cache hit/miss
 counters, never selections — ``--jobs 8`` picks bit-identical designs
-to ``--jobs 1``.
+to ``--jobs 1``, and a killed-and-resumed run picks bit-identical
+designs to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -30,14 +46,76 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.service.jobs import BatchManifest, JobSpec
+from repro.service.ledger import LedgerState, RunLedger
 from repro.service.telemetry import Telemetry
 from repro.service.worker import execute_job
+from repro.errors import failure_kind, is_transient
 
 #: How often the coordinator wakes to check deadlines (seconds).
 _POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One terminal (or retried) failure, typed.
+
+    ``kind`` is the stable taxonomy string from :mod:`repro.errors`
+    (``"timeout"``, ``"worker_crash"``, ``"corrupt_estimate"``, ...);
+    ``transient`` records whether retrying could have helped — which is
+    exactly what the engine's retry policy keyed on.
+    """
+
+    kind: str
+    message: str
+    transient: bool
+    exception: Optional[str] = None   # original exception class, if any
+
+    def __str__(self) -> str:
+        return self.message
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "JobFailure":
+        return cls(
+            kind=failure_kind(error),
+            message=f"{type(error).__name__}: {error}",
+            transient=is_transient(error),
+            exception=type(error).__name__,
+        )
+
+    @classmethod
+    def crash(cls) -> "JobFailure":
+        return cls(
+            kind="worker_crash", message="worker process crashed",
+            transient=True,
+        )
+
+    @classmethod
+    def timeout(cls, timeout_s: float) -> "JobFailure":
+        return cls(
+            kind="timeout", message=f"timed out after {timeout_s:.1f}s",
+            transient=True,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        record = {
+            "kind": self.kind, "message": self.message,
+            "transient": self.transient,
+        }
+        if self.exception is not None:
+            record["exception"] = self.exception
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "JobFailure":
+        return cls(
+            kind=str(record.get("kind", "exception")),
+            message=str(record.get("message", "unknown failure")),
+            transient=bool(record.get("transient", False)),
+            exception=record.get("exception"),
+        )
 
 
 @dataclass
@@ -48,11 +126,18 @@ class JobResult:
     status: str                       # "ok" | "failed"
     attempts: int
     payload: Optional[Dict[str, Any]] = None
-    error: Optional[str] = None
+    failure: Optional[JobFailure] = None
+    resumed: bool = False             # adopted from a ledger, not re-run
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def error(self) -> Optional[str]:
+        """The failure message (compatibility accessor; the typed record
+        is :attr:`failure`)."""
+        return self.failure.message if self.failure is not None else None
 
 
 @dataclass
@@ -78,6 +163,7 @@ class BatchResult:
         """One line per job plus failure details — the CLI's output."""
         lines = []
         for result in self.results:
+            mark = " [resumed]" if result.resumed else ""
             if result.ok:
                 payload = result.payload
                 unroll = ",".join(str(f) for f in payload["selected_unroll"])
@@ -85,12 +171,12 @@ class BatchResult:
                     f"{result.spec.id}: U={unroll} {payload['cycles']} cycles "
                     f"{payload['space']} slices speedup {payload['speedup']:.2f}x "
                     f"({payload['points_searched']} of "
-                    f"{payload['design_space_size']} points)"
+                    f"{payload['design_space_size']} points){mark}"
                 )
             else:
                 lines.append(
                     f"{result.spec.id}: FAILED after {result.attempts} "
-                    f"attempt(s): {result.error}"
+                    f"attempt(s): {result.error}{mark}"
                 )
         return "\n".join(lines)
 
@@ -109,6 +195,14 @@ class BatchRunner:
             be picklable (module-level) when ``workers > 1``.
         default_timeout_s: per-job timeout for jobs that do not set
             their own; only enforceable in pool mode.
+        ledger: journal attempts and terminal results here (optional).
+        resume_state: a replayed ledger's end state; completed jobs are
+            adopted without re-execution, in-flight attempts re-enqueued.
+        call_deadline_s: default per-estimator-call deadline for jobs
+            that do not set their own.
+        cache_max_entries: LRU bound handed to each worker's cache view.
+        fault_spec: fault-injection spec path handed to workers (chaos
+            testing; see :mod:`repro.faults`).
     """
 
     def __init__(
@@ -119,6 +213,11 @@ class BatchRunner:
         telemetry: Optional[Telemetry] = None,
         worker: Callable[..., Dict[str, Any]] = execute_job,
         default_timeout_s: Optional[float] = None,
+        ledger: Optional[RunLedger] = None,
+        resume_state: Optional[LedgerState] = None,
+        call_deadline_s: Optional[float] = None,
+        cache_max_entries: Optional[int] = None,
+        fault_spec: Optional[str] = None,
     ):
         self.manifest = manifest
         self.workers = max(1, int(workers))
@@ -126,38 +225,114 @@ class BatchRunner:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.worker = worker
         self.default_timeout_s = default_timeout_s
+        self.ledger = ledger
+        self.resume_state = resume_state
+        self.call_deadline_s = call_deadline_s
+        self.cache_max_entries = cache_max_entries
+        self.fault_spec = fault_spec
 
     # -- public entry ---------------------------------------------------------
 
     def run(self) -> BatchResult:
         """Drive every job to success or exhaustion; never raises for
         job-level failures (they are reported in the result)."""
+        results: Dict[str, JobResult] = {}
+        queue = self._build_queue(results)
         self.telemetry.emit(
             "batch_start",
             jobs=len(self.manifest),
             workers=self.workers,
             cache=self.cache_path,
             manifest=self.manifest.source,
+            resumed_jobs=len(results),
         )
-        results: Dict[str, JobResult] = {}
-        queue: List[Tuple[JobSpec, int]] = [
-            (spec, 1) for spec in self.manifest.jobs
-        ]
         if self.workers <= 1:
             self._run_serial(queue, results)
         else:
             self._run_pool(queue, results)
         ordered = [results[spec.id] for spec in self.manifest.jobs]
         batch = BatchResult(results=ordered, summary=self.telemetry.summary())
+        if self.ledger is not None:
+            self.ledger.record_finish(
+                succeeded=len(batch.succeeded), failed=len(batch.failed),
+            )
         self.telemetry.emit(
             "batch_finish",
             succeeded=len(batch.succeeded),
             failed=len(batch.failed),
+            resumed=sum(1 for r in ordered if r.resumed),
             cache_hits=batch.summary.get("cache_hits", 0),
             cache_misses=batch.summary.get("cache_misses", 0),
             points_synthesized=batch.summary.get("points_synthesized", 0),
+            telemetry_dropped=self.telemetry.dropped,
+            ledger_dropped=(
+                self.ledger.dropped_writes if self.ledger is not None else 0
+            ),
+        )
+        batch.summary["telemetry_dropped"] = self.telemetry.dropped
+        batch.summary["ledger_dropped"] = (
+            self.ledger.dropped_writes if self.ledger is not None else 0
         )
         return batch
+
+    # -- resume adoption ------------------------------------------------------
+
+    def _build_queue(
+        self, results: Dict[str, JobResult]
+    ) -> List[Tuple[JobSpec, int]]:
+        """The work list, minus jobs a resumed ledger already finished.
+
+        Adopted results are verbatim (payload bytes from the journal);
+        in-flight jobs re-enter at their recorded attempt number — the
+        attempt whose terminal record the crash swallowed simply runs
+        again, recomputing the identical payload.
+        """
+        queue: List[Tuple[JobSpec, int]] = []
+        state = self.resume_state
+        for spec in self.manifest.jobs:
+            record = state.completed.get(spec.id) if state else None
+            if record is None:
+                attempt = state.in_flight.get(spec.id, 1) if state else 1
+                queue.append((spec, max(1, attempt)))
+                continue
+            status = record.get("status", "failed")
+            attempts = record.get("attempts", 1)
+            if status == "ok":
+                results[spec.id] = JobResult(
+                    spec=spec, status="ok", attempts=attempts,
+                    payload=record.get("payload"), resumed=True,
+                )
+            else:
+                results[spec.id] = JobResult(
+                    spec=spec, status="failed", attempts=attempts,
+                    failure=JobFailure.from_dict(record.get("failure") or {}),
+                    resumed=True,
+                )
+            self.telemetry.emit(
+                "job_resumed", job_id=spec.id, status=status,
+                attempts=attempts,
+            )
+        return queue
+
+    # -- payloads -------------------------------------------------------------
+
+    def _payload(self, spec: JobSpec) -> Dict[str, Any]:
+        """The spec payload plus the engine's runtime knobs.
+
+        The ``runtime`` key is only added when a knob is set, so
+        injected test workers see exactly the spec payload otherwise.
+        """
+        payload = spec.to_payload()
+        runtime: Dict[str, Any] = {}
+        if self.call_deadline_s is not None:
+            runtime["call_deadline_s"] = self.call_deadline_s
+        if self.cache_max_entries is not None:
+            runtime["cache_max_entries"] = self.cache_max_entries
+        if self.fault_spec is not None:
+            runtime["fault_spec"] = self.fault_spec
+        if runtime:
+            payload["runtime"] = runtime
+        return payload
 
     # -- serial path ----------------------------------------------------------
 
@@ -168,12 +343,12 @@ class BatchRunner:
         pending = list(queue)
         while pending:
             spec, attempt = pending.pop(0)
-            self.telemetry.emit("job_start", job_id=spec.id, attempt=attempt)
+            self._note_attempt(spec, attempt)
             try:
-                payload = self.worker(spec.to_payload(), self.cache_path)
+                payload = self.worker(self._payload(spec), self.cache_path)
             except Exception as error:  # noqa: BLE001 - isolate job failures
                 self._note_failure(
-                    spec, attempt, f"{type(error).__name__}: {error}",
+                    spec, attempt, JobFailure.from_exception(error),
                     pending, results,
                 )
                 continue
@@ -215,9 +390,9 @@ class BatchRunner:
         retry: List[Tuple[JobSpec, int]] = []
         info: Dict[Any, Tuple[JobSpec, int, float]] = {}
         for spec, attempt in wave:
-            self.telemetry.emit("job_start", job_id=spec.id, attempt=attempt)
+            self._note_attempt(spec, attempt)
             future = executor.submit(
-                self.worker, spec.to_payload(), self.cache_path
+                self.worker, self._payload(spec), self.cache_path
             )
             info[future] = (spec, attempt, time.monotonic())
 
@@ -236,12 +411,11 @@ class BatchRunner:
                     # every job caught in the broken pool retries.
                     dirty = True
                     self._note_failure(
-                        spec, attempt, "worker process crashed",
-                        retry, results,
+                        spec, attempt, JobFailure.crash(), retry, results,
                     )
                 except Exception as error:  # noqa: BLE001 - per-job isolation
                     self._note_failure(
-                        spec, attempt, f"{type(error).__name__}: {error}",
+                        spec, attempt, JobFailure.from_exception(error),
                         retry, results,
                     )
                 else:
@@ -261,7 +435,7 @@ class BatchRunner:
                 if not future.cancel():
                     dirty = True  # already running: pool must be recycled
                 self._note_failure(
-                    spec, attempt, f"timed out after {timeout_s:.1f}s",
+                    spec, attempt, JobFailure.timeout(timeout_s),
                     retry, results,
                 )
         if dirty:
@@ -272,6 +446,14 @@ class BatchRunner:
 
     # -- shared bookkeeping ----------------------------------------------------
 
+    def _note_attempt(self, spec: JobSpec, attempt: int) -> None:
+        """Journal first, then announce: the ledger line must hit disk
+        before the attempt exists anywhere else, so a crash can never
+        leave an attempt the journal knows nothing about."""
+        if self.ledger is not None:
+            self.ledger.record_attempt(spec, attempt)
+        self.telemetry.emit("job_start", job_id=spec.id, attempt=attempt)
+
     def _note_success(
         self,
         spec: JobSpec,
@@ -279,13 +461,18 @@ class BatchRunner:
         payload: Dict[str, Any],
         results: Dict[str, JobResult],
     ) -> None:
+        if self.ledger is not None:
+            self.ledger.record_success(spec, attempt, payload)
         finish_fields = {
             key: payload.get(key)
             for key in (
                 "program", "board", "cycles", "space", "speedup",
                 "points_searched", "design_space_size",
-                "cache_hits", "cache_misses", "wall_seconds", "phase_seconds",
+                "cache_hits", "cache_misses", "cache_evictions",
+                "cache_save_error", "estimator_retries", "deadline_hits",
+                "wall_seconds", "phase_seconds",
             )
+            if payload.get(key) is not None
         }
         self.telemetry.emit(
             "job_finish", job_id=spec.id, attempt=attempt,
@@ -299,38 +486,95 @@ class BatchRunner:
         self,
         spec: JobSpec,
         attempt: int,
-        reason: str,
+        failure: JobFailure,
         retry: List[Tuple[JobSpec, int]],
         results: Dict[str, JobResult],
     ) -> None:
-        if attempt < spec.max_attempts:
+        """Retry transient failures while attempts remain; permanent
+        failures fail fast — the job is a deterministic function of its
+        spec, so re-running a parse error or corrupt estimate can only
+        waste the batch's time."""
+        if failure.transient and attempt < spec.max_attempts:
             self.telemetry.emit(
-                "job_retry", job_id=spec.id, attempt=attempt, reason=reason,
+                "job_retry", job_id=spec.id, attempt=attempt,
+                reason=failure.message, kind=failure.kind,
+                transient=failure.transient,
             )
             retry.append((spec, attempt + 1))
             return
+        if self.ledger is not None:
+            self.ledger.record_failure(spec, attempt, failure.as_dict())
         self.telemetry.emit(
-            "job_failed", job_id=spec.id, attempt=attempt, reason=reason,
+            "job_failed", job_id=spec.id, attempt=attempt,
+            reason=failure.message, kind=failure.kind,
+            transient=failure.transient,
         )
         results[spec.id] = JobResult(
-            spec=spec, status="failed", attempts=attempt, error=reason,
+            spec=spec, status="failed", attempts=attempt, failure=failure,
         )
 
 
 def run_batch(
-    manifest: BatchManifest,
+    manifest: Optional[BatchManifest] = None,
     workers: int = 1,
     cache_path: Optional[Path] = None,
     trace_path: Optional[Path] = None,
     default_timeout_s: Optional[float] = None,
+    run_dir: Optional[Path] = None,
+    resume: bool = False,
+    call_deadline_s: Optional[float] = None,
+    cache_max_entries: Optional[int] = None,
+    fault_spec: Optional[str] = None,
 ) -> BatchResult:
-    """One-call convenience wrapper: build telemetry, run, close."""
-    with Telemetry(trace_path) as telemetry:
-        runner = BatchRunner(
-            manifest,
-            workers=workers,
-            cache_path=cache_path,
-            telemetry=telemetry,
-            default_timeout_s=default_timeout_s,
-        )
-        return runner.run()
+    """One-call convenience wrapper around the full crash-safe stack.
+
+    Without ``run_dir`` this is the classic ephemeral batch: telemetry
+    to ``trace_path`` (optional), no journal.  With ``run_dir`` the run
+    is *journaled*: a :class:`RunLedger` is created there, and cache and
+    trace default to files inside it.  With ``resume=True`` the run
+    directory is replayed instead — ``manifest`` must be ``None`` (the
+    snapshot inside the run directory is the manifest; passing another
+    one would invite mixing batches) — completed jobs are adopted, and
+    telemetry appends to the existing trace.
+    """
+    ledger: Optional[RunLedger] = None
+    resume_state: Optional[LedgerState] = None
+    trace_mode = "w"
+    if resume:
+        if run_dir is None:
+            raise ValueError("resume=True requires run_dir")
+        if manifest is not None:
+            raise ValueError(
+                "resume=True loads the manifest snapshot from the run "
+                "directory; do not pass one"
+            )
+        ledger, manifest, resume_state = RunLedger.resume(run_dir)
+        trace_mode = "a"
+    elif run_dir is not None:
+        if manifest is None:
+            raise ValueError("a fresh run needs a manifest")
+        ledger = RunLedger.create(run_dir, manifest)
+    if run_dir is not None:
+        run_dir = Path(run_dir)
+        if cache_path is None:
+            cache_path = run_dir / "estimates.json"
+        if trace_path is None:
+            trace_path = run_dir / "trace.jsonl"
+    try:
+        with Telemetry(trace_path, mode=trace_mode) as telemetry:
+            runner = BatchRunner(
+                manifest,
+                workers=workers,
+                cache_path=cache_path,
+                telemetry=telemetry,
+                default_timeout_s=default_timeout_s,
+                ledger=ledger,
+                resume_state=resume_state,
+                call_deadline_s=call_deadline_s,
+                cache_max_entries=cache_max_entries,
+                fault_spec=fault_spec,
+            )
+            return runner.run()
+    finally:
+        if ledger is not None:
+            ledger.close()

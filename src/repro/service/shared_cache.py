@@ -26,12 +26,16 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.errors import CacheLockTimeout
 from repro.synthesis.cache import EstimateCache, load_entries
 
 try:  # pragma: no cover - platform probe
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback exercised via flag
     fcntl = None
+
+#: How often acquisition re-polls a contended lock (seconds).
+_SPIN_S = 0.01
 
 
 class FileLock:
@@ -41,24 +45,54 @@ class FileLock:
     critical section.  With ``fcntl`` the lock dies with the process, so
     a killed worker cannot leave the cache wedged; the mkdir fallback
     additionally honors ``stale_s`` to break locks left by crashes.
+
+    Acquisition is bounded: a *live but hung* peer (which ``fcntl``
+    cannot distinguish from a slow one) would otherwise block every
+    other worker forever.  Past ``timeout_s`` the attempt raises the
+    typed :class:`~repro.errors.CacheLockTimeout` (a ``TimeoutError``
+    subclass, and transient — the caller may retry or degrade).  Pass
+    ``timeout_s=None`` to block indefinitely.
     """
 
-    def __init__(self, path: Path, timeout_s: float = 30.0, stale_s: float = 60.0):
+    def __init__(
+        self,
+        path: Path,
+        timeout_s: Optional[float] = 30.0,
+        stale_s: float = 60.0,
+    ):
         self.path = Path(path)
         self.timeout_s = timeout_s
         self.stale_s = stale_s
         self._handle = None
         self._use_fcntl = fcntl is not None
 
+    def _deadline(self) -> Optional[float]:
+        if self.timeout_s is None:
+            return None
+        return time.monotonic() + self.timeout_s
+
+    def _expired(self, deadline: Optional[float]) -> bool:
+        return deadline is not None and time.monotonic() > deadline
+
     def acquire(self) -> None:
-        """Block until the lock is held (or raise ``TimeoutError``)."""
+        """Take the lock, or raise :class:`CacheLockTimeout`."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = self._deadline()
         if self._use_fcntl:
             handle = open(self.path, "a+")
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-            self._handle = handle
-            return
-        deadline = time.monotonic() + self.timeout_s
+            while True:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._handle = handle
+                    return
+                except OSError:
+                    if self._expired(deadline):
+                        handle.close()
+                        raise CacheLockTimeout(
+                            f"could not lock {self.path} within "
+                            f"{self.timeout_s:.1f}s (peer holding the lock?)"
+                        ) from None
+                    time.sleep(_SPIN_S)
         lock_dir = self.path.with_suffix(self.path.suffix + ".d")
         while True:
             try:
@@ -73,9 +107,12 @@ class FileLock:
                         continue
                 except OSError:
                     pass
-                if time.monotonic() > deadline:
-                    raise TimeoutError(f"could not lock {self.path}") from None
-                time.sleep(0.01)
+                if self._expired(deadline):
+                    raise CacheLockTimeout(
+                        f"could not lock {self.path} within "
+                        f"{self.timeout_s:.1f}s (stale peer?)"
+                    ) from None
+                time.sleep(_SPIN_S)
 
     def release(self) -> None:
         """Release the lock if held; never raises."""
@@ -108,8 +145,13 @@ class SharedEstimateCache(EstimateCache):
     added, write the union atomically, unlock.
     """
 
-    def __init__(self, path: Path, lock_timeout_s: float = 30.0):
-        super().__init__(path)
+    def __init__(
+        self,
+        path: Path,
+        lock_timeout_s: Optional[float] = 30.0,
+        max_entries: Optional[int] = None,
+    ):
+        super().__init__(path, max_entries=max_entries)
         self._lock_path = self.path.with_suffix(self.path.suffix + ".lock")
         self._lock_timeout_s = lock_timeout_s
 

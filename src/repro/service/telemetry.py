@@ -14,8 +14,12 @@ Event vocabulary:
 ``job_start``        one attempt begins (``attempt`` counts from 1)
 ``job_finish``       attempt succeeded; carries cycles/space/points/cache
                      counters and per-phase wall seconds
-``job_retry``        attempt failed but the job will be retried (``reason``)
-``job_failed``       attempts exhausted; the job is reported failed
+``job_retry``        attempt failed but the job will be retried (``reason``,
+                     plus the typed ``kind``/``transient`` classification)
+``job_failed``       the job is terminally failed (attempts exhausted, or a
+                     permanent typed failure that retrying cannot fix)
+``job_resumed``      a resumed run adopted this job's terminal result from
+                     the ledger without re-executing it
 ``pool_unavailable`` process pool could not start; degraded to serial
 ``batch_finish``     aggregate summary (also returned by :meth:`summary`)
 ===================  ========================================================
@@ -29,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro import faults
 from repro.report import batch_summary_table
 
 
@@ -66,17 +71,30 @@ class Telemetry:
     """Collects events in memory and streams them to a JSONL file.
 
     The writer appends and flushes per event so a crashed run still
-    leaves a readable prefix; pass ``path=None`` for in-memory only.
+    leaves a readable prefix; pass ``path=None`` for in-memory only,
+    and ``mode="a"`` to extend an earlier run's trace (resumed batches).
+
+    Telemetry is observability, never a point of failure: an event that
+    cannot be serialized or written (disk full, closed stream, injected
+    fault) is *dropped and counted* on :attr:`dropped` — the in-memory
+    record survives either way, and the batch summary surfaces the
+    count so silent trace gaps cannot masquerade as a quiet run.
     """
 
-    def __init__(self, path: Optional[Path] = None, clock=time.time):
+    def __init__(
+        self,
+        path: Optional[Path] = None,
+        clock=time.time,
+        mode: str = "w",
+    ):
         self.path = Path(path) if path is not None else None
         self.events: List[TelemetryEvent] = []
+        self.dropped = 0
         self._clock = clock
         self._stream = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._stream = open(self.path, "w")
+            self._stream = open(self.path, mode)
 
     def emit(self, event: str, job_id: Optional[str] = None, **data: Any) -> TelemetryEvent:
         """Record one event (and write it through immediately)."""
@@ -85,9 +103,17 @@ class Telemetry:
         )
         self.events.append(record)
         if self._stream is not None:
-            json.dump(record.as_dict(), self._stream)
-            self._stream.write("\n")
-            self._stream.flush()
+            try:
+                line = json.dumps(record.as_dict())
+            except (TypeError, ValueError):
+                self.dropped += 1  # unserializable payload
+                return record
+            try:
+                faults.check("telemetry_write")
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                self.dropped += 1  # write failed; keep the batch alive
         return record
 
     def close(self) -> None:
@@ -137,10 +163,12 @@ def summarize_events(events: List[TelemetryEvent]) -> Dict[str, Any]:
     summary: Dict[str, Any] = {
         "jobs": 0, "succeeded": 0, "failed": 0, "retries": 0, "attempts": 0,
         "points_synthesized": 0, "cache_hits": 0, "cache_misses": 0,
-        "wall_seconds": 0.0, "serial_fallbacks": 0,
+        "wall_seconds": 0.0, "serial_fallbacks": 0, "resumed": 0,
+        "estimator_retries": 0, "deadline_hits": 0, "cache_evictions": 0,
     }
     phases: Dict[str, float] = {}
     started = set()
+    resumed = set()
     for event in events:
         if event.event == "job_start":
             summary["attempts"] += 1
@@ -153,12 +181,33 @@ def summarize_events(events: List[TelemetryEvent]) -> Dict[str, Any]:
             summary["cache_hits"] += event.data.get("cache_hits", 0)
             summary["cache_misses"] += event.data.get("cache_misses", 0)
             summary["wall_seconds"] += event.data.get("wall_seconds", 0.0)
+            summary["estimator_retries"] += (
+                event.data.get("estimator_retries") or 0
+            )
+            summary["deadline_hits"] += event.data.get("deadline_hits") or 0
+            summary["cache_evictions"] += (
+                event.data.get("cache_evictions") or 0
+            )
             for phase, seconds in event.data.get("phase_seconds", {}).items():
                 phases[phase] = phases.get(phase, 0.0) + seconds
         elif event.event == "job_retry":
             summary["retries"] += 1
         elif event.event == "job_failed":
             summary["failed"] += 1
+        elif event.event == "job_resumed":
+            # A combined trace (append-mode resume) can hold both the
+            # original terminal event and the adoption record; count the
+            # job itself only once.
+            if event.job_id in resumed:
+                continue
+            resumed.add(event.job_id)
+            summary["resumed"] += 1
+            if event.job_id not in started:
+                summary["jobs"] += 1
+                if event.data.get("status") == "ok":
+                    summary["succeeded"] += 1
+                else:
+                    summary["failed"] += 1
         elif event.event == "pool_unavailable":
             summary["serial_fallbacks"] += 1
     summary["phase_seconds"] = phases

@@ -8,6 +8,20 @@ either — ``CompiledDesign`` IR stays in the worker).  The same function
 runs unchanged in-process when the engine degrades to serial execution,
 so both paths share one code path and one telemetry shape.
 
+Robustness discipline inside the worker:
+
+* every estimator call goes through an
+  :class:`~repro.service.guard.EstimationGuard` (per-call deadline,
+  backoff on transient faults, corrupt-output validation) — configured
+  from the job's ``call_deadline_s`` and the payload's ``runtime`` map;
+* a failed cache *save* degrades, it does not fail the job: the
+  selections are already computed, so the error is reported in the
+  payload (``cache_save_error``) and the estimates are simply re-learned
+  next time;
+* fault-injection sites ``worker`` (entry) and the guard's sites are
+  active whenever a fault spec is (env or runtime), which is how the
+  chaos suite drives this exact code path.
+
 Each invocation opens its own :class:`SharedEstimateCache` view of the
 shared cache file and saves (merge-on-write) before returning, so
 estimates learned by one job are visible to jobs scheduled later.
@@ -19,8 +33,13 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro import faults
+from repro.errors import CacheLockTimeout, failure_kind
+from repro.service.guard import (
+    EstimationGuard, GuardPolicy, GuardedEstimateCache,
+    GuardedSharedEstimateCache,
+)
 from repro.service.jobs import JobSpec
-from repro.service.shared_cache import SharedEstimateCache
 
 
 def resolve_board(name: str):
@@ -63,6 +82,21 @@ def build_options(spec: JobSpec, kernel) -> Tuple[Any, Any]:
     return search, options
 
 
+def _guard_seed(spec: JobSpec) -> int:
+    """A stable per-job seed for backoff jitter (reproducible runs)."""
+    from repro.service.ledger import spec_hash
+    return int(spec_hash(spec)[:8], 16)
+
+
+def _make_guard(spec: JobSpec, runtime: Mapping[str, Any]) -> EstimationGuard:
+    deadline = spec.call_deadline_s
+    if deadline is None:
+        deadline = runtime.get("call_deadline_s")
+    return EstimationGuard(
+        GuardPolicy(call_deadline_s=deadline), seed=_guard_seed(spec),
+    )
+
+
 def execute_job(
     payload: Mapping[str, Any], cache_path: Optional[str] = None
 ) -> Dict[str, Any]:
@@ -71,16 +105,28 @@ def execute_job(
     The dict carries everything the coordinator reports: the selection
     (unroll/cycles/space/balance), baseline and speedup, search effort
     (points vs design-space size), the narrative trace, this job's cache
-    hit/miss counters, and wall seconds split by phase.
+    hit/miss/eviction counters, guard counters (estimator retries and
+    deadline hits), and wall seconds split by phase.
     """
     spec = JobSpec.from_payload(payload)
+    runtime = payload.get("runtime") or {}
+    faults.activate(runtime.get("fault_spec"))
+    faults.check("worker", key=spec.id)
+
     t_start = time.perf_counter()
     program, kernel = load_program(spec.program)
     board = resolve_board(spec.board)
     search_options, pipeline_options = build_options(spec, kernel)
     t_loaded = time.perf_counter()
 
-    cache = SharedEstimateCache(Path(cache_path)) if cache_path else None
+    guard = _make_guard(spec, runtime)
+    max_entries = runtime.get("cache_max_entries")
+    if cache_path:
+        cache = GuardedSharedEstimateCache(
+            Path(cache_path), guard, job_id=spec.id, max_entries=max_entries,
+        )
+    else:
+        cache = GuardedEstimateCache(guard, job_id=spec.id)
     from repro.dse import explore
     result = explore(
         program, board,
@@ -89,8 +135,13 @@ def execute_job(
         estimate_cache=cache,
     )
     t_explored = time.perf_counter()
-    if cache is not None:
+    cache_save_error = None
+    try:
         cache.save()
+    except (CacheLockTimeout, OSError) as error:
+        # The exploration is done and correct; losing the cache write
+        # only costs re-synthesis later.  Degrade and report.
+        cache_save_error = f"{failure_kind(error)}: {error}"
     t_saved = time.perf_counter()
 
     return {
@@ -107,8 +158,12 @@ def execute_job(
         "points_searched": result.points_searched,
         "design_space_size": result.design_space_size,
         "trace": [str(step) for step in result.search.trace],
-        "cache_hits": cache.hits if cache is not None else 0,
-        "cache_misses": cache.misses if cache is not None else 0,
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "cache_evictions": cache.evictions,
+        "cache_save_error": cache_save_error,
+        "estimator_retries": guard.retries,
+        "deadline_hits": guard.deadline_hits,
         "wall_seconds": t_saved - t_start,
         "phase_seconds": {
             "load": t_loaded - t_start,

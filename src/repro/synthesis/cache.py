@@ -20,6 +20,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from repro import faults
 from repro.ir.printer import print_program
 from repro.ir.symbols import Program
 from repro.layout.plan import LayoutPlan
@@ -30,13 +31,22 @@ from repro.target.board import Board
 
 
 class EstimateCache:
-    """A JSON-file-backed map from design fingerprints to estimates."""
+    """A JSON-file-backed map from design fingerprints to estimates.
 
-    def __init__(self, path: Path):
+    ``max_entries`` bounds growth for long campaigns: when set, the
+    least-recently-used entries are evicted past the limit (insertion
+    order doubles as recency order — hits reinsert), and
+    :attr:`evictions` counts what was dropped.  Unbounded by default.
+    """
+
+    def __init__(self, path: Path, max_entries: Optional[int] = None):
         self.path = Path(path)
+        self.max_entries = max_entries
         self._entries: Dict[str, dict] = load_entries(self.path)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._evict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,11 +94,34 @@ class EstimateCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            if self.max_entries is not None:
+                self._entries[key] = self._entries.pop(key)  # LRU touch
             return _decode(entry)
         self.misses += 1
-        estimate = synthesize(program, board, plan, library)
+        estimate = self._synthesize_miss(program, board, plan, library)
         self._entries[key] = _encode(estimate)
+        self._evict()
         return estimate
+
+    def _synthesize_miss(
+        self,
+        program: Program,
+        board: Board,
+        plan: Optional[LayoutPlan],
+        library: OperatorLibrary,
+    ) -> Estimate:
+        """The actual backend call on a miss — the override point for
+        the batch service's deadline/backoff guard."""
+        return synthesize(program, board, plan, library)
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries beyond ``max_entries``."""
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
 
     def save(self) -> None:
         """Persist atomically: write a sibling temp file, then
@@ -96,6 +129,7 @@ class EstimateCache:
         either the old file or the new one — never a truncated JSON that
         would poison later runs (truncated files load as empty anyway,
         see :func:`load_entries`)."""
+        faults.check("cache_write")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
             mode="w", dir=self.path.parent, prefix=self.path.name + ".",
@@ -119,9 +153,10 @@ class EstimateCache:
 
         Existing keys win: a fingerprint determines its estimate, so a
         collision carries the same payload and keeping ours avoids
-        churn."""
+        churn.  The ``max_entries`` bound still applies afterwards."""
         for key, entry in entries.items():
             self._entries.setdefault(key, entry)
+        self._evict()
 
     @property
     def entries(self) -> Dict[str, dict]:

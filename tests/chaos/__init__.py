@@ -1,0 +1,7 @@
+"""Chaos suite: fault injection, journaling, and kill-resume invariants.
+
+Everything here drives the *real* batch stack (workers, guard, caches,
+ledger, telemetry) with :mod:`repro.faults` specs, asserting the
+robustness contract: every job reaches a typed terminal state, and a
+crashed-and-resumed run is bit-identical to an uninterrupted one.
+"""

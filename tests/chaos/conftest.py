@@ -1,0 +1,12 @@
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_leakage():
+    """Serial-mode tests activate the process-wide injector inside this
+    very process; make sure no rule outlives its test."""
+    faults.deactivate()
+    yield
+    faults.deactivate()

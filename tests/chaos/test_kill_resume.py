@@ -1,0 +1,185 @@
+"""The tentpole invariant: SIGKILL mid-batch, resume, bit-identical.
+
+A journaled batch is started in a subprocess with a fault spec that
+makes one job hang; once the ledger shows the first jobs done, the
+process is killed with SIGKILL (no cleanup, no handlers — the honest
+crash).  Resuming the run directory must then (a) adopt the completed
+jobs without re-executing them, and (b) produce selections bit-identical
+to an uninterrupted run of the same manifest.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import read_trace, replay
+
+_REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+MANIFEST = {
+    "jobs": [
+        {"id": "fir-p", "program": "kernel:fir", "board": "pipelined"},
+        {"id": "fir-np", "program": "kernel:fir", "board": "nonpipelined"},
+        {"id": "slow", "program": "kernel:jac", "board": "pipelined"},
+    ]
+}
+
+# only the third job hangs, so the first two complete and land in the
+# ledger before the kill
+HANG_SPEC = {
+    "faults": [
+        {"site": "worker", "mode": "hang", "seconds": 120.0,
+         "jobs": ["slow"]},
+    ]
+}
+
+
+def _cli(*args, **popen_kw):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _REPO_SRC
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        **popen_kw,
+    )
+
+
+def _await_done_count(ledger_path, want, proc=None, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        done = {
+            record.get("job_id")
+            for record in _records(ledger_path)
+            if record.get("event") == "job_done"
+        }
+        if len(done) >= want:
+            return done
+        if proc is not None and proc.poll() is not None:
+            raise AssertionError(
+                f"batch process exited early ({proc.returncode}): "
+                f"{proc.stdout.read().decode()}"
+            )
+        time.sleep(0.1)
+    raise AssertionError(
+        f"ledger never reached {want} completed jobs "
+        f"(saw {_records(ledger_path)})"
+    )
+
+
+def _records(ledger_path):
+    if not ledger_path.exists():
+        return []
+    out = []
+    for line in ledger_path.read_text().splitlines():
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return out
+
+
+@pytest.mark.slow
+def test_kill_resume_is_bit_identical(tmp_path):
+    manifest_path = tmp_path / "manifest.json"
+    manifest_path.write_text(json.dumps(MANIFEST))
+    spec_path = tmp_path / "faults.json"
+    spec_path.write_text(json.dumps(HANG_SPEC))
+
+    # -- the run that dies ---------------------------------------------------
+    crashed_dir = tmp_path / "crashed"
+    victim = _cli(
+        "batch", str(manifest_path), "--jobs", "1",
+        "--run-dir", str(crashed_dir), "--fault-spec", str(spec_path),
+    )
+    try:
+        done = _await_done_count(crashed_dir / "ledger.jsonl", 2, proc=victim)
+    finally:
+        if victim.poll() is None:
+            os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+    assert done == {"fir-p", "fir-np"}
+    assert victim.returncode == -signal.SIGKILL
+
+    pre_kill = replay(crashed_dir / "ledger.jsonl")
+    assert set(pre_kill.completed) == {"fir-p", "fir-np"}
+    assert "slow" in pre_kill.in_flight   # it had started, never finished
+
+    # -- resume (no fault spec: the backend "recovered") ---------------------
+    resumed_json = tmp_path / "resumed.json"
+    resume = _cli(
+        "batch", "--resume", str(crashed_dir), "--jobs", "1",
+        "--json", str(resumed_json),
+    )
+    out, _ = resume.communicate(timeout=300)
+    assert resume.returncode == 0, out.decode()
+
+    # -- the uninterrupted reference run -------------------------------------
+    clean_dir = tmp_path / "clean"
+    clean_json = tmp_path / "clean.json"
+    clean = _cli(
+        "batch", str(manifest_path), "--jobs", "1",
+        "--run-dir", str(clean_dir), "--json", str(clean_json),
+    )
+    out, _ = clean.communicate(timeout=300)
+    assert clean.returncode == 0, out.decode()
+
+    # (a) bit-identical selections, job for job
+    resumed = {j["id"]: j for j in json.loads(resumed_json.read_text())["jobs"]}
+    reference = {j["id"]: j for j in json.loads(clean_json.read_text())["jobs"]}
+    assert set(resumed) == set(reference) == {"fir-p", "fir-np", "slow"}
+    for job_id, expected in reference.items():
+        actual = resumed[job_id]
+        assert actual["status"] == "ok"
+        for key in ("selected_unroll", "cycles", "space", "speedup",
+                    "points_searched", "design_space_size", "trace"):
+            assert actual[key] == expected[key], (job_id, key)
+
+    # (b) completed jobs were adopted, not re-executed: exactly one
+    # attempt each across the whole journal, and the resumed session's
+    # trace records their adoption
+    attempts = {}
+    for record in _records(crashed_dir / "ledger.jsonl"):
+        if record.get("event") == "job_attempt":
+            attempts[record["job_id"]] = attempts.get(record["job_id"], 0) + 1
+    assert attempts["fir-p"] == 1
+    assert attempts["fir-np"] == 1
+    assert attempts["slow"] >= 2   # the killed attempt plus the re-run
+
+    final = replay(crashed_dir / "ledger.jsonl")
+    assert set(final.completed) == {"fir-p", "fir-np", "slow"}
+    assert final.resumes == 1
+
+    events = read_trace(crashed_dir / "trace.jsonl")
+    resumed_ids = {
+        e.job_id for e in events if e.event == "job_resumed"
+    }
+    assert resumed_ids == {"fir-p", "fir-np"}
+    # the hung job really ran in the resumed session
+    finished_ids = {e.job_id for e in events if e.event == "job_finish"}
+    assert "slow" in finished_ids
+
+
+def test_resume_refuses_mismatched_manifest(tmp_path):
+    """End-to-end guard: editing the snapshot after the crash is caught."""
+    manifest_path = tmp_path / "manifest.json"
+    manifest_path.write_text(json.dumps(
+        {"jobs": [{"id": "a", "program": "kernel:fir"}]}
+    ))
+    run_dir = tmp_path / "run"
+    first = _cli("batch", str(manifest_path), "--jobs", "1",
+                 "--run-dir", str(run_dir))
+    out, _ = first.communicate(timeout=300)
+    assert first.returncode == 0, out.decode()
+    (run_dir / "manifest.json").write_text(json.dumps(
+        {"jobs": [{"id": "a", "program": "kernel:mm"}]}
+    ))
+    second = _cli("batch", "--resume", str(run_dir))
+    out, _ = second.communicate(timeout=60)
+    assert second.returncode == 1
+    assert b"does not match" in out

@@ -1,0 +1,171 @@
+"""Unit tests for the journaled run ledger: identity, replay, resume."""
+
+import json
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.service import (
+    BatchManifest, JobSpec, RunLedger, manifest_document,
+    manifest_fingerprint, replay, spec_hash,
+)
+
+
+def _spec(job_id, program="kernel:fir", **overrides):
+    return JobSpec(id=job_id, program=program, **overrides)
+
+
+def _manifest(*specs):
+    return BatchManifest(jobs=tuple(specs))
+
+
+class TestSpecHash:
+    def test_robustness_knobs_excluded(self):
+        base = _spec("a")
+        tuned = _spec("a", timeout_s=5.0, max_attempts=7, call_deadline_s=1.0)
+        assert spec_hash(base) == spec_hash(tuned)
+
+    def test_result_determining_fields_included(self):
+        base = _spec("a")
+        assert spec_hash(base) != spec_hash(_spec("a", program="kernel:mm"))
+        assert spec_hash(base) != spec_hash(_spec("a", board="nonpipelined"))
+        assert spec_hash(base) != spec_hash(
+            _spec("a", search={"max_steps": 3})
+        )
+        assert spec_hash(base) != spec_hash(
+            _spec("a", pipeline={"narrow_bitwidths": True})
+        )
+
+    def test_fingerprint_is_order_sensitive(self):
+        ab = _manifest(_spec("a"), _spec("b"))
+        ba = _manifest(_spec("b"), _spec("a"))
+        assert manifest_fingerprint(ab) != manifest_fingerprint(ba)
+
+
+class TestCreate:
+    def test_writes_snapshot_and_run_start(self, tmp_path):
+        manifest = _manifest(_spec("a", timeout_s=2.0), _spec("b"))
+        ledger = RunLedger.create(tmp_path / "run", manifest)
+        ledger.close()
+        snapshot = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        assert snapshot == manifest_document(manifest)
+        state = replay(tmp_path / "run" / "ledger.jsonl")
+        assert state.fingerprint == manifest_fingerprint(manifest)
+
+    def test_refuses_existing_ledger(self, tmp_path):
+        manifest = _manifest(_spec("a"))
+        RunLedger.create(tmp_path / "run", manifest).close()
+        with pytest.raises(LedgerError, match="resume"):
+            RunLedger.create(tmp_path / "run", manifest)
+
+
+class TestReplay:
+    def test_attempt_without_done_is_in_flight(self, tmp_path):
+        manifest = _manifest(_spec("a"), _spec("b"))
+        ledger = RunLedger.create(tmp_path / "run", manifest)
+        ledger.record_attempt(manifest.jobs[0], 1)
+        ledger.record_attempt(manifest.jobs[1], 1)
+        ledger.record_attempt(manifest.jobs[1], 2)
+        ledger.record_success(manifest.jobs[0], 1, {"cycles": 7})
+        ledger.close()
+        state = replay(tmp_path / "run" / "ledger.jsonl")
+        assert state.completed["a"]["payload"] == {"cycles": 7}
+        assert state.in_flight == {"b": 2}
+
+    def test_torn_tail_skipped(self, tmp_path):
+        manifest = _manifest(_spec("a"))
+        ledger = RunLedger.create(tmp_path / "run", manifest)
+        ledger.record_attempt(manifest.jobs[0], 1)
+        ledger.close()
+        path = tmp_path / "run" / "ledger.jsonl"
+        with open(path, "a") as stream:
+            stream.write('{"event": "job_done", "job_id": "a", "stat')
+        state = replay(path)
+        # the torn job_done is as if it never happened: job still in flight
+        assert state.completed == {}
+        assert state.in_flight == {"a": 1}
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = replay(tmp_path / "absent.jsonl")
+        assert state.completed == {} and state.in_flight == {}
+
+
+class TestResume:
+    def _journaled_run(self, tmp_path, *specs):
+        manifest = _manifest(*specs)
+        ledger = RunLedger.create(tmp_path / "run", manifest)
+        ledger.record_attempt(manifest.jobs[0], 1)
+        ledger.record_success(manifest.jobs[0], 1, {"cycles": 7})
+        ledger.close()
+        return tmp_path / "run", manifest
+
+    def test_roundtrip(self, tmp_path):
+        run_dir, manifest = self._journaled_run(
+            tmp_path, _spec("a"), _spec("b")
+        )
+        ledger, loaded, state = RunLedger.resume(run_dir)
+        ledger.close()
+        assert [s.id for s in loaded.jobs] == ["a", "b"]
+        assert set(state.completed) == {"a"}
+        # the journal now remembers it was resumed
+        assert replay(run_dir / "ledger.jsonl").resumes == 1
+
+    def test_not_a_run_directory(self, tmp_path):
+        with pytest.raises(LedgerError, match="not a run directory"):
+            RunLedger.resume(tmp_path)
+
+    def test_manifest_mismatch_refused(self, tmp_path):
+        run_dir, _ = self._journaled_run(tmp_path, _spec("a"))
+        (run_dir / "manifest.json").write_text(json.dumps({
+            "jobs": [{"id": "a", "program": "kernel:mm"}],
+        }))
+        with pytest.raises(LedgerError, match="does not match"):
+            RunLedger.resume(run_dir)
+
+    def test_completed_job_missing_from_manifest_refused(self, tmp_path):
+        run_dir, manifest = self._journaled_run(tmp_path, _spec("a"))
+        # same fingerprint is impossible here, so forge one: rewrite the
+        # ledger's run_start to match a manifest that lacks job "a"
+        other = _manifest(_spec("z"))
+        (run_dir / "manifest.json").write_text(
+            json.dumps(manifest_document(other))
+        )
+        lines = (run_dir / "ledger.jsonl").read_text().splitlines()
+        start = json.loads(lines[0])
+        start["fingerprint"] = manifest_fingerprint(other)
+        lines[0] = json.dumps(start)
+        (run_dir / "ledger.jsonl").write_text("\n".join(lines) + "\n")
+        with pytest.raises(LedgerError, match="not in the manifest"):
+            RunLedger.resume(run_dir)
+
+    def test_no_run_start_refused(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "manifest.json").write_text(json.dumps({
+            "jobs": [{"id": "a", "program": "kernel:fir"}],
+        }))
+        (run_dir / "ledger.jsonl").write_text("garbage\n")
+        with pytest.raises(LedgerError, match="run_start"):
+            RunLedger.resume(run_dir)
+
+    def test_corrupt_manifest_snapshot_refused(self, tmp_path):
+        run_dir, _ = self._journaled_run(tmp_path, _spec("a"))
+        (run_dir / "manifest.json").write_text("{nope")
+        with pytest.raises(LedgerError, match="corrupt"):
+            RunLedger.resume(run_dir)
+
+
+class TestDroppedWrites:
+    def test_append_after_close_is_counted_not_raised(self, tmp_path):
+        manifest = _manifest(_spec("a"))
+        ledger = RunLedger.create(tmp_path / "run", manifest)
+        ledger.close()
+        ledger.record_attempt(manifest.jobs[0], 1)   # must not raise
+        assert ledger.dropped_writes == 1
+
+    def test_unserializable_record_is_counted(self, tmp_path):
+        manifest = _manifest(_spec("a"))
+        ledger = RunLedger.create(tmp_path / "run", manifest)
+        ledger.record_success(manifest.jobs[0], 1, {"blob": object()})
+        assert ledger.dropped_writes == 1
+        ledger.close()

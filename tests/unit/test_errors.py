@@ -3,9 +3,11 @@
 import pytest
 
 from repro.errors import (
-    AnalysisError, CapacityError, FrontendError, LayoutError, LexError,
-    ParseError, ReproError, SearchError, SemanticError, SynthesisError,
-    TransformError,
+    AnalysisError, CacheLockTimeout, CapacityError, CorruptEstimate,
+    DeadlineExceeded, EstimationError, FrontendError, LayoutError,
+    LedgerError, LexError, ParseError, ReproError, SearchError,
+    SemanticError, ServiceError, SynthesisError, TransformError,
+    TransientError, failure_kind, is_transient,
 )
 
 
@@ -24,6 +26,49 @@ class TestHierarchy:
 
     def test_capacity_is_synthesis(self):
         assert issubclass(CapacityError, SynthesisError)
+
+
+class TestFailureTaxonomy:
+    def test_new_classes_are_repro_errors(self):
+        for cls in (
+            EstimationError, CorruptEstimate, LedgerError, TransientError,
+            DeadlineExceeded, CacheLockTimeout,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_estimation_family(self):
+        assert issubclass(EstimationError, SynthesisError)
+        assert issubclass(CorruptEstimate, EstimationError)
+        assert issubclass(LedgerError, ServiceError)
+        assert issubclass(DeadlineExceeded, TransientError)
+
+    def test_cache_lock_timeout_is_a_timeout(self):
+        # callers with generic timeout handling still catch it
+        assert issubclass(CacheLockTimeout, TimeoutError)
+
+    def test_kinds_are_stable_strings(self):
+        assert failure_kind(EstimationError("x")) == "estimation"
+        assert failure_kind(CorruptEstimate("x")) == "corrupt_estimate"
+        assert failure_kind(LedgerError("x")) == "ledger"
+        assert failure_kind(TransientError("x")) == "transient"
+        assert failure_kind(DeadlineExceeded("x")) == "deadline"
+        assert failure_kind(CacheLockTimeout("x")) == "cache_lock_timeout"
+
+    def test_foreign_exception_kind(self):
+        assert failure_kind(ValueError("x")) == "exception"
+        assert failure_kind(OSError("x")) == "exception"
+
+    def test_transience_classification(self):
+        # typed repro errors are permanent unless declared otherwise
+        assert not is_transient(ParseError("x"))
+        assert not is_transient(CorruptEstimate("x"))
+        assert is_transient(TransientError("x"))
+        assert is_transient(DeadlineExceeded("x"))
+        assert is_transient(CacheLockTimeout("x"))
+        # foreign exceptions default to transient: retrying is the safe
+        # guess for the unknown
+        assert is_transient(ValueError("x"))
+        assert is_transient(OSError("x"))
 
 
 class TestLocationFormatting:

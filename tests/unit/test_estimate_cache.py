@@ -79,6 +79,12 @@ class TestCache:
         cache.synthesize(design.program, wildstar_pipelined(), design.plan)
         assert cache.misses == 1
 
+    def test_unbounded_by_default(self, tmp_path):
+        cache = EstimateCache(tmp_path / "cache.json")
+        cache.merge({f"k{i}": {"v": i} for i in range(100)})
+        assert len(cache) == 100
+        assert cache.evictions == 0
+
     def test_infinite_balance_roundtrips(self, tmp_path):
         from repro.frontend import compile_source
         board = wildstar_pipelined()
@@ -92,3 +98,35 @@ class TestCache:
         reloaded = EstimateCache(path)
         again = reloaded.synthesize(program, board)
         assert again.balance == float("inf")
+
+
+class TestLRUBound:
+    def test_eviction_past_max_entries(self, tmp_path):
+        cache = EstimateCache(tmp_path / "cache.json", max_entries=2)
+        cache.merge({"a": {"v": 1}, "b": {"v": 2}, "c": {"v": 3}})
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert set(cache.entries) == {"b", "c"}  # oldest went first
+
+    def test_load_respects_bound(self, tmp_path):
+        path = tmp_path / "cache.json"
+        with EstimateCache(path) as cache:
+            cache.merge({f"k{i}": {"v": i} for i in range(5)})
+        bounded = EstimateCache(path, max_entries=3)
+        assert len(bounded) == 3
+        assert bounded.evictions == 2
+
+    def test_hit_refreshes_recency(self, tmp_path, design):
+        board = wildstar_pipelined()
+        other = compile_design(FIR.program(), UnrollVector.of(4, 1), 4)
+        third = compile_design(FIR.program(), UnrollVector.of(1, 1), 4)
+        cache = EstimateCache(tmp_path / "cache.json", max_entries=2)
+        cache.synthesize(design.program, board, design.plan)   # A: miss
+        cache.synthesize(other.program, board, other.plan)     # B: miss
+        cache.synthesize(design.program, board, design.plan)   # A: hit (touch)
+        cache.synthesize(third.program, board, third.plan)     # C: evicts B
+        assert cache.evictions == 1
+        cache.synthesize(design.program, board, design.plan)   # A survived
+        assert cache.hits == 2
+        cache.synthesize(other.program, board, other.plan)     # B was evicted
+        assert cache.misses == 4

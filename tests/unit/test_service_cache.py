@@ -6,8 +6,9 @@ import os
 
 import pytest
 
+from repro.errors import CacheLockTimeout
 from repro.kernels import FIR
-from repro.service import SharedEstimateCache
+from repro.service import FileLock, SharedEstimateCache
 from repro.synthesis import EstimateCache
 from repro.synthesis.cache import load_entries
 from repro.target import wildstar_pipelined
@@ -111,6 +112,55 @@ class TestSharedCache:
             for i in range(per_worker)
         }
         assert set(final) == expected
+
+
+class TestLockTimeout:
+    def test_contended_lock_times_out_typed(self, tmp_path):
+        lock_path = tmp_path / "cache.json.lock"
+        holder = FileLock(lock_path)
+        holder.acquire()
+        try:
+            waiter = FileLock(lock_path, timeout_s=0.2)
+            with pytest.raises(CacheLockTimeout):
+                waiter.acquire()
+        finally:
+            holder.release()
+
+    def test_acquires_once_released(self, tmp_path):
+        lock_path = tmp_path / "cache.json.lock"
+        holder = FileLock(lock_path)
+        holder.acquire()
+        holder.release()
+        waiter = FileLock(lock_path, timeout_s=0.2)
+        waiter.acquire()  # must not raise
+        waiter.release()
+
+    def test_shared_cache_save_times_out_instead_of_hanging(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = SharedEstimateCache(path, lock_timeout_s=0.2)
+        cache._entries["k"] = {"v": 1}
+        blocker = FileLock(path.with_suffix(path.suffix + ".lock"))
+        blocker.acquire()  # a hung peer holding the cache lock
+        try:
+            with pytest.raises(CacheLockTimeout):
+                cache.save()
+        finally:
+            blocker.release()
+        cache.save()  # recovers once the peer lets go
+        assert set(load_entries(path)) == {"k"}
+
+    def test_mkdir_fallback_times_out(self, tmp_path, monkeypatch):
+        lock_path = tmp_path / "cache.json.lock"
+        holder = FileLock(lock_path)
+        monkeypatch.setattr(holder, "_use_fcntl", False)
+        holder.acquire()
+        try:
+            waiter = FileLock(lock_path, timeout_s=0.2, stale_s=60.0)
+            monkeypatch.setattr(waiter, "_use_fcntl", False)
+            with pytest.raises(CacheLockTimeout):
+                waiter.acquire()
+        finally:
+            holder.release()
 
 
 def _hammer_cache(path: str, worker: int, count: int) -> None:

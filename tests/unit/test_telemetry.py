@@ -50,6 +50,37 @@ class TestEmission:
         assert [event.event for event in events] == ["job_start"]
 
 
+class TestDrops:
+    def test_unserializable_event_dropped_not_raised(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Telemetry(path) as telemetry:
+            telemetry.emit("job_start", job_id="a")
+            telemetry.emit("weird", blob=object())   # not JSON-serializable
+            telemetry.emit("job_finish", job_id="a")
+            assert telemetry.dropped == 1
+        # in-memory record survives; the file simply misses one line
+        assert len(telemetry.events) == 3
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_write_failure_dropped_not_raised(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(path)
+        telemetry.emit("job_start", job_id="a")
+        telemetry._stream.close()   # simulate the sink going away
+        telemetry.emit("job_finish", job_id="a")   # must not raise
+        assert telemetry.dropped == 1
+        assert len(telemetry.events) == 2
+
+    def test_append_mode_extends_existing_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Telemetry(path) as first:
+            first.emit("batch_start")
+        with Telemetry(path, mode="a") as second:
+            second.emit("job_resumed", job_id="a", status="ok")
+        events = read_trace(path)
+        assert [e.event for e in events] == ["batch_start", "job_resumed"]
+
+
 class TestSummary:
     def _events(self):
         return [
@@ -90,3 +121,34 @@ class TestSummary:
         rendered = table.render()
         assert "cache hit rate" in rendered
         assert "0.750" in rendered
+
+    def test_resumed_jobs_counted_once(self):
+        # a combined append-mode trace: the original run's events plus
+        # the resumed run's adoption records for the same job
+        events = [
+            TelemetryEvent("job_start", 1.0, "a", {"attempt": 1}),
+            TelemetryEvent("job_finish", 2.0, "a", {"points_searched": 3}),
+            TelemetryEvent("job_resumed", 3.0, "a", {"status": "ok"}),
+            TelemetryEvent("job_resumed", 4.0, "b", {"status": "ok"}),
+        ]
+        summary = summarize_events(events)
+        assert summary["jobs"] == 2          # a and b, neither twice
+        assert summary["succeeded"] == 2
+        assert summary["resumed"] == 2
+
+    def test_robustness_rows_hidden_when_quiet(self):
+        rendered = batch_summary_table(summarize_events([])).render()
+        for label in ("telemetry drops", "ledger drops", "jobs resumed",
+                      "estimator retries", "deadline hits"):
+            assert label not in rendered
+
+    def test_robustness_rows_shown_when_nonzero(self):
+        summary = summarize_events([])
+        summary.update(telemetry_dropped=2, ledger_dropped=1, resumed=3,
+                       estimator_retries=4, deadline_hits=1,
+                       cache_evictions=9)
+        rendered = batch_summary_table(summary).render()
+        for label in ("telemetry drops", "ledger drops", "jobs resumed",
+                      "estimator retries", "deadline hits",
+                      "cache evictions"):
+            assert label in rendered
