@@ -39,7 +39,10 @@ def _load_program(spec: str) -> Tuple[Program, Optional[object]]:
     and output arrays when available.
     """
     if spec.startswith("kernel:"):
-        kernel = kernel_by_name(spec.split(":", 1)[1])
+        try:
+            kernel = kernel_by_name(spec.split(":", 1)[1])
+        except KeyError as error:
+            raise ReproError(error.args[0]) from None
         return kernel.program(), kernel
     path = Path(spec)
     if not path.exists():
@@ -130,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(kernel inputs only)")
     explore_cmd.add_argument("--json", metavar="FILE",
                              help="write a machine-readable summary here")
+    explore_cmd.add_argument("--max-point-failures", type=int, default=None,
+                             metavar="N",
+                             help="abort a kernel's search after N design-"
+                                  "point failures (default 16; failed points "
+                                  "below the budget are reported as "
+                                  "infeasible and skipped)")
 
     compile_cmd = commands.add_parser(
         "compile", help="apply the transformation pipeline at a fixed unroll"
@@ -190,6 +199,19 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--json", metavar="FILE",
                            help="write a machine-readable batch summary here")
 
+    fuzz_cmd = commands.add_parser(
+        "fuzz", help="differential-fuzz the pipeline against the "
+                     "reference interpreter"
+    )
+    fuzz_cmd.add_argument("--iterations", type=int, default=500, metavar="N",
+                          help="random programs to generate (default 500)")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="base RNG seed; iteration k derives its own "
+                               "stream from seed:k (default 0)")
+    fuzz_cmd.add_argument("--artifact-dir", metavar="DIR", default=None,
+                          help="write failing programs (.c) and metadata "
+                               "(.json) here")
+
     commands.add_parser("kernels", help="list the built-in paper kernels")
     return parser
 
@@ -218,6 +240,8 @@ def _dispatch(args) -> int:
         return 0
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "fuzz":
+        return _run_fuzz(args)
 
     if args.command == "explore":
         if args.parallel:
@@ -250,8 +274,14 @@ def _dispatch(args) -> int:
 
 
 def _run_explore(args, program, kernel, board, options) -> int:
-    from repro.dse import explore
-    result = explore(program, board, pipeline_options=options)
+    from repro.dse import SearchOptions, explore
+    search_options = None
+    if args.max_point_failures is not None:
+        search_options = SearchOptions(
+            max_point_failures=args.max_point_failures
+        )
+    result = explore(program, board, search_options=search_options,
+                     pipeline_options=options)
     print(result.report())
     design = result.selected.design
     if args.vhdl:
@@ -284,6 +314,10 @@ def _run_explore(args, program, kernel, board, options) -> int:
             "points_searched": result.points_searched,
             "design_space_size": result.design_space_size,
             "trace": [str(step) for step in result.search.trace],
+            "baseline_degraded": result.baseline_degraded,
+            "infeasible_points": [
+                diagnostic.as_dict() for diagnostic in result.infeasible
+            ],
         }
         Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {args.json}")
@@ -306,8 +340,11 @@ def _run_explore_parallel(args) -> int:
     }
     if args.register_cap is not None:
         pipeline["register_cap"] = args.register_cap
+    defaults = {"board": _board_name(args.board), "pipeline": pipeline}
+    if args.max_point_failures is not None:
+        defaults["search"] = {"max_point_failures": args.max_point_failures}
     manifest = parse_manifest({
-        "defaults": {"board": _board_name(args.board), "pipeline": pipeline},
+        "defaults": defaults,
         "jobs": [{"program": spec} for spec in args.program],
     }, source="<explore --parallel>", base_dir=Path.cwd())
     return _drive_batch(manifest, args.jobs, args.cache, args.trace,
@@ -376,6 +413,17 @@ def _drive_batch(manifest, jobs, cache, trace, timeout, json_path,
         Path(json_path).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {json_path}")
     return 0 if result.all_ok else 1
+
+
+def _run_fuzz(args) -> int:
+    from repro.fuzz import run_fuzz
+    if args.iterations < 1:
+        raise ReproError("--iterations must be >= 1")
+    report = run_fuzz(
+        args.iterations, seed=args.seed, artifact_dir=args.artifact_dir
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _board_name(name: str) -> str:

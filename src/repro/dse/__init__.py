@@ -6,6 +6,7 @@ oracle) are exposed for benchmarks and ablations.
 """
 
 from repro.dse.explorer import ExplorationResult, explore
+from repro.dse.failures import POINT_FAILURES, PointDiagnostic, is_point_failure
 from repro.dse.saturation import (
     SaturationInfo, analyze_saturation, compute_psat, saturation_vectors,
 )
@@ -27,8 +28,9 @@ __all__ = [
     "ALL_STRATEGIES", "BalanceGuidedSearch", "BalanceStrategy",
     "DesignEvaluation", "DesignSpace", "ExhaustiveResult",
     "ExplorationResult", "HillClimbStrategy", "LinearScanStrategy",
-    "MultiNestResult", "RandomStrategy", "SaturationInfo", "SearchOptions",
-    "SearchResult", "StrategyResult", "TraceStep", "analyze_saturation",
-    "compute_psat", "explore", "explore_application", "saturation_vectors",
+    "MultiNestResult", "POINT_FAILURES", "PointDiagnostic", "RandomStrategy",
+    "SaturationInfo", "SearchOptions", "SearchResult", "StrategyResult",
+    "TraceStep", "analyze_saturation", "compute_psat", "explore",
+    "explore_application", "is_point_failure", "saturation_vectors",
     "split_nests",
 ]

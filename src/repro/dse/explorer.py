@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.dse.failures import PointDiagnostic
 from repro.dse.saturation import SaturationInfo
 from repro.dse.search import BalanceGuidedSearch, SearchOptions, SearchResult, TraceStep
 from repro.dse.space import DesignEvaluation, DesignSpace
@@ -33,6 +34,12 @@ class ExplorationResult:
     search: SearchResult
     design_space_size: int
     points_searched: int
+    #: diagnostics for design points that failed and were skipped
+    #: (fail-soft search); empty on a clean run.
+    infeasible: Tuple[PointDiagnostic, ...] = ()
+    #: the no-unrolling baseline itself failed, so ``baseline`` is the
+    #: selected design standing in (speedup degenerates to 1.0).
+    baseline_degraded: bool = False
 
     @property
     def speedup(self) -> float:
@@ -65,9 +72,18 @@ class ExplorationResult:
             f"  selected U={self.selected.unroll}: "
             f"{self.selected.estimate.summary()}"
         )
-        lines.append(
-            f"  baseline: {self.baseline.estimate.summary()}"
-        )
+        if self.baseline_degraded:
+            lines.append(
+                "  baseline: infeasible (using selected design as reference)"
+            )
+        else:
+            lines.append(
+                f"  baseline: {self.baseline.estimate.summary()}"
+            )
+        if self.infeasible:
+            lines.append(f"  infeasible points: {len(self.infeasible)}")
+            for diagnostic in self.infeasible:
+                lines.append(f"    {diagnostic}")
         lines.append(
             f"  speedup {self.speedup:.2f}x, searched {self.points_searched} "
             f"of {self.design_space_size} points "
@@ -125,7 +141,14 @@ def explore(
             searcher = BalanceGuidedSearch(space, search_options)
 
     result = searcher.run()
-    baseline = space.evaluate(space.baseline_vector())
+    # Fail-soft baseline: a baseline that cannot be evaluated (typically
+    # under injected faults — the unrolled points were fine) degrades to
+    # the selected design as its own reference instead of aborting the
+    # whole exploration.
+    baseline = space.try_evaluate(space.baseline_vector())
+    baseline_degraded = baseline is None
+    if baseline is None:
+        baseline = result.selected
     return ExplorationResult(
         program_name=program.name,
         board_name=board.name,
@@ -134,4 +157,6 @@ def explore(
         search=result,
         design_space_size=space.size(),
         points_searched=space.points_evaluated,
+        infeasible=tuple(space.infeasible_points()),
+        baseline_degraded=baseline_degraded,
     )

@@ -1,0 +1,80 @@
+"""Structured per-point failure diagnostics for fail-soft exploration.
+
+One malformed design point should cost the search *one point*, not the
+whole kernel: the DSE layer catches the typed, permanent failures a
+point evaluation can raise — illegal transforms, verifier violations,
+estimation failures, capacity errors — and records each as an
+*infeasible point* carrying everything a report needs to say what died
+and where (kernel, unroll vector, pipeline stage, source location).
+Transient failures are deliberately **not** in this family: retrying the
+same point can fix them, so they propagate to the job-level retry
+machinery instead of being branded infeasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import (
+    CapacityError, EstimationError, TransformError, failure_kind,
+    is_transient,
+)
+from repro.transform.unroll import UnrollVector
+
+#: The typed failures that make one design point infeasible without
+#: implicating the rest of the space.  ``VerificationError`` is a
+#: ``TransformError``; ``CorruptEstimate`` is an ``EstimationError``.
+POINT_FAILURES = (TransformError, EstimationError, CapacityError)
+
+
+def is_point_failure(error: BaseException) -> bool:
+    """Whether an exception is a permanent single-point failure."""
+    return isinstance(error, POINT_FAILURES) and not is_transient(error)
+
+
+@dataclass(frozen=True)
+class PointDiagnostic:
+    """Why one design point is infeasible."""
+
+    unroll: Tuple[int, ...]
+    kind: str
+    message: str
+    kernel: Optional[str] = None
+    stage: Optional[str] = None
+    loop: Optional[str] = None
+    location: Optional[str] = None
+
+    @classmethod
+    def from_error(
+        cls, unroll: UnrollVector, error: BaseException,
+        kernel: Optional[str] = None,
+    ) -> "PointDiagnostic":
+        context = error.context() if isinstance(error, TransformError) else {}
+        return cls(
+            unroll=tuple(unroll),
+            kind=failure_kind(error),
+            message=str(error),
+            kernel=context.get("kernel") or kernel,
+            stage=context.get("stage"),
+            loop=context.get("loop"),
+            location=context.get("location"),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Primitives-only form for telemetry/JSON payloads."""
+        record: Dict[str, Any] = {
+            "unroll": list(self.unroll),
+            "kind": self.kind,
+            "message": self.message,
+        }
+        for key in ("kernel", "stage", "loop", "location"):
+            value = getattr(self, key)
+            if value:
+                record[key] = value
+        return record
+
+    def __str__(self) -> str:
+        factors = ", ".join(str(f) for f in self.unroll)
+        where = f" at stage {self.stage}" if self.stage else ""
+        return f"U=({factors}) infeasible ({self.kind}{where}): {self.message}"

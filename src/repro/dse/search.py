@@ -21,12 +21,15 @@ largest minimum nonzero dependence distances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.dependence import DependenceGraph
+from repro.dse.failures import PointDiagnostic
 from repro.dse.saturation import SaturationInfo, analyze_saturation
 from repro.dse.space import DesignEvaluation, DesignSpace
-from repro.errors import SearchError, TransformError
+from repro.errors import (
+    NoFeasiblePoint, PointFailureBudgetExceeded, SearchError,
+)
 from repro.transform.unroll import UnrollVector
 
 
@@ -38,6 +41,12 @@ class SearchOptions:
     balance_tolerance: float = 0.10
     #: hard stop against pathological oscillation.
     max_iterations: int = 64
+    #: fail-soft budget: how many infeasible points (illegal transforms,
+    #: estimation failures, verifier violations) the search tolerates
+    #: before declaring the nest hopeless with
+    #: :class:`~repro.errors.PointFailureBudgetExceeded`.  ``None``
+    #: means unlimited.
+    max_point_failures: Optional[int] = 16
 
 
 @dataclass
@@ -65,6 +74,8 @@ class SearchResult:
     trace: List[TraceStep]
     saturation: SaturationInfo
     initial: UnrollVector
+    #: diagnostics for points that failed and were skipped (fail-soft).
+    infeasible: Tuple[PointDiagnostic, ...] = ()
 
     @property
     def points_searched(self) -> int:
@@ -86,6 +97,7 @@ class BalanceGuidedSearch:
             space.program, space.board.num_memories
         )
         self.priority = self._loop_priority()
+        self._point_failures = 0
 
     # -- the algorithm (Figure 2) ---------------------------------------------
 
@@ -101,20 +113,25 @@ class BalanceGuidedSearch:
         trace: List[TraceStep] = []
         visited: Set[Tuple[int, ...]] = set()
         ok = False
+        self._point_failures = 0
 
         for _ in range(self.options.max_iterations):
             if ok:
                 break
-            try:
-                evaluation = self.space.evaluate(u_curr)
-            except TransformError:
-                # Illegal jam at this point: treat like a capacity failure
-                # and shrink toward the last good design.
-                if u_cb is None:
-                    raise
-                u_curr = self.select_between(u_cb, u_curr)
-                if u_curr == u_cb:
+            evaluation = self._evaluate_point(u_curr)
+            if evaluation is None:
+                # Infeasible point (illegal jam, verifier violation,
+                # estimation failure): record-and-skip, shrinking toward
+                # the last good design like a capacity failure.
+                fallback = u_cb or u_base
+                shrunk = self.select_between(fallback, u_curr)
+                if shrunk == u_curr:
+                    u_curr = fallback
                     ok = True
+                else:
+                    u_curr = shrunk
+                    if u_curr == u_cb:
+                        ok = True
                 continue
             visited.add(u_curr.factors)
             balance = evaluation.balance
@@ -152,12 +169,77 @@ class BalanceGuidedSearch:
             if not ok and u_curr.factors in visited:
                 ok = True  # no new points reachable
 
-        selected = self.space.evaluate(u_curr)
+        selected = self._final_selection(u_curr, capacity)
         return SearchResult(
             selected=selected,
             trace=trace,
             saturation=self.saturation,
             initial=u_init,
+            infeasible=tuple(self.space.infeasible_points()),
+        )
+
+    # -- fail-soft machinery --------------------------------------------------
+
+    def _evaluate_point(
+        self, unroll: UnrollVector
+    ) -> Optional[DesignEvaluation]:
+        """Evaluate one point; ``None`` marks it infeasible.
+
+        Every infeasible point spends one unit of the failure budget;
+        past the budget the nest is hopeless and the search aborts with
+        a typed :class:`~repro.errors.PointFailureBudgetExceeded` whose
+        message still names the underlying failure kinds.  Transient
+        errors propagate untouched — the caller's retry machinery, not
+        this search, owns those.
+        """
+        evaluation = self.space.try_evaluate(unroll)
+        if evaluation is None:
+            self._point_failures += 1
+            budget = self.options.max_point_failures
+            if budget is not None and self._point_failures > budget:
+                raise PointFailureBudgetExceeded(
+                    f"search of {self.space.program.name} exceeded the "
+                    f"point-failure budget ({budget}): "
+                    f"{self._failure_summary()}"
+                )
+        return evaluation
+
+    def _final_selection(
+        self, u_curr: UnrollVector, capacity: int
+    ) -> DesignEvaluation:
+        """The walk's endpoint, or the best feasible point seen.
+
+        No budget accounting here: once the walk is over, a failing
+        endpoint should degrade to the best already-evaluated design,
+        never abort an exploration that has a usable answer.
+        """
+        evaluation = self.space.try_evaluate(u_curr)
+        if evaluation is not None:
+            return evaluation
+        evaluated = self.space.evaluated()
+        fits = [e for e in evaluated if e.space <= capacity]
+        pool = fits or evaluated
+        if pool:
+            return min(pool, key=lambda e: (e.cycles, e.space))
+        raise NoFeasiblePoint(
+            f"no feasible design point for {self.space.program.name}: "
+            f"{self._failure_summary()}"
+        )
+
+    def _failure_summary(self) -> str:
+        """Failure kinds histogram plus the most recent message."""
+        diagnostics = self.space.infeasible_points()
+        if not diagnostics:
+            return "no failures recorded"
+        kinds: Dict[str, int] = {}
+        for diagnostic in diagnostics:
+            kinds[diagnostic.kind] = kinds.get(diagnostic.kind, 0) + 1
+        histogram = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(kinds.items())
+        )
+        return (
+            f"{len(diagnostics)} point(s) failed ({histogram}); "
+            f"last: {diagnostics[-1].message}"
         )
 
     # -- Uinit (Section 5.3) -------------------------------------------------------
@@ -257,11 +339,8 @@ class BalanceGuidedSearch:
         for candidate in candidates:
             if candidate == limit:
                 continue
-            try:
-                evaluation = self.space.evaluate(candidate)
-            except TransformError:
-                continue
-            if evaluation.space <= capacity:
+            evaluation = self._evaluate_point(candidate)
+            if evaluation is not None and evaluation.space <= capacity:
                 return candidate
         return base
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import TransformError
+from repro.dse.failures import POINT_FAILURES, PointDiagnostic, is_point_failure
 from repro.ir.nest import LoopNest
 from repro.ir.symbols import Program
 from repro.synthesis.estimator import Estimate, synthesize
@@ -76,33 +76,74 @@ class DesignSpace:
         #: in-memory memoization below always applies on top.
         self.estimate_cache = estimate_cache
         self._cache: Dict[Tuple[int, ...], DesignEvaluation] = {}
+        #: per-point failure diagnostics, keyed like the success cache.
+        #: Failures are *not* memoized (an injected or flaky backend can
+        #: recover, and re-raising a deterministic error is cheap); a
+        #: point that later succeeds drops its stale diagnostic.
+        self._infeasible: Dict[Tuple[int, ...], PointDiagnostic] = {}
 
     # -- evaluation ----------------------------------------------------------
 
     def evaluate(self, unroll: UnrollVector) -> DesignEvaluation:
-        """Compile + synthesize one point (cached)."""
+        """Compile + synthesize one point (cached).
+
+        Raises the underlying typed error on failure; permanent
+        single-point failures are additionally recorded as
+        :class:`PointDiagnostic` records (see :meth:`infeasible_points`)
+        so fail-soft callers can report them.
+        """
         key = unroll.factors
         if key not in self._cache:
-            design = compile_design(
-                self.program, unroll, self.board.num_memories, self.options
-            )
-            if self.estimate_cache is not None:
-                estimate = self.estimate_cache.synthesize(
-                    design.program, self.board, design.plan, self.library
+            try:
+                design = compile_design(
+                    self.program, unroll, self.board.num_memories, self.options
                 )
-            else:
-                estimate = synthesize(
-                    design.program, self.board, design.plan, self.library
+                if self.estimate_cache is not None:
+                    estimate = self.estimate_cache.synthesize(
+                        design.program, self.board, design.plan, self.library
+                    )
+                else:
+                    estimate = synthesize(
+                        design.program, self.board, design.plan, self.library
+                    )
+            except POINT_FAILURES as error:
+                if not is_point_failure(error):
+                    raise
+                self._infeasible[key] = PointDiagnostic.from_error(
+                    unroll, error, kernel=self.program.name
                 )
+                raise
             self._cache[key] = DesignEvaluation(unroll, design, estimate)
+            self._infeasible.pop(key, None)
         return self._cache[key]
+
+    def try_evaluate(self, unroll: UnrollVector) -> Optional[DesignEvaluation]:
+        """Like :meth:`evaluate`, but permanent single-point failures
+        return ``None`` (diagnostic recorded) instead of raising.
+        Transient failures still propagate — retry machinery owns those.
+        """
+        try:
+            return self.evaluate(unroll)
+        except POINT_FAILURES as error:
+            if not is_point_failure(error):
+                raise
+            return None
 
     @property
     def points_evaluated(self) -> int:
         return len(self._cache)
 
+    @property
+    def points_failed(self) -> int:
+        return len(self._infeasible)
+
     def evaluated(self) -> List[DesignEvaluation]:
         return list(self._cache.values())
+
+    def infeasible_points(self) -> List[PointDiagnostic]:
+        """Diagnostics for every point that failed (and never recovered),
+        in insertion order."""
+        return list(self._infeasible.values())
 
     # -- geometry --------------------------------------------------------------
 
@@ -172,14 +213,19 @@ class DesignSpace:
         """
         evaluations: List[DesignEvaluation] = []
         for unroll in self.enumerable_points():
-            try:
-                evaluations.append(self.evaluate(unroll))
-            except TransformError:
-                continue
+            evaluation = self.try_evaluate(unroll)
+            if evaluation is not None:
+                evaluations.append(evaluation)
         feasible = [
             e for e in evaluations if e.estimate.fits(self.board)
         ]
         pool = feasible or evaluations
+        if not pool:
+            from repro.errors import NoFeasiblePoint
+            raise NoFeasiblePoint(
+                f"exhaustive search over {self.program.name}: every point "
+                f"failed ({self.points_failed} failures)"
+            )
         best = min(pool, key=lambda e: (e.cycles, e.space))
         return ExhaustiveResult(evaluations=evaluations, best=best)
 

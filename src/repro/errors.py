@@ -76,7 +76,98 @@ class TransformError(ReproError):
 
     Examples: an unroll factor that is not positive, tiling a loop that
     does not exist in the nest.
+
+    Carries optional structured context so design-space exploration can
+    report *which* kernel, loop, and pipeline stage rejected a point
+    instead of a bare message: the keyword arguments are exposed as
+    attributes (and via :meth:`context`) and folded into the rendered
+    message.
     """
+
+    kind = "transform"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: "str | None" = None,
+        loop: "str | None" = None,
+        stage: "str | None" = None,
+        location: "str | None" = None,
+    ):
+        self.bare_message = message
+        self.kernel = kernel
+        self.loop = loop
+        self.stage = stage
+        #: ``"line:column"`` of the loop in the original source, when the
+        #: frontend threaded one through (builder-built programs have none).
+        self.location = location
+        parts = []
+        if kernel:
+            parts.append(f"kernel {kernel}")
+        if stage:
+            parts.append(f"stage {stage}")
+        if loop:
+            parts.append(f"loop {loop!r}")
+        if location:
+            parts.append(f"at {location}")
+        if parts:
+            message = f"{message} [{', '.join(parts)}]"
+        super().__init__(message)
+
+    def context(self) -> "dict[str, str]":
+        """The non-empty structured fields, for diagnostics records."""
+        fields = {
+            "kernel": self.kernel, "loop": self.loop,
+            "stage": self.stage, "location": self.location,
+        }
+        return {key: value for key, value in fields.items() if value}
+
+    def annotate(self, **context) -> "TransformError":
+        """A copy with *missing* context fields filled in.
+
+        Fields the error already carries win — a deep raise site knows
+        its loop better than the pipeline wrapper that catches it.
+        Returns ``self`` unchanged when nothing new would be added.
+        """
+        fields = {
+            "kernel": self.kernel, "loop": self.loop,
+            "stage": self.stage, "location": self.location,
+        }
+        changed = False
+        for key, value in context.items():
+            if key not in fields:
+                raise TypeError(f"unknown context field {key!r}")
+            if fields[key] is None and value is not None:
+                fields[key] = value
+                changed = True
+        if not changed:
+            return self
+        return self._rebuild(self.bare_message, fields)
+
+    def _rebuild(self, message: str, fields: dict) -> "TransformError":
+        return TransformError(message, **fields)
+
+
+class VerificationError(TransformError):
+    """A program violates an IR invariant (see :mod:`repro.ir.verify`).
+
+    Raised when the post-transform invariant checker finds scoping,
+    shape, or well-formedness violations — evidence of a transform bug,
+    not of a bad input.  Carries the individual
+    :class:`repro.ir.verify.Violation` records on ``violations``.
+    """
+
+    kind = "verifier"
+
+    def __init__(self, message: str, *, violations=(), **context):
+        self.violations = tuple(violations)
+        super().__init__(message, **context)
+
+    def _rebuild(self, message: str, fields: dict) -> "VerificationError":
+        return VerificationError(
+            message, violations=self.violations, **fields
+        )
 
 
 class LayoutError(ReproError):
@@ -120,6 +211,45 @@ class CapacityError(SynthesisError):
 
 class SearchError(ReproError):
     """The design space exploration was configured inconsistently."""
+
+    kind = "search"
+
+
+class PointFailureBudgetExceeded(SearchError):
+    """Too many design points failed; the search gave up on the nest.
+
+    The fail-soft search tolerates per-point failures (illegal jams,
+    estimation errors, verifier violations) up to a configurable budget
+    — past it the nest is considered hopeless and the whole exploration
+    fails with this typed error.  The message summarizes the failure
+    kinds seen so the terminal record still names the underlying cause.
+    """
+
+    kind = "failure_budget"
+
+
+class NoFeasiblePoint(SearchError):
+    """Every design point the search visited failed.
+
+    The fail-soft search finished its walk without a single successful
+    evaluation to select, so there is nothing to degrade to.  Like
+    :class:`PointFailureBudgetExceeded`, the message carries the
+    dominant underlying failure kinds.
+    """
+
+    kind = "no_feasible_point"
+
+
+class FuzzError(ReproError):
+    """The differential fuzzer found a real disagreement.
+
+    Raised (or recorded, in batch fuzz runs) when a generated program
+    fails round-trip identity, an invariant check, or interpreter
+    equivalence after a transform — each a genuine pipeline bug, never
+    an artifact of the generator.
+    """
+
+    kind = "fuzz"
 
 
 class ServiceError(ReproError):

@@ -29,6 +29,10 @@ asserts over):
 
 ==================  =========================================================
 ``worker``          entry of :func:`repro.service.worker.execute_job`
+``transform``       entry of :func:`repro.transform.pipeline.compile_design`
+                    (key = the program name, so ``jobs`` restricts by
+                    kernel; pair with ``max_hits`` to poison only some
+                    design points)
 ``estimator``       inside the guard, around each backend ``synthesize`` call
 ``estimate``        the returned estimate value (``mangle`` site)
 ``cache_write``     :meth:`SharedEstimateCache.save` / ``EstimateCache.save``
@@ -41,7 +45,10 @@ Modes: ``transient`` raises :class:`~repro.errors.TransientError`,
 raises ``OSError(ENOSPC)``, ``hang`` sleeps ``seconds`` (pair it with a
 call deadline or a job timeout), ``kill`` hard-exits the process the way
 a segfault would, and ``corrupt`` (``mangle`` sites only) returns a
-structurally invalid variant of the value.
+structurally invalid variant of the value.  ``transform_error`` raises a
+:class:`~repro.errors.TransformError` with an ``injected`` stage tag —
+the chaos suite uses it at the ``transform`` site to poison individual
+design points and assert the fail-soft search degrades instead of dying.
 
 Determinism: whether a rule fires is a pure function of ``(seed, site,
 key, nth consultation of that rule in this process)`` — no wall clock,
@@ -73,7 +80,10 @@ from repro.errors import EstimationError, ServiceError, TransientError
 #: Environment variable naming the active fault-spec file.
 ENV_SPEC = "REPRO_FAULTS"
 
-_MODES = ("transient", "raise", "io_error", "hang", "kill", "corrupt")
+_MODES = (
+    "transient", "raise", "io_error", "hang", "kill", "corrupt",
+    "transform_error",
+)
 _RULE_KEYS = {"site", "mode", "p", "max_hits", "jobs", "seconds", "message"}
 
 
@@ -161,6 +171,11 @@ class FaultInjector:
                 raise TransientError(message)
             if rule.mode == "raise":
                 raise EstimationError(message)
+            if rule.mode == "transform_error":
+                from repro.errors import TransformError
+                raise TransformError(
+                    message, stage="injected", kernel=key,
+                )
             if rule.mode == "io_error":
                 raise OSError(errno.ENOSPC, message)
             if rule.mode == "hang":

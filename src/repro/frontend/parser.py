@@ -152,7 +152,7 @@ class Parser:
         return (self._parse_stmt(),)
 
     def _parse_for(self) -> For:
-        self._expect("keyword", "for")
+        keyword = self._expect("keyword", "for")
         self._expect("op", "(")
         index_var = self._expect("ident").text
         self._expect("op", "=")
@@ -174,7 +174,8 @@ class Parser:
         step = self._parse_increment(index_var)
         self._expect("op", ")")
         body = self._parse_block_or_stmt()
-        return For(index_var, lower, upper, step, body)
+        return For(index_var, lower, upper, step, body,
+                   line=keyword.line, column=keyword.column)
 
     def _parse_increment(self, index_var: str) -> int:
         incr_var = self._expect("ident").text

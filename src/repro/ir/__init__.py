@@ -17,16 +17,21 @@ from repro.ir.expr import (
 from repro.ir.stmt import Assign, For, If, RotateRegisters, Stmt, count_statements, walk_all
 from repro.ir.symbols import Program, VarDecl
 from repro.ir.nest import LoopInfo, LoopNest
-from repro.ir.interp import ArrayStorage, InterpError, Interpreter, MachineState, run_program
+from repro.ir.interp import (
+    ArrayStorage, InterpBudgetExceeded, InterpError, Interpreter,
+    MachineState, run_program,
+)
 from repro.ir.printer import print_expr, print_program, print_stmt
+from repro.ir.verify import Violation, check_ir, verify_program
 
 __all__ = [
     "ArrayRef", "ArrayStorage", "Assign", "BinOp", "BOOL", "Call", "Expr",
-    "For", "If", "INT8", "INT16", "INT32", "IntLit", "InterpError",
-    "Interpreter", "IntType", "LoopInfo", "LoopNest", "MachineState",
-    "Program", "RotateRegisters", "Stmt", "UINT8", "UINT16", "UINT32",
-    "UnOp", "VarDecl", "VarRef", "array_refs", "common_type",
-    "count_statements", "fold_constants", "print_expr", "print_program",
-    "print_stmt", "referenced_arrays", "referenced_scalars", "run_program",
-    "substitute", "type_from_name", "walk_all",
+    "For", "If", "INT8", "INT16", "INT32", "IntLit", "InterpBudgetExceeded",
+    "InterpError", "Interpreter", "IntType", "LoopInfo", "LoopNest",
+    "MachineState", "Program", "RotateRegisters", "Stmt", "UINT8", "UINT16",
+    "UINT32", "UnOp", "VarDecl", "VarRef", "Violation", "array_refs",
+    "check_ir", "common_type", "count_statements", "fold_constants",
+    "print_expr", "print_program", "print_stmt", "referenced_arrays",
+    "referenced_scalars", "run_program", "substitute", "type_from_name",
+    "verify_program", "walk_all",
 ]

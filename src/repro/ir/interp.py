@@ -30,6 +30,25 @@ from repro.ir.types import BOOL, INT32, IntType
 class InterpError(ReproError):
     """A run-time fault: out-of-bounds access, division by zero, etc."""
 
+    kind = "interp"
+
+
+class InterpBudgetExceeded(InterpError):
+    """Execution ran past the interpreter's ``max_steps`` budget.
+
+    Distinct from other interpreter faults: the program may be perfectly
+    well-formed, just too big for the budget — callers that use the
+    interpreter as a semantics oracle (the differential fuzzer) treat
+    this as "skip the input", not as a bug.  ``steps`` carries the
+    budget that was exhausted.
+    """
+
+    kind = "interp_budget"
+
+    def __init__(self, message: str, steps: int = 0):
+        self.steps = steps
+        super().__init__(message)
+
 
 @dataclass
 class ArrayStorage:
@@ -141,7 +160,10 @@ class Interpreter:
     def _exec(self, stmt: Stmt, state: MachineState) -> None:
         self._steps += 1
         if self._steps > self.max_steps:
-            raise InterpError(f"execution exceeded {self.max_steps} steps; runaway loop?")
+            raise InterpBudgetExceeded(
+                f"execution exceeded {self.max_steps} steps; runaway loop?",
+                steps=self.max_steps,
+            )
         if isinstance(stmt, Assign):
             value = self._eval(stmt.value, state)
             self._store(stmt.target, value, state)

@@ -14,7 +14,7 @@ copies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Tuple, Union
 
 from repro.ir.expr import ArrayRef, Expr, VarRef
@@ -96,10 +96,23 @@ class For(Stmt):
     upper: int
     step: int
     body: Tuple[Stmt, ...]
+    #: Source position of the ``for`` keyword, threaded through by the
+    #: frontend for diagnostics.  Excluded from equality/hash so printer
+    #: round-trips and transform rewrites compare structurally; loops
+    #: built programmatically keep the 0 sentinel ("no location").
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
     def __post_init__(self):
         if self.step <= 0:
             raise ValueError(f"loop {self.var}: step must be positive, got {self.step}")
+
+    @property
+    def location(self) -> "str | None":
+        """``"line:column"`` when the frontend recorded one, else None."""
+        if self.line:
+            return f"{self.line}:{self.column}"
+        return None
 
     @property
     def trip_count(self) -> int:

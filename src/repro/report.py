@@ -147,6 +147,10 @@ def batch_summary_table(summary: Dict[str, object],
         table.add_row("deadline hits", summary["deadline_hits"])
     if summary.get("cache_evictions"):
         table.add_row("cache evictions", summary["cache_evictions"])
+    if summary.get("infeasible_points"):
+        table.add_row("infeasible points", summary["infeasible_points"])
+    if summary.get("baselines_degraded"):
+        table.add_row("baselines degraded", summary["baselines_degraded"])
     if summary.get("telemetry_dropped"):
         table.add_row("telemetry drops", summary["telemetry_dropped"])
     if summary.get("ledger_dropped"):

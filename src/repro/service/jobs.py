@@ -39,7 +39,7 @@ _JOB_KEYS = {
 }
 _MANIFEST_KEYS = {"defaults", "jobs"}
 _DEFAULT_KEYS = _JOB_KEYS - {"id", "program"}
-_SEARCH_KEYS = {"balance_tolerance", "max_iterations"}
+_SEARCH_KEYS = {"balance_tolerance", "max_iterations", "max_point_failures"}
 _PIPELINE_KEYS = {
     "exploit_outer_reuse", "register_cap", "apply_data_layout",
     "run_licm", "narrow_bitwidths",

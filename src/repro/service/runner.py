@@ -474,6 +474,11 @@ class BatchRunner:
             )
             if payload.get(key) is not None
         }
+        # fail-soft fields ride along only when something degraded, so a
+        # clean run's trace stays identical to earlier releases
+        for key in ("infeasible_count", "baseline_degraded"):
+            if payload.get(key):
+                finish_fields[key] = payload[key]
         self.telemetry.emit(
             "job_finish", job_id=spec.id, attempt=attempt,
             selected_unroll=payload.get("selected_unroll"), **finish_fields,

@@ -165,6 +165,7 @@ def summarize_events(events: List[TelemetryEvent]) -> Dict[str, Any]:
         "points_synthesized": 0, "cache_hits": 0, "cache_misses": 0,
         "wall_seconds": 0.0, "serial_fallbacks": 0, "resumed": 0,
         "estimator_retries": 0, "deadline_hits": 0, "cache_evictions": 0,
+        "infeasible_points": 0, "baselines_degraded": 0,
     }
     phases: Dict[str, float] = {}
     started = set()
@@ -188,6 +189,11 @@ def summarize_events(events: List[TelemetryEvent]) -> Dict[str, Any]:
             summary["cache_evictions"] += (
                 event.data.get("cache_evictions") or 0
             )
+            summary["infeasible_points"] += (
+                event.data.get("infeasible_count") or 0
+            )
+            if event.data.get("baseline_degraded"):
+                summary["baselines_degraded"] += 1
             for phase, seconds in event.data.get("phase_seconds", {}).items():
                 phases[phase] = phases.get(phase, 0.0) + seconds
         elif event.event == "job_retry":

@@ -158,6 +158,11 @@ def execute_job(
         "points_searched": result.points_searched,
         "design_space_size": result.design_space_size,
         "trace": [str(step) for step in result.search.trace],
+        "infeasible_count": len(result.infeasible),
+        "infeasible_points": [
+            diagnostic.as_dict() for diagnostic in result.infeasible
+        ],
+        "baseline_degraded": result.baseline_degraded,
         "cache_hits": cache.hits,
         "cache_misses": cache.misses,
         "cache_evictions": cache.evictions,

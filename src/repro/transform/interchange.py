@@ -38,13 +38,15 @@ def interchange_loops(program: Program, outer_var: str, inner_var: str) -> Progr
     if inner_depth != outer_depth + 1:
         raise TransformError(
             f"loops {outer_var!r} and {inner_var!r} are not adjacent "
-            f"(depths {outer_depth} and {inner_depth})"
+            f"(depths {outer_depth} and {inner_depth})",
+            kernel=program.name, stage="interchange", loop=outer_var,
         )
     outer = nest.loop_at(outer_depth)
     if len(outer.body) != 1 or not isinstance(outer.body[0], For):
         raise TransformError(
             f"loop {outer_var!r} has statements besides the {inner_var!r} loop; "
-            "the pair must be perfectly nested"
+            "the pair must be perfectly nested",
+            kernel=program.name, stage="interchange", loop=outer_var,
         )
     _check_legality(program, nest, outer_depth)
 
@@ -77,12 +79,14 @@ def _check_legality(program: Program, nest: LoopNest, depth: int) -> None:
         if dep.distance is None:
             raise TransformError(
                 f"cannot prove interchange legal: inconsistent dependence "
-                f"{dep.source} -> {dep.sink}"
+                f"{dep.source} -> {dep.sink}",
+                kernel=program.name, stage="interchange",
             )
         permuted = _swap(dep.distance, depth)
         if not _strictly_nonnegative(permuted):
             raise TransformError(
-                f"interchange reverses dependence {dep}"
+                f"interchange reverses dependence {dep}",
+                kernel=program.name, stage="interchange",
             )
 
 

@@ -66,7 +66,10 @@ def peel_loop(program: Program, var: str) -> Program:
 
     new_body = tuple(out for stmt in program.body for out in rebuild(stmt))
     if not found:
-        raise TransformError(f"no loop with index variable {var!r} to peel")
+        raise TransformError(
+            f"no loop with index variable {var!r} to peel",
+            kernel=program.name, stage="peel", loop=var,
+        )
     return simplify_guards(program.with_body(new_body))
 
 
@@ -140,7 +143,7 @@ def _substitute_and_fold(stmt: Stmt, var: str, value: int) -> Stmt:
         if isinstance(node, Assign):
             target = substitute(node.target, bindings)
             if not isinstance(target, (VarRef, ArrayRef)):
-                raise TransformError("substitution produced a non-lvalue")
+                raise TransformError("substitution produced a non-lvalue", stage="peel")
             return Assign(fold_constants(target), fold_constants(substitute(node.value, bindings)))
         if isinstance(node, If):
             return If(
@@ -150,7 +153,10 @@ def _substitute_and_fold(stmt: Stmt, var: str, value: int) -> Stmt:
             )
         if isinstance(node, For):
             if node.var == var:
-                raise TransformError(f"inner loop reuses index variable {var!r}")
+                raise TransformError(
+                    f"inner loop reuses index variable {var!r}",
+                    stage="peel", loop=var,
+                )
             return For(
                 node.var, node.lower, node.upper, node.step,
                 tuple(walk(s) for s in node.body),

@@ -15,17 +15,30 @@ residual epilogue loop would make the program no longer a single
 near-perfect nest, which scalar replacement needs.  (The raw
 :func:`repro.transform.unroll.unroll_and_jam` supports epilogues for
 callers that want them without the rest of the pipeline.)
+
+Every stage runs under a :class:`TransformContract`: a
+:class:`TransformError` escaping a stage is annotated with the stage
+name and kernel so DSE diagnostics can say *where* a point died, and
+(unless ``PipelineOptions.verify`` is off) the stage's output is checked
+against the IR invariants of :mod:`repro.ir.verify` — with affine
+subscripts required up to the data-layout stage, which legitimately
+introduces ``/`` and ``%`` through static residue banking.  A contract
+violation raises :class:`~repro.errors.VerificationError`, evidence of
+a transform bug rather than a bad input.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import faults
 from repro.analysis.dependence import DependenceGraph
 from repro.errors import TransformError
 from repro.ir.nest import LoopNest
 from repro.ir.symbols import Program
+from repro.ir.verify import check_ir
 from repro.layout import apply_layout
 from repro.layout.mapping import map_memories
 from repro.layout.plan import LayoutPlan
@@ -58,6 +71,9 @@ class PipelineOptions:
         input_value_ranges: optional data-range assumptions feeding the
             bitwidth analysis (e.g. a kernel's
             :meth:`~repro.kernels.Kernel.value_ranges`).
+        verify: run the IR invariant checker after every stage
+            (post-condition contracts); disable only to shave the walk
+            off hot paths that have other correctness evidence.
     """
 
     exploit_outer_reuse: bool = True
@@ -66,6 +82,68 @@ class PipelineOptions:
     run_licm: bool = True
     narrow_bitwidths: bool = False
     input_value_ranges: Optional[dict] = None
+    verify: bool = True
+
+
+@dataclass(frozen=True)
+class TransformContract:
+    """The checkable obligations around one pipeline stage.
+
+    ``affine`` is the postcondition knob: up to (and including) loop
+    normalization every stage must keep array subscripts affine in the
+    loop indices; the data-layout stage is exempt because static residue
+    banking rewrites subscripts with ``/`` and ``%``.
+    """
+
+    stage: str
+    affine: bool = True
+
+
+#: The Figure-3 sequence, in order.  ``input`` is the entry
+#: precondition — the source program itself must verify before any
+#: stage may blame a transform for a violation.
+PIPELINE_CONTRACTS: Tuple[TransformContract, ...] = (
+    TransformContract("input"),
+    TransformContract("narrowing"),
+    TransformContract("unroll"),
+    TransformContract("scalar_replacement"),
+    TransformContract("peel"),
+    TransformContract("licm"),
+    TransformContract("normalize"),
+    TransformContract("layout", affine=False),
+)
+
+_CONTRACTS = {contract.stage: contract for contract in PIPELINE_CONTRACTS}
+
+
+class _StageRunner:
+    """Wraps each stage with its contract: annotate escaping transform
+    errors with stage/kernel context, verify the stage's output."""
+
+    def __init__(self, kernel: str, options: "PipelineOptions"):
+        self.kernel = kernel
+        self.options = options
+
+    @contextmanager
+    def guard(self, stage: str):
+        try:
+            yield
+        except TransformError as error:
+            annotated = error.annotate(stage=stage, kernel=self.kernel)
+            if annotated is error:
+                raise
+            raise annotated from error
+
+    def checked(self, stage: str, program: Program) -> Program:
+        if self.options.verify:
+            contract = _CONTRACTS.get(stage) or TransformContract(stage)
+            check_ir(
+                program,
+                require_affine=contract.affine,
+                stage=stage,
+                kernel=self.kernel,
+            )
+        return program
 
 
 @dataclass
@@ -91,7 +169,8 @@ def check_unroll_legality(program: Program, unroll: UnrollVector) -> None:
     nest = LoopNest(program)
     if len(unroll) != nest.depth:
         raise TransformError(
-            f"unroll vector {unroll} does not match nest depth {nest.depth}"
+            f"unroll vector {unroll} does not match nest depth {nest.depth}",
+            kernel=program.name, stage="legality",
         )
     graph: Optional[DependenceGraph] = None
     for depth, (info, factor) in enumerate(zip(nest.loops, unroll)):
@@ -100,14 +179,18 @@ def check_unroll_legality(program: Program, unroll: UnrollVector) -> None:
         if info.trip_count % factor != 0:
             raise TransformError(
                 f"unroll factor {factor} does not divide trip count "
-                f"{info.trip_count} of loop {info.var!r}"
+                f"{info.trip_count} of loop {info.var!r}",
+                kernel=program.name, stage="legality", loop=info.var,
+                location=info.loop.location,
             )
         if graph is None:
             graph = DependenceGraph.build(nest)
         if not graph.unroll_and_jam_legal(depth):
             raise TransformError(
                 f"unroll-and-jam of loop {info.var!r} is illegal: a carried "
-                "dependence has a negative inner entry"
+                "dependence has a negative inner entry",
+                kernel=program.name, stage="legality", loop=info.var,
+                location=info.loop.location,
             )
 
 
@@ -120,33 +203,49 @@ def compile_design(
     """Run the whole Figure-3 transformation sequence for one unroll
     factor vector."""
     options = options or PipelineOptions()
-    check_unroll_legality(program, unroll)
+    faults.check("transform", key=program.name)
+    runner = _StageRunner(program.name, options)
+
+    runner.checked("input", program)
+    with runner.guard("legality"):
+        check_unroll_legality(program, unroll)
 
     if options.narrow_bitwidths:
         from repro.transform.narrowing import narrow_types
-        program = narrow_types(program, input_ranges=options.input_value_ranges)
+        with runner.guard("narrowing"):
+            program = runner.checked("narrowing", narrow_types(
+                program, input_ranges=options.input_value_ranges,
+            ))
 
-    unrolled = unroll_and_jam(program, unroll)
-    replaced = scalar_replace(
-        unrolled,
-        exploit_outer_loops=options.exploit_outer_reuse,
-        register_cap=options.register_cap,
-    )
-    current = replaced.program
+    with runner.guard("unroll"):
+        unrolled = runner.checked("unroll", unroll_and_jam(program, unroll))
+    with runner.guard("scalar_replacement"):
+        replaced = scalar_replace(
+            unrolled,
+            exploit_outer_loops=options.exploit_outer_reuse,
+            register_cap=options.register_cap,
+        )
+        current = runner.checked("scalar_replacement", replaced.program)
     nest = LoopNest(current)
     peeled_vars: List[str] = []
-    for depth in replaced.carriers_to_peel:
-        var = nest.index_vars[depth]
-        current = peel_loop(current, var)
-        peeled_vars.append(var)
+    with runner.guard("peel"):
+        for depth in replaced.carriers_to_peel:
+            var = nest.index_vars[depth]
+            current = peel_loop(current, var)
+            peeled_vars.append(var)
+        current = runner.checked("peel", current)
     if options.run_licm:
-        current = hoist_invariants(current)
-    current = normalize_loops(current)
-    if options.apply_data_layout:
-        current, plan = apply_layout(current, num_memories)
-    else:
-        physical, _interleaved = map_memories(current, num_memories)
-        plan = LayoutPlan(num_memories=num_memories, physical=physical)
+        with runner.guard("licm"):
+            current = runner.checked("licm", hoist_invariants(current))
+    with runner.guard("normalize"):
+        current = runner.checked("normalize", normalize_loops(current))
+    with runner.guard("layout"):
+        if options.apply_data_layout:
+            current, plan = apply_layout(current, num_memories)
+        else:
+            physical, _interleaved = map_memories(current, num_memories)
+            plan = LayoutPlan(num_memories=num_memories, physical=physical)
+        current = runner.checked("layout", current)
     return CompiledDesign(
         source=program,
         program=current,

@@ -207,7 +207,9 @@ class _Rewriter:
         bank_size = group.registers_needed // max(len(group.distinct_offsets), 1)
         if bank_size < 1:
             raise TransformError(
-                f"rotating group for {group.array!r} computed an empty bank"
+                f"rotating group for {group.array!r} computed an empty bank",
+                kernel=self.program.name, stage="scalar_replacement",
+                loop=carrier.var,
             )
         for offset in group.distinct_offsets:
             members = [m for m in group.accesses if m.constant_vector() == offset]
@@ -343,7 +345,8 @@ class _Rewriter:
         if isinstance(stmt, Assign):
             target = self._rewrite_expr(stmt.target)
             if not isinstance(target, (VarRef, ArrayRef)):
-                raise TransformError("rewrite produced a non-lvalue target")
+                raise TransformError("rewrite produced a non-lvalue target",
+                                     stage="scalar_replacement")
             return Assign(target, self._rewrite_expr(stmt.value))
         if isinstance(stmt, If):
             return If(

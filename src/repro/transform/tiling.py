@@ -36,7 +36,10 @@ def tile_loop(program: Program, var: str, tile: int) -> Program:
     ``{var}_t`` (made fresh on collision).
     """
     if tile < 1:
-        raise TransformError(f"tile size must be >= 1, got {tile}")
+        raise TransformError(
+            f"tile size must be >= 1, got {tile}",
+            kernel=program.name, stage="tiling", loop=var,
+        )
     taken: Set[str] = {decl.name for decl in program.decls}
     for stmt in walk_all(program.body):
         if isinstance(stmt, For):
@@ -62,12 +65,14 @@ def tile_loop(program: Program, var: str, tile: int) -> Program:
             return loop
         if loop.lower != 0 or loop.step != 1:
             raise TransformError(
-                f"loop {var!r} must be normalized (lower 0, step 1) before tiling"
+                f"loop {var!r} must be normalized (lower 0, step 1) before tiling",
+                stage="tiling", loop=var, location=loop.location,
             )
         if loop.trip_count % tile != 0:
             raise TransformError(
                 f"tile size {tile} does not divide trip count {loop.trip_count} "
-                f"of loop {var!r}"
+                f"of loop {var!r}",
+                stage="tiling", loop=var, location=loop.location,
             )
         tile_var = _fresh(f"{var}_t", taken)
         # i -> i_t * tile + i
@@ -80,7 +85,10 @@ def tile_loop(program: Program, var: str, tile: int) -> Program:
 
     new_body = tuple(rebuild(stmt) for stmt in program.body)
     if not found:
-        raise TransformError(f"no loop with index variable {var!r} to tile")
+        raise TransformError(
+            f"no loop with index variable {var!r} to tile",
+            kernel=program.name, stage="tiling", loop=var,
+        )
     return program.with_body(new_body)
 
 
@@ -115,4 +123,6 @@ def _substitute_stmt(stmt: Stmt, var: str, replacement) -> Stmt:
         )
     if isinstance(stmt, RotateRegisters):
         return stmt
-    raise TransformError(f"unknown statement node {type(stmt).__name__}")
+    raise TransformError(
+        f"unknown statement node {type(stmt).__name__}", stage="tiling",
+    )

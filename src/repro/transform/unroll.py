@@ -101,13 +101,16 @@ def unroll_and_jam(program: Program, factors: UnrollVector) -> Program:
     nest = LoopNest(program)
     if len(factors) != nest.depth:
         raise TransformError(
-            f"unroll vector has {len(factors)} entries for a depth-{nest.depth} nest"
+            f"unroll vector has {len(factors)} entries for a depth-{nest.depth} nest",
+            kernel=program.name, stage="unroll",
         )
     for info, factor in zip(nest.loops, factors):
         if factor > info.trip_count and info.trip_count > 0:
             raise TransformError(
                 f"unroll factor {factor} exceeds trip count {info.trip_count} "
-                f"of loop {info.var!r}"
+                f"of loop {info.var!r}",
+                kernel=program.name, stage="unroll", loop=info.var,
+                location=info.loop.location,
             )
     context = _UnrollContext(program)
     new_body: List[Stmt] = []
@@ -261,14 +264,19 @@ def _substitute_stmt(
         )
     if isinstance(stmt, For):
         if stmt.var in bindings:
-            raise TransformError(f"inner loop reuses index variable {stmt.var!r}")
+            raise TransformError(
+                f"inner loop reuses index variable {stmt.var!r}",
+                stage="unroll", loop=stmt.var, location=stmt.location,
+            )
         return For(
             stmt.var, stmt.lower, stmt.upper, stmt.step,
             tuple(_substitute_stmt(s, bindings, renames) for s in stmt.body),
         )
     if isinstance(stmt, RotateRegisters):
         return stmt
-    raise TransformError(f"unknown statement node {type(stmt).__name__}")
+    raise TransformError(
+        f"unknown statement node {type(stmt).__name__}", stage="unroll",
+    )
 
 
 def _jam(copies: List[List[Stmt]]) -> Tuple[Stmt, ...]:

@@ -90,9 +90,13 @@ class TestTypedTerminalStates:
         job = result.results[0]
         assert job.status == "failed"
         assert job.attempts == 1            # permanent: no retries burned
-        assert job.failure.kind == "estimation"
+        # Fail-soft search skips each poisoned point; with *every* point
+        # poisoned the terminal state is the typed no-feasible-point
+        # error, which carries the underlying cause in its summary.
+        assert job.failure.kind == "no_feasible_point"
         assert not job.failure.transient
         assert "backend rejected" in job.error
+        assert "estimation" in job.error    # the per-point kinds histogram
         assert _events(telemetry, "job_retry") == []
 
     def test_corrupt_estimate_rejected_not_selected(self, tmp_path):
@@ -106,8 +110,11 @@ class TestTypedTerminalStates:
         job = result.results[0]
         assert job.status == "failed"
         assert job.attempts == 1
-        assert job.failure.kind == "corrupt_estimate"
+        # Every estimate is corrupt, so no point survives; the search
+        # fails with the typed terminal error, histogramming the cause.
+        assert job.failure.kind == "no_feasible_point"
         assert not job.failure.transient
+        assert "corrupt_estimate" in job.error
 
     def test_exhausted_deadline_is_typed(self, tmp_path):
         result, _ = _run(

@@ -1,0 +1,105 @@
+"""Chaos: injected transform faults cost design *points*, not jobs.
+
+The acceptance scenario for the fail-soft pipeline: a batch where the
+transform stage is poisoned for some points of one kernel must still
+complete, report the poisoned points as infeasible with stage-level
+diagnostics, and return best designs for the unaffected work.
+"""
+
+import json
+
+from repro import faults
+from repro.service import BatchRunner, Telemetry, parse_manifest
+
+
+def _run(tmp_path, jobs, fault_cfg=None, **runner_kw):
+    telemetry = Telemetry()
+    spec_path = None
+    if fault_cfg is not None:
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps(fault_cfg))
+        spec_path = str(path)
+    runner = BatchRunner(
+        parse_manifest({"jobs": jobs}, source="<chaos>", base_dir=tmp_path),
+        workers=1,
+        telemetry=telemetry,
+        fault_spec=spec_path,
+    )
+    return runner.run(), telemetry
+
+
+FIR = {"id": "fir", "program": "kernel:fir"}
+MM = {"id": "mm", "program": "kernel:mm"}
+
+
+class TestTransformFaultDegradation:
+    def test_poisoned_points_reported_infeasible_job_still_selects(
+        self, tmp_path
+    ):
+        clean, _ = _run(tmp_path, [FIR, MM])
+        faults.deactivate()
+        faulted, _ = _run(
+            tmp_path, [FIR, MM],
+            fault_cfg={"faults": [
+                {"site": "transform", "mode": "transform_error",
+                 "jobs": ["fir"], "max_hits": 2},
+            ]},
+        )
+        assert faulted.all_ok
+
+        fir_job = faulted.results[0]
+        assert fir_job.payload["infeasible_count"] >= 1
+        for record in fir_job.payload["infeasible_points"]:
+            assert record["stage"] == "injected"
+            assert record["kernel"] == "fir"
+            assert record["kind"] == "transform"
+            assert "injected" in record["message"]
+            assert record["unroll"]  # the dead point is named
+        # the kernel still got a design despite the poisoned points
+        assert fir_job.payload["selected_unroll"]
+        assert fir_job.payload["cycles"] > 0
+
+        # the untouched kernel's selection is byte-identical to a clean run
+        mm_clean = clean.results[1].payload
+        mm_faulted = faulted.results[1].payload
+        for key in ("selected_unroll", "cycles", "space", "speedup"):
+            assert mm_faulted[key] == mm_clean[key], key
+        assert "infeasible_count" not in mm_faulted or \
+            mm_faulted["infeasible_count"] == 0
+
+    def test_infeasible_points_roll_up_into_batch_summary(self, tmp_path):
+        result, _ = _run(
+            tmp_path, [FIR, MM],
+            fault_cfg={"faults": [
+                {"site": "transform", "mode": "transform_error",
+                 "jobs": ["fir"], "max_hits": 2},
+            ]},
+        )
+        assert result.all_ok
+        assert result.summary["infeasible_points"] >= 1
+        from repro.report import batch_summary_table
+        rendered = batch_summary_table(result.summary).render()
+        assert "infeasible points" in rendered
+
+    def test_unconditional_transform_fault_is_typed_terminal(self, tmp_path):
+        result, telemetry = _run(
+            tmp_path, [FIR, MM],
+            fault_cfg={"faults": [
+                {"site": "transform", "mode": "transform_error",
+                 "jobs": ["fir"]},
+            ]},
+        )
+        fir_job = result.results[0]
+        assert fir_job.status == "failed"
+        assert fir_job.attempts == 1                # permanent: no retries
+        assert fir_job.failure.kind in (
+            "no_feasible_point", "failure_budget"
+        )
+        assert not fir_job.failure.transient
+        assert "injected" in fir_job.error
+        # the other kernel is untouched by its neighbor's collapse
+        assert result.results[1].ok
+        retry_events = [
+            event for event in telemetry.events if event.event == "job_retry"
+        ]
+        assert retry_events == []

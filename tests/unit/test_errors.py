@@ -84,3 +84,77 @@ class TestLocationFormatting:
         from repro.frontend import compile_source
         with pytest.raises(ReproError):
             compile_source("int x = $;")
+
+
+class TestTransformContext:
+    def test_context_rendered_into_message(self):
+        error = TransformError(
+            "factor too large", kernel="fir", stage="unroll", loop="i",
+            location="3:1",
+        )
+        assert "factor too large" in str(error)
+        assert "kernel fir" in str(error)
+        assert "stage unroll" in str(error)
+        assert "loop 'i'" in str(error)
+        assert "3:1" in str(error)
+        assert error.bare_message == "factor too large"
+
+    def test_context_returns_only_set_fields(self):
+        error = TransformError("x", stage="peel")
+        assert error.context() == {"stage": "peel"}
+
+    def test_annotate_fills_missing_fields_only(self):
+        error = TransformError("x", loop="j")
+        annotated = error.annotate(stage="unroll", loop="OVERRIDE")
+        assert annotated.context() == {"stage": "unroll", "loop": "j"}
+        assert error.context() == {"loop": "j"}  # original untouched
+
+    def test_annotate_is_identity_when_nothing_to_add(self):
+        error = TransformError("x", stage="unroll")
+        assert error.annotate(stage="other") is error
+
+    def test_annotate_rejects_unknown_fields(self):
+        with pytest.raises(TypeError):
+            TransformError("x").annotate(color="red")
+
+    def test_rendered_error_survives_pickling(self):
+        import pickle
+        error = TransformError("bad", kernel="mm", stage="tiling")
+        clone = pickle.loads(pickle.dumps(error))
+        assert str(clone) == str(error)
+
+
+class TestFailSoftTaxonomy:
+    def test_new_kinds_are_stable_strings(self):
+        from repro.errors import (
+            FuzzError, NoFeasiblePoint, PointFailureBudgetExceeded,
+            VerificationError,
+        )
+        assert failure_kind(TransformError("x")) == "transform"
+        assert failure_kind(VerificationError("x")) == "verifier"
+        assert failure_kind(SearchError("x")) == "search"
+        assert failure_kind(PointFailureBudgetExceeded("x")) == "failure_budget"
+        assert failure_kind(NoFeasiblePoint("x")) == "no_feasible_point"
+        assert failure_kind(FuzzError("x")) == "fuzz"
+
+    def test_verification_error_keeps_violations(self):
+        from repro.errors import VerificationError
+        error = VerificationError(
+            "2 violations", violations=("a", "b"), stage="unroll",
+        )
+        annotated = error.annotate(kernel="fir")
+        assert annotated.violations == ("a", "b")
+        assert annotated.context()["kernel"] == "fir"
+
+    def test_interp_budget_is_typed_with_step_count(self):
+        from repro.ir.interp import InterpBudgetExceeded, InterpError
+        error = InterpBudgetExceeded("ran away", steps=42)
+        assert isinstance(error, InterpError)
+        assert error.steps == 42
+        assert failure_kind(error) == "interp_budget"
+        assert not is_transient(error)
+
+    def test_fail_soft_terminal_errors_are_permanent(self):
+        from repro.errors import NoFeasiblePoint, PointFailureBudgetExceeded
+        assert not is_transient(PointFailureBudgetExceeded("x"))
+        assert not is_transient(NoFeasiblePoint("x"))

@@ -1,0 +1,91 @@
+"""The IR invariant checker: every malformed shape gets a named rule."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import Program, VarDecl, check_ir, verify_program
+from repro.ir.expr import ArrayRef, BinOp, IntLit, VarRef
+from repro.ir.stmt import Assign, For
+
+
+def _rules(program, **kw):
+    return {violation.rule for violation in verify_program(program, **kw)}
+
+
+def _nest(body, decls=(VarDecl("a", dims=(16,)),)):
+    return Program("t", tuple(decls), (For("i", 0, 8, 1, tuple(body)),))
+
+
+class TestScopingRules:
+    def test_clean_program_has_no_violations(self):
+        program = _nest([Assign(ArrayRef("a", (VarRef("i"),)), IntLit(1))])
+        assert verify_program(program, require_affine=True) == []
+
+    def test_index_shadowing_flagged(self):
+        inner = For("i", 0, 4, 1, (Assign(ArrayRef("a", (VarRef("i"),)), IntLit(1)),))
+        program = Program(
+            "t", (VarDecl("a", dims=(16,)),), (For("i", 0, 8, 1, (inner,)),)
+        )
+        assert "index-shadowing" in _rules(program)
+
+    def test_undeclared_variable_flagged(self):
+        program = _nest([Assign(ArrayRef("a", (VarRef("i"),)), VarRef("ghost"))])
+        assert "undeclared-var" in _rules(program)
+
+    def test_assigning_the_index_flagged(self):
+        program = _nest(
+            [Assign(VarRef("i"), IntLit(3))],
+            decls=(VarDecl("a", dims=(16,)),),
+        )
+        assert "index-assigned" in _rules(program)
+
+    def test_empty_loop_flagged(self):
+        program = Program(
+            "t", (VarDecl("a", dims=(4,)),),
+            (For("i", 5, 5, 1, (Assign(ArrayRef("a", (IntLit(0),)), IntLit(1)),)),),
+        )
+        assert "empty-loop" in _rules(program)
+
+
+class TestArrayRules:
+    def test_scalar_subscripted_flagged(self):
+        program = _nest(
+            [Assign(ArrayRef("s", (VarRef("i"),)), IntLit(1))],
+            decls=(VarDecl("s"),),
+        )
+        assert "scalar-subscripted" in _rules(program)
+
+    def test_array_used_as_scalar_flagged(self):
+        program = _nest([Assign(VarRef("a"), IntLit(1))])
+        assert "array-as-scalar" in _rules(program)
+
+    def test_subscript_arity_flagged(self):
+        program = _nest(
+            [Assign(ArrayRef("a", (VarRef("i"), IntLit(0))), IntLit(1))]
+        )
+        assert "subscript-arity" in _rules(program)
+
+    def test_non_affine_subscript_only_with_opt_in(self):
+        subscript = BinOp("*", VarRef("i"), VarRef("i"))
+        program = _nest([Assign(ArrayRef("a", (subscript,)), IntLit(1))])
+        assert "non-affine-subscript" not in _rules(program)
+        assert "non-affine-subscript" in _rules(program, require_affine=True)
+
+
+class TestCheckIr:
+    def test_clean_program_returned_unchanged(self, fir_program):
+        assert check_ir(fir_program, require_affine=True) is fir_program
+
+    def test_violations_raise_with_context(self):
+        program = _nest([Assign(ArrayRef("a", (VarRef("i"),)), VarRef("ghost"))])
+        with pytest.raises(VerificationError) as excinfo:
+            check_ir(program, stage="unroll")
+        error = excinfo.value
+        assert error.kind == "verifier"
+        assert error.violations
+        assert error.context()["stage"] == "unroll"
+        assert error.context()["kernel"] == "t"
+        assert "ghost" in str(error)
+
+    def test_every_kernel_passes_the_affine_contract(self, kernel):
+        check_ir(kernel.program(), require_affine=True)
