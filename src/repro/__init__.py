@@ -24,12 +24,16 @@ The packages underneath:
 * :mod:`repro.hdl` — behavioral VHDL backend (SUIF2VHDL stand-in)
 * :mod:`repro.dse` — the balance-guided design space exploration
 * :mod:`repro.kernels` — the paper's five multimedia kernels
+* :mod:`repro.obs` — observability: tracing, metrics, versioned events
+* :mod:`repro.service` — the batch exploration engine
 """
 
 from repro.dse import (
-    DesignEvaluation, DesignSpace, ExplorationResult, SearchOptions, explore,
+    DesignEvaluation, DesignSpace, ExplorationResult, ExploreConfig,
+    SearchOptions, explore,
 )
 from repro.frontend import compile_source
+from repro.obs import MetricsRegistry, ObsConfig, Span, Tracer
 from repro.ir import Program, run_program
 from repro.kernels import ALL_KERNELS, Kernel, kernel_by_name
 from repro.synthesis import Estimate, synthesize
@@ -44,9 +48,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_KERNELS", "Board", "CompiledDesign", "DesignEvaluation",
-    "DesignSpace", "Estimate", "ExplorationResult", "Kernel",
-    "PipelineOptions", "Program", "SearchOptions", "UnrollVector",
-    "__version__", "compile_design", "compile_source", "explore",
-    "kernel_by_name", "run_program", "synthesize",
-    "wildstar_nonpipelined", "wildstar_pipelined",
+    "DesignSpace", "Estimate", "ExplorationResult", "ExploreConfig",
+    "Kernel", "MetricsRegistry", "ObsConfig", "PipelineOptions", "Program",
+    "SearchOptions", "Span", "Tracer", "UnrollVector", "__version__",
+    "compile_design", "compile_source", "explore", "kernel_by_name",
+    "run_program", "synthesize", "wildstar_nonpipelined",
+    "wildstar_pipelined",
 ]

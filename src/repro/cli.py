@@ -8,6 +8,8 @@ The flow as a tool::
     python -m repro estimate kernel:fir --unroll 8,8 --board nonpipelined
     python -m repro batch manifest.json --jobs 4 --cache estimates.json \\
         --trace trace.jsonl
+    python -m repro batch manifest.json --run-dir runs/exp1
+    python -m repro trace runs/exp1 --metrics-json metrics.json
     python -m repro kernels
 
 Input programs come from a C-subset file or from the built-in kernel
@@ -133,6 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(kernel inputs only)")
     explore_cmd.add_argument("--json", metavar="FILE",
                              help="write a machine-readable summary here")
+    explore_cmd.add_argument("--spans", metavar="FILE",
+                             help="append structured trace spans here "
+                                  "(JSONL; serial explore only)")
     explore_cmd.add_argument("--max-point-failures", type=int, default=None,
                              metavar="N",
                              help="abort a kernel's search after N design-"
@@ -199,6 +204,19 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--json", metavar="FILE",
                            help="write a machine-readable batch summary here")
 
+    trace_cmd = commands.add_parser(
+        "trace", help="render the observability report for a journaled "
+                      "run directory (no re-execution)"
+    )
+    trace_cmd.add_argument("run_dir", metavar="RUN_DIR",
+                           help="run directory from `repro batch --run-dir`")
+    trace_cmd.add_argument("--metrics-json", metavar="FILE", default=None,
+                           help="export the merged metrics registry "
+                                "snapshot as JSON")
+    trace_cmd.add_argument("--validate", action="store_true",
+                           help="validate every recorded event and span "
+                                "against the v1 schema; exit 1 on problems")
+
     fuzz_cmd = commands.add_parser(
         "fuzz", help="differential-fuzz the pipeline against the "
                      "reference interpreter"
@@ -242,6 +260,8 @@ def _dispatch(args) -> int:
         return _run_batch(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
+    if args.command == "trace":
+        return _run_trace(args)
 
     if args.command == "explore":
         if args.parallel:
@@ -274,14 +294,19 @@ def _dispatch(args) -> int:
 
 
 def _run_explore(args, program, kernel, board, options) -> int:
-    from repro.dse import SearchOptions, explore
+    from repro.dse import ExploreConfig, SearchOptions, explore
+    from repro.obs import ObsConfig
     search_options = None
     if args.max_point_failures is not None:
         search_options = SearchOptions(
             max_point_failures=args.max_point_failures
         )
-    result = explore(program, board, search_options=search_options,
-                     pipeline_options=options)
+    obs = None
+    if args.spans:
+        obs = ObsConfig(spans_path=Path(args.spans))
+    result = explore(program, board, config=ExploreConfig(
+        search=search_options, pipeline=options, obs=obs,
+    ))
     print(result.report())
     design = result.selected.design
     if args.vhdl:
@@ -328,10 +353,11 @@ def _run_explore_parallel(args) -> int:
     """``explore --parallel``: the program list becomes an in-memory
     manifest and runs through the batch engine's worker processes."""
     from repro.service import parse_manifest
-    if args.vhdl or args.verilog or args.testbench or args.json:
+    if args.vhdl or args.verilog or args.testbench or args.json or args.spans:
         raise ReproError(
-            "--vhdl/--verilog/--testbench/--json are not supported with "
-            "--parallel; use the serial explore for artifact output"
+            "--vhdl/--verilog/--testbench/--json/--spans are not supported "
+            "with --parallel; use the serial explore for artifact output, or "
+            "`repro batch --run-dir` for traced parallel runs"
         )
     pipeline = {
         "exploit_outer_reuse": not args.no_outer_reuse,
@@ -413,6 +439,36 @@ def _drive_batch(manifest, jobs, cache, trace, timeout, json_path,
         Path(json_path).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {json_path}")
     return 0 if result.all_ok else 1
+
+
+def _run_trace(args) -> int:
+    """``repro trace RUN_DIR``: render the report from recorded spans
+    and events alone — the run is never re-executed."""
+    from repro.obs.report import (
+        export_metrics, load_run, render_report, validate_run,
+    )
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        raise ReproError(f"no such run directory: {run_dir}")
+    status = 0
+    if args.validate:
+        problems = validate_run(run_dir)
+        if problems:
+            for problem in problems:
+                print(f"repro trace: invalid: {problem}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"validated {run_dir}: all events and spans conform "
+                  f"to schema v1")
+    observations = load_run(run_dir)
+    print(render_report(observations))
+    if args.metrics_json:
+        snapshot = export_metrics(observations)
+        Path(args.metrics_json).write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.metrics_json}")
+    return status
 
 
 def _run_fuzz(args) -> int:

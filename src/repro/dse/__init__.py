@@ -5,7 +5,7 @@ Figure-2 balance-guided search, the design space with its exhaustive
 oracle) are exposed for benchmarks and ablations.
 """
 
-from repro.dse.explorer import ExplorationResult, explore
+from repro.dse.explorer import ExplorationResult, ExploreConfig, explore
 from repro.dse.failures import POINT_FAILURES, PointDiagnostic, is_point_failure
 from repro.dse.saturation import (
     SaturationInfo, analyze_saturation, compute_psat, saturation_vectors,
@@ -27,7 +27,8 @@ from repro.dse.strategies import (
 __all__ = [
     "ALL_STRATEGIES", "BalanceGuidedSearch", "BalanceStrategy",
     "DesignEvaluation", "DesignSpace", "ExhaustiveResult",
-    "ExplorationResult", "HillClimbStrategy", "LinearScanStrategy",
+    "ExplorationResult", "ExploreConfig", "HillClimbStrategy",
+    "LinearScanStrategy",
     "MultiNestResult", "POINT_FAILURES", "PointDiagnostic", "RandomStrategy",
     "SaturationInfo", "SearchOptions", "SearchResult", "StrategyResult",
     "TraceStep", "analyze_saturation", "compute_psat", "explore",

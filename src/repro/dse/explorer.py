@@ -9,14 +9,17 @@ searched).
 
 from __future__ import annotations
 
+import warnings
+from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.dse.failures import PointDiagnostic
 from repro.dse.saturation import SaturationInfo
 from repro.dse.search import BalanceGuidedSearch, SearchOptions, SearchResult, TraceStep
 from repro.dse.space import DesignEvaluation, DesignSpace
 from repro.ir.symbols import Program
+from repro.obs import ObsConfig, Tracer, current_tracer, use_registry, use_tracer
 from repro.synthesis.operators import OperatorLibrary
 from repro.target.board import Board
 from repro.transform.pipeline import PipelineOptions
@@ -92,22 +95,16 @@ class ExplorationResult:
         return "\n".join(lines)
 
 
-def explore(
-    program: Program,
-    board: Board,
-    search_options: Optional[SearchOptions] = None,
-    pipeline_options: Optional[PipelineOptions] = None,
-    library: Optional[OperatorLibrary] = None,
-    pinned_depths: Optional[Tuple[int, ...]] = None,
-    estimate_cache: Optional["EstimateCache"] = None,
-) -> ExplorationResult:
-    """Run the full DEFACTO design space exploration for one loop nest.
+@dataclass
+class ExploreConfig:
+    """The single configuration object :func:`explore` accepts.
 
-    Args:
-        program: a compiled C-subset program containing one loop nest.
-        board: the synthesis target (e.g. ``wildstar_pipelined()``).
-        search_options: Figure-2 tunables (balance tolerance, iteration cap).
-        pipeline_options: code-generation knobs (outer-loop reuse, layout...).
+    Bundles every exploration knob that used to travel as its own
+    keyword argument, plus the observability configuration:
+
+    Attributes:
+        search: Figure-2 tunables (balance tolerance, iteration cap).
+        pipeline: code-generation knobs (outer-loop reuse, layout...).
         library: operator latency/area calibration.
         pinned_depths: loops to exclude from unrolling entirely; when
             omitted, loops that add no memory parallelism are pinned
@@ -117,28 +114,146 @@ def explore(
             object with a ``synthesize(program, board, plan, library)``
             method) that serves estimates instead of direct synthesis.
             The batch service passes a process-shared cache here.
+        obs: how to observe the run (:class:`repro.obs.ObsConfig`).
+            ``None`` leaves the ambient tracer/registry alone — spans
+            still flow to whatever an enclosing orchestrator installed.
+    """
+
+    search: Optional[SearchOptions] = None
+    pipeline: Optional[PipelineOptions] = None
+    library: Optional[OperatorLibrary] = None
+    pinned_depths: Optional[Tuple[int, ...]] = None
+    estimate_cache: Optional[Any] = None
+    obs: Optional[ObsConfig] = None
+
+
+#: Legacy keyword names in their historical positional order, mapped to
+#: the :class:`ExploreConfig` fields that replaced them.
+_LEGACY_EXPLORE_PARAMS = (
+    ("search_options", "search"),
+    ("pipeline_options", "pipeline"),
+    ("library", "library"),
+    ("pinned_depths", "pinned_depths"),
+    ("estimate_cache", "estimate_cache"),
+)
+
+
+def _coerce_legacy_explore(
+    config: Optional[ExploreConfig],
+    args: Tuple[Any, ...],
+    kwargs: dict,
+) -> ExploreConfig:
+    """Fold a pre-redesign ``explore()`` call shape into a config,
+    warning (not breaking) per the deprecation policy."""
+    if config is not None:
+        raise TypeError(
+            "explore() takes either config=ExploreConfig(...) or the "
+            "deprecated individual options, not both"
+        )
+    if len(args) > len(_LEGACY_EXPLORE_PARAMS):
+        raise TypeError(
+            f"explore() takes at most {2 + len(_LEGACY_EXPLORE_PARAMS)} "
+            f"positional arguments"
+        )
+    legacy_names = [name for name, _ in _LEGACY_EXPLORE_PARAMS]
+    merged = dict(zip(legacy_names, args))
+    for key, value in kwargs.items():
+        if key not in legacy_names:
+            raise TypeError(
+                f"explore() got an unexpected keyword argument {key!r}"
+            )
+        if key in merged:
+            raise TypeError(f"explore() got multiple values for {key!r}")
+        merged[key] = value
+    warnings.warn(
+        "passing explore() options individually "
+        f"({sorted(merged)}) is deprecated; pass "
+        "explore(program, board, config=ExploreConfig(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExploreConfig(**{
+        field_name: merged[legacy]
+        for legacy, field_name in _LEGACY_EXPLORE_PARAMS
+        if legacy in merged
+    })
+
+
+def explore(
+    program: Program,
+    board: Board,
+    *legacy_args: Any,
+    config: Optional[ExploreConfig] = None,
+    **legacy_kwargs: Any,
+) -> ExplorationResult:
+    """Run the full DEFACTO design space exploration for one loop nest.
+
+    Args:
+        program: a compiled C-subset program containing one loop nest.
+        board: the synthesis target (e.g. ``wildstar_pipelined()``).
+        config: every exploration knob, bundled — see
+            :class:`ExploreConfig`.
+
+    The pre-redesign call shape (``search_options=``,
+    ``pipeline_options=``, ``library=``, ``pinned_depths=``,
+    ``estimate_cache=``, individually or positionally) still works but
+    raises :class:`DeprecationWarning`.
 
     Returns an :class:`ExplorationResult`; ``result.selected`` carries
     the chosen design (transformed program, layout plan, estimate).
+    When ``config.obs`` is enabled, the run's spans and metrics are
+    collected on ``config.obs.tracer`` / ``config.obs.metrics``
+    (materialized in place if the caller left them ``None``), and spans
+    are additionally appended to ``config.obs.spans_path`` if set.
     """
+    if legacy_args or legacy_kwargs:
+        config = _coerce_legacy_explore(config, legacy_args, legacy_kwargs)
+    config = config or ExploreConfig()
+    obs = config.obs
+    with ExitStack() as stack:
+        if obs is not None:
+            stack.enter_context(use_tracer(obs.active_tracer()))
+            if obs.enabled:
+                stack.enter_context(use_registry(obs.metrics))
+        with current_tracer().span(
+            "dse.explore", kernel=program.name, board=board.name
+        ) as span:
+            result = _explore(program, board, config)
+            span.set_attribute("points_searched", result.points_searched)
+            span.set_attribute("design_space_size", result.design_space_size)
+            span.set_attribute("speedup", result.speedup)
+            span.set_attribute("baseline_degraded", result.baseline_degraded)
+    if (
+        obs is not None
+        and obs.enabled
+        and obs.spans_path is not None
+        and isinstance(obs.tracer, Tracer)
+    ):
+        obs.tracer.write_jsonl(obs.spans_path, mode="a")
+    return result
+
+
+def _explore(
+    program: Program, board: Board, config: ExploreConfig
+) -> ExplorationResult:
     # A first space to discover the saturation structure, possibly
     # re-created with automatic pins.
     space = DesignSpace(
-        program, board, pipeline_options, library, pinned_depths,
-        estimate_cache=estimate_cache,
+        program, board, config.pipeline, config.library, config.pinned_depths,
+        estimate_cache=config.estimate_cache,
     )
-    searcher = BalanceGuidedSearch(space, search_options)
-    if pinned_depths is None:
+    searcher = BalanceGuidedSearch(space, config.search)
+    if config.pinned_depths is None:
         varying = set(searcher.saturation.memory_varying_depths)
         auto_pins = tuple(
             depth for depth in range(space.depth) if depth not in varying
         )
         if auto_pins:
             space = DesignSpace(
-                program, board, pipeline_options, library, auto_pins,
-                estimate_cache=estimate_cache,
+                program, board, config.pipeline, config.library, auto_pins,
+                estimate_cache=config.estimate_cache,
             )
-            searcher = BalanceGuidedSearch(space, search_options)
+            searcher = BalanceGuidedSearch(space, config.search)
 
     result = searcher.run()
     # Fail-soft baseline: a baseline that cannot be evaluated (typically

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
-from repro.dse.explorer import ExplorationResult, explore
+from repro.dse.explorer import ExplorationResult, ExploreConfig, explore
 from repro.errors import SearchError
 from repro.ir.stmt import For
 from repro.ir.symbols import Program
@@ -124,7 +124,7 @@ def explore_application(
         )
         return explore(
             nests[index], shrunk,
-            pipeline_options=pipeline_options, library=library,
+            config=ExploreConfig(pipeline=pipeline_options, library=library),
         )
 
     for index in range(len(nests)):

@@ -30,6 +30,7 @@ from repro.dse.space import DesignEvaluation, DesignSpace
 from repro.errors import (
     NoFeasiblePoint, PointFailureBudgetExceeded, SearchError,
 )
+from repro.obs import current_registry, current_tracer
 from repro.transform.unroll import UnrollVector
 
 
@@ -102,6 +103,26 @@ class BalanceGuidedSearch:
     # -- the algorithm (Figure 2) ---------------------------------------------
 
     def run(self) -> SearchResult:
+        """Walk Figure 2 under a ``dse.search`` span recording the
+        walk's shape (iterations, points searched, final selection)."""
+        with current_tracer().span(
+            "dse.search", kernel=self.space.program.name
+        ) as span:
+            result = self._run()
+            span.set_attribute("iterations", len(result.trace))
+            span.set_attribute("points_searched", result.points_searched)
+            span.set_attribute("infeasible", len(result.infeasible))
+            span.set_attribute(
+                "selected", list(result.selected.unroll.factors)
+            )
+            registry = current_registry()
+            registry.histogram(
+                "dse.search_iterations",
+                boundaries=(1, 2, 4, 8, 16, 32, 64),
+            ).observe(len(result.trace))
+            return result
+
+    def _run(self) -> SearchResult:
         capacity = self.space.board.fpga.capacity_slices
         u_base = self.space.baseline_vector()
         u_max = self.space.max_vector()

@@ -16,10 +16,12 @@ Two size notions appear in the paper:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.dse.failures import POINT_FAILURES, PointDiagnostic, is_point_failure
+from repro.obs import current_registry, current_tracer
 from repro.ir.nest import LoopNest
 from repro.ir.symbols import Program
 from repro.synthesis.estimator import Estimate, synthesize
@@ -94,25 +96,44 @@ class DesignSpace:
         """
         key = unroll.factors
         if key not in self._cache:
-            try:
-                design = compile_design(
-                    self.program, unroll, self.board.num_memories, self.options
-                )
-                if self.estimate_cache is not None:
-                    estimate = self.estimate_cache.synthesize(
-                        design.program, self.board, design.plan, self.library
+            started = time.monotonic()
+            with current_tracer().span(
+                "dse.point",
+                kernel=self.program.name,
+                unroll=list(key),
+            ) as span:
+                try:
+                    design = compile_design(
+                        self.program, unroll, self.board.num_memories, self.options
                     )
-                else:
-                    estimate = synthesize(
-                        design.program, self.board, design.plan, self.library
+                    if self.estimate_cache is not None:
+                        estimate = self.estimate_cache.synthesize(
+                            design.program, self.board, design.plan, self.library
+                        )
+                    else:
+                        estimate = synthesize(
+                            design.program, self.board, design.plan, self.library
+                        )
+                except POINT_FAILURES as error:
+                    if not is_point_failure(error):
+                        raise
+                    diagnostic = PointDiagnostic.from_error(
+                        unroll, error, kernel=self.program.name
                     )
-            except POINT_FAILURES as error:
-                if not is_point_failure(error):
+                    self._infeasible[key] = diagnostic
+                    span.set_attribute("outcome", "infeasible")
+                    current_registry().counter(
+                        "dse.point_failures", kind=diagnostic.kind
+                    ).inc()
                     raise
-                self._infeasible[key] = PointDiagnostic.from_error(
-                    unroll, error, kernel=self.program.name
-                )
-                raise
+                finally:
+                    current_registry().histogram("dse.point_seconds").observe(
+                        time.monotonic() - started
+                    )
+                span.set_attribute("outcome", "ok")
+                span.set_attribute("cycles", estimate.cycles)
+                span.set_attribute("space", estimate.space)
+                span.set_attribute("balance", estimate.balance)
             self._cache[key] = DesignEvaluation(unroll, design, estimate)
             self._infeasible.pop(key, None)
         return self._cache[key]

@@ -76,6 +76,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import EstimationError, ServiceError, TransientError
+from repro.obs.metrics import current_registry
 
 #: Environment variable naming the active fault-spec file.
 ENV_SPEC = "REPRO_FAULTS"
@@ -164,6 +165,9 @@ class FaultInjector:
                 continue
             if not self._fires(index, rule, key):
                 continue
+            current_registry().counter(
+                "faults.hits", site=site, mode=rule.mode
+            ).inc()
             message = rule.message or (
                 f"injected {rule.mode} at {site}" + (f" ({key})" if key else "")
             )
@@ -190,6 +194,9 @@ class FaultInjector:
             if rule.mode != "corrupt" or not rule.matches(site, key):
                 continue
             if self._fires(index, rule, key):
+                current_registry().counter(
+                    "faults.hits", site=site, mode=rule.mode
+                ).inc()
                 return _corrupt(value)
         return value
 

@@ -1,0 +1,52 @@
+"""repro.obs — the observability layer.
+
+Structured tracing (:mod:`repro.obs.trace`), a process-safe metrics
+registry (:mod:`repro.obs.metrics`), versioned typed events
+(:mod:`repro.obs.events`), the :class:`ObsConfig` knob bundle, and the
+``repro trace`` report renderer (:mod:`repro.obs.report`).
+
+This package deliberately imports nothing from the rest of ``repro``
+except :mod:`repro.report` (table rendering), because the deepest layers
+— the transform pipeline, the design space, the estimation guard — all
+import *it*.
+"""
+
+from repro.obs import events
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    SPAN_SCHEMA_VERSION,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    read_spans,
+    use_tracer,
+)
+
+__all__ = [
+    "events",
+    "ObsConfig",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "use_registry",
+    "SPAN_SCHEMA_VERSION",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "read_spans",
+    "use_tracer",
+]

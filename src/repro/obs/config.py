@@ -1,0 +1,57 @@
+"""Observability configuration — the single knob callers pass around.
+
+``ObsConfig`` is the keyword-only bundle the redesigned APIs
+(:func:`repro.dse.explore` via ``ExploreConfig.obs``, the batch worker)
+accept instead of growing tracer/registry/path kwargs one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer
+
+
+@dataclass
+class ObsConfig:
+    """How one exploration (or batch) should be observed.
+
+    Attributes:
+        enabled: master switch; ``False`` wires the null tracer in even
+            when one was supplied, so a config can be toggled without
+            being rebuilt.
+        tracer: the span sink.  When ``None`` and ``enabled``, the
+            consumer creates a :class:`~repro.obs.trace.Tracer` and
+            stores it back on this field so the caller can read the
+            spans afterwards.
+        metrics: the metrics sink; same create-and-store-back contract
+            as ``tracer``.
+        spans_path: when set, finished spans are also appended to this
+            JSONL file (the batch engine points it at
+            ``<run-dir>/spans.jsonl``).
+    """
+
+    enabled: bool = True
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+    spans_path: Optional[Path] = None
+
+    def ensure(self) -> "ObsConfig":
+        """Materialize the sinks this config implies (in place)."""
+        if not self.enabled:
+            return self
+        if self.tracer is None:
+            self.tracer = Tracer()
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
+        return self
+
+    def active_tracer(self):
+        """The tracer consumers should install (null when disabled)."""
+        if not self.enabled:
+            return NullTracer()
+        self.ensure()
+        return self.tracer

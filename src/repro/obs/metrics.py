@@ -1,0 +1,262 @@
+"""A process-safe metrics registry: counters, gauges, histograms.
+
+The batch service accumulated a drawer of scattered counters — telemetry
+drops, ledger drops, cache hits/misses/evictions, estimator retries,
+deadline hits, fault firings, point-failure kinds — each living on
+whatever object happened to be nearby and each needing bespoke plumbing
+to reach the batch summary.  The registry replaces that with one sink:
+instrumented code increments named instruments against the *ambient*
+registry, and orchestration layers decide where those numbers flow.
+
+Cross-process model: workers do **not** share memory with the
+coordinator.  Each worker runs its job under a fresh registry
+(:func:`use_registry`), serializes it with :meth:`MetricsRegistry.snapshot`
+— a primitives-only dict — into the job payload, and the coordinator
+folds every worker's snapshot into its own registry with
+:meth:`MetricsRegistry.merge`.  Counters and histograms add; gauges are
+last-write-wins.  The same path works unchanged when the engine degrades
+to serial in-process execution, because the worker still swaps in its
+own registry for the job's duration.
+
+Instruments:
+
+* :class:`Counter` — monotonically increasing float/int.
+* :class:`Gauge` — a point-in-time value.
+* :class:`Histogram` — fixed, explicit bucket boundaries chosen at
+  creation (``value <= boundary`` buckets plus one overflow bucket),
+  with total ``sum`` and ``count``.  Fixed boundaries are what make
+  cross-process merging exact: bucket counts add element-wise, with no
+  re-binning error.
+
+Labels: instruments take keyword labels
+(``registry.counter("faults.hits", site="estimator")``); each distinct
+label set is its own time series, keyed canonically as
+``name{k=v,...}`` with keys sorted.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds) — spans synthesis-estimate scale
+#: (sub-millisecond in the reproduction, hours against a vendor tool).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+
+def _series_key(name: str, labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value: float = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins, also across merges)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram: ``counts[i]`` holds observations with
+    ``value <= boundaries[i]``; the final slot is the overflow bucket."""
+
+    __slots__ = ("boundaries", "counts", "sum", "count", "_lock")
+
+    def __init__(self, boundaries: Sequence[float] = DEFAULT_BUCKETS):
+        cleaned = tuple(float(b) for b in boundaries)
+        if not cleaned:
+            raise ValueError("histogram needs at least one boundary")
+        if list(cleaned) != sorted(cleaned):
+            raise ValueError("histogram boundaries must be sorted")
+        if len(set(cleaned)) != len(cleaned):
+            raise ValueError("histogram boundaries must be distinct")
+        self.boundaries = cleaned
+        self.counts: List[int] = [0] * (len(cleaned) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = len(self.boundaries)
+        for position, boundary in enumerate(self.boundaries):
+            if value <= boundary:
+                index = position
+                break
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by name + labels; snapshot and merge.
+
+    One registry is *not* shared between processes — see the module
+    docstring for the serialize-back aggregation model.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument access ----------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _series_key(name, labels)
+        with self._lock:
+            found = self._counters.get(key)
+            if found is None:
+                found = self._counters[key] = Counter()
+        return found
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _series_key(name, labels)
+        with self._lock:
+            found = self._gauges.get(key)
+            if found is None:
+                found = self._gauges[key] = Gauge()
+        return found
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = _series_key(name, labels)
+        with self._lock:
+            found = self._histograms.get(key)
+            if found is None:
+                found = self._histograms[key] = Histogram(boundaries)
+        return found
+
+    # -- serialization --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A primitives-only dump, safe to JSON-encode and to ship
+        across a process boundary."""
+        with self._lock:
+            return {
+                "counters": {
+                    key: counter.value
+                    for key, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    key: gauge.value
+                    for key, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    key: {
+                        "boundaries": list(histogram.boundaries),
+                        "counts": list(histogram.counts),
+                        "sum": histogram.sum,
+                        "count": histogram.count,
+                    }
+                    for key, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram buckets add exactly; gauges adopt the
+        incoming value.  A histogram whose boundaries disagree with the
+        resident series cannot be merged exactly — it is dropped and
+        counted on the ``obs.merge.dropped`` counter, so the loss is
+        itself observable.
+        """
+        for key, value in (snapshot.get("counters") or {}).items():
+            counter = self._counter_by_key(key)
+            counter.inc(value)
+        for key, value in (snapshot.get("gauges") or {}).items():
+            with self._lock:
+                gauge = self._gauges.get(key)
+                if gauge is None:
+                    gauge = self._gauges[key] = Gauge()
+            gauge.set(value)
+        for key, dump in (snapshot.get("histograms") or {}).items():
+            boundaries = tuple(float(b) for b in dump.get("boundaries", ()))
+            with self._lock:
+                histogram = self._histograms.get(key)
+                if histogram is None:
+                    histogram = self._histograms[key] = Histogram(boundaries)
+            if histogram.boundaries != boundaries:
+                self.counter("obs.merge.dropped", series=key).inc()
+                continue
+            counts = dump.get("counts") or []
+            with histogram._lock:
+                for index, count in enumerate(counts[: len(histogram.counts)]):
+                    histogram.counts[index] += count
+                histogram.sum += dump.get("sum", 0.0)
+                histogram.count += dump.get("count", 0)
+
+    def _counter_by_key(self, key: str) -> Counter:
+        with self._lock:
+            found = self._counters.get(key)
+            if found is None:
+                found = self._counters[key] = Counter()
+        return found
+
+    # -- convenience ----------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Read a counter without creating it (0 when absent)."""
+        found = self._counters.get(_series_key(name, labels))
+        return found.value if found is not None else 0
+
+
+# -- the ambient registry -----------------------------------------------------
+
+_default = MetricsRegistry()
+_current = _default
+
+
+def current_registry() -> MetricsRegistry:
+    """The ambient registry instrumented code records against."""
+    return _current
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` ambiently for a region (a worker's job, a
+    batch coordinator's run).  A module global, not a context variable,
+    for the same helper-thread-visibility reason as
+    :func:`repro.obs.trace.use_tracer`."""
+    global _current
+    previous = _current
+    _current = registry
+    try:
+        yield registry
+    finally:
+        _current = previous

@@ -1,0 +1,286 @@
+"""Render a recorded run's observability report — ``repro trace``.
+
+Everything here is derived from the artifacts a journaled batch leaves
+in its run directory; nothing is re-executed:
+
+    <run-dir>/
+      trace.jsonl    telemetry events (versioned, typed)
+      ledger.jsonl   crash journal (versioned, typed)
+      spans.jsonl    spans shipped back by workers
+      metrics.json   the coordinator's merged metrics registry
+
+The report answers the three questions the paper's efficiency claims
+raise: *where did the time go* (per-stage breakdown over span
+durations), *where did the visits go* (per-point timeline of every
+design-point evaluation, in wall-clock order), and *how little of the
+space was searched* (fraction-searched summary per job).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs import events as obs_events
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SPAN_SCHEMA_VERSION, Span, read_spans
+from repro.report import Table
+
+TRACE_NAME = "trace.jsonl"
+SPANS_NAME = "spans.jsonl"
+LEDGER_NAME = "ledger.jsonl"
+METRICS_NAME = "metrics.json"
+
+
+@dataclass
+class RunObservations:
+    """Everything ``repro trace`` loads from one run directory."""
+
+    run_dir: Path
+    events: List[obs_events.EventBase] = field(default_factory=list)
+    spans: List[Span] = field(default_factory=list)
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def load_run(run_dir: Path) -> RunObservations:
+    """Read a run directory's recorded artifacts (tolerating absences —
+    a crashed or partially-traced run still renders)."""
+    run_dir = Path(run_dir)
+    obs = RunObservations(run_dir=run_dir)
+    trace_path = run_dir / TRACE_NAME
+    if trace_path.exists():
+        obs.events = obs_events.read_events(trace_path)
+    spans_path = run_dir / SPANS_NAME
+    if spans_path.exists():
+        obs.spans = read_spans(spans_path)
+    metrics_path = run_dir / METRICS_NAME
+    if metrics_path.exists():
+        try:
+            loaded = json.loads(metrics_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            loaded = None
+        if isinstance(loaded, dict):
+            obs.metrics = loaded
+    return obs
+
+
+# -- per-stage time breakdown -------------------------------------------------
+
+def stage_breakdown(spans: List[Span]) -> Table:
+    """Aggregate span durations by name.
+
+    ``share`` is each stage's total against the summed duration of the
+    *root* spans (no parent) — the run's traced wall time — so nested
+    stages legitimately sum past 100%.
+    """
+    totals: Dict[str, Tuple[int, float]] = {}
+    root_seconds = 0.0
+    for span in spans:
+        seconds = span.duration_s or 0.0
+        calls, total = totals.get(span.name, (0, 0.0))
+        totals[span.name] = (calls + 1, total + seconds)
+        if span.parent_id is None:
+            root_seconds += seconds
+    table = Table(
+        "per-stage time breakdown",
+        ["Stage", "Calls", "Total s", "Mean ms", "Share"],
+    )
+    ordered = sorted(totals.items(), key=lambda item: (-item[1][1], item[0]))
+    for name, (calls, total) in ordered:
+        mean_ms = (total / calls) * 1000.0 if calls else 0.0
+        share = (total / root_seconds) if root_seconds else 0.0
+        table.add_row(
+            name, calls, f"{total:.4f}", f"{mean_ms:.3f}", f"{100 * share:.1f}%",
+        )
+    return table
+
+
+# -- per-point visit timeline -------------------------------------------------
+
+def point_timeline(spans: List[Span]) -> List[str]:
+    """One line per design-point evaluation, grouped by job, ordered by
+    wall-clock start, with offsets relative to each job's first visit."""
+    points = [span for span in spans if span.name == "dse.point"]
+    if not points:
+        return ["  (no design-point spans recorded)"]
+    by_job: Dict[str, List[Span]] = {}
+    for span in points:
+        job = str(span.attributes.get("job")
+                  or span.attributes.get("kernel") or "?")
+        by_job.setdefault(job, []).append(span)
+    lines: List[str] = []
+    for job in sorted(by_job):
+        visits = sorted(by_job[job], key=lambda span: span.t_wall)
+        epoch = visits[0].t_wall
+        lines.append(f"  {job}")
+        for span in visits:
+            attrs = span.attributes
+            offset = span.t_wall - epoch
+            parts = [f"    +{offset:.3f}s", f"U={attrs.get('unroll', '?')}"]
+            if attrs.get("balance") is not None:
+                parts.append(f"balance={attrs['balance']:.3f}")
+            if attrs.get("cycles") is not None:
+                parts.append(f"cycles={attrs['cycles']}")
+            if attrs.get("space") is not None:
+                parts.append(f"space={attrs['space']}")
+            outcome = attrs.get("outcome", span.status)
+            parts.append(f"-> {outcome}")
+            lines.append("  ".join(parts))
+    return lines
+
+
+# -- fraction-searched summary ------------------------------------------------
+
+def fraction_summary(events: List[obs_events.EventBase]) -> List[str]:
+    """The paper's headline metric per job, from ``job_finish`` events."""
+    lines: List[str] = []
+    for event in events:
+        if not isinstance(event, obs_events.JobFinish):
+            continue
+        searched = event.points_searched
+        size = event.design_space_size
+        if searched is None or not size:
+            continue
+        fraction = 100.0 * searched / size
+        parts = [
+            f"  {event.job_id}",
+            f"{searched} of {size} points ({fraction:.2f}%)",
+        ]
+        if event.speedup is not None:
+            parts.append(f"speedup {event.speedup:.2f}x")
+        lines.append("  ".join(parts))
+    return lines or ["  (no job_finish events recorded)"]
+
+
+# -- headline -----------------------------------------------------------------
+
+def _headline(obs: RunObservations) -> List[str]:
+    finish = next(
+        (e for e in reversed(obs.events)
+         if isinstance(e, obs_events.BatchFinish)), None,
+    )
+    lines = [f"observability report: {obs.run_dir}"]
+    if finish is not None:
+        lines.append(
+            f"  batch: {finish.succeeded} succeeded, {finish.failed} failed"
+            f", cache {finish.cache_hits} hits / {finish.cache_misses} misses"
+            f", {finish.points_synthesized} points synthesized"
+        )
+        drops = finish.telemetry_dropped + finish.ledger_dropped
+        if drops:
+            lines.append(
+                f"  WARNING: {finish.telemetry_dropped} telemetry and "
+                f"{finish.ledger_dropped} ledger writes were dropped — the "
+                f"record below has gaps"
+            )
+    else:
+        lines.append("  batch: no batch_finish event (crashed or in flight?)")
+    lines.append(
+        f"  recorded: {len(obs.events)} events, {len(obs.spans)} spans"
+    )
+    return lines
+
+
+def render_report(obs: RunObservations) -> str:
+    """The full ``repro trace`` text report."""
+    sections: List[str] = []
+    sections.extend(_headline(obs))
+    sections.append("")
+    if obs.spans:
+        sections.append(stage_breakdown(obs.spans).render())
+    else:
+        sections.append("per-stage time breakdown")
+        sections.append("")
+        sections.append("  (no spans recorded — was the run traced?)")
+    sections.append("")
+    sections.append("per-point visit timeline")
+    sections.append("")
+    sections.extend(point_timeline(obs.spans))
+    sections.append("")
+    sections.append("fraction searched")
+    sections.append("")
+    sections.extend(fraction_summary(obs.events))
+    return "\n".join(sections)
+
+
+# -- validation ---------------------------------------------------------------
+
+def validate_run(run_dir: Path) -> List[str]:
+    """Audit every event stream the run emitted against the v1 schema.
+
+    Covers the telemetry trace, the ledger journal, and the span file;
+    each problem is prefixed with the file it came from.  An empty list
+    means the whole run conforms.
+    """
+    run_dir = Path(run_dir)
+    problems: List[str] = []
+    for name in (TRACE_NAME, LEDGER_NAME):
+        path = run_dir / name
+        if not path.exists():
+            continue
+        for problem in obs_events.validate_jsonl(path):
+            problems.append(f"{name}: {problem}")
+    spans_path = run_dir / SPANS_NAME
+    if spans_path.exists():
+        problems.extend(
+            f"{SPANS_NAME}: {problem}"
+            for problem in _validate_spans(spans_path)
+        )
+    return problems
+
+
+def _validate_spans(path: Path) -> List[str]:
+    problems: List[str] = []
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        return [f"cannot read {path}: {error}"]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            problems.append(f"line {lineno}: not valid JSON: {error}")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: span record must be an object")
+            continue
+        version = record.get("schema_version")
+        if version != SPAN_SCHEMA_VERSION:
+            problems.append(
+                f"line {lineno}: span schema_version {version!r} != "
+                f"{SPAN_SCHEMA_VERSION}"
+            )
+        for required in ("name", "span_id", "t_wall", "duration_s"):
+            if required not in record:
+                problems.append(
+                    f"line {lineno}: span missing field {required!r}"
+                )
+    return problems
+
+
+# -- metrics export -----------------------------------------------------------
+
+def export_metrics(obs: RunObservations) -> Dict[str, Any]:
+    """The run's metrics snapshot for ``--metrics-json``.
+
+    Prefers the registry the coordinator persisted at ``batch_finish``
+    time; a run recorded before metrics persistence (or whose save was
+    lost) degrades to a snapshot *derived* from the span file — span
+    counts and duration histograms per stage — marked as such.
+    """
+    if obs.metrics is not None:
+        return obs.metrics
+    registry = MetricsRegistry()
+    for span in obs.spans:
+        registry.counter("span.count", span=span.name).inc()
+        registry.histogram("span.seconds", span=span.name).observe(
+            span.duration_s or 0.0
+        )
+    derived = registry.snapshot()
+    derived["derived_from"] = "spans"
+    return derived

@@ -1,0 +1,268 @@
+"""Structured tracing: spans with monotonic timing and nesting.
+
+The DSE service's headline claim is *search efficiency* — the guided
+walk visits a fraction of a percent of the design space — but "where did
+the time and the visits go" must be answerable from a recorded run, not
+by re-executing it.  A :class:`Span` is one timed region (a pipeline
+stage, an estimator call, a design-point evaluation) with a name, a
+duration measured on a monotonic clock, a wall-clock anchor for
+cross-process ordering, parent/child nesting, and free-form attributes
+(kernel, board, unroll vector, outcome).  A :class:`Tracer` collects
+spans; the batch worker ships them back to the coordinator, which
+appends them to ``<run-dir>/spans.jsonl`` for ``repro trace`` to render.
+
+Design constraints, in order:
+
+* **Zero cost when off.**  The ambient tracer defaults to
+  :class:`NullTracer`, whose ``span()`` is a reusable no-op context
+  manager — instrumented hot paths (every design-point evaluation) pay
+  one global read and one method call.
+* **Deterministic under test.**  Both clocks are injectable: a tracer
+  built with a fake monotonic clock produces byte-identical span
+  records, which is how the unit suite pins nesting and timing.
+* **Nothing rich crosses the pipe.**  Spans serialize to primitives-only
+  dicts (``to_dict``/``from_dict``); attribute values must be
+  JSON-representable scalars or lists thereof.
+
+Instrumented code reaches the tracer ambiently::
+
+    from repro.obs import current_tracer
+
+    with current_tracer().span("pipeline.unroll", kernel=name) as span:
+        ...
+        span.set_attribute("registers_added", n)
+
+and an orchestration layer (the batch worker, ``explore()`` with an
+:class:`~repro.obs.config.ObsConfig`) installs a real tracer around a
+region with :func:`use_tracer`.  The ambient slot is a plain module
+global, not a context variable, so helper threads (the estimation
+guard's deadline reaper) see the same tracer as the thread that
+installed it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+#: Schema version stamped on every serialized span record (shared with
+#: the event schema in :mod:`repro.obs.events`).
+SPAN_SCHEMA_VERSION = 1
+
+
+class Span:
+    """One timed, named, attributed region of execution."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "t_wall", "duration_s",
+        "attributes", "status", "_start_mono",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: Optional[str] = None,
+        t_wall: float = 0.0,
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        #: wall-clock anchor (epoch seconds) — orders spans *across*
+        #: processes, where monotonic clocks are incomparable.
+        self.t_wall = t_wall
+        #: monotonic duration; ``None`` while the span is open.
+        self.duration_s: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.status = "ok"
+        self._start_mono = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SPAN_SCHEMA_VERSION,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t_wall": self.t_wall,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "Span":
+        span = cls(
+            name=str(record.get("name", "")),
+            span_id=str(record.get("span_id", "")),
+            parent_id=record.get("parent_id"),
+            t_wall=float(record.get("t_wall", 0.0)),
+            attributes=dict(record.get("attributes") or {}),
+        )
+        duration = record.get("duration_s")
+        span.duration_s = None if duration is None else float(duration)
+        span.status = str(record.get("status", "ok"))
+        return span
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, duration={self.duration_s})"
+        )
+
+
+class _NullSpan:
+    """The no-op span the :class:`NullTracer` hands out."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer that records nothing — the zero-overhead default."""
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[_NullSpan]:
+        yield _NULL_SPAN
+
+    @property
+    def finished(self) -> List[Span]:
+        return []
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return []
+
+
+class Tracer:
+    """Collects spans with parent/child nesting.
+
+    Args:
+        clock: monotonic clock for durations (injectable for
+            deterministic tests).
+        wall: wall clock for cross-process anchors.
+        base_attributes: merged into every span this tracer opens —
+            the batch worker stamps ``job`` here so a run's combined
+            span file can be grouped per job.
+
+    Span ids are sequential (``s1``, ``s2``, ...) in open order, so a
+    tracer driven by a fake clock is fully deterministic.
+    """
+
+    def __init__(
+        self,
+        clock=time.monotonic,
+        wall=time.time,
+        base_attributes: Optional[Mapping[str, Any]] = None,
+    ):
+        self._clock = clock
+        self._wall = wall
+        self._base = dict(base_attributes or {})
+        self._stack: List[Span] = []
+        self._next_id = 1
+        #: spans in *finish* order (children before parents).
+        self.finished: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child of the innermost open span; record on exit.
+
+        An escaping exception marks the span ``status="error"`` with the
+        exception class name in the ``error`` attribute, then
+        propagates — tracing never swallows failures.
+        """
+        span = Span(
+            name=name,
+            span_id=f"s{self._next_id}",
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            t_wall=self._wall(),
+            attributes={**self._base, **attributes},
+        )
+        self._next_id += 1
+        span._start_mono = self._clock()
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as error:
+            span.status = "error"
+            span.set_attribute("error", type(error).__name__)
+            raise
+        finally:
+            span.duration_s = self._clock() - span._start_mono
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
+            else:  # defensive: a helper thread unbalanced the stack
+                try:
+                    self._stack.remove(span)
+                except ValueError:
+                    pass
+            self.finished.append(span)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.finished]
+
+    def write_jsonl(self, path: Path, mode: str = "w") -> None:
+        """Dump finished spans, one JSON object per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, mode) as stream:
+            for span in self.finished:
+                stream.write(json.dumps(span.to_dict()) + "\n")
+
+
+def read_spans(path: Path) -> List[Span]:
+    """Load a spans JSONL file, skipping torn/unparseable lines (a
+    killed run legitimately truncates its tail)."""
+    spans: List[Span] = []
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return spans
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            spans.append(Span.from_dict(record))
+    return spans
+
+
+# -- the ambient tracer -------------------------------------------------------
+
+_current: Any = NullTracer()
+
+
+def current_tracer():
+    """The ambient tracer instrumented code records against."""
+    return _current
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator[Any]:
+    """Install ``tracer`` as the ambient tracer for a region.
+
+    A module global rather than a context variable on purpose: the
+    estimation guard's deadline reaper thread must observe the same
+    tracer as its parent, which contextvars do not provide.
+    """
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous

@@ -31,7 +31,9 @@ Robustness stack (each layer independent, all typed through
   drops, never abort the batch.
 """
 
-from repro.service.jobs import BatchManifest, JobSpec, load_manifest, parse_manifest
+from repro.service.jobs import (
+    BatchManifest, JobConfig, JobSpec, load_manifest, parse_manifest,
+)
 from repro.service.guard import (
     EstimationGuard, GuardedEstimateCache, GuardedSharedEstimateCache,
     GuardPolicy, validate_estimate,
@@ -52,7 +54,8 @@ from repro.service.worker import execute_job
 __all__ = [
     "BatchManifest", "BatchResult", "BatchRunner", "EstimationGuard",
     "FileLock", "GuardPolicy", "GuardedEstimateCache",
-    "GuardedSharedEstimateCache", "JobFailure", "JobResult", "JobSpec",
+    "GuardedSharedEstimateCache", "JobConfig", "JobFailure", "JobResult",
+    "JobSpec",
     "LedgerState", "RunLedger", "SharedEstimateCache", "Telemetry",
     "TelemetryEvent", "execute_job", "load_manifest", "manifest_document",
     "manifest_fingerprint", "parse_manifest", "read_trace", "replay",

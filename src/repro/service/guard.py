@@ -41,6 +41,7 @@ from typing import Any, Callable, Optional
 
 from repro import faults
 from repro.errors import CorruptEstimate, DeadlineExceeded, TransientError
+from repro.obs import current_registry, current_tracer
 from repro.service.shared_cache import SharedEstimateCache
 from repro.synthesis.cache import EstimateCache
 from repro.synthesis.estimator import Estimate, synthesize
@@ -78,20 +79,38 @@ class EstimationGuard:
 
     def call(self, fn: Callable[..., Estimate], *args: Any,
              key: Optional[str] = None) -> Estimate:
-        """Run one estimator call under deadline/retry/validation."""
-        attempt = 0
-        while True:
+        """Run one estimator call under deadline/retry/validation.
+
+        Each call records an ``estimate.call`` span (with the attempt
+        count it took) and a latency observation on the
+        ``estimate.call_seconds`` histogram; retries and deadline
+        overruns increment the ``estimator.retries`` /
+        ``estimator.deadline_hits`` counters as they happen.
+        """
+        registry = current_registry()
+        started = time.monotonic()
+        with current_tracer().span("estimate.call", key=key) as span:
+            attempt = 0
             try:
-                estimate = self._bounded(fn, args, key)
-                estimate = faults.mangle("estimate", estimate, key=key)
-                validate_estimate(estimate)
-                return estimate
-            except TransientError:
-                attempt += 1
-                self.retries += 1
-                if attempt > self.policy.max_retries:
-                    raise
-                self._sleep(self._backoff_s(attempt))
+                while True:
+                    try:
+                        estimate = self._bounded(fn, args, key)
+                        estimate = faults.mangle("estimate", estimate, key=key)
+                        validate_estimate(estimate)
+                        span.set_attribute("attempts", attempt + 1)
+                        return estimate
+                    except TransientError:
+                        attempt += 1
+                        self.retries += 1
+                        registry.counter("estimator.retries").inc()
+                        if attempt > self.policy.max_retries:
+                            span.set_attribute("attempts", attempt)
+                            raise
+                        self._sleep(self._backoff_s(attempt))
+            finally:
+                registry.histogram("estimate.call_seconds").observe(
+                    time.monotonic() - started
+                )
 
     def _bounded(self, fn, args, key):
         """The call itself, under the per-call deadline when one is set."""
@@ -114,6 +133,7 @@ class EstimationGuard:
         thread.join(self.policy.call_deadline_s)
         if thread.is_alive():
             self.deadline_hits += 1
+            current_registry().counter("estimator.deadline_hits").inc()
             raise DeadlineExceeded(
                 f"estimator call exceeded its "
                 f"{self.policy.call_deadline_s:.1f}s deadline"
@@ -188,5 +208,17 @@ class GuardedEstimateCache(EstimateCache):
             synthesize, program, board, plan, library, key=self._job_id,
         )
 
-    def save(self) -> None:  # nothing durable to save
+    def save(self) -> None:
+        """Deliberately persist nothing.
+
+        Contract: this class backs jobs that ran *without* a cache file
+        (``cache_path is None``); there is no durable location, so
+        ``save()`` is a no-op **by design**, not a lost write.  Entries
+        accumulated during the job simply die with the process.  Because
+        a silent no-op is indistinguishable from a dropped save in a
+        trace, every call records a ``cache.save.skipped`` metric so an
+        operator wondering why a cache file never appeared can see the
+        skips in the run's metrics instead of guessing.
+        """
+        current_registry().counter("cache.save.skipped").inc()
         return None

@@ -25,7 +25,9 @@ on its own side of the pipe, so no IR objects are ever pickled.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -45,6 +47,49 @@ _PIPELINE_KEYS = {
     "run_licm", "narrow_bitwidths",
 }
 _BOARDS = ("pipelined", "nonpipelined")
+
+
+@dataclass
+class JobConfig:
+    """The single configuration object :meth:`JobSpec.create` accepts.
+
+    Attributes:
+        board: ``pipelined`` or ``nonpipelined``.
+        search: a :class:`repro.dse.SearchOptions` instance or a mapping
+            of field overrides (the manifest shape).
+        pipeline: a :class:`repro.transform.PipelineOptions` instance or
+            a mapping of primitive-valued field overrides.
+        timeout_s / max_attempts / call_deadline_s: robustness knobs,
+            as on :class:`JobSpec`.
+    """
+
+    board: str = "pipelined"
+    search: Optional[Any] = None
+    pipeline: Optional[Any] = None
+    timeout_s: Optional[float] = None
+    max_attempts: int = 2
+    call_deadline_s: Optional[float] = None
+
+
+def _as_overrides(value: Any, allowed: set, what: str) -> Tuple:
+    """Normalize an options dataclass or override mapping to the sorted
+    key/value tuple :class:`JobSpec` stores (primitives only)."""
+    if value is None:
+        return ()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = {
+            key: val for key, val in dataclasses.asdict(value).items()
+            if key in allowed
+        }
+    if not isinstance(value, Mapping):
+        raise ServiceError(
+            f"{what} must be an options dataclass or a mapping, "
+            f"got {type(value).__name__}"
+        )
+    unknown = set(value) - allowed
+    if unknown:
+        raise ServiceError(f"{what}: unknown keys {sorted(unknown)}")
+    return tuple(sorted(value.items()))
 
 
 @dataclass(frozen=True)
@@ -96,6 +141,71 @@ class JobSpec:
             search=tuple(sorted(payload.get("search", {}).items())),
             pipeline=tuple(sorted(payload.get("pipeline", {}).items())),
             call_deadline_s=payload.get("call_deadline_s"),
+        )
+
+    @classmethod
+    def create(
+        cls,
+        program: str,
+        *,
+        id: Optional[str] = None,
+        config: Optional[JobConfig] = None,
+        **legacy: Any,
+    ) -> "JobSpec":
+        """Build a validated spec from one :class:`JobConfig`.
+
+        This is the programmatic construction API (manifests go through
+        :func:`parse_manifest`): it accepts real option dataclasses —
+        ``JobConfig(search=SearchOptions(max_iterations=8))`` — and
+        normalizes them to the primitives-only form the spec stores.
+
+        The pre-redesign call shape (``board=``, ``search=``, ... as
+        individual keyword arguments) still works but raises
+        :class:`DeprecationWarning`.
+        """
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "JobSpec.create() takes either config=JobConfig(...) "
+                    "or the deprecated individual options, not both"
+                )
+            allowed = {f.name for f in dataclasses.fields(JobConfig)}
+            unknown = set(legacy) - allowed
+            if unknown:
+                raise TypeError(
+                    f"JobSpec.create() got unexpected keyword arguments "
+                    f"{sorted(unknown)}"
+                )
+            warnings.warn(
+                "passing JobSpec.create() options individually "
+                f"({sorted(legacy)}) is deprecated; pass "
+                "JobSpec.create(program, config=JobConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = JobConfig(**legacy)
+        config = config or JobConfig()
+        if config.board not in _BOARDS:
+            raise ServiceError(
+                f"unknown board {config.board!r}; expected one of {_BOARDS}"
+            )
+        if not isinstance(config.max_attempts, int) or config.max_attempts < 1:
+            raise ServiceError("max_attempts must be >= 1")
+        stem = (
+            program.split(":", 1)[1] if program.startswith("kernel:")
+            else Path(program).stem
+        )
+        return cls(
+            id=str(id) if id is not None else f"{stem}-{config.board}",
+            program=program,
+            board=config.board,
+            search=_as_overrides(config.search, _SEARCH_KEYS, "search"),
+            pipeline=_as_overrides(
+                config.pipeline, _PIPELINE_KEYS, "pipeline"
+            ),
+            timeout_s=config.timeout_s,
+            max_attempts=config.max_attempts,
+            call_deadline_s=config.call_deadline_s,
         )
 
 

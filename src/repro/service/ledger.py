@@ -48,6 +48,8 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro import faults
 from repro.errors import LedgerError
+from repro.obs import current_registry
+from repro.obs.events import SCHEMA_VERSION
 from repro.service.jobs import BatchManifest, JobSpec, parse_manifest
 
 LEDGER_NAME = "ledger.jsonl"
@@ -316,23 +318,32 @@ class RunLedger:
         })
 
     def _append(self, record: Dict[str, Any]) -> None:
-        """One fsync'd journal line; failures become counted drops."""
+        """One fsync'd, schema-versioned journal line; failures become
+        counted drops."""
         if self._stream is None:
             self.dropped_writes += 1
+            current_registry().counter("ledger.dropped").inc()
             return
-        record = {"ts": self._clock(), **record}
+        record = {
+            "ts": self._clock(),
+            "schema_version": SCHEMA_VERSION,
+            **record,
+        }
         try:
             faults.check("ledger_write")
             line = json.dumps(record)
         except (OSError, TypeError, ValueError):
             self.dropped_writes += 1
+            current_registry().counter("ledger.dropped").inc()
             return
         written = faults.mangle("ledger_line", line)
         if written != line:
             self.dropped_writes += 1  # a torn write loses the record too
+            current_registry().counter("ledger.dropped").inc()
         try:
             self._stream.write(written + "\n")
             self._stream.flush()
             os.fsync(self._stream.fileno())
         except (OSError, ValueError):
             self.dropped_writes += 1
+            current_registry().counter("ledger.dropped").inc()

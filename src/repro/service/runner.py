@@ -41,6 +41,7 @@ designs to an uninterrupted one.
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -48,6 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.obs import MetricsRegistry, use_registry
 from repro.service.jobs import BatchManifest, JobSpec
 from repro.service.ledger import LedgerState, RunLedger
 from repro.service.telemetry import Telemetry
@@ -203,6 +205,15 @@ class BatchRunner:
         cache_max_entries: LRU bound handed to each worker's cache view.
         fault_spec: fault-injection spec path handed to workers (chaos
             testing; see :mod:`repro.faults`).
+        spans_path: append every span the workers ship back to this
+            JSONL file (``repro trace`` renders it); ``None`` keeps
+            spans in worker payloads only until they are discarded.
+        metrics: the run's :class:`~repro.obs.MetricsRegistry`; worker
+            snapshots are merged into it and it is installed ambiently
+            for the coordinator's own instrumented code (telemetry and
+            ledger drop counters).  A fresh registry is created when
+            omitted; either way the final snapshot lands in
+            ``summary["metrics"]``.
     """
 
     def __init__(
@@ -218,6 +229,8 @@ class BatchRunner:
         call_deadline_s: Optional[float] = None,
         cache_max_entries: Optional[int] = None,
         fault_spec: Optional[str] = None,
+        spans_path: Optional[Path] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.manifest = manifest
         self.workers = max(1, int(workers))
@@ -230,13 +243,23 @@ class BatchRunner:
         self.call_deadline_s = call_deadline_s
         self.cache_max_entries = cache_max_entries
         self.fault_spec = fault_spec
+        self.spans_path = Path(spans_path) if spans_path else None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- public entry ---------------------------------------------------------
 
     def run(self) -> BatchResult:
         """Drive every job to success or exhaustion; never raises for
         job-level failures (they are reported in the result)."""
+        with use_registry(self.metrics):
+            return self._run()
+
+    def _run(self) -> BatchResult:
         results: Dict[str, JobResult] = {}
+        if self.spans_path is not None and self.resume_state is None:
+            # Fresh run: truncate; resumed runs append to the old spans.
+            self.spans_path.parent.mkdir(parents=True, exist_ok=True)
+            self.spans_path.write_text("")
         queue = self._build_queue(results)
         self.telemetry.emit(
             "batch_start",
@@ -273,6 +296,7 @@ class BatchRunner:
         batch.summary["ledger_dropped"] = (
             self.ledger.dropped_writes if self.ledger is not None else 0
         )
+        batch.summary["metrics"] = self.metrics.snapshot()
         return batch
 
     # -- resume adoption ------------------------------------------------------
@@ -454,6 +478,24 @@ class BatchRunner:
             self.ledger.record_attempt(spec, attempt)
         self.telemetry.emit("job_start", job_id=spec.id, attempt=attempt)
 
+    def _absorb_obs(self, obs: Mapping[str, Any]) -> None:
+        """Fold one worker's shipped observations into the run's:
+        metrics snapshots merge into the coordinator registry, spans
+        append to the run's span file.  Never a point of failure — a
+        bad spans disk degrades to a counted drop."""
+        metrics = obs.get("metrics")
+        if isinstance(metrics, Mapping):
+            self.metrics.merge(metrics)
+        spans = obs.get("spans")
+        if spans and self.spans_path is not None:
+            try:
+                self.spans_path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.spans_path, "a") as stream:
+                    for span in spans:
+                        stream.write(json.dumps(span) + "\n")
+            except (OSError, TypeError, ValueError):
+                self.metrics.counter("obs.spans.dropped").inc(len(spans))
+
     def _note_success(
         self,
         spec: JobSpec,
@@ -461,6 +503,13 @@ class BatchRunner:
         payload: Dict[str, Any],
         results: Dict[str, JobResult],
     ) -> None:
+        # Observations leave the payload before it reaches the ledger or
+        # telemetry: spans/metrics are run-level artifacts with their own
+        # files, and journaling them per job would bloat every record.
+        if isinstance(payload, dict):
+            obs = payload.pop("obs", None)
+            if isinstance(obs, Mapping):
+                self._absorb_obs(obs)
         if self.ledger is not None:
             self.ledger.record_success(spec, attempt, payload)
         finish_fields = {
@@ -530,17 +579,21 @@ def run_batch(
     call_deadline_s: Optional[float] = None,
     cache_max_entries: Optional[int] = None,
     fault_spec: Optional[str] = None,
+    spans_path: Optional[Path] = None,
 ) -> BatchResult:
     """One-call convenience wrapper around the full crash-safe stack.
 
     Without ``run_dir`` this is the classic ephemeral batch: telemetry
     to ``trace_path`` (optional), no journal.  With ``run_dir`` the run
-    is *journaled*: a :class:`RunLedger` is created there, and cache and
-    trace default to files inside it.  With ``resume=True`` the run
-    directory is replayed instead — ``manifest`` must be ``None`` (the
-    snapshot inside the run directory is the manifest; passing another
-    one would invite mixing batches) — completed jobs are adopted, and
-    telemetry appends to the existing trace.
+    is *journaled*: a :class:`RunLedger` is created there, and cache,
+    trace, and spans default to files inside it, and the coordinator's
+    merged metrics registry is persisted as ``<run-dir>/metrics.json``
+    when the batch finishes — the artifacts ``repro trace`` renders.
+    With ``resume=True`` the run directory is replayed instead —
+    ``manifest`` must be ``None`` (the snapshot inside the run directory
+    is the manifest; passing another one would invite mixing batches) —
+    completed jobs are adopted, and telemetry appends to the existing
+    trace.
     """
     ledger: Optional[RunLedger] = None
     resume_state: Optional[LedgerState] = None
@@ -565,6 +618,8 @@ def run_batch(
             cache_path = run_dir / "estimates.json"
         if trace_path is None:
             trace_path = run_dir / "trace.jsonl"
+        if spans_path is None:
+            spans_path = run_dir / "spans.jsonl"
     try:
         with Telemetry(trace_path, mode=trace_mode) as telemetry:
             runner = BatchRunner(
@@ -578,8 +633,18 @@ def run_batch(
                 call_deadline_s=call_deadline_s,
                 cache_max_entries=cache_max_entries,
                 fault_spec=fault_spec,
+                spans_path=spans_path,
             )
-            return runner.run()
+            batch = runner.run()
+            if run_dir is not None:
+                try:
+                    (run_dir / "metrics.json").write_text(
+                        json.dumps(batch.summary.get("metrics", {}), indent=1)
+                        + "\n"
+                    )
+                except (OSError, TypeError, ValueError):
+                    pass  # observability must never fail the batch
+            return batch
     finally:
         if ledger is not None:
             ledger.close()

@@ -34,12 +34,19 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro import faults
+from repro.obs import current_registry
+from repro.obs.events import SCHEMA_VERSION
 from repro.report import batch_summary_table
 
 
 @dataclass(frozen=True)
 class TelemetryEvent:
-    """One structured event: a name, a wall-clock stamp, and payload."""
+    """One structured event: a name, a wall-clock stamp, and payload.
+
+    Serialized records carry the versioned-event contract of
+    :mod:`repro.obs.events`: every line stamps ``schema_version`` and
+    round-trips through :func:`repro.obs.events.from_record`.
+    """
 
     event: str
     timestamp: float
@@ -47,7 +54,11 @@ class TelemetryEvent:
     data: Mapping[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
-        record: Dict[str, Any] = {"event": self.event, "ts": self.timestamp}
+        record: Dict[str, Any] = {
+            "event": self.event,
+            "ts": self.timestamp,
+            "schema_version": SCHEMA_VERSION,
+        }
         if self.job_id is not None:
             record["job_id"] = self.job_id
         record.update(self.data)
@@ -57,7 +68,7 @@ class TelemetryEvent:
     def from_dict(cls, record: Mapping[str, Any]) -> "TelemetryEvent":
         data = {
             key: value for key, value in record.items()
-            if key not in ("event", "ts", "job_id")
+            if key not in ("event", "ts", "job_id", "schema_version")
         }
         return cls(
             event=record["event"],
@@ -107,6 +118,7 @@ class Telemetry:
                 line = json.dumps(record.as_dict())
             except (TypeError, ValueError):
                 self.dropped += 1  # unserializable payload
+                current_registry().counter("telemetry.dropped").inc()
                 return record
             try:
                 faults.check("telemetry_write")
@@ -114,6 +126,7 @@ class Telemetry:
                 self._stream.flush()
             except (OSError, ValueError):
                 self.dropped += 1  # write failed; keep the batch alive
+                current_registry().counter("telemetry.dropped").inc()
         return record
 
     def close(self) -> None:

@@ -35,6 +35,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro import faults
 from repro.errors import CacheLockTimeout, failure_kind
+from repro.obs import MetricsRegistry, Tracer, use_registry, use_tracer
 from repro.service.guard import (
     EstimationGuard, GuardPolicy, GuardedEstimateCache,
     GuardedSharedEstimateCache,
@@ -107,12 +108,44 @@ def execute_job(
     (points vs design-space size), the narrative trace, this job's cache
     hit/miss/eviction counters, guard counters (estimator retries and
     deadline hits), and wall seconds split by phase.
+
+    Observability: unless the payload's runtime map sets
+    ``trace: false``, the whole job runs under a fresh per-job
+    :class:`~repro.obs.Tracer` (every span stamped with this job's id)
+    and :class:`~repro.obs.MetricsRegistry`; both are serialized into
+    the result under ``"obs"`` (``{"spans": [...], "metrics": {...}}``)
+    for the coordinator to fold into the run's span file and registry —
+    workers share no memory with the parent, so observations ride the
+    same pipe as results.
     """
     spec = JobSpec.from_payload(payload)
     runtime = payload.get("runtime") or {}
     faults.activate(runtime.get("fault_spec"))
     faults.check("worker", key=spec.id)
 
+    traced = runtime.get("trace", True)
+    tracer = Tracer(base_attributes={"job": spec.id}) if traced else None
+    registry = MetricsRegistry()
+    with use_tracer(tracer) if traced else _noop(), use_registry(registry):
+        result_dict = _execute(spec, runtime, cache_path)
+    if traced:
+        result_dict["obs"] = {
+            "spans": tracer.to_dicts(),
+            "metrics": registry.snapshot(),
+        }
+    else:
+        result_dict["obs"] = {"spans": [], "metrics": registry.snapshot()}
+    return result_dict
+
+
+def _noop():
+    from contextlib import nullcontext
+    return nullcontext()
+
+
+def _execute(
+    spec: JobSpec, runtime: Mapping[str, Any], cache_path: Optional[str]
+) -> Dict[str, Any]:
     t_start = time.perf_counter()
     program, kernel = load_program(spec.program)
     board = resolve_board(spec.board)
@@ -127,13 +160,12 @@ def execute_job(
         )
     else:
         cache = GuardedEstimateCache(guard, job_id=spec.id)
-    from repro.dse import explore
-    result = explore(
-        program, board,
-        search_options=search_options,
-        pipeline_options=pipeline_options,
+    from repro.dse import ExploreConfig, explore
+    result = explore(program, board, config=ExploreConfig(
+        search=search_options,
+        pipeline=pipeline_options,
         estimate_cache=cache,
-    )
+    ))
     t_explored = time.perf_counter()
     cache_save_error = None
     try:

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 
 from repro import faults
 from repro.ir.printer import print_program
+from repro.obs import current_registry
 from repro.ir.symbols import Program
 from repro.layout.plan import LayoutPlan
 from repro.synthesis.area import AreaBreakdown
@@ -94,10 +95,12 @@ class EstimateCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            current_registry().counter("cache.hits").inc()
             if self.max_entries is not None:
                 self._entries[key] = self._entries.pop(key)  # LRU touch
             return _decode(entry)
         self.misses += 1
+        current_registry().counter("cache.misses").inc()
         estimate = self._synthesize_miss(program, board, plan, library)
         self._entries[key] = _encode(estimate)
         self._evict()
@@ -122,6 +125,7 @@ class EstimateCache:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
             self.evictions += 1
+            current_registry().counter("cache.evictions").inc()
 
     def save(self) -> None:
         """Persist atomically: write a sibling temp file, then

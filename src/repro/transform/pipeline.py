@@ -36,6 +36,7 @@ from typing import List, Optional, Tuple
 from repro import faults
 from repro.analysis.dependence import DependenceGraph
 from repro.errors import TransformError
+from repro.obs import current_tracer
 from repro.ir.nest import LoopNest
 from repro.ir.symbols import Program
 from repro.ir.verify import check_ir
@@ -118,7 +119,8 @@ _CONTRACTS = {contract.stage: contract for contract in PIPELINE_CONTRACTS}
 
 class _StageRunner:
     """Wraps each stage with its contract: annotate escaping transform
-    errors with stage/kernel context, verify the stage's output."""
+    errors with stage/kernel context, verify the stage's output, and
+    record a ``pipeline.<stage>`` span against the ambient tracer."""
 
     def __init__(self, kernel: str, options: "PipelineOptions"):
         self.kernel = kernel
@@ -126,13 +128,14 @@ class _StageRunner:
 
     @contextmanager
     def guard(self, stage: str):
-        try:
-            yield
-        except TransformError as error:
-            annotated = error.annotate(stage=stage, kernel=self.kernel)
-            if annotated is error:
-                raise
-            raise annotated from error
+        with current_tracer().span(f"pipeline.{stage}", kernel=self.kernel):
+            try:
+                yield
+            except TransformError as error:
+                annotated = error.annotate(stage=stage, kernel=self.kernel)
+                if annotated is error:
+                    raise
+                raise annotated from error
 
     def checked(self, stage: str, program: Program) -> Program:
         if self.options.verify:
@@ -203,6 +206,21 @@ def compile_design(
     """Run the whole Figure-3 transformation sequence for one unroll
     factor vector."""
     options = options or PipelineOptions()
+    with current_tracer().span(
+        "pipeline",
+        kernel=program.name,
+        unroll=list(unroll.factors),
+        memories=num_memories,
+    ):
+        return _compile_design(program, unroll, num_memories, options)
+
+
+def _compile_design(
+    program: Program,
+    unroll: UnrollVector,
+    num_memories: int,
+    options: PipelineOptions,
+) -> CompiledDesign:
     faults.check("transform", key=program.name)
     runner = _StageRunner(program.name, options)
 

@@ -1,0 +1,164 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import (
+    Counter, DEFAULT_BUCKETS, Gauge, Histogram, MetricsRegistry,
+    current_registry, use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_boundary_falls_in_that_bucket(self):
+        # counts[i] holds observations with value <= boundaries[i]
+        histogram = Histogram(boundaries=(1.0, 2.0, 4.0))
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.counts == [1, 1, 1, 0]
+
+    def test_value_just_over_boundary_moves_up(self):
+        histogram = Histogram(boundaries=(1.0, 2.0))
+        histogram.observe(1.0000001)
+        assert histogram.counts == [0, 1, 0]
+
+    def test_overflow_bucket(self):
+        histogram = Histogram(boundaries=(1.0, 2.0))
+        histogram.observe(1000.0)
+        assert histogram.counts == [0, 0, 1]
+
+    def test_underflow_lands_in_first_bucket(self):
+        histogram = Histogram(boundaries=(1.0, 2.0))
+        histogram.observe(-5.0)
+        assert histogram.counts == [1, 0, 0]
+
+    def test_sum_count_mean(self):
+        histogram = Histogram(boundaries=(10.0,))
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.sum == 6.0
+        assert histogram.count == 2
+        assert histogram.mean() == 3.0
+
+    def test_boundaries_must_be_sorted_and_distinct(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(boundaries=())
+
+    def test_default_buckets_are_valid(self):
+        histogram = Histogram()
+        assert histogram.boundaries == DEFAULT_BUCKETS
+        assert len(histogram.counts) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_labels_make_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("faults.hits", site="estimator").inc()
+        registry.counter("faults.hits", site="cache").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {
+            "faults.hits{site=cache}": 2,
+            "faults.hits{site=estimator}": 1,
+        }
+
+    def test_label_key_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("m", b=1, a=2).inc()
+        registry.counter("m", a=2, b=1).inc()
+        assert registry.snapshot()["counters"] == {"m{a=2,b=1}": 2}
+
+    def test_counter_value_reads_without_creating(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("absent") == 0
+        assert "absent" not in registry.snapshot()["counters"]
+
+
+class TestCrossProcessMerge:
+    """The worker → coordinator aggregation model: workers snapshot a
+    fresh registry into the job payload, the coordinator merges."""
+
+    def worker_snapshot(self, hits, seconds):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(hits)
+        registry.gauge("queue.depth").set(hits)
+        histogram = registry.histogram("estimate.call_seconds",
+                                       boundaries=(0.1, 1.0))
+        for value in seconds:
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_counters_and_buckets_add_exactly(self):
+        parent = MetricsRegistry()
+        parent.merge(self.worker_snapshot(hits=3, seconds=[0.05, 0.5]))
+        parent.merge(self.worker_snapshot(hits=4, seconds=[0.5, 5.0]))
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["cache.hits"] == 7
+        merged = snapshot["histograms"]["estimate.call_seconds"]
+        assert merged["counts"] == [1, 2, 1]
+        assert merged["count"] == 4
+        assert merged["sum"] == pytest.approx(6.05)
+
+    def test_gauges_last_write_wins_across_merges(self):
+        parent = MetricsRegistry()
+        parent.merge(self.worker_snapshot(hits=3, seconds=[]))
+        parent.merge(self.worker_snapshot(hits=9, seconds=[]))
+        assert parent.snapshot()["gauges"]["queue.depth"] == 9
+
+    def test_snapshot_is_json_primitives_only(self):
+        import json
+        snapshot = self.worker_snapshot(hits=1, seconds=[0.2])
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_mismatched_boundaries_dropped_and_counted(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", boundaries=(1.0, 2.0)).observe(0.5)
+        alien = MetricsRegistry()
+        alien.histogram("h", boundaries=(9.0,)).observe(0.5)
+        parent.merge(alien.snapshot())
+        # the resident series is untouched, the loss is observable
+        assert parent.snapshot()["histograms"]["h"]["count"] == 1
+        assert parent.counter_value("obs.merge.dropped", series="h") == 1
+
+    def test_merge_into_empty_adopts_boundaries(self):
+        parent = MetricsRegistry()
+        parent.merge(self.worker_snapshot(hits=0, seconds=[0.05]))
+        merged = parent.snapshot()["histograms"]["estimate.call_seconds"]
+        assert merged["boundaries"] == [0.1, 1.0]
+        assert merged["counts"] == [1, 0, 0]
+
+
+class TestAmbientRegistry:
+    def test_use_registry_installs_and_restores(self):
+        registry = MetricsRegistry()
+        before = current_registry()
+        with use_registry(registry):
+            assert current_registry() is registry
+            current_registry().counter("inside").inc()
+        assert current_registry() is before
+        assert registry.counter_value("inside") == 1

@@ -1,0 +1,191 @@
+"""Unit tests for the structured tracing core (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NullTracer, SPAN_SCHEMA_VERSION, Span, Tracer, current_tracer,
+    read_spans, use_tracer,
+)
+
+
+class FakeClock:
+    """Monotonic clock advancing a fixed step per call — the injectable
+    clock the module promises makes span records deterministic."""
+
+    def __init__(self, start=0.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_tracer(**kwargs):
+    return Tracer(clock=FakeClock(step=1.0), wall=FakeClock(start=100.0),
+                  **kwargs)
+
+
+class TestNesting:
+    def test_child_records_parent_id(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_finish_order_children_before_parents(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.finished] == ["outer", "inner"][::-1]
+
+    def test_siblings_share_parent(self):
+        tracer = make_tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_span_ids_sequential_in_open_order(self):
+        tracer = make_tracer()
+        with tracer.span("first"):
+            with tracer.span("second"):
+                pass
+        with tracer.span("third"):
+            pass
+        by_name = {span.name: span.span_id for span in tracer.finished}
+        assert by_name == {"first": "s1", "second": "s2", "third": "s3"}
+
+
+class TestTimingDeterminism:
+    def test_duration_from_injected_clock(self):
+        tracer = make_tracer()
+        with tracer.span("timed"):
+            pass
+        # one clock tick at open, one at close, step 1.0
+        assert tracer.finished[0].duration_s == 1.0
+
+    def test_wall_anchor_from_injected_wall_clock(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        walls = [span.t_wall for span in tracer.finished]
+        assert walls == [100.0, 101.0]
+
+    def test_byte_identical_records_across_runs(self):
+        def run():
+            tracer = make_tracer()
+            with tracer.span("outer", kernel="fir"):
+                with tracer.span("inner"):
+                    pass
+            return json.dumps(tracer.to_dicts(), sort_keys=True)
+
+        assert run() == run()
+
+
+class TestAttributesAndStatus:
+    def test_attributes_captured_and_settable(self):
+        tracer = make_tracer()
+        with tracer.span("work", kernel="fir", unroll=[4, 2]) as span:
+            span.set_attribute("cycles", 123)
+        record = tracer.finished[0].to_dict()
+        assert record["attributes"] == {
+            "kernel": "fir", "unroll": [4, 2], "cycles": 123,
+        }
+
+    def test_base_attributes_merged_into_every_span(self):
+        tracer = make_tracer(base_attributes={"job": "j7"})
+        with tracer.span("a"):
+            pass
+        with tracer.span("b", kernel="mm"):
+            pass
+        assert all(s.attributes["job"] == "j7" for s in tracer.finished)
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        span = tracer.finished[0]
+        assert span.status == "error"
+        assert span.attributes["error"] == "ValueError"
+        assert span.duration_s is not None
+
+
+class TestSerialization:
+    def test_to_dict_carries_schema_version(self):
+        tracer = make_tracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.to_dicts()[0]["schema_version"] == SPAN_SCHEMA_VERSION
+
+    def test_round_trip(self):
+        tracer = make_tracer()
+        with tracer.span("outer", kernel="fir") as outer:
+            outer.set_attribute("cycles", 9)
+        record = tracer.to_dicts()[0]
+        restored = Span.from_dict(record)
+        assert restored.to_dict() == record
+
+    def test_write_and_read_jsonl(self, tmp_path):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        tracer.write_jsonl(path)
+        spans = read_spans(path)
+        assert [span.name for span in spans] == ["b", "a"]
+        assert spans[0].parent_id == spans[1].span_id
+
+    def test_read_spans_skips_torn_tail(self, tmp_path):
+        tracer = make_tracer()
+        with tracer.span("whole"):
+            pass
+        path = tmp_path / "spans.jsonl"
+        tracer.write_jsonl(path)
+        with open(path, "a") as stream:
+            stream.write('{"name": "torn", "span_')
+        assert [span.name for span in read_spans(path)] == ["whole"]
+
+    def test_read_spans_missing_file_is_empty(self, tmp_path):
+        assert read_spans(tmp_path / "nope.jsonl") == []
+
+
+class TestAmbient:
+    def test_default_is_null_tracer(self):
+        assert isinstance(current_tracer(), NullTracer)
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("anything", kernel="fir") as span:
+            span.set_attribute("ignored", 1)
+        assert tracer.finished == []
+        assert tracer.to_dicts() == []
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = make_tracer()
+        before = current_tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with current_tracer().span("ambient"):
+                pass
+        assert current_tracer() is before
+        assert [span.name for span in tracer.finished] == ["ambient"]
+
+    def test_use_tracer_restores_on_exception(self):
+        before = current_tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(make_tracer()):
+                raise RuntimeError
+        assert current_tracer() is before
