@@ -26,6 +26,7 @@ The packages underneath:
 * :mod:`repro.kernels` — the paper's five multimedia kernels
 * :mod:`repro.obs` — observability: tracing, metrics, versioned events
 * :mod:`repro.service` — the batch exploration engine
+* :mod:`repro.server` — the persistent exploration service (`repro serve`)
 """
 
 from repro.dse import (
@@ -43,8 +44,9 @@ from repro.target import (
 from repro.transform import (
     CompiledDesign, PipelineOptions, UnrollVector, compile_design,
 )
+from repro.version import get_version
 
-__version__ = "1.0.0"
+__version__ = get_version()
 
 __all__ = [
     "ALL_KERNELS", "Board", "CompiledDesign", "DesignEvaluation",

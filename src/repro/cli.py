@@ -12,10 +12,18 @@ The flow as a tool::
     python -m repro trace runs/exp1 --metrics-json metrics.json
     python -m repro kernels
 
+And as a service (see the README's "Running as a service")::
+
+    python -m repro serve --state-dir runs/server --jobs 2
+    python -m repro submit kernel:fir --board pipelined
+    python -m repro status job-abc123def456
+    python -m repro result job-abc123def456 --wait
+
 Input programs come from a C-subset file or from the built-in kernel
 registry via ``kernel:<name>``.  Exit status is 0 on success, 1 on any
 compilation or exploration error (with the message on stderr); ``batch``
-additionally exits 1 when any job in the manifest fails.
+additionally exits 1 when any job in the manifest fails, and ``result``
+exits 1 when the job it reports on failed.
 """
 
 from __future__ import annotations
@@ -105,10 +113,13 @@ def _add_common(parser: argparse.ArgumentParser, multi: bool = False) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.version import get_version
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DEFACTO design space exploration (PLDI 2002 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {get_version()}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     explore_cmd = commands.add_parser(
@@ -217,6 +228,97 @@ def build_parser() -> argparse.ArgumentParser:
                            help="validate every recorded event and span "
                                 "against the v1 schema; exit 1 on problems")
 
+    serve_cmd = commands.add_parser(
+        "serve", help="run the persistent exploration service "
+                      "(HTTP job queue over the batch engine)"
+    )
+    serve_cmd.add_argument("--state-dir", metavar="DIR", required=True,
+                           help="durable state directory (job journal, "
+                                "spans); reuse it to resume queued jobs")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8078,
+                           help="TCP port; 0 picks a free one "
+                                "(default 8078)")
+    serve_cmd.add_argument("--port-file", metavar="FILE", default=None,
+                           help="write the bound port here once listening "
+                                "(for scripts using --port 0)")
+    serve_cmd.add_argument("--jobs", type=int, default=2, metavar="N",
+                           help="worker processes (0 = degraded in-process "
+                                "execution; default 2)")
+    serve_cmd.add_argument("--max-concurrency", type=int, default=None,
+                           metavar="N",
+                           help="jobs in flight at once (default: --jobs)")
+    serve_cmd.add_argument("--queue-limit", type=int, default=None,
+                           metavar="N",
+                           help="admission limit: queued jobs beyond this "
+                                "bounce with HTTP 429 (default 64)")
+    serve_cmd.add_argument("--cache", metavar="PATH",
+                           help="shared estimate cache file (default: "
+                                "estimates.json inside --state-dir)")
+    serve_cmd.add_argument("--no-cache", action="store_true",
+                           help="run workers without a shared cache")
+    serve_cmd.add_argument("--timeout", type=float, default=None, metavar="S",
+                           help="default per-job timeout in seconds "
+                                "(jobs may override)")
+    serve_cmd.add_argument("--call-deadline", type=float, default=None,
+                           metavar="S",
+                           help="per-estimator-call deadline in seconds")
+    serve_cmd.add_argument("--cache-max-entries", type=int, default=None,
+                           metavar="N",
+                           help="bound the estimate cache to N entries "
+                                "(LRU eviction)")
+    serve_cmd.add_argument("--fault-spec", metavar="FILE", default=None,
+                           help="fault-injection spec for chaos testing "
+                                "(see repro.faults)")
+
+    submit_cmd = commands.add_parser(
+        "submit", help="submit one exploration job to a running server"
+    )
+    submit_cmd.add_argument("program",
+                            help="C-subset file, or kernel:<name>")
+    submit_cmd.add_argument("--server", metavar="URL",
+                            default="http://127.0.0.1:8078",
+                            help="server base URL "
+                                 "(default http://127.0.0.1:8078)")
+    submit_cmd.add_argument("--board", default="pipelined",
+                            help="pipelined (default) or nonpipelined")
+    submit_cmd.add_argument("--timeout", type=float, default=None,
+                            metavar="S", help="per-job timeout in seconds")
+    submit_cmd.add_argument("--max-attempts", type=int, default=None,
+                            metavar="N", help="total tries before failing")
+    submit_cmd.add_argument("--call-deadline", type=float, default=None,
+                            metavar="S",
+                            help="per-estimator-call deadline in seconds")
+
+    status_cmd = commands.add_parser(
+        "status", help="show a submitted job's status document"
+    )
+    status_cmd.add_argument("job_id", metavar="JOB_ID")
+    status_cmd.add_argument("--server", metavar="URL",
+                            default="http://127.0.0.1:8078",
+                            help="server base URL "
+                                 "(default http://127.0.0.1:8078)")
+
+    result_cmd = commands.add_parser(
+        "result", help="fetch a submitted job's report (optionally "
+                       "waiting for it to finish)"
+    )
+    result_cmd.add_argument("job_id", metavar="JOB_ID")
+    result_cmd.add_argument("--server", metavar="URL",
+                            default="http://127.0.0.1:8078",
+                            help="server base URL "
+                                 "(default http://127.0.0.1:8078)")
+    result_cmd.add_argument("--wait", action="store_true",
+                            help="poll until the job reaches a terminal "
+                                 "state")
+    result_cmd.add_argument("--poll", type=float, default=0.5, metavar="S",
+                            help="poll interval with --wait (default 0.5)")
+    result_cmd.add_argument("--wait-timeout", type=float, default=300.0,
+                            metavar="S",
+                            help="give up waiting after S seconds "
+                                 "(default 300)")
+
     fuzz_cmd = commands.add_parser(
         "fuzz", help="differential-fuzz the pipeline against the "
                      "reference interpreter"
@@ -262,6 +364,14 @@ def _dispatch(args) -> int:
         return _run_fuzz(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "status":
+        return _run_status(args)
+    if args.command == "result":
+        return _run_result(args)
 
     if args.command == "explore":
         if args.parallel:
@@ -445,11 +555,16 @@ def _run_trace(args) -> int:
     """``repro trace RUN_DIR``: render the report from recorded spans
     and events alone — the run is never re-executed."""
     from repro.obs.report import (
-        export_metrics, load_run, render_report, validate_run,
+        SPANS_NAME, export_metrics, load_run, render_report, validate_run,
     )
     run_dir = Path(args.run_dir)
     if not run_dir.is_dir():
         raise ReproError(f"no such run directory: {run_dir}")
+    if not (run_dir / SPANS_NAME).is_file():
+        raise ReproError(
+            f"{run_dir} has no {SPANS_NAME}; is it a "
+            f"`repro batch --run-dir` directory?"
+        )
     status = 0
     if args.validate:
         problems = validate_run(run_dir)
@@ -469,6 +584,100 @@ def _run_trace(args) -> int:
         )
         print(f"wrote {args.metrics_json}")
     return status
+
+
+def _run_serve(args) -> int:
+    """``repro serve``: run the exploration server until SIGTERM."""
+    from repro.server import ExplorationServer
+    state_dir = Path(args.state_dir)
+    if args.no_cache and args.cache:
+        raise ReproError("--no-cache and --cache are mutually exclusive")
+    if args.no_cache:
+        cache_path = None
+    elif args.cache:
+        cache_path = Path(args.cache)
+    else:
+        cache_path = state_dir / "estimates.json"
+    server = ExplorationServer(
+        state_dir=state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        max_concurrency=args.max_concurrency,
+        queue_limit=(args.queue_limit if args.queue_limit is not None
+                     else 64),
+        cache_path=cache_path,
+        default_timeout_s=args.timeout,
+        call_deadline_s=args.call_deadline,
+        cache_max_entries=args.cache_max_entries,
+        fault_spec=args.fault_spec,
+    )
+    return server.serve(
+        port_file=Path(args.port_file) if args.port_file else None
+    )
+
+
+def _submission_entry(args) -> dict:
+    """The submit verb's job document (manifest-job shape)."""
+    program = args.program
+    if not program.startswith("kernel:"):
+        path = Path(program)
+        if path.exists():
+            # Resolve before shipping: the server would otherwise look
+            # relative to its own state directory.
+            program = str(path.resolve())
+    entry: dict = {"program": program, "board": _board_name(args.board)}
+    if args.timeout is not None:
+        entry["timeout_s"] = args.timeout
+    if args.max_attempts is not None:
+        entry["max_attempts"] = args.max_attempts
+    if args.call_deadline is not None:
+        entry["call_deadline_s"] = args.call_deadline
+    return entry
+
+
+def _run_submit(args) -> int:
+    """``repro submit``: POST one job; the id is the first output line."""
+    from repro.server import submit_job
+    reply = submit_job(args.server, _submission_entry(args))
+    job_id = reply.get("job_id", "")
+    print(job_id)
+    word = "created" if reply.get("created") else "deduplicated to existing"
+    print(f"{word} job {job_id} (status: {reply.get('status')})",
+          file=sys.stderr)
+    return 0
+
+
+def _run_status(args) -> int:
+    from repro.server import job_status
+    doc = job_status(args.server, args.job_id)
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_result(args) -> int:
+    """``repro result``: print the report; exit 1 if the job failed."""
+    import time as _time
+    from repro.server import job_report
+    deadline = _time.monotonic() + args.wait_timeout
+    while True:
+        done, doc = job_report(args.server, args.job_id)
+        if done:
+            break
+        if not args.wait:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            raise ReproError(
+                f"job {args.job_id} is not finished (status: "
+                f"{doc.get('status')}); use --wait to poll"
+            )
+        if _time.monotonic() > deadline:
+            raise ReproError(
+                f"job {args.job_id} did not finish within "
+                f"{args.wait_timeout:.0f}s"
+            )
+        _time.sleep(max(0.05, args.poll))
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0 if doc.get("status") == "ok" else 1
 
 
 def _run_fuzz(args) -> int:

@@ -262,6 +262,18 @@ class ServiceError(ReproError):
     kind = "service"
 
 
+class ServerError(ServiceError):
+    """The exploration server was misused or is in a bad state.
+
+    Examples: a job submission that fails validation, an unknown job id,
+    a state directory whose journal cannot be appended to.  Admission
+    rejections (full queue, draining server) are *not* errors — they are
+    HTTP responses — so they never raise this.
+    """
+
+    kind = "server"
+
+
 class LedgerError(ServiceError):
     """The run ledger is unusable or inconsistent with its manifest.
 

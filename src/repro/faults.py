@@ -38,6 +38,10 @@ asserts over):
 ``cache_write``     :meth:`SharedEstimateCache.save` / ``EstimateCache.save``
 ``telemetry_write`` each JSONL trace append
 ``ledger_write``    each run-ledger append
+``server``          the exploration server's dispatch loop, once per
+                    claimed job before it is handed to a worker (key =
+                    the job id); ``kill`` here murders the server
+                    mid-queue to exercise restart-resume
 ==================  =========================================================
 
 Modes: ``transient`` raises :class:`~repro.errors.TransientError`,

@@ -22,6 +22,7 @@ from repro.obs.metrics import (
     current_registry,
     use_registry,
 )
+from repro.obs.prometheus import metric_name, render_prometheus
 from repro.obs.trace import (
     SPAN_SCHEMA_VERSION,
     NullTracer,
@@ -34,6 +35,8 @@ from repro.obs.trace import (
 
 __all__ = [
     "events",
+    "metric_name",
+    "render_prometheus",
     "ObsConfig",
     "DEFAULT_BUCKETS",
     "Counter",

@@ -1,0 +1,49 @@
+"""repro.server — the persistent exploration service.
+
+A long-running, stdlib-only HTTP server over the batch engine: durable
+job intake (:mod:`repro.server.store`), an asyncio dispatch loop over
+the process pool (:mod:`repro.server.scheduler`), a minimal HTTP/1.1
+frontend (:mod:`repro.server.http`), the wired application
+(:mod:`repro.server.app`), and a urllib client
+(:mod:`repro.server.client`) behind the ``repro submit`` / ``status`` /
+``result`` CLI verbs.
+
+Start one with ``python -m repro serve --state-dir runs/server`` — see
+the README's "Running as a service" walkthrough and DESIGN.md §6.5 for
+the state machine and failure model.
+"""
+
+from repro.server.app import DEFAULT_QUEUE_LIMIT, ExplorationServer
+from repro.server.client import (
+    QueueFull,
+    job_report,
+    job_status,
+    server_health,
+    server_metrics,
+    submit_job,
+)
+from repro.server.scheduler import Scheduler
+from repro.server.store import (
+    JobStore,
+    ServerJob,
+    job_id_for,
+    parse_submission,
+    submission_hash,
+)
+
+__all__ = [
+    "DEFAULT_QUEUE_LIMIT",
+    "ExplorationServer",
+    "QueueFull",
+    "job_report",
+    "job_status",
+    "server_health",
+    "server_metrics",
+    "submit_job",
+    "Scheduler",
+    "JobStore",
+    "ServerJob",
+    "job_id_for",
+    "parse_submission",
+    "submission_hash",
+]

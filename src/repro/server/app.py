@@ -1,0 +1,287 @@
+"""The exploration server: HTTP intake + durable store + scheduler.
+
+:class:`ExplorationServer` wires the three server pieces together and
+owns the process-level concerns: the listening socket, signal handlers,
+admission control, and the drain-on-SIGTERM contract.
+
+Endpoint semantics (the full state machine is DESIGN.md §6.5):
+
+=============================  =============================================
+``POST /jobs``                 201 new job, 200 dedup hit (same id back),
+                               429 + ``Retry-After`` when the queue is at
+                               its admission limit, 503 while draining or
+                               when the journal append fails
+``GET /jobs/<id>``             status document; 404 unknown id
+``GET /jobs/<id>/report``      202 while queued/running; 200 with the
+                               worker payload (ok) or typed failure doc
+``GET /healthz``               always 200 while the process lives;
+                               echoes the package version
+``GET /readyz``                200 accepting work, 503 draining
+``GET /metrics``               Prometheus text exposition of the server
+                               registry (merged worker counters included)
+=============================  =============================================
+
+Graceful shutdown: the first SIGTERM/SIGINT stops admission (``POST``
+returns 503, ``/readyz`` flips), lets in-flight jobs finish, journals a
+stop marker, and exits 0.  Queued-but-unstarted jobs stay in the journal
+and run on the next boot with the same ``--state-dir`` — the
+restart-resume path the smoke test exercises end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from repro import faults
+from repro.errors import ServerError
+from repro.obs import MetricsRegistry, render_prometheus, use_registry
+from repro.server.http import Request, Response, serve_client
+from repro.server.scheduler import Scheduler
+from repro.server.store import DONE, JobStore, parse_submission
+from repro.service.worker import execute_job
+from repro.version import get_version
+
+#: Default admission limit: submissions beyond this many queued jobs
+#: bounce with 429 until the scheduler catches up.
+DEFAULT_QUEUE_LIMIT = 64
+
+#: Suggested client backoff when the queue is full (seconds).
+RETRY_AFTER_S = 1
+
+
+class ExplorationServer:
+    """One server instance; :meth:`serve` runs it until signalled.
+
+    The HTTP handler, store, and scheduler are also usable directly (no
+    socket) — the unit tests drive :meth:`handle` with synthetic
+    :class:`Request` objects and run the scheduler on their own loop.
+    """
+
+    def __init__(
+        self,
+        state_dir: Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_concurrency: Optional[int] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        cache_path: Optional[Path] = None,
+        default_timeout_s: Optional[float] = None,
+        call_deadline_s: Optional[float] = None,
+        cache_max_entries: Optional[int] = None,
+        fault_spec: Optional[str] = None,
+        worker: Callable[..., Dict[str, Any]] = execute_job,
+        executor_factory: Optional[Callable[[int], Any]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.state_dir = Path(state_dir)
+        self.host = host
+        self.port = port
+        self.queue_limit = max(1, queue_limit)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.version = get_version()
+        self.draining = False
+        # The server consults the `server` fault site in its own
+        # dispatch loop (workers get the spec via the job payload).
+        faults.activate(fault_spec)
+        self.store = JobStore(self.state_dir)
+        self.scheduler = Scheduler(
+            self.store,
+            self.registry,
+            worker=worker,
+            workers=workers,
+            max_concurrency=max_concurrency,
+            cache_path=cache_path,
+            default_timeout_s=default_timeout_s,
+            call_deadline_s=call_deadline_s,
+            cache_max_entries=cache_max_entries,
+            fault_spec=fault_spec,
+            executor_factory=executor_factory,
+            spans_path=self.state_dir / "spans.jsonl",
+        )
+        self._bound_port: Optional[int] = None
+
+    # -- routing ---------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Route one request (the :mod:`repro.server.http` handler)."""
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/jobs" and method == "POST":
+            return self._submit(request)
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if method != "GET":
+                return Response.error(405, f"{method} not allowed here")
+            if rest.endswith("/report"):
+                return self._report(rest[: -len("/report")])
+            if "/" not in rest:
+                return self._status(rest)
+            return Response.error(404, f"no route for {path}")
+        if method != "GET":
+            return Response.error(405, f"{method} not allowed here")
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/readyz":
+            return self._readyz()
+        if path == "/metrics":
+            return self._metrics()
+        return Response.error(404, f"no route for {path}")
+
+    def _submit(self, request: Request) -> Response:
+        if self.draining:
+            return Response.error(503, "server is draining; resubmit to "
+                                       "the next instance")
+        try:
+            entry = request.json()
+        except (ValueError, UnicodeDecodeError) as error:
+            return Response.error(400, f"request body is not JSON: {error}")
+        try:
+            spec = parse_submission(entry, base_dir=self.state_dir)
+            # The admission limit gates *new* work only: a duplicate of
+            # an already-admitted job consumes no queue slot, and a
+            # retrying client must always be able to find its job.
+            if (
+                self.store.get(spec.id) is None
+                and self.store.queue_depth >= self.queue_limit
+            ):
+                self.registry.counter("server.jobs.rejected").inc()
+                return Response.error(
+                    429,
+                    f"queue is full ({self.queue_limit} jobs); retry later",
+                    **{"Retry-After": str(RETRY_AFTER_S)},
+                )
+            job, created = self.store.submit(spec)
+        except ServerError as error:
+            status = 503 if "journal" in str(error) else 400
+            return Response.error(status, str(error))
+        except Exception as error:  # noqa: BLE001 - manifest validation
+            return Response.error(400, str(error))
+        if created:
+            self.registry.counter("server.jobs.submitted").inc()
+            self.scheduler.notify()
+        else:
+            self.registry.counter("server.jobs.deduped").inc()
+        self.registry.gauge("server.queue_depth").set(self.store.queue_depth)
+        return Response.json(201 if created else 200, {
+            "job_id": job.id,
+            "status": job.status,
+            "created": created,
+            "dedup_hits": job.dedup_hits,
+        })
+
+    def _status(self, job_id: str) -> Response:
+        job = self.store.get(job_id)
+        if job is None:
+            return Response.error(404, f"unknown job id {job_id!r}")
+        return Response.json(200, job.describe())
+
+    def _report(self, job_id: str) -> Response:
+        job = self.store.get(job_id)
+        if job is None:
+            return Response.error(404, f"unknown job id {job_id!r}")
+        if job.status != DONE:
+            return Response.json(202, {
+                "job_id": job.id,
+                "status": job.status,
+                "detail": "not finished; poll again",
+            })
+        if job.result == "ok":
+            return Response.json(200, {
+                "job_id": job.id, "status": "ok", "result": job.payload,
+            })
+        return Response.json(200, {
+            "job_id": job.id, "status": "failed", "failure": job.failure,
+        })
+
+    def _healthz(self) -> Response:
+        return Response.json(200, {
+            "status": "ok",
+            "version": self.version,
+            "draining": self.draining,
+            "jobs": self.store.counts(),
+            "inflight": self.scheduler.inflight_count,
+        })
+
+    def _readyz(self) -> Response:
+        if self.draining:
+            return Response.json(503, {"ready": False, "reason": "draining"})
+        return Response.json(200, {"ready": True})
+
+    def _metrics(self) -> Response:
+        self.registry.gauge("server.queue_depth").set(self.store.queue_depth)
+        return Response.text(200, render_prometheus(self.registry.snapshot()))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin_shutdown(self) -> None:
+        """Stop admission and ask the scheduler to drain (idempotent)."""
+        self.draining = True
+        self.scheduler.begin_drain()
+
+    @property
+    def bound_port(self) -> Optional[int]:
+        return self._bound_port
+
+    async def run_async(
+        self, port_file: Optional[Path] = None, banner=None
+    ) -> Dict[str, int]:
+        """Listen, schedule, drain on signal; returns the drain summary."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            # RuntimeError/ValueError: not the main thread (embedded or
+            # test use) — the embedder drives begin_shutdown itself.
+            with contextlib.suppress(
+                NotImplementedError, RuntimeError, ValueError
+            ):
+                loop.add_signal_handler(signum, self.begin_shutdown)
+        server = await asyncio.start_server(
+            lambda r, w: serve_client(r, w, self.handle),
+            host=self.host, port=self.port,
+        )
+        self._bound_port = server.sockets[0].getsockname()[1]
+        if port_file is not None:
+            Path(port_file).write_text(f"{self._bound_port}\n")
+        if banner is not None:
+            banner(self)
+        with use_registry(self.registry):
+            try:
+                await self.scheduler.run()   # returns when drained
+            finally:
+                server.close()
+                with contextlib.suppress(Exception):
+                    await server.wait_closed()
+        counts = self.store.counts()
+        self.store.close(reason="drain")
+        return counts
+
+    def serve(self, port_file: Optional[Path] = None, stream=None) -> int:
+        """Blocking entry point for the CLI; returns the exit code."""
+        out = stream if stream is not None else sys.stdout
+
+        def banner(server: "ExplorationServer") -> None:
+            resumed = (
+                self.store.resumed_queued + self.store.resumed_running
+            )
+            print(
+                f"repro server {self.version} listening on "
+                f"http://{self.host}:{server.bound_port} "
+                f"(state: {self.state_dir}, resumed {resumed} queued, "
+                f"adopted {self.store.resumed_done} done)",
+                file=out, flush=True,
+            )
+
+        counts = asyncio.run(self.run_async(port_file=port_file,
+                                            banner=banner))
+        print(
+            "drained: "
+            + json.dumps(counts, sort_keys=True)
+            + f" (journal: {self.store.path})",
+            file=out, flush=True,
+        )
+        return 0

@@ -1,0 +1,138 @@
+"""A small urllib client for the exploration server's HTTP API.
+
+Used by the ``repro submit`` / ``repro status`` / ``repro result`` CLI
+verbs and by the test-suite; kept deliberately thin — JSON in, JSON out,
+HTTP failure codes mapped to :class:`~repro.errors.ServerError` (except
+the two *protocol* statuses callers branch on: 202 "not done yet" passes
+through as a document, and 429 carries ``retry_after`` so a caller can
+back off instead of dying).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServerError
+
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class QueueFull(ServerError):
+    """The server answered 429: admission control rejected the job.
+
+    Transient by definition — the queue drains; ``retry_after`` carries
+    the server's suggested backoff in seconds.
+    """
+
+    transient = True
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+def _request(
+    method: str,
+    url: str,
+    doc: Optional[Dict[str, Any]] = None,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> Tuple[int, Dict[str, Any]]:
+    """One HTTP exchange; returns ``(status, parsed body)``."""
+    body = None
+    headers = {"Accept": "application/json"}
+    if doc is not None:
+        body = json.dumps(doc).encode()
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=body, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as reply:
+            return reply.status, _parse(reply.read())
+    except urllib.error.HTTPError as error:
+        payload = _parse(error.read())
+        message = payload.get("error") or f"HTTP {error.code}"
+        if error.code == 429:
+            retry_after = _retry_after(error.headers.get("Retry-After"))
+            raise QueueFull(message, retry_after=retry_after) from None
+        if error.code == 202:
+            return error.code, payload
+        raise ServerError(f"{method} {url}: {message}") from None
+    except (urllib.error.URLError, OSError, TimeoutError) as error:
+        reason = getattr(error, "reason", error)
+        raise ServerError(f"cannot reach server at {url}: {reason}") from None
+
+
+def _parse(raw: bytes) -> Dict[str, Any]:
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return {}
+    return doc if isinstance(doc, dict) else {}
+
+
+def _retry_after(value: Optional[str]) -> float:
+    try:
+        return max(0.0, float(value))
+    except (TypeError, ValueError):
+        return 1.0
+
+
+def submit_job(
+    base_url: str, entry: Any, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> Dict[str, Any]:
+    """POST one submission; returns the server's admission document
+    (``job_id``, ``created``, ``status``).  Raises :class:`QueueFull`
+    on 429 and :class:`ServerError` on everything else non-2xx."""
+    doc = entry if isinstance(entry, dict) else {"program": str(entry)}
+    _, payload = _request("POST", f"{base_url}/jobs", doc, timeout_s)
+    return payload
+
+
+def job_status(
+    base_url: str, job_id: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> Dict[str, Any]:
+    """GET the job's status document."""
+    _, payload = _request(
+        "GET", f"{base_url}/jobs/{job_id}", timeout_s=timeout_s
+    )
+    return payload
+
+
+def job_report(
+    base_url: str, job_id: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> Tuple[bool, Dict[str, Any]]:
+    """GET the job's report; ``(done, document)`` — ``done=False`` is
+    the 202 "still queued/running" reply."""
+    status, payload = _request(
+        "GET", f"{base_url}/jobs/{job_id}/report", timeout_s=timeout_s
+    )
+    return status == 200, payload
+
+
+def server_health(
+    base_url: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> Dict[str, Any]:
+    """GET ``/healthz``."""
+    _, payload = _request("GET", f"{base_url}/healthz", timeout_s=timeout_s)
+    return payload
+
+
+def server_metrics(
+    base_url: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> str:
+    """GET ``/metrics`` (raw Prometheus text, not JSON)."""
+    request = urllib.request.Request(
+        f"{base_url}/metrics", method="GET"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as reply:
+            return reply.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, TimeoutError) as error:
+        reason = getattr(error, "reason", error)
+        raise ServerError(
+            f"cannot reach server at {base_url}: {reason}"
+        ) from None

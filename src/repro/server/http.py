@@ -1,0 +1,172 @@
+"""A minimal asyncio HTTP/1.1 frontend for the exploration server.
+
+The standard library's ``http.server`` is thread-per-request and blocks;
+the exploration server lives on one asyncio loop next to its scheduler,
+so the HTTP layer is hand-rolled on ``asyncio.start_server``: read a
+request line, headers, and an optional ``Content-Length`` body, dispatch
+to the application, write one response, close.  ``Connection: close``
+per request keeps the protocol surface tiny — the clients are a CLI, a
+smoke script, and a Prometheus scraper, none of which need keep-alive.
+
+The layer knows nothing about jobs.  It parses requests into
+(:class:`Request`) and renders (:class:`Response`) — routing and
+semantics live in :mod:`repro.server.app`, which hands ``serve_client``
+a single ``handler(request) -> Response`` callable.  Malformed requests
+(oversized bodies, bad JSON, missing routes) are mapped to 4xx responses
+here so the application only ever sees well-formed input.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Submissions are small JSON documents; anything bigger is abuse.
+MAX_BODY_BYTES = 1 << 20
+#: Request line + headers must arrive within this window.
+READ_TIMEOUT_S = 10.0
+
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body as JSON; raises ``ValueError`` on garbage."""
+        if not self.body:
+            raise ValueError("empty request body")
+        return json.loads(self.body.decode("utf-8"))
+
+
+@dataclass
+class Response:
+    """One response to render; helpers build the common shapes."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, status: int, doc: Any, **headers: str) -> "Response":
+        body = (json.dumps(doc, indent=2) + "\n").encode()
+        return cls(status, body, "application/json", dict(headers))
+
+    @classmethod
+    def text(cls, status: int, text: str, **headers: str) -> "Response":
+        return cls(
+            status, text.encode(), "text/plain; version=0.0.4",
+            dict(headers),
+        )
+
+    @classmethod
+    def error(cls, status: int, message: str, **headers: str) -> "Response":
+        return cls.json(status, {"error": message}, **headers)
+
+    def render(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{k}: {v}" for k, v in self.headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+        return head + self.body
+
+
+Handler = Callable[[Request], Response]
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[Optional[Request], Optional[Response]]:
+    """Parse one request; returns ``(request, None)`` or ``(None, error
+    response)`` — exactly one side is set.  ``(None, None)`` means the
+    peer closed before sending anything (not an error)."""
+    try:
+        line = await asyncio.wait_for(reader.readline(), READ_TIMEOUT_S)
+    except asyncio.TimeoutError:
+        return None, Response.error(408, "timed out reading request")
+    if not line.strip():
+        return None, None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        return None, Response.error(400, "malformed request line")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            raw = await asyncio.wait_for(reader.readline(), READ_TIMEOUT_S)
+        except asyncio.TimeoutError:
+            return None, Response.error(408, "timed out reading headers")
+        text = raw.decode("latin-1").strip()
+        if not text:
+            break
+        name, _, value = text.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        return None, Response.error(400, "bad Content-Length")
+    if length > MAX_BODY_BYTES:
+        return None, Response.error(
+            413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+        )
+    if length:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), READ_TIMEOUT_S
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+            return None, Response.error(400, "truncated request body")
+    path = target.split("?", 1)[0]
+    return Request(method.upper(), path, headers, body), None
+
+
+async def serve_client(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    handler: Handler,
+) -> None:
+    """One connection, one request, one response."""
+    try:
+        request, error = await read_request(reader)
+        if request is None and error is None:
+            return
+        if error is None:
+            try:
+                error_or_ok = handler(request)
+            except Exception as exc:  # noqa: BLE001 - boundary
+                error_or_ok = Response.error(500, f"internal error: {exc}")
+            response = error_or_ok
+        else:
+            response = error
+        writer.write(response.render())
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass  # peer vanished mid-write; nothing to salvage
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

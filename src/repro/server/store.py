@@ -1,0 +1,432 @@
+"""The server's durable job store: submissions that survive restarts.
+
+The exploration server accepts jobs over HTTP and must not forfeit them
+when the process dies — deploys restart, boxes reboot, chaos tests kill.
+The store is the PR-2 ledger idea applied to a long-lived service: an
+append-only, fsync'd JSONL journal (``jobs.jsonl`` under the server's
+``--state-dir``) recording every submission, attempt start, and terminal
+result.  Opening the store replays the journal: finished jobs are
+adopted verbatim (their reports stay servable), jobs that were *running*
+when the process died are re-enqueued at their recorded attempt, and
+queued jobs simply stay queued — the restart-resume contract the smoke
+test pins down with estimator-call counts.
+
+Idempotent submission: a job's identity is the hash of its
+result-determining fields (program, board, search and pipeline options —
+the same field set as :func:`repro.service.ledger.spec_hash`, minus the
+caller-chosen id).  Submitting an identical JobSpec twice returns the
+existing job — same id, no second execution — which is what makes the
+server safe to sit behind retrying clients: a client that times out and
+resubmits cannot double-charge the estimator.
+
+Journal event vocabulary (every record stamps ``schema_version`` like
+the ledger and telemetry streams):
+
+=================  ==========================================================
+``server_start``   one per boot; records the package version
+``job_submitted``  full spec payload + submission hash (the durable intake)
+``job_started``    one attempt begins (``attempt`` counts from 1)
+``job_done``       terminal: ``status`` ok/failed, payload or typed failure
+``server_stop``    graceful shutdown; queued jobs listed for the next boot
+=================  ==========================================================
+
+Durability discipline: ``job_submitted`` **must** reach disk before the
+client hears 201 — an append failure raises
+:class:`~repro.errors.ServerError` (the HTTP layer maps it to 503), so
+the server never acknowledges work it could lose.  ``job_started`` and
+``job_done`` appends degrade to counted drops instead (losing one only
+costs a re-run on the *next* restart), matching the ledger's crash-window
+analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ServerError
+from repro.obs import current_registry
+from repro.obs.events import SCHEMA_VERSION
+from repro.service.jobs import JobSpec, parse_manifest
+from repro.version import get_version
+
+JOURNAL_NAME = "jobs.jsonl"
+
+#: Job lifecycle states (terminal states carry an ok/failed status too).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+
+
+def submission_hash(spec: JobSpec) -> str:
+    """Hash of the fields that determine a submission's *result*.
+
+    Unlike :func:`repro.service.ledger.spec_hash` the caller-chosen id
+    is excluded: two clients submitting the same exploration under
+    different names are asking the same question, and the server should
+    answer it once.  Robustness knobs (timeout, attempts, deadline) are
+    excluded for the same reason they are excluded from the ledger hash.
+    """
+    doc = {
+        "program": spec.program,
+        "board": spec.board,
+        "search": dict(spec.search),
+        "pipeline": dict(spec.pipeline),
+    }
+    encoded = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def job_id_for(spec: JobSpec) -> str:
+    """The server-assigned id: stable, collision-resistant, and equal
+    for dedup-identical submissions by construction."""
+    return f"job-{submission_hash(spec)[:12]}"
+
+
+def parse_submission(entry: Any, base_dir: Optional[Path] = None) -> JobSpec:
+    """Validate one submitted job object into a :class:`JobSpec`.
+
+    Accepts exactly the manifest job shape (``program``, ``board``,
+    ``search``, ``pipeline``, ``timeout_s``, ``max_attempts``,
+    ``call_deadline_s``) or a bare program string, reusing the manifest
+    validator so the HTTP surface and the batch CLI reject identically.
+    The spec's id is replaced with the server-assigned dedup id; a
+    client-sent id is accepted but only echoed back as ``client_id``
+    metadata, never used for identity.
+    """
+    import dataclasses
+    if isinstance(entry, str):
+        entry = {"program": entry}
+    if not isinstance(entry, Mapping):
+        raise ServerError("a job submission must be an object or a "
+                          "program string")
+    manifest = parse_manifest(
+        {"jobs": [dict(entry)]}, source="<submit>", base_dir=base_dir,
+    )
+    spec = manifest.jobs[0]
+    return dataclasses.replace(spec, id=job_id_for(spec))
+
+
+@dataclass
+class ServerJob:
+    """One submission's full lifecycle, as the store tracks it."""
+
+    spec: JobSpec
+    hash: str
+    status: str = QUEUED               # queued | running | done
+    result: Optional[str] = None       # ok | failed (once done)
+    attempts: int = 0
+    submitted_ts: float = 0.0
+    started_ts: Optional[float] = None
+    finished_ts: Optional[float] = None
+    payload: Optional[Dict[str, Any]] = None
+    failure: Optional[Dict[str, Any]] = None
+    #: duplicate submissions absorbed by dedup (observability only)
+    dedup_hits: int = 0
+    #: adopted from the journal by a restart, not run by this process
+    resumed: bool = False
+
+    @property
+    def id(self) -> str:
+        return self.spec.id
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``GET /jobs/<id>`` status document."""
+        doc: Dict[str, Any] = {
+            "job_id": self.id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "submitted_ts": self.submitted_ts,
+            "dedup_hits": self.dedup_hits,
+            "program": self.spec.program,
+            "board": self.spec.board,
+        }
+        if self.status == DONE:
+            doc["result"] = self.result
+        if self.started_ts is not None:
+            doc["started_ts"] = self.started_ts
+        if self.finished_ts is not None:
+            doc["finished_ts"] = self.finished_ts
+        if self.failure is not None:
+            doc["failure"] = self.failure
+        if self.resumed:
+            doc["resumed"] = True
+        return doc
+
+
+class JobStore:
+    """The journal-backed queue + result archive behind the server.
+
+    Thread-safe: the asyncio server runs everything on one loop, but the
+    dedup-under-concurrency tests (and any embedding that drives the
+    store from threads) hammer :meth:`submit` concurrently, so every
+    mutation holds one lock.
+    """
+
+    def __init__(self, state_dir: Path, clock=time.time):
+        self.state_dir = Path(state_dir)
+        self.path = self.state_dir / JOURNAL_NAME
+        self.jobs: Dict[str, ServerJob] = {}
+        self.dropped_writes = 0
+        self._queue: List[str] = []       # job ids, FIFO
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stream = None
+        self.resumed_queued = 0
+        self.resumed_running = 0
+        self.resumed_done = 0
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self._replay()
+        self._stream = open(self.path, "a")
+        self._append({"event": "server_start", "version": get_version()},
+                     required=False)
+
+    # -- replay ----------------------------------------------------------------
+
+    def _replay(self) -> None:
+        """Fold an existing journal into live state (fresh dirs no-op).
+
+        Mirrors the ledger's crash-window analysis: torn lines are
+        skipped; a job whose ``job_started`` survived but whose
+        ``job_done`` did not simply runs again.
+        """
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        order: List[str] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write
+            if not isinstance(record, dict):
+                continue
+            event = record.get("event")
+            if event == "job_submitted":
+                job = self._job_from_record(record)
+                if job is not None and job.id not in self.jobs:
+                    self.jobs[job.id] = job
+                    order.append(job.id)
+            elif event == "job_started":
+                job = self.jobs.get(record.get("job_id"))
+                if job is not None and job.status != DONE:
+                    attempt = record.get("attempt", 1)
+                    job.attempts = max(
+                        job.attempts,
+                        attempt if isinstance(attempt, int) else 1,
+                    )
+                    job.status = RUNNING
+                    job.started_ts = record.get("ts")
+            elif event == "job_done":
+                job = self.jobs.get(record.get("job_id"))
+                if job is not None:
+                    job.status = DONE
+                    job.result = record.get("status", "failed")
+                    job.attempts = record.get("attempts", job.attempts)
+                    job.payload = record.get("payload")
+                    job.failure = record.get("failure")
+                    job.finished_ts = record.get("ts")
+        for job_id in order:
+            job = self.jobs[job_id]
+            if job.status == DONE:
+                job.resumed = True
+                self.resumed_done += 1
+            elif job.status == RUNNING:
+                # in flight when the last process died: run it again
+                job.status = QUEUED
+                self.resumed_running += 1
+                self._queue.append(job_id)
+            else:
+                self.resumed_queued += 1
+                self._queue.append(job_id)
+
+    def _job_from_record(self, record: Mapping[str, Any]) -> Optional[ServerJob]:
+        payload = record.get("spec")
+        if not isinstance(payload, Mapping):
+            return None
+        try:
+            spec = JobSpec.from_payload(payload)
+            spec = _with_knobs(spec, payload)
+        except (KeyError, TypeError):
+            return None
+        return ServerJob(
+            spec=spec,
+            hash=record.get("hash") or submission_hash(spec),
+            submitted_ts=record.get("ts", 0.0),
+        )
+
+    # -- intake ----------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Tuple[ServerJob, bool]:
+        """Admit one validated spec; returns ``(job, created)``.
+
+        ``created=False`` means dedup hit: the spec's hash matched an
+        existing job (queued, running, or already done) and that job is
+        returned untouched.  The journal append for a *new* job must
+        succeed — see the module docstring's durability discipline.
+        """
+        with self._lock:
+            existing = self.jobs.get(spec.id)
+            if existing is not None:
+                existing.dedup_hits += 1
+                return existing, False
+            job = ServerJob(
+                spec=spec,
+                hash=submission_hash(spec),
+                submitted_ts=self._clock(),
+            )
+            self._append({
+                "event": "job_submitted",
+                "job_id": job.id,
+                "hash": job.hash,
+                "spec": _spec_record(spec),
+            }, required=True)
+            self.jobs[job.id] = job
+            self._queue.append(job.id)
+            return job, True
+
+    # -- scheduling ------------------------------------------------------------
+
+    def claim_next(self) -> Optional[ServerJob]:
+        """Pop the oldest queued job and mark its next attempt started."""
+        with self._lock:
+            if not self._queue:
+                return None
+            job = self.jobs[self._queue.pop(0)]
+            job.status = RUNNING
+            job.attempts += 1
+            job.started_ts = self._clock()
+            self._append({
+                "event": "job_started", "job_id": job.id,
+                "attempt": job.attempts,
+            }, required=False)
+            return job
+
+    def note_retry(self, job: ServerJob) -> None:
+        """Journal the start of a retry attempt (the job keeps running)."""
+        with self._lock:
+            job.attempts += 1
+            self._append({
+                "event": "job_started", "job_id": job.id,
+                "attempt": job.attempts,
+            }, required=False)
+
+    def finish_ok(self, job: ServerJob, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            job.status = DONE
+            job.result = "ok"
+            job.payload = payload
+            job.finished_ts = self._clock()
+            self._append({
+                "event": "job_done", "job_id": job.id, "status": "ok",
+                "attempts": job.attempts, "payload": payload,
+            }, required=False)
+
+    def finish_failed(self, job: ServerJob, failure: Dict[str, Any]) -> None:
+        with self._lock:
+            job.status = DONE
+            job.result = "failed"
+            job.failure = failure
+            job.finished_ts = self._clock()
+            self._append({
+                "event": "job_done", "job_id": job.id, "status": "failed",
+                "attempts": job.attempts, "failure": failure,
+            }, required=False)
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[ServerJob]:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def counts(self) -> Dict[str, int]:
+        """Lifecycle totals for ``/readyz`` and the drain summary."""
+        with self._lock:
+            queued = len(self._queue)
+            running = sum(
+                1 for job in self.jobs.values() if job.status == RUNNING
+            )
+            done = sum(1 for job in self.jobs.values() if job.status == DONE)
+        return {"queued": queued, "running": running, "done": done}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, reason: str = "shutdown") -> None:
+        """Journal the stop marker and close the stream (idempotent)."""
+        with self._lock:
+            if self._stream is None:
+                return
+            self._append({
+                "event": "server_stop", "reason": reason,
+                "queued": len(self._queue),
+            }, required=False)
+            self._stream.close()
+            self._stream = None
+
+    # -- journal append --------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any], required: bool) -> None:
+        """One fsync'd journal line.
+
+        ``required=True`` (submissions) raises :class:`ServerError` on
+        failure — the caller must not acknowledge undurable work;
+        ``required=False`` degrades to a counted drop, like the ledger.
+        """
+        record = {
+            "ts": self._clock(),
+            "schema_version": SCHEMA_VERSION,
+            **record,
+        }
+        try:
+            if self._stream is None:
+                raise ValueError("job store is closed")
+            line = json.dumps(record)
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            os.fsync(self._stream.fileno())
+        except (OSError, TypeError, ValueError) as error:
+            if required:
+                raise ServerError(
+                    f"cannot journal submission to {self.path}: {error}"
+                ) from None
+            self.dropped_writes += 1
+            current_registry().counter("server.store.dropped").inc()
+
+
+def _spec_record(spec: JobSpec) -> Dict[str, Any]:
+    """The journaled submission payload (robustness knobs included, so a
+    restart re-runs the job under the same timeout discipline)."""
+    record = spec.to_payload()
+    record.pop("runtime", None)
+    if spec.timeout_s is not None:
+        record["timeout_s"] = spec.timeout_s
+    record["max_attempts"] = spec.max_attempts
+    return record
+
+
+def _with_knobs(spec: JobSpec, payload: Mapping[str, Any]) -> JobSpec:
+    """Restore the knobs ``JobSpec.from_payload`` does not carry."""
+    import dataclasses
+    changes: Dict[str, Any] = {}
+    timeout_s = payload.get("timeout_s")
+    if isinstance(timeout_s, (int, float)):
+        changes["timeout_s"] = float(timeout_s)
+    max_attempts = payload.get("max_attempts")
+    if isinstance(max_attempts, int) and max_attempts >= 1:
+        changes["max_attempts"] = max_attempts
+    return dataclasses.replace(spec, **changes) if changes else spec

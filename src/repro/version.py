@@ -1,0 +1,30 @@
+"""The package version, sourced from installed metadata when possible.
+
+Service deployments and bug reports need to pin the exact build they are
+talking about: ``repro --version`` on the client, and the ``version``
+field ``GET /healthz`` echoes on the server, both come from here.  When
+the package is properly installed, :mod:`importlib.metadata` is the
+single source of truth (whatever the wheel was built as); running
+straight off a source tree via ``PYTHONPATH=src`` falls back to the
+constant below, marked ``+src`` so a report can never silently
+impersonate a released build.
+"""
+
+from __future__ import annotations
+
+#: The in-tree version, kept in lockstep with ``pyproject.toml``.
+#: ``+src`` is a PEP 440 local segment: it marks "ran from a checkout,
+#: not from an installed distribution".
+FALLBACK_VERSION = "1.0.0+src"
+
+
+def get_version() -> str:
+    """The version string for ``--version`` and ``/healthz``."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - python < 3.8 has no importlib.metadata
+        return FALLBACK_VERSION
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return FALLBACK_VERSION

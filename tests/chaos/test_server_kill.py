@@ -1,0 +1,199 @@
+"""Chaos: kill the exploration server mid-queue, restart, nothing lost.
+
+A server is booted with a fault spec that hard-kills the process
+(``os._exit``) at the ``server`` dispatch site — after the submissions
+are journaled but before any worker produces a result.  A second server
+over the same ``--state-dir`` must then resume every submitted job and
+finish them, and a job that *completed* before a clean restart must be
+adopted, never re-executed (asserted from ``job_started`` journal
+counts).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.server.store import parse_submission
+
+_REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+FIR_ID = parse_submission("kernel:fir").id
+MM_ID = parse_submission("kernel:mm").id
+
+#: Kill only when the mm job is dispatched — by then both submissions
+#: are fsync'd in the journal (submit acks only after the append).
+KILL_SPEC = {
+    "faults": [
+        {"site": "server", "mode": "kill", "max_hits": 1, "jobs": [MM_ID]},
+    ]
+}
+
+
+def _serve(state_dir, port_file, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _REPO_SRC
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", str(state_dir), "--port", "0",
+         "--port-file", str(port_file), "--jobs", "0", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+
+
+def _await_port(port_file, proc, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text().strip())
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server exited early ({proc.returncode}): "
+                f"{proc.stdout.read().decode()}"
+            )
+        time.sleep(0.05)
+    raise AssertionError("server never wrote its port file")
+
+
+def _post_job(port, program):
+    body = json.dumps({"program": program}).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/jobs", data=body,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as reply:
+        return json.loads(reply.read())
+
+
+def _get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+def _journal_events(state_dir):
+    out = []
+    for line in (state_dir / "jobs.jsonl").read_text().splitlines():
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return out
+
+
+def _await_done(port, job_id, timeout_s=240.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, doc = _get(port, f"/jobs/{job_id}/report")
+        if status == 200:
+            return doc
+        time.sleep(0.2)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+@pytest.mark.slow
+def test_kill_mid_queue_then_restart_resumes_everything(tmp_path):
+    state_dir = tmp_path / "state"
+    spec_path = tmp_path / "faults.json"
+    spec_path.write_text(json.dumps(KILL_SPEC))
+
+    # -- boot one: dies at the first dispatch ---------------------------------
+    victim = _serve(state_dir, tmp_path / "port1",
+                    "--fault-spec", str(spec_path))
+    try:
+        port = _await_port(tmp_path / "port1", victim)
+        first = _post_job(port, "kernel:fir")
+        second = _post_job(port, "kernel:mm")
+        assert first["created"] and second["created"]
+        victim.wait(timeout=60)
+    finally:
+        if victim.poll() is None:
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+    assert victim.returncode == 13  # the injected hard kill, not a crash
+
+    # both submissions hit the journal before the kill
+    submitted = {
+        r["job_id"] for r in _journal_events(state_dir)
+        if r["event"] == "job_submitted"
+    }
+    assert submitted == {first["job_id"], second["job_id"]}
+
+    # -- boot two: same state dir, no faults ----------------------------------
+    revived = _serve(state_dir, tmp_path / "port2")
+    try:
+        port = _await_port(tmp_path / "port2", revived)
+        for job_id in (first["job_id"], second["job_id"]):
+            doc = _await_done(port, job_id)
+            assert doc["status"] == "ok", doc
+
+        # resubmitting after the restart still dedups to the same ids
+        assert _post_job(port, "kernel:fir")["job_id"] == first["job_id"]
+        assert _post_job(port, "kernel:fir")["created"] is False
+
+        revived.send_signal(signal.SIGTERM)
+        out, _ = revived.communicate(timeout=60)
+    finally:
+        if revived.poll() is None:
+            os.kill(revived.pid, signal.SIGKILL)
+            revived.wait(timeout=30)
+    assert revived.returncode == 0, out.decode()
+    assert b"drained:" in out
+
+
+@pytest.mark.slow
+def test_completed_jobs_are_adopted_not_rerun_after_restart(tmp_path):
+    state_dir = tmp_path / "state"
+
+    # -- first life: run one job to completion, drain cleanly ----------------
+    first = _serve(state_dir, tmp_path / "port1")
+    try:
+        port = _await_port(tmp_path / "port1", first)
+        job_id = _post_job(port, "kernel:fir")["job_id"]
+        completed = _await_done(port, job_id)
+        assert completed["status"] == "ok"
+        first.send_signal(signal.SIGTERM)
+        out, _ = first.communicate(timeout=60)
+    finally:
+        if first.poll() is None:
+            os.kill(first.pid, signal.SIGKILL)
+            first.wait(timeout=30)
+    assert first.returncode == 0, out.decode()
+
+    # -- second life: adopt the done job, run a new one ----------------------
+    second = _serve(state_dir, tmp_path / "port2")
+    try:
+        port = _await_port(tmp_path / "port2", second)
+        status, doc = _get(port, f"/jobs/{job_id}")
+        assert doc["status"] == "done" and doc["resumed"] is True
+        # the adopted report is served verbatim
+        status, report = _get(port, f"/jobs/{job_id}/report")
+        assert status == 200
+        assert report["result"] == completed["result"]
+
+        new_id = _post_job(port, "kernel:mm")["job_id"]
+        assert _await_done(port, new_id)["status"] == "ok"
+
+        second.send_signal(signal.SIGTERM)
+        out, _ = second.communicate(timeout=60)
+    finally:
+        if second.poll() is None:
+            os.kill(second.pid, signal.SIGKILL)
+            second.wait(timeout=30)
+    assert second.returncode == 0, out.decode()
+
+    # the adopted job started exactly once across both lives: it was
+    # never re-executed
+    starts = {}
+    for record in _journal_events(state_dir):
+        if record["event"] == "job_started":
+            starts[record["job_id"]] = starts.get(record["job_id"], 0) + 1
+    assert starts[job_id] == 1
+    assert starts[new_id] == 1

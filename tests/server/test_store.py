@@ -1,0 +1,167 @@
+"""JobStore: idempotent intake, journal replay, durability discipline."""
+
+import json
+
+import pytest
+
+from repro.errors import ServerError
+from repro.server.store import (
+    DONE,
+    QUEUED,
+    RUNNING,
+    JobStore,
+    job_id_for,
+    parse_submission,
+    submission_hash,
+)
+
+
+def spec(program="kernel:fir", board="pipelined", **extra):
+    return parse_submission({"program": program, "board": board, **extra})
+
+
+class TestSubmissionHash:
+    def test_identical_submissions_hash_identically(self):
+        assert submission_hash(spec()) == submission_hash(spec())
+        assert job_id_for(spec()) == job_id_for(spec())
+
+    def test_result_determining_fields_change_the_hash(self):
+        base = submission_hash(spec())
+        assert submission_hash(spec(program="kernel:mm")) != base
+        assert submission_hash(spec(board="nonpipelined")) != base
+        assert submission_hash(
+            spec(pipeline={"narrow_bitwidths": True})
+        ) != base
+
+    def test_robustness_knobs_do_not_change_the_hash(self):
+        base = submission_hash(spec())
+        assert submission_hash(spec(timeout_s=5.0)) == base
+        assert submission_hash(spec(max_attempts=7)) == base
+        assert submission_hash(spec(call_deadline_s=1.0)) == base
+
+    def test_client_chosen_id_does_not_change_identity(self):
+        a = parse_submission({"program": "kernel:fir", "id": "mine"})
+        b = parse_submission({"program": "kernel:fir", "id": "yours"})
+        assert a.id == b.id == job_id_for(a)
+
+    def test_bare_string_submission(self):
+        assert parse_submission("kernel:fir").id == spec().id
+
+    def test_garbage_submission_is_typed(self):
+        with pytest.raises(ServerError):
+            parse_submission(42)
+
+
+class TestIntake:
+    def test_submit_then_dedup(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, created = store.submit(spec())
+        assert created and job.status == QUEUED
+        again, created2 = store.submit(spec())
+        assert not created2
+        assert again is job
+        assert again.dedup_hits == 1
+        assert store.queue_depth == 1
+
+    def test_dedup_against_done_job(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit(spec())
+        assert store.claim_next() is job
+        store.finish_ok(job, {"cycles": 1})
+        again, created = store.submit(spec())
+        assert not created and again.status == DONE
+
+    def test_lifecycle_counts(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(spec())
+        store.submit(spec(program="kernel:mm"))
+        job = store.claim_next()
+        assert job.status == RUNNING and job.attempts == 1
+        store.finish_failed(job, {"kind": "estimation"})
+        assert store.counts() == {"queued": 1, "running": 0, "done": 1}
+
+    def test_unwritable_journal_refuses_submission(self, tmp_path):
+        store = JobStore(tmp_path)
+        store._stream.close()
+        with pytest.raises(ServerError):
+            store.submit(spec())
+        # non-required appends degrade to counted drops instead
+        store.jobs.clear()
+
+
+class TestReplay:
+    def test_queued_jobs_survive_restart(self, tmp_path):
+        first = JobStore(tmp_path)
+        first.submit(spec())
+        first.submit(spec(program="kernel:mm"))
+        first.close()
+
+        second = JobStore(tmp_path)
+        assert second.resumed_queued == 2
+        assert second.queue_depth == 2
+        claimed = second.claim_next()
+        assert claimed.spec.program == "kernel:fir"  # FIFO preserved
+
+    def test_running_jobs_requeue_on_restart(self, tmp_path):
+        first = JobStore(tmp_path)
+        first.submit(spec())
+        first.claim_next()
+        # no close(): the process "died" mid-job
+
+        second = JobStore(tmp_path)
+        assert second.resumed_running == 1
+        job = second.claim_next()
+        assert job is not None
+        assert job.attempts == 2  # the lost attempt still counts
+
+    def test_done_jobs_are_adopted_not_requeued(self, tmp_path):
+        first = JobStore(tmp_path)
+        job, _ = first.submit(spec())
+        first.claim_next()
+        first.finish_ok(job, {"cycles": 42, "speedup": 3.0})
+        first.close()
+
+        second = JobStore(tmp_path)
+        assert second.resumed_done == 1
+        assert second.queue_depth == 0
+        adopted = second.get(job.id)
+        assert adopted.status == DONE
+        assert adopted.resumed
+        assert adopted.payload == {"cycles": 42, "speedup": 3.0}
+        # and dedup still routes resubmissions to the adopted job
+        again, created = second.submit(spec())
+        assert not created and again is adopted
+
+    def test_robustness_knobs_survive_replay(self, tmp_path):
+        first = JobStore(tmp_path)
+        first.submit(spec(timeout_s=9.5, max_attempts=4))
+        first.close()
+        second = JobStore(tmp_path)
+        job = second.claim_next()
+        assert job.spec.timeout_s == 9.5
+        assert job.spec.max_attempts == 4
+
+    def test_torn_journal_lines_are_skipped(self, tmp_path):
+        first = JobStore(tmp_path)
+        first.submit(spec())
+        first.close()
+        with open(tmp_path / "jobs.jsonl", "a") as stream:
+            stream.write('{"event": "job_subm')  # torn mid-write
+
+        second = JobStore(tmp_path)
+        assert second.queue_depth == 1
+
+    def test_journal_records_carry_schema_version(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(spec())
+        store.close()
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "jobs.jsonl").read_text().splitlines()
+        ]
+        assert records, "journal is empty"
+        assert all(r.get("schema_version") == 1 for r in records)
+        events = [r["event"] for r in records]
+        assert events[0] == "server_start"
+        assert "job_submitted" in events
+        assert events[-1] == "server_stop"

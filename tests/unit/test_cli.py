@@ -100,3 +100,31 @@ class TestExploreCommand:
     def test_ablation_flags(self, capsys):
         assert main(["explore", "kernel:fir", "--no-outer-reuse",
                      "--no-layout", "--board", "np"]) == 0
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        from repro.version import get_version
+        with pytest.raises(SystemExit) as caught:
+            main(["--version"])
+        assert caught.value.code == 0
+        assert f"repro {get_version()}" in capsys.readouterr().out
+
+    def test_dunder_version_matches(self):
+        import repro
+        from repro.version import get_version
+        assert repro.__version__ == get_version()
+
+
+class TestTraceDiagnostics:
+    def test_missing_run_dir_is_one_line_error(self, capsys):
+        assert main(["trace", "/does/not/exist"]) == 1
+        err = capsys.readouterr().err
+        assert "no such run directory" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_dir_without_spans_is_one_line_error(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "has no spans.jsonl" in err
+        assert len(err.strip().splitlines()) == 1
