@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Benchmark the estimation backends and the Figure-2 walk — BENCH_6.json.
+
+Three timing surfaces, per kernel, on the pipelined board:
+
+* **walk** — one full balance-guided exploration (``repro.dse.explore``),
+  the paper's headline "seconds, not hours" loop;
+* **point** — a single cold ``dse.point`` evaluation (compile + synthesize
+  at the no-unrolling baseline), the unit the walk repeats;
+* **estimate** — one bare estimator call per registered backend on the
+  same compiled design, isolating model cost from compilation cost.
+
+Each number is best-of-N wall seconds (N=--repeats, 1 for the interp
+backend — it is deliberately slow and its variance is relatively tiny).
+The checked-in ``BENCH_6.json`` at the repo root records one run of this
+script; regenerate with::
+
+    PYTHONPATH=src python scripts/bench.py --output BENCH_6.json
+
+Timings are machine-relative: compare ratios (backend vs backend, walk
+vs point), not absolute milliseconds, across environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SCHEMA_VERSION = 1
+
+
+def best_of(fn, repeats: int):
+    """(best wall seconds, last result) over ``repeats`` calls."""
+    best = None
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def bench_kernel(kernel, board, repeats: int) -> dict:
+    from repro.dse import explore
+    from repro.dse.space import DesignSpace
+    from repro.estimate import backend_ids, get_backend
+    from repro.ir import LoopNest
+    from repro.transform import UnrollVector, compile_design
+
+    program = kernel.program()
+
+    # Full Figure-2 walk: fresh program each repeat so the DesignSpace
+    # memoization inside explore() never carries over between runs.
+    walk_s, result = best_of(
+        lambda: explore(kernel.program(), board), repeats
+    )
+    walk = {
+        "seconds": round(walk_s, 6),
+        "points_searched": result.points_searched,
+        "design_space_size": result.design_space_size,
+        "selected_unroll": list(result.selected.unroll),
+        "speedup": round(result.speedup, 3),
+    }
+
+    # One cold dse.point at the baseline (fresh space each repeat).
+    baseline = UnrollVector.ones(LoopNest(program).depth)
+
+    def one_point():
+        return DesignSpace(kernel.program(), board).evaluate(baseline)
+
+    point_s, _ = best_of(one_point, repeats)
+
+    # Bare estimator calls on one pre-compiled design: model cost only.
+    design = compile_design(program, baseline, board.num_memories)
+    estimate = {}
+    for backend_id in backend_ids():
+        backend = get_backend(backend_id)
+        backend_repeats = 1 if backend_id == "interp" else repeats
+        call_s, est = best_of(
+            lambda: backend.estimate(design.program, board, design.plan),
+            backend_repeats,
+        )
+        estimate[backend_id] = {
+            "seconds": round(call_s, 6),
+            "cycles": est.cycles,
+            "fidelity": backend.fidelity,
+        }
+
+    return {
+        "walk": walk,
+        "point_eval_seconds": round(point_s, 6),
+        "estimate": estimate,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_6.json",
+        help="where to write the JSON document (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N repeats per timing (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--kernels", default=None,
+        help="comma-separated kernel names (default: all five paper kernels)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.estimate import backend_ids
+    from repro.kernels import ALL_KERNELS, kernel_by_name
+    from repro.target import wildstar_pipelined
+
+    if args.kernels:
+        kernels = [kernel_by_name(name) for name in args.kernels.split(",")]
+    else:
+        kernels = list(ALL_KERNELS)
+    board = wildstar_pipelined()
+
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "scripts/bench.py",
+        "board": board.name,
+        "repeats": args.repeats,
+        "backends": list(backend_ids()),
+        "kernels": {},
+    }
+    for kernel in kernels:
+        print(f"benchmarking {kernel.name} ...", flush=True)
+        document["kernels"][kernel.name] = bench_kernel(
+            kernel, board, args.repeats
+        )
+        entry = document["kernels"][kernel.name]
+        per_backend = ", ".join(
+            f"{name}={timing['seconds'] * 1000:.2f}ms"
+            for name, timing in entry["estimate"].items()
+        )
+        print(
+            f"  walk {entry['walk']['seconds']:.3f}s"
+            f" ({entry['walk']['points_searched']} points),"
+            f" point {entry['point_eval_seconds'] * 1000:.2f}ms,"
+            f" estimate {per_backend}"
+        )
+
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Estimation-backend smoke: one-shot `repro estimate` on every backend,
+# a multi-fidelity exploration (navigate analytic, confirm interp) whose
+# report must carry both estimates and the rank-agreement table, then
+# the same through the exploration server — submit --fidelity multi,
+# assert the result payload records confirmation + rank agreement and
+# that the estimate.disagreement counter is scrapeable via /metrics.
+# Run from the repo root: bash scripts/estimate_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== one-shot estimate per backend =="
+for backend in analytic placeroute interp; do
+  python -m repro estimate kernel:fir --backend "$backend" \
+      > "$workdir/est-$backend.txt"
+  grep -q "backend         : $backend" "$workdir/est-$backend.txt" \
+      || { echo "FAIL: $backend estimate not attributed"; exit 1; }
+done
+# the interp backend measures dynamic memory traffic; analytic cannot
+grep -q "memory_reads" "$workdir/est-interp.txt" \
+    || { echo "FAIL: interp details missing"; exit 1; }
+echo "OK: analytic, placeroute, interp all answer and self-attribute"
+
+echo "== multi-fidelity explore =="
+python -m repro explore kernel:fir --fidelity multi > "$workdir/multi.txt"
+grep -q "fidelity: multi (navigate=analytic, confirm=interp)" \
+    "$workdir/multi.txt" \
+    || { echo "FAIL: no multi-fidelity line"; exit 1; }
+grep -q "navigation selected (analytic):" "$workdir/multi.txt" \
+    || { echo "FAIL: navigation estimate missing"; exit 1; }
+grep -q "confirmed selected (interp):" "$workdir/multi.txt" \
+    || { echo "FAIL: confirmation estimate missing"; exit 1; }
+grep -q "rank agreement" "$workdir/multi.txt" \
+    || { echo "FAIL: rank-agreement table missing"; exit 1; }
+grep -q "analytic|interp" "$workdir/multi.txt" \
+    || { echo "FAIL: backend pair row missing"; exit 1; }
+echo "OK: report carries navigation + confirmation + rank agreement"
+
+echo "== server: submit --fidelity multi, scrape /metrics =="
+: > "$workdir/port.txt"
+python -m repro serve --state-dir "$workdir/state" \
+    --port 0 --port-file "$workdir/port.txt" --jobs 1 \
+    > "$workdir/serve.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$workdir/port.txt" ] && break
+  kill -0 "$server_pid" 2>/dev/null \
+      || { echo "FAIL: server died on boot"; cat "$workdir/serve.log"; exit 1; }
+  sleep 0.1
+done
+SRV="http://127.0.0.1:$(cat "$workdir/port.txt")"
+
+job_id="$(python -m repro submit kernel:fir --server "$SRV" \
+    --fidelity multi 2>/dev/null | head -1)"
+single_id="$(python -m repro submit kernel:fir --server "$SRV" 2>/dev/null \
+    | head -1)"
+[ "$job_id" != "$single_id" ] \
+    || { echo "FAIL: fidelity does not differentiate job identity"; exit 1; }
+python -m repro result "$job_id" --server "$SRV" --wait \
+    --wait-timeout 240 > "$workdir/result.json"
+grep -q '"rank_agreement"' "$workdir/result.json" \
+    || { echo "FAIL: result payload has no rank_agreement"; exit 1; }
+grep -q '"confirmation"' "$workdir/result.json" \
+    || { echo "FAIL: result payload has no confirmation"; exit 1; }
+grep -q '"backend": "analytic"' "$workdir/result.json" \
+    || { echo "FAIL: result payload not backend-attributed"; exit 1; }
+
+curl -fsS "$SRV/metrics" > "$workdir/metrics.txt"
+grep -q '^repro_estimate_disagreement{backends="analytic|interp"}' \
+    "$workdir/metrics.txt" \
+    || { echo "FAIL: estimate.disagreement not scrapeable"; exit 1; }
+echo "OK: disagreement counter exposed via /metrics"
+
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "FAIL: drain failed"; exit 1; }
+server_pid=""
+
+echo "PASS: estimate smoke"

@@ -155,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
                                   "point failures (default 16; failed points "
                                   "below the budget are reported as "
                                   "infeasible and skipped)")
+    explore_cmd.add_argument("--backend", default="analytic",
+                             help="estimation backend to navigate on: "
+                                  "analytic (default), placeroute, or interp")
+    explore_cmd.add_argument("--fidelity", default="single",
+                             choices=("single", "multi"),
+                             help="multi: navigate on --backend, confirm the "
+                                  "selection on the authoritative interp "
+                                  "backend and cross-validate sampled points")
 
     compile_cmd = commands.add_parser(
         "compile", help="apply the transformation pipeline at a fixed unroll"
@@ -171,7 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
         "estimate", help="behavioral synthesis estimate at a fixed unroll"
     )
     _add_common(estimate_cmd)
-    estimate_cmd.add_argument("--unroll", required=True)
+    estimate_cmd.add_argument("--unroll", default=None,
+                              help="comma-separated factors, e.g. 4,2 "
+                                   "(default: no unrolling)")
+    estimate_cmd.add_argument("--backend", default="analytic",
+                              help="estimation backend: analytic (default), "
+                                   "placeroute, or interp")
     estimate_cmd.add_argument("--schedule", action="store_true",
                               help="print the steady-state body's cycle-by-"
                                    "cycle schedule")
@@ -290,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit_cmd.add_argument("--call-deadline", type=float, default=None,
                             metavar="S",
                             help="per-estimator-call deadline in seconds")
+    submit_cmd.add_argument("--backend", default=None,
+                            help="estimation backend: analytic (default), "
+                                 "placeroute, or interp")
+    submit_cmd.add_argument("--fidelity", default=None,
+                            choices=("single", "multi"),
+                            help="multi: confirm the selection on the "
+                                 "authoritative backend")
 
     status_cmd = commands.add_parser(
         "status", help="show a submitted job's status document"
@@ -416,6 +436,7 @@ def _run_explore(args, program, kernel, board, options) -> int:
         obs = ObsConfig(spans_path=Path(args.spans))
     result = explore(program, board, config=ExploreConfig(
         search=search_options, pipeline=options, obs=obs,
+        backend=args.backend, fidelity=args.fidelity,
     ))
     print(result.report())
     design = result.selected.design
@@ -450,10 +471,16 @@ def _run_explore(args, program, kernel, board, options) -> int:
             "design_space_size": result.design_space_size,
             "trace": [str(step) for step in result.search.trace],
             "baseline_degraded": result.baseline_degraded,
+            "backend": result.backend,
+            "fidelity": args.fidelity,
             "infeasible_points": [
                 diagnostic.as_dict() for diagnostic in result.infeasible
             ],
         }
+        if result.confirmation is not None:
+            summary["confirmation"] = result.confirmation.as_dict()
+        if result.differential is not None:
+            summary["rank_agreement"] = result.differential.as_dict()
         Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {args.json}")
     return 0
@@ -477,6 +504,10 @@ def _run_explore_parallel(args) -> int:
     if args.register_cap is not None:
         pipeline["register_cap"] = args.register_cap
     defaults = {"board": _board_name(args.board), "pipeline": pipeline}
+    if args.backend != "analytic":
+        defaults["backend"] = args.backend
+    if args.fidelity != "single":
+        defaults["fidelity"] = args.fidelity
     if args.max_point_failures is not None:
         defaults["search"] = {"max_point_failures": args.max_point_failures}
     manifest = parse_manifest({
@@ -633,6 +664,10 @@ def _submission_entry(args) -> dict:
         entry["max_attempts"] = args.max_attempts
     if args.call_deadline is not None:
         entry["call_deadline_s"] = args.call_deadline
+    if args.backend is not None:
+        entry["backend"] = args.backend
+    if args.fidelity is not None:
+        entry["fidelity"] = args.fidelity
     return entry
 
 
@@ -722,20 +757,32 @@ def _run_compile(args, program, board, options) -> int:
 
 
 def _run_estimate(args, program, board, options) -> int:
-    from repro.synthesis import ResourceConstraints, synthesize
+    from repro.estimate import get_backend
+    from repro.synthesis import ResourceConstraints
     from repro.transform import compile_design
-    unroll = _unroll(args.unroll, LoopNest(program).depth)
+    depth = LoopNest(program).depth
+    if args.unroll is None:
+        unroll = UnrollVector.ones(depth)
+    else:
+        unroll = _unroll(args.unroll, depth)
     design = compile_design(program, unroll, board.num_memories, options)
     constraints = None
     if args.multipliers is not None:
         constraints = ResourceConstraints.of(mul=args.multipliers)
-    estimate = synthesize(design.program, board, design.plan,
-                          constraints=constraints)
+    backend = get_backend(args.backend)
+    estimate = backend.estimate(design.program, board, design.plan,
+                                constraints=constraints)
+    provenance = estimate.provenance
     print(f"U={unroll}: {estimate.summary()}")
+    print(f"  backend         : {provenance.backend} "
+          f"(fidelity {provenance.fidelity})")
     print(f"  fetch rate      : {estimate.fetch_rate:.1f} bits/cycle")
     print(f"  consumption rate: {estimate.consumption_rate:.1f} bits/cycle")
     print(f"  area breakdown  : {estimate.area.as_dict()}")
+    print(f"  clock           : {estimate.clock_ns:.2f} ns")
     print(f"  fits {board.fpga.name}: {estimate.fits(board)}")
+    if provenance.details:
+        print(f"  backend details : {dict(provenance.details)}")
     if args.schedule:
         from repro.synthesis import steady_state_schedule_report
         print()

@@ -18,6 +18,10 @@ from repro.dse.failures import PointDiagnostic
 from repro.dse.saturation import SaturationInfo
 from repro.dse.search import BalanceGuidedSearch, SearchOptions, SearchResult, TraceStep
 from repro.dse.space import DesignEvaluation, DesignSpace
+from repro.errors import SearchError
+from repro.estimate.backends import get_backend
+from repro.estimate.differential import DifferentialReport, validate_run
+from repro.estimate.multifidelity import ConfirmationResult, confirm_selection
 from repro.ir.symbols import Program
 from repro.obs import ObsConfig, Tracer, current_tracer, use_registry, use_tracer
 from repro.synthesis.operators import OperatorLibrary
@@ -43,6 +47,14 @@ class ExplorationResult:
     #: the no-unrolling baseline itself failed, so ``baseline`` is the
     #: selected design standing in (speedup degenerates to 1.0).
     baseline_degraded: bool = False
+    #: id of the estimation backend the walk navigated on.
+    backend: str = "analytic"
+    #: ``--fidelity=multi`` only: the authoritative re-estimates of the
+    #: selected and baseline designs.
+    confirmation: Optional[ConfirmationResult] = None
+    #: ``--fidelity=multi`` only: cross-backend rank agreement and
+    #: Observation 1-3 checks over sampled visited points.
+    differential: Optional[DifferentialReport] = None
 
     @property
     def speedup(self) -> float:
@@ -92,6 +104,48 @@ class ExplorationResult:
             f"of {self.design_space_size} points "
             f"({100 * self.fraction_searched:.2f}%)"
         )
+        if self.confirmation is not None:
+            confirmation = self.confirmation
+            lines.append(
+                f"  fidelity: multi "
+                f"(navigate={confirmation.navigation_backend}, "
+                f"confirm={confirmation.backend})"
+            )
+            lines.append(
+                f"  navigation selected ({confirmation.navigation_backend}): "
+                f"{confirmation.navigation_selected.summary()}"
+            )
+            if confirmation.selected is not None:
+                lines.append(
+                    f"  confirmed selected ({confirmation.backend}): "
+                    f"{confirmation.selected.summary()}"
+                )
+            if confirmation.selected_cycle_error is not None:
+                lines.append(
+                    f"  navigation cycle error: "
+                    f"{100 * confirmation.selected_cycle_error:.2f}%"
+                )
+            if confirmation.baseline is not None:
+                lines.append(
+                    f"  confirmed baseline ({confirmation.backend}): "
+                    f"{confirmation.baseline.summary()}"
+                )
+            if confirmation.confirmed_speedup is not None:
+                lines.append(
+                    f"  confirmed speedup "
+                    f"{confirmation.confirmed_speedup:.2f}x"
+                )
+            if confirmation.error:
+                lines.append(
+                    f"  confirmation failed: {confirmation.error}"
+                )
+        if self.differential is not None:
+            for line in self.differential.table().render().splitlines():
+                lines.append(f"  {line}")
+            for violation in self.differential.violations:
+                lines.append(f"  monotonicity violation: {violation}")
+            for failure in self.differential.failures:
+                lines.append(f"  differential estimate failed: {failure}")
         return "\n".join(lines)
 
 
@@ -117,6 +171,19 @@ class ExploreConfig:
         obs: how to observe the run (:class:`repro.obs.ObsConfig`).
             ``None`` leaves the ambient tracer/registry alone — spans
             still flow to whatever an enclosing orchestrator installed.
+        backend: which estimation backend the walk navigates on — a
+            registered id (``analytic``/``placeroute``/``interp``), an
+            :class:`repro.estimate.EstimatorBackend` instance, or
+            ``None`` for the analytic default.
+        fidelity: ``"single"`` (default) estimates everything on
+            ``backend``; ``"multi"`` additionally re-estimates the
+            selected and baseline designs on ``confirm_backend`` and
+            runs the differential validator over sampled visited points.
+        confirm_backend: the authoritative backend for ``"multi"``
+            confirmation; ``None`` defaults to ``interp``.
+        differential_samples: how many visited points the validator
+            re-estimates per run.
+        differential_seed: seed for the validator's point sampling.
     """
 
     search: Optional[SearchOptions] = None
@@ -125,6 +192,11 @@ class ExploreConfig:
     pinned_depths: Optional[Tuple[int, ...]] = None
     estimate_cache: Optional[Any] = None
     obs: Optional[ObsConfig] = None
+    backend: Optional[Any] = None
+    fidelity: str = "single"
+    confirm_backend: Optional[Any] = None
+    differential_samples: int = 6
+    differential_seed: int = 0
 
 
 #: Legacy keyword names in their historical positional order, mapped to
@@ -219,6 +291,8 @@ def explore(
             "dse.explore", kernel=program.name, board=board.name
         ) as span:
             result = _explore(program, board, config)
+            span.set_attribute("backend", result.backend)
+            span.set_attribute("fidelity", config.fidelity)
             span.set_attribute("points_searched", result.points_searched)
             span.set_attribute("design_space_size", result.design_space_size)
             span.set_attribute("speedup", result.speedup)
@@ -236,11 +310,16 @@ def explore(
 def _explore(
     program: Program, board: Board, config: ExploreConfig
 ) -> ExplorationResult:
+    if config.fidelity not in ("single", "multi"):
+        raise SearchError(
+            f"unknown fidelity {config.fidelity!r}; use 'single' or 'multi'"
+        )
+    backend = get_backend(config.backend)
     # A first space to discover the saturation structure, possibly
     # re-created with automatic pins.
     space = DesignSpace(
         program, board, config.pipeline, config.library, config.pinned_depths,
-        estimate_cache=config.estimate_cache,
+        estimate_cache=config.estimate_cache, backend=backend,
     )
     searcher = BalanceGuidedSearch(space, config.search)
     if config.pinned_depths is None:
@@ -251,7 +330,7 @@ def _explore(
         if auto_pins:
             space = DesignSpace(
                 program, board, config.pipeline, config.library, auto_pins,
-                estimate_cache=config.estimate_cache,
+                estimate_cache=config.estimate_cache, backend=backend,
             )
             searcher = BalanceGuidedSearch(space, config.search)
 
@@ -264,6 +343,22 @@ def _explore(
     baseline_degraded = baseline is None
     if baseline is None:
         baseline = result.selected
+
+    confirmation = None
+    differential = None
+    if config.fidelity == "multi":
+        confirmer = get_backend(config.confirm_backend or "interp")
+        confirmation = confirm_selection(
+            result.selected, baseline, board, confirmer, backend,
+            library=space.library, estimate_cache=config.estimate_cache,
+        )
+        differential = validate_run(
+            space.evaluated(), board, [backend, confirmer],
+            library=space.library, estimate_cache=config.estimate_cache,
+            samples=config.differential_samples,
+            seed=config.differential_seed, kernel=program.name,
+        )
+
     return ExplorationResult(
         program_name=program.name,
         board_name=board.name,
@@ -274,4 +369,7 @@ def _explore(
         points_searched=space.points_evaluated,
         infeasible=tuple(space.infeasible_points()),
         baseline_degraded=baseline_degraded,
+        backend=backend.id,
+        confirmation=confirmation,
+        differential=differential,
     )

@@ -66,7 +66,9 @@ class DesignSpace:
         library: Optional[OperatorLibrary] = None,
         pinned_depths: Optional[Tuple[int, ...]] = None,
         estimate_cache: Optional["EstimateCache"] = None,
+        backend=None,
     ):
+        from repro.estimate.backends import get_backend
         self.program = program
         self.board = board
         self.options = options or PipelineOptions()
@@ -77,6 +79,9 @@ class DesignSpace:
         #: optional persistent cache (repro.synthesis.EstimateCache); the
         #: in-memory memoization below always applies on top.
         self.estimate_cache = estimate_cache
+        #: which estimation model answers (repro.estimate.EstimatorBackend);
+        #: ``None`` resolves to the analytic default.
+        self.backend = get_backend(backend)
         self._cache: Dict[Tuple[int, ...], DesignEvaluation] = {}
         #: per-point failure diagnostics, keyed like the success cache.
         #: Failures are *not* memoized (an injected or flaky backend can
@@ -101,6 +106,7 @@ class DesignSpace:
                 "dse.point",
                 kernel=self.program.name,
                 unroll=list(key),
+                backend=self.backend.id,
             ) as span:
                 try:
                     design = compile_design(
@@ -108,12 +114,17 @@ class DesignSpace:
                     )
                     if self.estimate_cache is not None:
                         estimate = self.estimate_cache.synthesize(
-                            design.program, self.board, design.plan, self.library
+                            design.program, self.board, design.plan,
+                            self.library, backend=self.backend,
                         )
                     else:
-                        estimate = synthesize(
-                            design.program, self.board, design.plan, self.library
-                        )
+                        with current_tracer().span(
+                            "estimate.call", backend=self.backend.id
+                        ):
+                            estimate = self.backend.estimate(
+                                design.program, self.board, design.plan,
+                                self.library,
+                            )
                 except POINT_FAILURES as error:
                     if not is_point_failure(error):
                         raise

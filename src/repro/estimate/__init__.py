@@ -1,0 +1,32 @@
+"""Multi-backend estimation: attributable, cross-checked, escalatable.
+
+Public surface of the estimation subsystem (see DESIGN §6.6):
+
+* :class:`EstimatorBackend` and the registry
+  (:func:`get_backend` / :func:`register_backend` / :func:`backend_ids`)
+  with the three shipped backends — ``analytic``, ``placeroute``,
+  ``interp`` in increasing fidelity order;
+* :class:`Provenance`, the record stamped on every
+  :class:`~repro.synthesis.estimator.Estimate` a backend produces;
+* the differential validator (:func:`validate_run`) and its
+  :class:`DifferentialReport` / :class:`RankAgreement` results;
+* the multi-fidelity confirmation step (:func:`confirm_selection`,
+  :class:`ConfirmationResult`) behind ``explore --fidelity=multi``.
+"""
+
+from repro.estimate.backends import (
+    AnalyticBackend, DEFAULT_BACKEND, EstimatorBackend, InterpBackend,
+    PlaceRouteBackend, Provenance, backend_ids, get_backend, register_backend,
+)
+from repro.estimate.differential import (
+    DifferentialReport, MonotonicityViolation, RankAgreement, validate_run,
+)
+from repro.estimate.multifidelity import ConfirmationResult, confirm_selection
+
+__all__ = [
+    "AnalyticBackend", "ConfirmationResult", "DEFAULT_BACKEND",
+    "DifferentialReport", "EstimatorBackend", "InterpBackend",
+    "MonotonicityViolation", "PlaceRouteBackend", "Provenance",
+    "RankAgreement", "backend_ids", "confirm_selection", "get_backend",
+    "register_backend", "validate_run",
+]

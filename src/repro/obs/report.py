@@ -68,8 +68,34 @@ def load_run(run_dir: Path) -> RunObservations:
 
 # -- per-stage time breakdown -------------------------------------------------
 
+def _stage_key(span: Span) -> str:
+    """The breakdown row a span aggregates into.
+
+    ``estimate.call`` spans split by their ``backend`` attribute (e.g.
+    ``estimate.call[interp]``) so multi-backend runs show where the
+    estimation time actually went; spans recorded before backends
+    existed carry no attribute and stay on the bare name.
+    """
+    if span.name == "estimate.call":
+        backend = span.attributes.get("backend")
+        if backend:
+            return f"estimate.call[{backend}]"
+    return span.name
+
+
+def unattributed_estimate_calls(spans: List[Span]) -> int:
+    """``estimate.call`` spans with no backend attribute (pre-backend
+    run dirs) — drives the forward-compat diagnostic in the report."""
+    return sum(
+        1 for span in spans
+        if span.name == "estimate.call"
+        and not span.attributes.get("backend")
+    )
+
+
 def stage_breakdown(spans: List[Span]) -> Table:
-    """Aggregate span durations by name.
+    """Aggregate span durations by name (``estimate.call`` further
+    split per backend — see :func:`_stage_key`).
 
     ``share`` is each stage's total against the summed duration of the
     *root* spans (no parent) — the run's traced wall time — so nested
@@ -79,8 +105,9 @@ def stage_breakdown(spans: List[Span]) -> Table:
     root_seconds = 0.0
     for span in spans:
         seconds = span.duration_s or 0.0
-        calls, total = totals.get(span.name, (0, 0.0))
-        totals[span.name] = (calls + 1, total + seconds)
+        key = _stage_key(span)
+        calls, total = totals.get(key, (0, 0.0))
+        totals[key] = (calls + 1, total + seconds)
         if span.parent_id is None:
             root_seconds += seconds
     table = Table(
@@ -190,6 +217,12 @@ def render_report(obs: RunObservations) -> str:
     sections.append("")
     if obs.spans:
         sections.append(stage_breakdown(obs.spans).render())
+        legacy = unattributed_estimate_calls(obs.spans)
+        if legacy:
+            sections.append(
+                f"  note: {legacy} estimate.call span(s) carry no backend "
+                f"attribute — run dir predates backend attribution"
+            )
     else:
         sections.append("per-stage time breakdown")
         sections.append("")

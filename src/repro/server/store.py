@@ -79,6 +79,13 @@ def submission_hash(spec: JobSpec) -> str:
         "search": dict(spec.search),
         "pipeline": dict(spec.pipeline),
     }
+    # Estimation settings determine the result, so they are part of a
+    # submission's identity — but only when non-default, which keeps
+    # job ids from pre-backend clients (and their dedup hits) stable.
+    if spec.backend != "analytic":
+        doc["backend"] = spec.backend
+    if spec.fidelity != "single":
+        doc["fidelity"] = spec.fidelity
     encoded = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode()).hexdigest()
 

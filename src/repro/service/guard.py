@@ -44,7 +44,7 @@ from repro.errors import CorruptEstimate, DeadlineExceeded, TransientError
 from repro.obs import current_registry, current_tracer
 from repro.service.shared_cache import SharedEstimateCache
 from repro.synthesis.cache import EstimateCache
-from repro.synthesis.estimator import Estimate, synthesize
+from repro.synthesis.estimator import Estimate
 
 
 @dataclass(frozen=True)
@@ -78,18 +78,22 @@ class EstimationGuard:
         self._sleep = sleep
 
     def call(self, fn: Callable[..., Estimate], *args: Any,
-             key: Optional[str] = None) -> Estimate:
+             key: Optional[str] = None,
+             backend: Optional[str] = None) -> Estimate:
         """Run one estimator call under deadline/retry/validation.
 
         Each call records an ``estimate.call`` span (with the attempt
-        count it took) and a latency observation on the
-        ``estimate.call_seconds`` histogram; retries and deadline
-        overruns increment the ``estimator.retries`` /
-        ``estimator.deadline_hits`` counters as they happen.
+        count it took and the ``backend`` that answered, when known) and
+        a latency observation on the ``estimate.call_seconds``
+        histogram; retries and deadline overruns increment the
+        ``estimator.retries`` / ``estimator.deadline_hits`` counters as
+        they happen.
         """
         registry = current_registry()
         started = time.monotonic()
-        with current_tracer().span("estimate.call", key=key) as span:
+        with current_tracer().span(
+            "estimate.call", key=key, backend=backend
+        ) as span:
             attempt = 0
             try:
                 while True:
@@ -185,9 +189,10 @@ class GuardedSharedEstimateCache(SharedEstimateCache):
         self._guard = guard
         self._job_id = job_id
 
-    def _synthesize_miss(self, program, board, plan, library):
+    def _synthesize_miss(self, program, board, plan, library, backend):
         return self._guard.call(
-            synthesize, program, board, plan, library, key=self._job_id,
+            backend.estimate, program, board, plan, library,
+            key=self._job_id, backend=backend.id,
         )
 
 
@@ -203,9 +208,10 @@ class GuardedEstimateCache(EstimateCache):
         self._guard = guard
         self._job_id = job_id
 
-    def _synthesize_miss(self, program, board, plan, library):
+    def _synthesize_miss(self, program, board, plan, library, backend):
         return self._guard.call(
-            synthesize, program, board, plan, library, key=self._job_id,
+            backend.estimate, program, board, plan, library,
+            key=self._job_id, backend=backend.id,
         )
 
     def save(self) -> None:

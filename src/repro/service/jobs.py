@@ -37,7 +37,7 @@ from repro.errors import ServiceError
 #: Manifest/job keys accepted by :func:`parse_manifest`.
 _JOB_KEYS = {
     "id", "program", "board", "search", "pipeline", "timeout_s",
-    "max_attempts", "call_deadline_s",
+    "max_attempts", "call_deadline_s", "backend", "fidelity",
 }
 _MANIFEST_KEYS = {"defaults", "jobs"}
 _DEFAULT_KEYS = _JOB_KEYS - {"id", "program"}
@@ -47,6 +47,27 @@ _PIPELINE_KEYS = {
     "run_licm", "narrow_bitwidths",
 }
 _BOARDS = ("pipelined", "nonpipelined")
+_FIDELITIES = ("single", "multi")
+
+
+def _check_backend(context: str, backend: Any) -> str:
+    """Validate a backend id against the estimate registry, fail-fast."""
+    from repro.estimate import backend_ids
+    if not isinstance(backend, str) or backend not in backend_ids():
+        raise ServiceError(
+            f"{context}: unknown backend {backend!r}; "
+            f"expected one of {backend_ids()}"
+        )
+    return backend
+
+
+def _check_fidelity(context: str, fidelity: Any) -> str:
+    if fidelity not in _FIDELITIES:
+        raise ServiceError(
+            f"{context}: unknown fidelity {fidelity!r}; "
+            f"expected one of {_FIDELITIES}"
+        )
+    return fidelity
 
 
 @dataclass
@@ -61,6 +82,8 @@ class JobConfig:
             a mapping of primitive-valued field overrides.
         timeout_s / max_attempts / call_deadline_s: robustness knobs,
             as on :class:`JobSpec`.
+        backend: estimation backend id the job navigates on.
+        fidelity: ``single`` or ``multi`` (authoritative confirmation).
     """
 
     board: str = "pipelined"
@@ -69,6 +92,8 @@ class JobConfig:
     timeout_s: Optional[float] = None
     max_attempts: int = 2
     call_deadline_s: Optional[float] = None
+    backend: str = "analytic"
+    fidelity: str = "single"
 
 
 def _as_overrides(value: Any, allowed: set, what: str) -> Tuple:
@@ -109,6 +134,10 @@ class JobSpec:
         call_deadline_s: wall-clock limit for *one* estimator call inside
             the worker (the guard raises ``DeadlineExceeded`` past it) —
             distinct from ``timeout_s``, which bounds the whole job.
+        backend: estimation backend id the exploration navigates on
+            (``analytic``/``placeroute``/``interp``).
+        fidelity: ``single``, or ``multi`` for navigate-cheap /
+            confirm-authoritative exploration.
     """
 
     id: str
@@ -119,6 +148,8 @@ class JobSpec:
     timeout_s: Optional[float] = None
     max_attempts: int = 2
     call_deadline_s: Optional[float] = None
+    backend: str = "analytic"
+    fidelity: str = "single"
 
     def to_payload(self) -> Dict[str, Any]:
         """The primitives-only dict shipped to worker processes."""
@@ -129,6 +160,8 @@ class JobSpec:
             "search": dict(self.search),
             "pipeline": dict(self.pipeline),
             "call_deadline_s": self.call_deadline_s,
+            "backend": self.backend,
+            "fidelity": self.fidelity,
         }
 
     @classmethod
@@ -141,6 +174,8 @@ class JobSpec:
             search=tuple(sorted(payload.get("search", {}).items())),
             pipeline=tuple(sorted(payload.get("pipeline", {}).items())),
             call_deadline_s=payload.get("call_deadline_s"),
+            backend=payload.get("backend", "analytic"),
+            fidelity=payload.get("fidelity", "single"),
         )
 
     @classmethod
@@ -206,6 +241,8 @@ class JobSpec:
             timeout_s=config.timeout_s,
             max_attempts=config.max_attempts,
             call_deadline_s=config.call_deadline_s,
+            backend=_check_backend("JobConfig", config.backend),
+            fidelity=_check_fidelity("JobConfig", config.fidelity),
         )
 
 
@@ -311,6 +348,13 @@ def _build_job(
     if not isinstance(max_attempts, int) or max_attempts < 1:
         raise ServiceError(f"job {position}: max_attempts must be >= 1")
 
+    backend = _check_backend(
+        f"job {position}", entry.get("backend", "analytic")
+    )
+    fidelity = _check_fidelity(
+        f"job {position}", entry.get("fidelity", "single")
+    )
+
     job_id = entry.get("id") or _default_id(position, program, board)
     return JobSpec(
         id=str(job_id),
@@ -321,6 +365,8 @@ def _build_job(
         timeout_s=timeout_s,
         max_attempts=max_attempts,
         call_deadline_s=call_deadline_s,
+        backend=backend,
+        fidelity=fidelity,
     )
 
 

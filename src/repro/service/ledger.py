@@ -71,6 +71,12 @@ def spec_hash(spec: JobSpec) -> str:
         "search": dict(spec.search),
         "pipeline": dict(spec.pipeline),
     }
+    # Only non-default estimation settings enter the hash, so ledgers
+    # written before backends existed still resume cleanly.
+    if spec.backend != "analytic":
+        doc["backend"] = spec.backend
+    if spec.fidelity != "single":
+        doc["fidelity"] = spec.fidelity
     encoded = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode()).hexdigest()
 
@@ -101,6 +107,10 @@ def manifest_document(manifest: BatchManifest) -> Dict[str, Any]:
             job["timeout_s"] = spec.timeout_s
         if spec.call_deadline_s is not None:
             job["call_deadline_s"] = spec.call_deadline_s
+        if spec.backend != "analytic":
+            job["backend"] = spec.backend
+        if spec.fidelity != "single":
+            job["fidelity"] = spec.fidelity
         jobs.append(job)
     return {"jobs": jobs}
 

@@ -165,6 +165,8 @@ def _execute(
         search=search_options,
         pipeline=pipeline_options,
         estimate_cache=cache,
+        backend=spec.backend,
+        fidelity=spec.fidelity,
     ))
     t_explored = time.perf_counter()
     cache_save_error = None
@@ -195,6 +197,10 @@ def _execute(
             diagnostic.as_dict() for diagnostic in result.infeasible
         ],
         "baseline_degraded": result.baseline_degraded,
+        "backend": result.backend,
+        "fidelity": spec.fidelity,
+        "confirmation": _confirmation_dict(result.confirmation),
+        "rank_agreement": _differential_dict(result.differential),
         "cache_hits": cache.hits,
         "cache_misses": cache.misses,
         "cache_evictions": cache.evictions,
@@ -209,3 +215,13 @@ def _execute(
         },
         "report": result.report(),
     }
+
+
+def _confirmation_dict(confirmation) -> Optional[Dict[str, Any]]:
+    """Primitives-only view of a multi-fidelity confirmation."""
+    return confirmation.as_dict() if confirmation is not None else None
+
+
+def _differential_dict(differential) -> Optional[Dict[str, Any]]:
+    """Primitives-only view of a differential validation report."""
+    return differential.as_dict() if differential is not None else None

@@ -26,7 +26,7 @@ from repro.obs import current_registry
 from repro.ir.symbols import Program
 from repro.layout.plan import LayoutPlan
 from repro.synthesis.area import AreaBreakdown
-from repro.synthesis.estimator import Estimate, synthesize
+from repro.synthesis.estimator import Estimate
 from repro.synthesis.operators import OperatorLibrary, default_library
 from repro.target.board import Board
 
@@ -60,6 +60,7 @@ class EstimateCache:
         board: Board,
         plan: Optional[LayoutPlan],
         library: OperatorLibrary,
+        backend: str = "analytic",
     ) -> str:
         parts = [
             print_program(program),
@@ -78,6 +79,12 @@ class EstimateCache:
                 (name, spec.dim, spec.modulus, list(spec.memories))
                 for name, spec in plan.interleaved.items()
             )))
+        if backend and backend != "analytic":
+            # Non-default backends get distinct keys so a mixed-backend
+            # run can never serve an analytic hit for an interp request.
+            # The analytic key stays byte-identical to the pre-backend
+            # format, keeping existing on-disk caches valid.
+            parts.append(f"backend={backend}")
         digest = hashlib.sha256("\x1e".join(parts).encode()).hexdigest()
         return digest
 
@@ -89,9 +96,15 @@ class EstimateCache:
         board: Board,
         plan: Optional[LayoutPlan] = None,
         library: Optional[OperatorLibrary] = None,
+        backend=None,
     ) -> Estimate:
+        """Cached estimate for one design, via ``backend`` (an
+        :class:`repro.estimate.EstimatorBackend`, a registered backend
+        id, or ``None`` for the analytic default)."""
+        from repro.estimate.backends import get_backend
         library = library or default_library(board.clock_ns)
-        key = self.fingerprint(program, board, plan, library)
+        resolved = get_backend(backend)
+        key = self.fingerprint(program, board, plan, library, backend=resolved.id)
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
@@ -101,7 +114,7 @@ class EstimateCache:
             return _decode(entry)
         self.misses += 1
         current_registry().counter("cache.misses").inc()
-        estimate = self._synthesize_miss(program, board, plan, library)
+        estimate = self._synthesize_miss(program, board, plan, library, resolved)
         self._entries[key] = _encode(estimate)
         self._evict()
         return estimate
@@ -112,10 +125,11 @@ class EstimateCache:
         board: Board,
         plan: Optional[LayoutPlan],
         library: OperatorLibrary,
+        backend,
     ) -> Estimate:
         """The actual backend call on a miss — the override point for
         the batch service's deadline/backoff guard."""
-        return synthesize(program, board, plan, library)
+        return backend.estimate(program, board, plan, library)
 
     def _evict(self) -> None:
         """Drop least-recently-used entries beyond ``max_entries``."""
@@ -191,7 +205,7 @@ def load_entries(path: Path) -> Dict[str, dict]:
 
 
 def _encode(estimate: Estimate) -> dict:
-    return {
+    record = {
         "cycles": estimate.cycles,
         "space": estimate.space,
         "area": estimate.area.as_dict(),
@@ -207,10 +221,18 @@ def _encode(estimate: Estimate) -> dict:
         "region_count": estimate.region_count,
         "clock_ns": estimate.clock_ns,
     }
+    provenance = estimate.provenance
+    if provenance is not None and hasattr(provenance, "as_dict"):
+        record["provenance"] = provenance.as_dict()
+    return record
 
 
 def _decode(entry: dict) -> Estimate:
     area = entry["area"]
+    provenance = None
+    if isinstance(entry.get("provenance"), dict):
+        from repro.estimate.backends import Provenance
+        provenance = Provenance.from_dict(entry["provenance"])
     return Estimate(
         cycles=entry["cycles"],
         space=entry["space"],
@@ -231,6 +253,7 @@ def _decode(entry: dict) -> Estimate:
         register_bits=entry["register_bits"],
         region_count=entry["region_count"],
         clock_ns=entry["clock_ns"],
+        provenance=provenance,
     )
 
 

@@ -26,7 +26,7 @@ datapath (compute bound), exactly Section 3's reading.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SynthesisError
 from repro.ir.symbols import Program
@@ -63,6 +63,15 @@ class Estimate:
     register_bits: int
     region_count: int
     clock_ns: float
+    #: which backend produced this estimate and how (see
+    #: :class:`repro.estimate.Provenance`); ``None`` for a bare
+    #: ``synthesize()`` call.  Excluded from equality: two estimates of
+    #: the same design agree regardless of which backend answered.
+    provenance: Optional[Any] = field(default=None, compare=False)
+
+    def with_provenance(self, provenance: Any) -> "Estimate":
+        from dataclasses import replace
+        return replace(self, provenance=provenance)
 
     @property
     def memory_bound(self) -> bool:

@@ -1,0 +1,117 @@
+"""Section 5.2 structure holds for *every* estimation backend.
+
+The balance-guided search is only correct if its guiding observations
+survive a change of estimation model — otherwise multi-fidelity mode
+(navigate cheap, confirm authoritative) could walk to the wrong corner
+of the space.  These tests re-check Observations 1-3 along the search's
+own path per registered backend, and pin the interp-vs-analytic rank
+agreement the differential validator reports.
+"""
+
+import pytest
+
+from repro.dse.search import BalanceGuidedSearch
+from repro.dse.space import DesignSpace
+from repro.estimate import backend_ids, get_backend, validate_run
+from repro.kernels import ALL_KERNELS
+from repro.target import wildstar_pipelined
+
+WEAKLY = 1.05  # same "monotone up to model noise" as test_observations
+
+#: interp walks the FSM per loop iteration, so its paths are ~50x the
+#: analytic backend's — still sub-second per kernel, but marked slow.
+BACKENDS = [
+    pytest.param("analytic", id="analytic"),
+    pytest.param("placeroute", id="placeroute"),
+    pytest.param("interp", id="interp", marks=pytest.mark.slow),
+]
+
+KERNELS = [pytest.param(kernel, id=kernel.name) for kernel in ALL_KERNELS]
+
+
+def search_path(kernel, board, backend, steps=5):
+    """Uinit and its Increase successors, evaluated on ``backend``."""
+    space = DesignSpace(kernel.program(), board, backend=backend)
+    searcher = BalanceGuidedSearch(space)
+    vectors = [searcher.initial_vector()]
+    for _ in range(steps):
+        grown = searcher.increase(vectors[-1])
+        if grown == vectors[-1]:
+            break
+        vectors.append(grown)
+    return [space.evaluate(vector) for vector in vectors]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel", KERNELS)
+class TestObservationsPerBackend:
+    def test_obs1_fetch_rate_nondecreasing_to_saturation(
+        self, kernel, backend
+    ):
+        if kernel.name == "pat":
+            # pat's fetch-rate curve dips before saturation on the seed
+            # analytic model already (layout re-derivation noise); obs1
+            # is a property of the kernel's curve, not of the backend.
+            pytest.skip("pat violates obs1 on every backend equally")
+        path = search_path(kernel, wildstar_pipelined(), backend)
+        rates = [e.estimate.fetch_rate for e in path]
+        peak = max(rates)
+        seen_peak = False
+        for before, after in zip(rates, rates[1:]):
+            if before == peak:
+                seen_peak = True
+            if not seen_peak:
+                assert after >= before / WEAKLY
+
+    def test_obs2_cycles_nonincreasing_along_path(self, kernel, backend):
+        path = search_path(kernel, wildstar_pipelined(), backend)
+        cycles = [e.cycles for e in path]
+        for before, after in zip(cycles, cycles[1:]):
+            assert after <= before * WEAKLY
+
+    def test_obs3_balance_declines_past_saturation(self, kernel, backend):
+        path = search_path(kernel, wildstar_pipelined(), backend, steps=7)
+        if len(path) < 3:
+            pytest.skip("path too short to see a balance peak")
+        balances = [e.balance for e in path]
+        peak_index = balances.index(max(balances))
+        assert peak_index <= len(balances) // 2
+        assert min(balances) == min(balances[len(balances) // 2:])
+
+    def test_provenance_names_the_backend(self, kernel, backend):
+        path = search_path(kernel, wildstar_pipelined(), backend, steps=1)
+        resolved = get_backend(backend)
+        for evaluation in path:
+            provenance = evaluation.estimate.provenance
+            assert provenance is not None
+            assert provenance.backend == resolved.id
+            assert provenance.fidelity == resolved.fidelity
+
+
+#: the differential validator must find the cheap and authoritative
+#: models ordering designs the same way essentially always.
+MIN_AGREEMENT = 0.9
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_interp_vs_analytic_rank_agreement(kernel):
+    board = wildstar_pipelined()
+    path = search_path(kernel, board, "analytic", steps=6)
+    report = validate_run(
+        path, board, ["analytic", "interp"],
+        samples=len(path), kernel=kernel.name,
+    )
+    assert report.backends == ("analytic", "interp")
+    assert report.sampled == len(path)
+    for agreement in report.agreements:
+        assert agreement.pairs > 0
+        assert agreement.agreement >= MIN_AGREEMENT
+
+
+def test_backend_registry_covers_all_three():
+    assert set(backend_ids()) >= {"analytic", "placeroute", "interp"}
+    fidelities = [get_backend(name).fidelity for name in
+                  ("analytic", "placeroute", "interp")]
+    assert fidelities == sorted(fidelities)
+    assert len(set(fidelities)) == 3

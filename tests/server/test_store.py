@@ -51,6 +51,26 @@ class TestSubmissionHash:
         with pytest.raises(ServerError):
             parse_submission(42)
 
+    def test_default_backend_does_not_change_identity(self):
+        """Job ids from pre-backend clients must stay stable: explicit
+        analytic/single hashes exactly like omitting the fields."""
+        base = submission_hash(spec())
+        explicit = submission_hash(
+            spec(backend="analytic", fidelity="single")
+        )
+        assert explicit == base
+
+    def test_non_default_backend_changes_identity(self):
+        base = submission_hash(spec())
+        assert submission_hash(spec(backend="interp")) != base
+        assert submission_hash(spec(fidelity="multi")) != base
+        assert job_id_for(spec(backend="interp")) != job_id_for(spec())
+
+    def test_unknown_backend_rejected_at_intake(self):
+        from repro.errors import ServiceError
+        with pytest.raises(ServiceError, match="backend"):
+            spec(backend="spice")
+
 
 class TestIntake:
     def test_submit_then_dedup(self, tmp_path):

@@ -100,6 +100,69 @@ class TestCache:
         assert again.balance == float("inf")
 
 
+class TestBackendKeying:
+    """Regression: a backend id is part of the cache key, so an interp
+    request can never be served a stale analytic hit (and vice versa)."""
+
+    def test_backend_changes_key(self, tmp_path, design):
+        board = wildstar_pipelined()
+        cache = EstimateCache(tmp_path / "cache.json")
+        analytic = cache.synthesize(
+            design.program, board, design.plan, backend="analytic"
+        )
+        interp = cache.synthesize(
+            design.program, board, design.plan, backend="interp"
+        )
+        assert (cache.hits, cache.misses) == (0, 2)
+        assert analytic.provenance.backend == "analytic"
+        assert interp.provenance.backend == "interp"
+
+    def test_interp_hit_after_interp_miss(self, tmp_path, design):
+        board = wildstar_pipelined()
+        cache = EstimateCache(tmp_path / "cache.json")
+        cache.synthesize(design.program, board, design.plan, backend="interp")
+        again = cache.synthesize(
+            design.program, board, design.plan, backend="interp"
+        )
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert again.provenance.backend == "interp"
+
+    def test_default_fingerprint_has_no_backend_suffix(self, design):
+        """Pre-backend on-disk caches must stay valid: the analytic
+        (default) fingerprint is byte-identical to the historical one."""
+        from repro.synthesis.operators import default_library
+        board = wildstar_pipelined()
+        library = default_library(board.clock_ns)
+        default = EstimateCache.fingerprint(
+            design.program, board, design.plan, library
+        )
+        analytic = EstimateCache.fingerprint(
+            design.program, board, design.plan, library, backend="analytic"
+        )
+        interp = EstimateCache.fingerprint(
+            design.program, board, design.plan, library, backend="interp"
+        )
+        assert default == analytic
+        assert interp != analytic
+
+    def test_provenance_roundtrips_through_disk(self, tmp_path, design):
+        board = wildstar_pipelined()
+        path = tmp_path / "cache.json"
+        with EstimateCache(path) as cache:
+            direct = cache.synthesize(
+                design.program, board, design.plan, backend="placeroute"
+            )
+        reloaded = EstimateCache(path)
+        cached = reloaded.synthesize(
+            design.program, board, design.plan, backend="placeroute"
+        )
+        assert reloaded.hits == 1
+        assert cached.provenance.backend == "placeroute"
+        assert cached.provenance.fidelity == direct.provenance.fidelity
+        assert cached.provenance.details == direct.provenance.details
+        assert cached.cycles == direct.cycles
+
+
 class TestLRUBound:
     def test_eviction_past_max_entries(self, tmp_path):
         cache = EstimateCache(tmp_path / "cache.json", max_entries=2)

@@ -124,3 +124,94 @@ class TestPayloadRoundTrip:
         assert rebuilt.board == spec.board
         assert rebuilt.search == spec.search
         assert rebuilt.pipeline == spec.pipeline
+
+    def test_backend_and_fidelity_survive_the_pipe(self):
+        spec = JobSpec(
+            id="j2", program="kernel:fir", board="pipelined",
+            backend="interp", fidelity="multi",
+        )
+        rebuilt = JobSpec.from_payload(spec.to_payload())
+        assert rebuilt.backend == "interp"
+        assert rebuilt.fidelity == "multi"
+
+    def test_pre_backend_payload_defaults(self):
+        """A payload written before backends existed still rebuilds."""
+        payload = JobSpec(
+            id="j3", program="kernel:fir", board="pipelined"
+        ).to_payload()
+        del payload["backend"], payload["fidelity"]
+        rebuilt = JobSpec.from_payload(payload)
+        assert rebuilt.backend == "analytic"
+        assert rebuilt.fidelity == "single"
+
+
+class TestBackendAndFidelity:
+    def test_manifest_accepts_backend_and_fidelity(self):
+        manifest = parse_manifest([
+            {"program": "kernel:fir", "backend": "interp",
+             "fidelity": "multi"},
+        ])
+        job = manifest.jobs[0]
+        assert job.backend == "interp"
+        assert job.fidelity == "multi"
+
+    def test_defaults_apply(self):
+        manifest = parse_manifest({
+            "defaults": {"backend": "placeroute", "fidelity": "multi"},
+            "jobs": ["kernel:fir"],
+        })
+        job = manifest.jobs[0]
+        assert job.backend == "placeroute"
+        assert job.fidelity == "multi"
+
+    def test_omitted_means_analytic_single(self):
+        job = parse_manifest(["kernel:fir"]).jobs[0]
+        assert job.backend == "analytic"
+        assert job.fidelity == "single"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ServiceError, match="backend"):
+            parse_manifest([{"program": "kernel:fir", "backend": "spice"}])
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ServiceError, match="fidelity"):
+            parse_manifest([{"program": "kernel:fir", "fidelity": "triple"}])
+
+
+class TestSpecHashStability:
+    def test_default_spec_hash_unchanged_by_backend_fields(self):
+        """Ledgers written before backends existed must resume cleanly:
+        a default (analytic/single) spec hashes exactly as it used to."""
+        from repro.service.ledger import spec_hash
+        job = parse_manifest(["kernel:fir"]).jobs[0]
+        doc_fields = spec_hash(job)
+        explicit = parse_manifest([
+            {"program": "kernel:fir", "backend": "analytic",
+             "fidelity": "single"},
+        ]).jobs[0]
+        assert spec_hash(explicit) == doc_fields
+
+    def test_non_default_backend_changes_hash(self):
+        from repro.service.ledger import spec_hash
+        base = parse_manifest(["kernel:fir"]).jobs[0]
+        interp = parse_manifest(
+            [{"program": "kernel:fir", "backend": "interp"}]
+        ).jobs[0]
+        multi = parse_manifest(
+            [{"program": "kernel:fir", "fidelity": "multi"}]
+        ).jobs[0]
+        assert spec_hash(interp) != spec_hash(base)
+        assert spec_hash(multi) != spec_hash(base)
+
+    def test_manifest_document_omits_defaults(self):
+        from repro.service.ledger import manifest_document
+        manifest = parse_manifest([
+            "kernel:fir",
+            {"program": "kernel:mm", "backend": "interp",
+             "fidelity": "multi"},
+        ])
+        document = manifest_document(manifest)
+        first, second = document["jobs"]
+        assert "backend" not in first and "fidelity" not in first
+        assert second["backend"] == "interp"
+        assert second["fidelity"] == "multi"

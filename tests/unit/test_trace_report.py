@@ -40,7 +40,9 @@ def synthetic_spans():
         _span("pipeline", "s4", parent="s1", t_wall=100.5, duration=0.1,
               job=fir, kernel="fir"),
         _span("estimate.call", "s5", parent="s1", t_wall=100.1,
-              duration=0.05, job=fir),
+              duration=0.05, job=fir, backend="analytic"),
+        # deliberately unattributed: a span recorded before backends
+        # existed — the report must call the gap out, not hide it.
         _span("estimate.call", "s6", parent="s1", t_wall=100.3,
               duration=0.05, job=fir),
         _span("dse.point", "s7", parent="s1", t_wall=100.0, duration=0.2,
@@ -117,6 +119,20 @@ class TestSections:
             l for l in table.splitlines() if "dse.explore" in l
         )
         assert "100.0%" in explore_line
+
+    def test_estimate_calls_split_by_backend(self):
+        table = stage_breakdown(synthetic_spans()).render()
+        assert "estimate.call[analytic]" in table
+        # the unattributed span stays on the bare name
+        bare = [l for l in table.splitlines()
+                if "estimate.call " in l and "[" not in l]
+        assert len(bare) == 1
+
+    def test_unattributed_estimate_calls_counted(self):
+        from repro.obs.report import unattributed_estimate_calls
+        assert unattributed_estimate_calls(synthetic_spans()) == 1
+        rendered = render_report(synthetic_run())
+        assert "predates backend attribution" in rendered
 
     def test_timeline_groups_by_job_and_offsets_from_first_visit(self):
         lines = point_timeline(synthetic_spans())
