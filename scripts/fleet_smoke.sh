@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Fleet smoke: boot a coordinator (`repro serve --fleet`), attach two
+# workers, and murder one mid-shard with the worker_kill fault
+# (max_hits: 1 — it dies exactly once).  The dead worker's lease lapses
+# after --lease-ttl seconds, the coordinator rehomes its shard, and the
+# survivor finishes the job.  Then the journal must show exactly one
+# job_started per completed job, at least one lease_expired +
+# shard_rehomed, and no duplicate shard_done — and /metrics must carry
+# the per-tenant admission series.
+# Run from the repo root: bash scripts/fleet_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+workdir="$(mktemp -d)"
+server_pid=""
+worker_pids=""
+cleanup() {
+  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+  for pid in $worker_pids; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== boot coordinator (fleet mode, 2s leases) =="
+: > "$workdir/port.txt"
+python -m repro serve --state-dir "$workdir/state" \
+    --port 0 --port-file "$workdir/port.txt" --jobs 0 \
+    --fleet --lease-ttl 2 --shard-points 8 \
+    --tenant-quota acme=4 \
+    > "$workdir/serve.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$workdir/port.txt" ] && break
+  kill -0 "$server_pid" 2>/dev/null \
+      || { echo "FAIL: coordinator died on boot"; cat "$workdir/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -s "$workdir/port.txt" ] || { echo "FAIL: no port file"; exit 1; }
+SRV="http://127.0.0.1:$(cat "$workdir/port.txt")"
+
+curl -fsS "$SRV/healthz" | grep -q '"fleet"' \
+    || { echo "FAIL: healthz carries no fleet block"; exit 1; }
+
+echo "== attach the doomed worker (worker_kill, dies once) =="
+cat > "$workdir/kill.json" <<'EOF'
+{"faults": [{"site": "worker_kill", "mode": "kill", "max_hits": 1}]}
+EOF
+python -m repro worker --server "$SRV" --id doomed --poll 0.1 \
+    --fault-spec "$workdir/kill.json" \
+    > "$workdir/doomed.log" 2>&1 &
+worker_pids="$!"
+
+echo "== submit as tenant acme =="
+job_id="$(python -m repro submit kernel:fir --server "$SRV" --tenant acme \
+    2>/dev/null | head -1)"
+[ -n "$job_id" ] || { echo "FAIL: no job id"; exit 1; }
+
+# Head start: let the doomed worker claim its shard and die on it
+# before the survivor shows up to drain the rest.
+sleep 1.5
+
+echo "== attach the surviving worker =="
+python -m repro worker --server "$SRV" --id survivor --poll 0.1 \
+    > "$workdir/survivor.log" 2>&1 &
+worker_pids="$worker_pids $!"
+
+echo "== wait for the completed report =="
+python -m repro result "$job_id" --server "$SRV" --wait \
+    --wait-timeout 240 > "$workdir/report.json"
+grep -q '"status": "ok"' "$workdir/report.json" \
+    || { echo "FAIL: report not ok"; cat "$workdir/report.json"; exit 1; }
+grep -q '"shards"' "$workdir/report.json" \
+    || { echo "FAIL: report carries no shard count"; exit 1; }
+echo "OK: job finished despite the mid-shard worker death"
+
+echo "== /metrics: per-tenant series =="
+curl -fsS "$SRV/metrics" > "$workdir/metrics.txt"
+grep -q '^repro_server_jobs_submitted{tenant="acme"} 1$' "$workdir/metrics.txt" \
+    || { echo "FAIL: per-tenant submitted series"; exit 1; }
+grep -q '^repro_admission_rejected{tenant="acme"} 0$' "$workdir/metrics.txt" \
+    || { echo "FAIL: admission.rejected not pre-registered at zero"; exit 1; }
+grep -qE '^repro_fleet_shards_rehomed [1-9]' "$workdir/metrics.txt" \
+    || { echo "FAIL: no rehomed shards counted"; exit 1; }
+echo "OK: tenant + fleet series exposed"
+
+echo "== drain =="
+kill -TERM "$server_pid"
+status=0; wait "$server_pid" || status=$?
+server_pid=""
+[ "$status" -eq 0 ] || { echo "FAIL: drain exited $status"; exit 1; }
+
+echo "== journal invariants =="
+python - "$workdir/state/jobs.jsonl" "$job_id" <<'EOF'
+import json, sys
+from collections import Counter
+from pathlib import Path
+
+journal, job_id = sys.argv[1:3]
+starts = Counter()
+done_shards = Counter()
+events = Counter()
+for line in Path(journal).read_text().splitlines():
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        continue  # torn tail line is legal
+    event = record.get("event")
+    events[event] += 1
+    if event == "job_started":
+        starts[record["job_id"]] += 1
+    elif event == "shard_done":
+        done_shards[record["shard_id"]] += 1
+
+assert starts[job_id] == 1, \
+    f"job started {starts[job_id]} times, want exactly 1"
+assert events["lease_expired"] >= 1, "no lease ever expired"
+assert events["shard_rehomed"] >= 1, "no shard was rehomed"
+duplicates = {s: n for s, n in done_shards.items() if n != 1}
+assert not duplicates, f"duplicate shard_done records: {duplicates}"
+assert events["worker_registered"] >= 2, "both workers must register"
+print(f"OK: 1 job_started, {events['shard_rehomed']} rehome(s), "
+      f"{len(done_shards)} unique shard_done record(s)")
+EOF
+
+echo "PASS: fleet smoke"

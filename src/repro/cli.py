@@ -284,6 +284,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--fault-spec", metavar="FILE", default=None,
                            help="fault-injection spec for chaos testing "
                                 "(see repro.faults)")
+    serve_cmd.add_argument("--fleet", action="store_true",
+                           help="fleet mode: shard jobs across registered "
+                                "workers (attach with `repro worker`) "
+                                "instead of a local process pool")
+    serve_cmd.add_argument("--lease-ttl", type=float, default=None,
+                           metavar="S",
+                           help="fleet worker lease TTL in seconds "
+                                "(default 10; workers heartbeat at TTL/3)")
+    serve_cmd.add_argument("--shard-points", type=int, default=None,
+                           metavar="N",
+                           help="design points per fleet shard (default 16)")
+    serve_cmd.add_argument("--tenant-quota", metavar="NAME=QUOTA[:WEIGHT]",
+                           action="append", default=None,
+                           help="per-tenant admission policy: active-job "
+                                "quota and fair-queueing weight "
+                                "(repeatable)")
+
+    worker_cmd = commands.add_parser(
+        "worker", help="attach a fleet worker to a coordinator "
+                       "(claims shards until idle or stopped)"
+    )
+    worker_cmd.add_argument("--server", metavar="URL",
+                            default="http://127.0.0.1:8078",
+                            help="coordinator base URL "
+                                 "(default http://127.0.0.1:8078)")
+    worker_cmd.add_argument("--id", dest="worker_id", metavar="NAME",
+                            default=None,
+                            help="worker id (default: host-pid derived)")
+    worker_cmd.add_argument("--poll", type=float, default=0.5, metavar="S",
+                            help="claim poll interval when idle "
+                                 "(default 0.5)")
+    worker_cmd.add_argument("--cache", metavar="PATH", default=None,
+                            help="shared estimate cache file")
+    worker_cmd.add_argument("--fault-spec", metavar="FILE", default=None,
+                            help="fault-injection spec (heartbeat / "
+                                 "worker_kill sites)")
+    worker_cmd.add_argument("--max-shards", type=int, default=None,
+                            metavar="N",
+                            help="exit after completing N shards")
+    worker_cmd.add_argument("--idle-exit", type=float, default=None,
+                            metavar="S",
+                            help="exit after S seconds with no work")
 
     submit_cmd = commands.add_parser(
         "submit", help="submit one exploration job to a running server"
@@ -310,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("single", "multi"),
                             help="multi: confirm the selection on the "
                                  "authoritative backend")
+    submit_cmd.add_argument("--tenant", default=None, metavar="NAME",
+                            help="submit as this tenant (admission quotas "
+                                 "and fair queueing apply per tenant)")
 
     status_cmd = commands.add_parser(
         "status", help="show a submitted job's status document"
@@ -386,6 +431,8 @@ def _dispatch(args) -> int:
         return _run_trace(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "worker":
+        return _run_worker(args)
     if args.command == "submit":
         return _run_submit(args)
     if args.command == "status":
@@ -629,6 +676,17 @@ def _run_serve(args) -> int:
         cache_path = Path(args.cache)
     else:
         cache_path = state_dir / "estimates.json"
+    tenant_policies = None
+    if args.tenant_quota:
+        from repro.server import parse_tenant_policy
+        tenant_policies = {}
+        for text in args.tenant_quota:
+            try:
+                name, policy = parse_tenant_policy(text)
+            except ValueError as error:
+                raise ReproError(str(error)) from None
+            tenant_policies[name] = policy
+    from repro.server.leases import DEFAULT_LEASE_TTL_S
     server = ExplorationServer(
         state_dir=state_dir,
         host=args.host,
@@ -642,10 +700,37 @@ def _run_serve(args) -> int:
         call_deadline_s=args.call_deadline,
         cache_max_entries=args.cache_max_entries,
         fault_spec=args.fault_spec,
+        fleet=args.fleet,
+        lease_ttl_s=(args.lease_ttl if args.lease_ttl is not None
+                     else DEFAULT_LEASE_TTL_S),
+        shard_points=args.shard_points,
+        tenant_policies=tenant_policies,
     )
     return server.serve(
         port_file=Path(args.port_file) if args.port_file else None
     )
+
+
+def _run_worker(args) -> int:
+    """``repro worker``: claim and execute fleet shards until stopped."""
+    import os
+    import socket
+    from repro.server import FleetWorker, WorkerOptions
+    worker_id = args.worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    worker = FleetWorker(WorkerOptions(
+        server=args.server,
+        worker_id=worker_id,
+        poll_s=max(0.05, args.poll),
+        cache_path=args.cache,
+        fault_spec=args.fault_spec,
+        max_shards=args.max_shards,
+        idle_exit_s=args.idle_exit,
+    ))
+    print(f"worker {worker_id} attached to {args.server}", file=sys.stderr)
+    done = worker.run()
+    print(f"worker {worker_id} exiting after {done} shard(s)",
+          file=sys.stderr)
+    return 0
 
 
 def _submission_entry(args) -> dict:
@@ -668,6 +753,8 @@ def _submission_entry(args) -> dict:
         entry["backend"] = args.backend
     if args.fidelity is not None:
         entry["fidelity"] = args.fidelity
+    if args.tenant is not None:
+        entry["tenant"] = args.tenant
     return entry
 
 

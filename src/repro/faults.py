@@ -42,6 +42,18 @@ asserts over):
                     claimed job before it is handed to a worker (key =
                     the job id); ``kill`` here murders the server
                     mid-queue to exercise restart-resume
+``heartbeat``       inside a fleet worker's lease-renewal loop (key =
+                    the worker id); a ``raise`` silently skips beats
+                    until the lease lapses — lease starvation without
+                    killing the process
+``worker_kill``     entry of :func:`repro.server.fleet.execute_shard`
+                    (key = the shard id); ``kill`` with ``max_hits: 1``
+                    murders a fleet worker mid-shard exactly once, the
+                    rehomed retry runs clean
+``rehome``          in the fleet coordinator just before an orphaned
+                    shard is requeued (key = the shard id); a ``raise``
+                    defers the rehoming to the next lease sweep instead
+                    of losing the shard
 ==================  =========================================================
 
 Modes: ``transient`` raises :class:`~repro.errors.TransientError`,

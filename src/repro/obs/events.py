@@ -272,6 +272,86 @@ class RunFinish(EventBase):
     extra: Mapping[str, Any] = field(default_factory=dict)
 
 
+# -- fleet events -------------------------------------------------------------
+
+@_register
+@dataclass(frozen=True)
+class WorkerRegistered(EventBase):
+    """A worker was granted (or re-granted) a lease."""
+
+    EVENT: ClassVar[str] = "worker_registered"
+    ts: float
+    worker: str
+    ttl_s: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class LeaseRenewed(EventBase):
+    EVENT: ClassVar[str] = "lease_renewed"
+    ts: float
+    worker: str
+    schema_version: int = SCHEMA_VERSION
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class LeaseExpired(EventBase):
+    """A worker's lease lapsed; its shards are about to be rehomed."""
+
+    EVENT: ClassVar[str] = "lease_expired"
+    ts: float
+    worker: str
+    schema_version: int = SCHEMA_VERSION
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class ShardDispatched(EventBase):
+    EVENT: ClassVar[str] = "shard_dispatched"
+    ts: float
+    shard_id: str
+    job_id: str
+    worker: str
+    points: int = 0
+    schema_version: int = SCHEMA_VERSION
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class ShardRehomed(EventBase):
+    """An orphaned shard went back to the front of the dispatch queue."""
+
+    EVENT: ClassVar[str] = "shard_rehomed"
+    ts: float
+    shard_id: str
+    job_id: str
+    from_worker: str = ""
+    schema_version: int = SCHEMA_VERSION
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class ShardDone(EventBase):
+    """One shard's terminal record; ``result`` is the full point set the
+    deterministic merge folds."""
+
+    EVENT: ClassVar[str] = "shard_done"
+    ts: float
+    shard_id: str
+    job_id: str
+    worker: str = ""
+    result: Optional[Mapping[str, Any]] = None
+    schema_version: int = SCHEMA_VERSION
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
 # -- the escape hatch ---------------------------------------------------------
 
 @dataclass(frozen=True)

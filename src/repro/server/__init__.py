@@ -8,20 +8,47 @@ frontend (:mod:`repro.server.http`), the wired application
 (:mod:`repro.server.client`) behind the ``repro submit`` / ``status`` /
 ``result`` CLI verbs.
 
+Fleet mode (``serve --fleet``) layers horizontal scale on top: a shard
+coordinator with worker leases and crash rehoming
+(:mod:`repro.server.fleet`, :mod:`repro.server.leases`) plus
+multi-tenant admission (:mod:`repro.server.admission`).  Attach workers
+with ``python -m repro worker --server http://…``.
+
 Start one with ``python -m repro serve --state-dir runs/server`` — see
-the README's "Running as a service" walkthrough and DESIGN.md §6.5 for
-the state machine and failure model.
+the README's "Running as a service" / "Scaling out" walkthroughs and
+DESIGN.md §6.5/§6.7 for the state machine and failure model.
 """
 
+from repro.server.admission import (
+    AdmissionController,
+    Rejection,
+    TenantPolicy,
+    parse_tenant_policy,
+)
 from repro.server.app import DEFAULT_QUEUE_LIMIT, ExplorationServer
 from repro.server.client import (
+    LeaseLost,
     QueueFull,
+    claim_shard,
+    fleet_heartbeat,
+    fleet_status,
     job_report,
     job_status,
+    post_shard_result,
+    register_worker,
     server_health,
     server_metrics,
     submit_job,
 )
+from repro.server.fleet import (
+    FleetCoordinator,
+    FleetWorker,
+    WorkerOptions,
+    execute_shard,
+    merge_shard_results,
+    plan_shards,
+)
+from repro.server.leases import DEFAULT_LEASE_TTL_S, Lease, LeaseTable
 from repro.server.scheduler import Scheduler
 from repro.server.store import (
     JobStore,
@@ -32,18 +59,37 @@ from repro.server.store import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "DEFAULT_LEASE_TTL_S",
     "DEFAULT_QUEUE_LIMIT",
     "ExplorationServer",
+    "FleetCoordinator",
+    "FleetWorker",
+    "JobStore",
+    "Lease",
+    "LeaseLost",
+    "LeaseTable",
     "QueueFull",
+    "Rejection",
+    "Scheduler",
+    "ServerJob",
+    "TenantPolicy",
+    "WorkerOptions",
+    "claim_shard",
+    "execute_shard",
+    "fleet_heartbeat",
+    "fleet_status",
+    "job_id_for",
     "job_report",
     "job_status",
+    "merge_shard_results",
+    "parse_submission",
+    "parse_tenant_policy",
+    "plan_shards",
+    "post_shard_result",
+    "register_worker",
     "server_health",
     "server_metrics",
-    "submit_job",
-    "Scheduler",
-    "JobStore",
-    "ServerJob",
-    "job_id_for",
-    "parse_submission",
     "submission_hash",
+    "submit_job",
 ]

@@ -1,0 +1,197 @@
+"""Multi-tenant admission: per-tenant quotas and weighted fair queueing.
+
+The single-tenant server admitted on one global number (queue depth vs
+``--queue-limit``).  Once several tenants share a coordinator that is
+not enough: one chatty tenant can fill the queue and starve everyone
+else.  This module adds the two standard controls:
+
+**Quotas** cap each tenant's *active* jobs (queued + running).  A
+submission over quota is rejected with 429 and a ``Retry-After``
+computed from how fast the tenant's backlog can plausibly drain —
+``ceil((active + 1 - quota) / quota)`` ticks, never less than one
+second — instead of the constant the single-tenant server used.  Every
+rejection increments ``admission.rejected{tenant=...}``, registered at
+zero for each configured tenant so dashboards see the series before
+the first rejection.
+
+**Weighted fair queueing** decides which queued job runs next.  Each
+tenant accrues virtual time as its jobs are claimed (``vtime +=
+1/weight``); the queued job belonging to the lowest-vtime tenant wins.
+New or idle tenants are floored to the minimum active vtime so they
+cannot bank unbounded credit while away.  With a single tenant (or
+only the default tenant) every job carries the same vtime stream and
+the policy degenerates to FIFO — which is why plugging it into
+:meth:`repro.server.store.JobStore.claim_next` changes nothing for
+pre-fleet deployments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import current_registry
+from repro.service.jobs import DEFAULT_TENANT
+
+#: Active-job quota for tenants without an explicit policy.
+DEFAULT_QUOTA = 8
+#: WFQ weight for tenants without an explicit policy.
+DEFAULT_WEIGHT = 1.0
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's admission knobs."""
+
+    quota: int = DEFAULT_QUOTA
+    weight: float = DEFAULT_WEIGHT
+
+    def __post_init__(self):
+        if self.quota < 1:
+            raise ValueError(f"tenant quota must be >= 1, got {self.quota!r}")
+        if self.weight <= 0:
+            raise ValueError(
+                f"tenant weight must be positive, got {self.weight!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a submission was refused, and when to come back."""
+
+    reason: str
+    retry_after_s: int
+
+
+def retry_after_s(active: int, quota: int) -> int:
+    """Seconds until the tenant's backlog plausibly fits under quota.
+
+    Models the scheduler draining roughly one job per tenant per tick:
+    ``active + 1`` jobs must fit under ``quota``, so the excess divided
+    by the quota (how many "rounds" of drain are needed) is the wait —
+    floored at one second so 429 always tells clients to back off.
+    """
+    excess = active + 1 - quota
+    return max(1, math.ceil(excess / max(1, quota)))
+
+
+class AdmissionController:
+    """Quota gate + WFQ claim policy for a multi-tenant store.
+
+    ``policies`` maps tenant name to :class:`TenantPolicy`; unknown
+    tenants fall back to ``default_policy``.  The controller is driven
+    from the server's single event loop (plus the store's lock around
+    :meth:`pick_next`), so it keeps no lock of its own.
+    """
+
+    def __init__(self, policies: Optional[Dict[str, TenantPolicy]] = None,
+                 default_policy: Optional[TenantPolicy] = None,
+                 registry=None):
+        self._policies = dict(policies or {})
+        self._default = default_policy or TenantPolicy()
+        self._registry = registry
+        self._vtime: Dict[str, float] = {}
+        self._served: Dict[str, int] = {}
+        # Register each configured tenant's rejection counter at zero:
+        # the series must exist in /metrics before the first 429.
+        for tenant in self._policies:
+            self.registry.counter("admission.rejected", tenant=tenant)
+
+    @property
+    def registry(self):
+        return self._registry if self._registry is not None \
+            else current_registry()
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self._policies.get(tenant, self._default)
+
+    # -- quota gate ------------------------------------------------------------
+
+    def check(self, tenant: str,
+              active_counts: Dict[str, int]) -> Optional[Rejection]:
+        """``None`` admits; a :class:`Rejection` maps to HTTP 429.
+
+        ``active_counts`` is the store's per-tenant queued+running
+        snapshot (:meth:`repro.server.store.JobStore.active_counts`).
+        """
+        policy = self.policy_for(tenant)
+        active = active_counts.get(tenant, 0)
+        if active < policy.quota:
+            return None
+        self.registry.counter("admission.rejected", tenant=tenant).inc()
+        return Rejection(
+            reason="tenant_quota",
+            retry_after_s=retry_after_s(active, policy.quota),
+        )
+
+    # -- weighted fair queueing ------------------------------------------------
+
+    def pick_next(self, queued: Sequence) -> Optional[str]:
+        """Choose which queued :class:`~repro.server.store.ServerJob`
+        to claim; the store installs this as its ``queue_policy``.
+
+        Within a tenant the oldest job wins (``queued`` arrives oldest
+        first); across tenants the lowest virtual time wins, ties
+        broken by queue order.  The chosen tenant's vtime advances by
+        ``1/weight``, so heavier tenants are picked proportionally more
+        often.
+        """
+        if not queued:
+            return None
+        # Floor new/idle tenants at the minimum live vtime so a tenant
+        # cannot return from idleness with an unbounded head start.
+        # Ties (a floored newcomer vs the tenant that set the floor)
+        # break toward the tenant served *fewer* times, then queue
+        # order — without the served-count tiebreak the queue-order
+        # rule would hand a flooring tenant the whole window.
+        floor = min(self._vtime.values()) if self._vtime else 0.0
+        best_job = None
+        best_key = None
+        for job in queued:
+            tenant = job.spec.tenant
+            vtime = max(self._vtime.get(tenant, floor), floor)
+            key = (vtime, self._served.get(tenant, 0))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_job = job
+        tenant = best_job.spec.tenant
+        start = max(self._vtime.get(tenant, floor), floor)
+        self._vtime[tenant] = start + 1.0 / self.policy_for(tenant).weight
+        self._served[tenant] = self._served.get(tenant, 0) + 1
+        return best_job.id
+
+
+def parse_tenant_policy(text: str) -> "tuple[str, TenantPolicy]":
+    """Parse one ``NAME=QUOTA[:WEIGHT]`` CLI argument.
+
+    Examples: ``acme=4`` (quota 4, weight 1), ``acme=4:2.5`` (quota 4,
+    weight 2.5).  The default tenant is configurable like any other.
+    """
+    name, sep, rest = text.partition("=")
+    name = name.strip()
+    if not sep or not name or not rest.strip():
+        raise ValueError(
+            f"tenant policy must look like NAME=QUOTA[:WEIGHT], got {text!r}"
+        )
+    quota_text, sep, weight_text = rest.partition(":")
+    try:
+        quota = int(quota_text)
+        weight = float(weight_text) if sep else DEFAULT_WEIGHT
+    except ValueError:
+        raise ValueError(
+            f"tenant policy must look like NAME=QUOTA[:WEIGHT], got {text!r}"
+        ) from None
+    return name, TenantPolicy(quota=quota, weight=weight)
+
+
+__all__ = [
+    "DEFAULT_QUOTA",
+    "DEFAULT_TENANT",
+    "DEFAULT_WEIGHT",
+    "AdmissionController",
+    "Rejection",
+    "TenantPolicy",
+    "parse_tenant_policy",
+    "retry_after_s",
+]

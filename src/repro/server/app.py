@@ -41,7 +41,9 @@ from typing import Any, Callable, Dict, Optional
 from repro import faults
 from repro.errors import ServerError
 from repro.obs import MetricsRegistry, render_prometheus, use_registry
+from repro.server.admission import AdmissionController, TenantPolicy, retry_after_s
 from repro.server.http import Request, Response, serve_client
+from repro.server.leases import DEFAULT_LEASE_TTL_S
 from repro.server.scheduler import Scheduler
 from repro.server.store import DONE, JobStore, parse_submission
 from repro.service.worker import execute_job
@@ -50,9 +52,6 @@ from repro.version import get_version
 #: Default admission limit: submissions beyond this many queued jobs
 #: bounce with 429 until the scheduler catches up.
 DEFAULT_QUEUE_LIMIT = 64
-
-#: Suggested client backoff when the queue is full (seconds).
-RETRY_AFTER_S = 1
 
 
 class ExplorationServer:
@@ -79,6 +78,10 @@ class ExplorationServer:
         worker: Callable[..., Dict[str, Any]] = execute_job,
         executor_factory: Optional[Callable[[int], Any]] = None,
         registry: Optional[MetricsRegistry] = None,
+        fleet: bool = False,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        shard_points: Optional[int] = None,
+        tenant_policies: Optional[Dict[str, TenantPolicy]] = None,
     ):
         self.state_dir = Path(state_dir)
         self.host = host
@@ -90,7 +93,22 @@ class ExplorationServer:
         # The server consults the `server` fault site in its own
         # dispatch loop (workers get the spec via the job payload).
         faults.activate(fault_spec)
-        self.store = JobStore(self.state_dir)
+        self.admission = AdmissionController(
+            policies=tenant_policies, registry=self.registry,
+        )
+        self.store = JobStore(
+            self.state_dir, queue_policy=self.admission.pick_next,
+        )
+        self.coordinator = None
+        if fleet:
+            from repro.server.fleet import (
+                DEFAULT_SHARD_POINTS, FleetCoordinator,
+            )
+            self.coordinator = FleetCoordinator(
+                self.store,
+                lease_ttl_s=lease_ttl_s,
+                shard_points=shard_points or DEFAULT_SHARD_POINTS,
+            )
         self.scheduler = Scheduler(
             self.store,
             self.registry,
@@ -114,6 +132,8 @@ class ExplorationServer:
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/jobs" and method == "POST":
             return self._submit(request)
+        if path == "/fleet" or path.startswith("/fleet/"):
+            return self._fleet_route(request, method, path)
         if path.startswith("/jobs/"):
             rest = path[len("/jobs/"):]
             if method != "GET":
@@ -143,19 +163,34 @@ class ExplorationServer:
             return Response.error(400, f"request body is not JSON: {error}")
         try:
             spec = parse_submission(entry, base_dir=self.state_dir)
-            # The admission limit gates *new* work only: a duplicate of
-            # an already-admitted job consumes no queue slot, and a
+            # Admission gates *new* work only: a duplicate of an
+            # already-admitted job consumes no queue slot, and a
             # retrying client must always be able to find its job.
-            if (
-                self.store.get(spec.id) is None
-                and self.store.queue_depth >= self.queue_limit
-            ):
-                self.registry.counter("server.jobs.rejected").inc()
-                return Response.error(
-                    429,
-                    f"queue is full ({self.queue_limit} jobs); retry later",
-                    **{"Retry-After": str(RETRY_AFTER_S)},
+            if self.store.get(spec.id) is None:
+                quota = self.admission.policy_for(spec.tenant).quota
+                if self.store.queue_depth >= self.queue_limit:
+                    self.registry.counter("server.jobs.rejected").inc()
+                    self.admission.registry.counter(
+                        "admission.rejected", tenant=spec.tenant
+                    ).inc()
+                    backoff = retry_after_s(self.store.queue_depth, quota)
+                    return Response.error(
+                        429,
+                        f"queue is full ({self.queue_limit} jobs); "
+                        f"retry later",
+                        **{"Retry-After": str(backoff)},
+                    )
+                rejection = self.admission.check(
+                    spec.tenant, self.store.active_counts()
                 )
+                if rejection is not None:
+                    self.registry.counter("server.jobs.rejected").inc()
+                    return Response.error(
+                        429,
+                        f"tenant {spec.tenant!r} is over its active-job "
+                        f"quota ({quota}); retry later",
+                        **{"Retry-After": str(rejection.retry_after_s)},
+                    )
             job, created = self.store.submit(spec)
         except ServerError as error:
             status = 503 if "journal" in str(error) else 400
@@ -164,6 +199,9 @@ class ExplorationServer:
             return Response.error(400, str(error))
         if created:
             self.registry.counter("server.jobs.submitted").inc()
+            self.registry.counter(
+                "server.jobs.submitted", tenant=spec.tenant
+            ).inc()
             self.scheduler.notify()
         else:
             self.registry.counter("server.jobs.deduped").inc()
@@ -200,18 +238,86 @@ class ExplorationServer:
         })
 
     def _healthz(self) -> Response:
-        return Response.json(200, {
+        doc = {
             "status": "ok",
             "version": self.version,
             "draining": self.draining,
             "jobs": self.store.counts(),
             "inflight": self.scheduler.inflight_count,
-        })
+        }
+        if self.coordinator is not None:
+            doc["fleet"] = self.coordinator.status()
+        return Response.json(200, doc)
 
     def _readyz(self) -> Response:
+        """Ready, degraded, or draining — degraded is still 200 (the
+        server answers and makes progress), but load balancers and
+        humans can see the capacity loss and its reason."""
         if self.draining:
             return Response.json(503, {"ready": False, "reason": "draining"})
-        return Response.json(200, {"ready": True})
+        if self.scheduler.pool_failed:
+            return Response.json(200, {
+                "ready": True, "status": "degraded", "reason": "pool_failed",
+            })
+        if (
+            self.coordinator is not None
+            and not self.coordinator.leases.live_workers()
+            and self.store.queue_depth > 0
+        ):
+            return Response.json(200, {
+                "ready": True, "status": "degraded", "reason": "no_workers",
+            })
+        return Response.json(200, {"ready": True, "status": "ok"})
+
+    # -- fleet endpoints -------------------------------------------------------
+
+    def _fleet_route(self, request: Request, method: str,
+                     path: str) -> Response:
+        if self.coordinator is None:
+            return Response.error(404, "fleet mode is off (start with "
+                                       "--fleet)")
+        if path == "/fleet" and method == "GET":
+            return Response.json(200, self.coordinator.status())
+        if method != "POST":
+            return Response.error(405, f"{method} not allowed here")
+        try:
+            body = request.json()
+        except (ValueError, UnicodeDecodeError) as error:
+            return Response.error(400, f"request body is not JSON: {error}")
+        if not isinstance(body, dict):
+            return Response.error(400, "fleet requests take a JSON object")
+        worker_id = body.get("worker")
+        if not isinstance(worker_id, str) or not worker_id:
+            return Response.error(400, "fleet requests need a 'worker' id")
+        if path == "/fleet/workers":
+            if self.draining:
+                return Response.error(503, "server is draining")
+            return Response.json(201, self.coordinator.register(worker_id))
+        if path == "/fleet/heartbeat":
+            if not self.coordinator.heartbeat(worker_id):
+                return Response.error(
+                    410, f"worker {worker_id!r} holds no live lease; "
+                         f"re-register",
+                )
+            return Response.json(200, {"ok": True})
+        if path == "/fleet/claim":
+            if self.draining:
+                return Response.json(200, {"shard": None})
+            try:
+                shard = self.coordinator.claim(worker_id)
+            except Exception as error:  # noqa: BLE001 - lease gone
+                return Response.error(410, str(error))
+            return Response.json(200, {"shard": shard})
+        if path == "/fleet/result":
+            shard_id = body.get("shard_id")
+            result = body.get("result")
+            if not isinstance(shard_id, str) or not isinstance(result, dict):
+                return Response.error(
+                    400, "fleet results need 'shard_id' and 'result'",
+                )
+            accepted = self.coordinator.complete(worker_id, shard_id, result)
+            return Response.json(200, {"ok": True, "accepted": accepted})
+        return Response.error(404, f"no route for {path}")
 
     def _metrics(self) -> Response:
         self.registry.gauge("server.queue_depth").set(self.store.queue_depth)
@@ -251,7 +357,16 @@ class ExplorationServer:
             banner(self)
         with use_registry(self.registry):
             try:
-                await self.scheduler.run()   # returns when drained
+                if self.coordinator is not None:
+                    # Fleet mode: the coordinator owns claim_next; the
+                    # lease sweep runs until drain.  Unfinished shards
+                    # are durable (shard_done journal records) and are
+                    # adopted by the next coordinator life.
+                    await self.coordinator.run(
+                        stopping=lambda: self.draining
+                    )
+                else:
+                    await self.scheduler.run()   # returns when drained
             finally:
                 server.close()
                 with contextlib.suppress(Exception):

@@ -34,6 +34,13 @@ class QueueFull(ServerError):
         super().__init__(message)
 
 
+class LeaseLost(ServerError):
+    """The server answered 410: this worker's lease expired (or was
+    never granted).  The fix is always the same — re-register."""
+
+    transient = True
+
+
 def _request(
     method: str,
     url: str,
@@ -58,6 +65,8 @@ def _request(
         if error.code == 429:
             retry_after = _retry_after(error.headers.get("Retry-After"))
             raise QueueFull(message, retry_after=retry_after) from None
+        if error.code == 410:
+            raise LeaseLost(message) from None
         if error.code == 202:
             return error.code, payload
         raise ServerError(f"{method} {url}: {message}") from None
@@ -118,6 +127,62 @@ def server_health(
 ) -> Dict[str, Any]:
     """GET ``/healthz``."""
     _, payload = _request("GET", f"{base_url}/healthz", timeout_s=timeout_s)
+    return payload
+
+
+# -- fleet endpoints ----------------------------------------------------------
+
+def register_worker(
+    base_url: str, worker_id: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> Dict[str, Any]:
+    """POST ``/fleet/workers``; returns the lease grant (``ttl_s``)."""
+    _, payload = _request(
+        "POST", f"{base_url}/fleet/workers", {"worker": worker_id}, timeout_s
+    )
+    return payload
+
+
+def fleet_heartbeat(
+    base_url: str, worker_id: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> None:
+    """POST ``/fleet/heartbeat``; raises :class:`LeaseLost` on 410."""
+    _request(
+        "POST", f"{base_url}/fleet/heartbeat", {"worker": worker_id},
+        timeout_s,
+    )
+
+
+def claim_shard(
+    base_url: str, worker_id: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> Optional[Dict[str, Any]]:
+    """POST ``/fleet/claim``; the shard payload, or ``None`` when the
+    coordinator has no work.  Raises :class:`LeaseLost` on 410."""
+    _, payload = _request(
+        "POST", f"{base_url}/fleet/claim", {"worker": worker_id}, timeout_s
+    )
+    shard = payload.get("shard")
+    return shard if isinstance(shard, dict) else None
+
+
+def post_shard_result(
+    base_url: str, worker_id: str, shard_id: str, result: Dict[str, Any],
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> bool:
+    """POST ``/fleet/result``; ``False`` = the coordinator dropped it as
+    a duplicate (someone else finished the rehomed shard first)."""
+    _, payload = _request(
+        "POST", f"{base_url}/fleet/result",
+        {"worker": worker_id, "shard_id": shard_id, "result": result},
+        timeout_s,
+    )
+    return bool(payload.get("accepted"))
+
+
+def fleet_status(
+    base_url: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> Dict[str, Any]:
+    """GET ``/fleet`` — live workers, pending/running shards."""
+    _, payload = _request("GET", f"{base_url}/fleet", timeout_s=timeout_s)
     return payload
 
 

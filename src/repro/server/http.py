@@ -31,7 +31,8 @@ READ_TIMEOUT_S = 10.0
 _REASONS = {
     200: "OK", 201: "Created", 202: "Accepted",
     400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
-    408: "Request Timeout", 413: "Payload Too Large",
+    408: "Request Timeout", 409: "Conflict", 410: "Gone",
+    413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable",
 }

@@ -1,0 +1,109 @@
+"""Worker leases: the fleet's liveness contract.
+
+A worker that wants shards must first *register*, which grants it a
+lease with a fixed TTL, and then keep *renewing* that lease by
+heartbeat.  The coordinator never talks to workers — it only watches
+the lease table: a worker whose lease expires is presumed dead, and
+every shard it held is rehomed to a live worker (see
+:mod:`repro.server.fleet`).
+
+This module is deliberately tiny and synchronous: a table of
+``worker_id -> Lease`` guarded by the caller's lock (the coordinator
+serializes all fleet mutations), driven by an injectable monotonic
+clock so chaos tests can expire leases without sleeping.  Journaling
+the ``worker_registered`` / ``lease_renewed`` / ``lease_expired``
+events is the coordinator's job, not the table's — the table is pure
+state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+#: Default lease TTL; workers heartbeat at TTL/3 so two beats can be
+#: lost before the lease lapses.
+DEFAULT_LEASE_TTL_S = 10.0
+
+
+@dataclass
+class Lease:
+    """One worker's claim to be alive."""
+
+    worker_id: str
+    expires_at: float
+    registered_at: float
+    renewals: int = 0
+
+
+class LeaseTable:
+    """Registry of live workers, keyed by worker id.
+
+    Not thread-safe on its own: the coordinator holds its lock around
+    every call.  ``clock`` must be monotonic (wall-clock steps would
+    spuriously expire or immortalize leases).
+    """
+
+    def __init__(self, ttl_s: float = DEFAULT_LEASE_TTL_S,
+                 clock: Callable[[], float] = time.monotonic):
+        if ttl_s <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl_s!r}")
+        self.ttl_s = float(ttl_s)
+        self._clock = clock
+        self._leases: Dict[str, Lease] = {}
+
+    def register(self, worker_id: str) -> Lease:
+        """Grant (or re-grant) a lease.  Re-registering an id that
+        already holds a live lease simply refreshes it — a worker that
+        restarted under the same name is still one worker."""
+        now = self._clock()
+        lease = Lease(
+            worker_id=worker_id,
+            expires_at=now + self.ttl_s,
+            registered_at=now,
+        )
+        self._leases[worker_id] = lease
+        return lease
+
+    def renew(self, worker_id: str) -> bool:
+        """Extend a live lease; ``False`` means the lease is unknown or
+        already expired (the worker must re-register — HTTP 410)."""
+        lease = self._leases.get(worker_id)
+        if lease is None or lease.expires_at <= self._clock():
+            return False
+        lease.expires_at = self._clock() + self.ttl_s
+        lease.renewals += 1
+        return True
+
+    def alive(self, worker_id: str) -> bool:
+        lease = self._leases.get(worker_id)
+        return lease is not None and lease.expires_at > self._clock()
+
+    def live_workers(self) -> List[str]:
+        """Ids holding unexpired leases, in registration order."""
+        now = self._clock()
+        return [
+            lease.worker_id
+            for lease in self._leases.values()
+            if lease.expires_at > now
+        ]
+
+    def expire_due(self) -> List[str]:
+        """Drop every lapsed lease and return their worker ids.
+
+        The coordinator calls this once per tick; each returned id gets
+        a ``lease_expired`` journal event and its shards rehomed.
+        """
+        now = self._clock()
+        expired = [
+            worker_id
+            for worker_id, lease in self._leases.items()
+            if lease.expires_at <= now
+        ]
+        for worker_id in expired:
+            del self._leases[worker_id]
+        return expired
+
+    def __len__(self) -> int:
+        return len(self.live_workers())

@@ -118,6 +118,10 @@ class Scheduler:
         )
         self.spans_path = Path(spans_path) if spans_path else None
         self.draining = False
+        #: flipped when a pool could not be built and the scheduler fell
+        #: back to in-process serial execution — ``/readyz`` reports it
+        #: as a degraded (but still ready) status.
+        self.pool_failed = False
         self._executor: Optional[Any] = None
         self._serial: Optional[Any] = None
         self._executor_dead = False
@@ -280,6 +284,7 @@ class Scheduler:
             except Exception:  # noqa: BLE001 - degrade, don't die
                 self.registry.counter("server.pool_unavailable").inc()
                 self.workers = 0
+                self.pool_failed = True
                 return None
         return self._executor
 

@@ -53,7 +53,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.errors import ServerError
 from repro.obs import current_registry
 from repro.obs.events import SCHEMA_VERSION
-from repro.service.jobs import JobSpec, parse_manifest
+from repro.service.jobs import DEFAULT_TENANT, JobSpec, parse_manifest
 from repro.version import get_version
 
 JOURNAL_NAME = "jobs.jsonl"
@@ -62,6 +62,18 @@ JOURNAL_NAME = "jobs.jsonl"
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
+
+#: Events replay folds into job state.
+_REPLAY_FOLDED = ("job_submitted", "job_started", "job_done")
+
+#: Events replay recognizes but deliberately ignores: process markers,
+#: and the fleet vocabulary (the coordinator replays those itself via
+#: :meth:`JobStore.replay_records`).
+_REPLAY_IGNORED = frozenset({
+    "server_start", "server_stop",
+    "worker_registered", "lease_renewed", "lease_expired",
+    "shard_dispatched", "shard_rehomed", "shard_done",
+})
 
 
 def submission_hash(spec: JobSpec) -> str:
@@ -86,6 +98,11 @@ def submission_hash(spec: JobSpec) -> str:
         doc["backend"] = spec.backend
     if spec.fidelity != "single":
         doc["fidelity"] = spec.fidelity
+    # A named tenant owns its own job ids (tenant A's submission must
+    # not dedup against tenant B's quota-free copy), but the default
+    # tenant stays out of the hash so pre-tenant ids are unchanged.
+    if spec.tenant != DEFAULT_TENANT:
+        doc["tenant"] = spec.tenant
     encoded = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode()).hexdigest()
 
@@ -176,18 +193,26 @@ class JobStore:
     mutation holds one lock.
     """
 
-    def __init__(self, state_dir: Path, clock=time.time):
+    def __init__(self, state_dir: Path, clock=time.time, queue_policy=None):
         self.state_dir = Path(state_dir)
         self.path = self.state_dir / JOURNAL_NAME
         self.jobs: Dict[str, ServerJob] = {}
         self.dropped_writes = 0
         self._queue: List[str] = []       # job ids, FIFO
         self._clock = clock
+        #: optional claim policy: given the queued jobs (oldest first),
+        #: return the id to claim next.  ``None`` = FIFO.  The admission
+        #: controller plugs weighted fair queueing in here.
+        self._queue_policy = queue_policy
         self._lock = threading.Lock()
         self._stream = None
         self.resumed_queued = 0
         self.resumed_running = 0
         self.resumed_done = 0
+        #: journal lines whose event name this build does not know —
+        #: skipped and counted (forward compatibility: a newer build's
+        #: lease/shard events must not abort an older build's resume).
+        self.skipped_events = 0
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self._replay()
         self._stream = open(self.path, "a")
@@ -219,6 +244,11 @@ class JobStore:
             if not isinstance(record, dict):
                 continue
             event = record.get("event")
+            if event not in _REPLAY_FOLDED and event not in _REPLAY_IGNORED:
+                # A future producer's event type: skip it, count it,
+                # keep resuming — never abort on vocabulary we predate.
+                self.skipped_events += 1
+                continue
             if event == "job_submitted":
                 job = self._job_from_record(record)
                 if job is not None and job.id not in self.jobs:
@@ -305,11 +335,29 @@ class JobStore:
     # -- scheduling ------------------------------------------------------------
 
     def claim_next(self) -> Optional[ServerJob]:
-        """Pop the oldest queued job and mark its next attempt started."""
+        """Pop the next queued job and mark its next attempt started.
+
+        "Next" is FIFO unless a queue policy was installed, in which
+        case the policy picks among the queued jobs (weighted fair
+        queueing across tenants); a policy that errors or answers with
+        an id not in the queue falls back to FIFO rather than stalling
+        the dispatch loop.
+        """
         with self._lock:
             if not self._queue:
                 return None
-            job = self.jobs[self._queue.pop(0)]
+            chosen = self._queue[0]
+            if self._queue_policy is not None:
+                try:
+                    picked = self._queue_policy(
+                        [self.jobs[job_id] for job_id in self._queue]
+                    )
+                except Exception:  # noqa: BLE001 - policy must not stall
+                    picked = None
+                if picked in self._queue:
+                    chosen = picked
+            self._queue.remove(chosen)
+            job = self.jobs[chosen]
             job.status = RUNNING
             job.attempts += 1
             job.started_ts = self._clock()
@@ -370,6 +418,54 @@ class JobStore:
             )
             done = sum(1 for job in self.jobs.values() if job.status == DONE)
         return {"queued": queued, "running": running, "done": done}
+
+    def active_counts(self) -> Dict[str, int]:
+        """Per-tenant queued+running totals — the admission controller's
+        quota denominator."""
+        with self._lock:
+            totals: Dict[str, int] = {}
+            for job in self.jobs.values():
+                if job.status in (QUEUED, RUNNING):
+                    tenant = job.spec.tenant
+                    totals[tenant] = totals.get(tenant, 0) + 1
+            return totals
+
+    # -- fleet journal access --------------------------------------------------
+
+    def append_event(self, record: Dict[str, Any], required: bool = False) -> None:
+        """Journal one caller-shaped event (the fleet coordinator's
+        lease/shard vocabulary) through the same fsync'd stream.
+
+        The record must carry an ``event`` name; ``ts`` and
+        ``schema_version`` are stamped here like every other append.
+        """
+        with self._lock:
+            self._append(dict(record), required=required)
+
+    def replay_records(self) -> List[Dict[str, Any]]:
+        """Re-read the journal and return every parseable record.
+
+        The fleet coordinator uses this on restart to adopt completed
+        shards (``shard_done``) without re-dispatching them; torn lines
+        are skipped exactly as in :meth:`_replay`.
+        """
+        with self._lock:
+            try:
+                text = self.path.read_text()
+            except OSError:
+                return []
+        records: List[Dict[str, Any]] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write
+            if isinstance(record, dict):
+                records.append(record)
+        return records
 
     # -- lifecycle -------------------------------------------------------------
 

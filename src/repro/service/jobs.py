@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import re
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,7 +38,7 @@ from repro.errors import ServiceError
 #: Manifest/job keys accepted by :func:`parse_manifest`.
 _JOB_KEYS = {
     "id", "program", "board", "search", "pipeline", "timeout_s",
-    "max_attempts", "call_deadline_s", "backend", "fidelity",
+    "max_attempts", "call_deadline_s", "backend", "fidelity", "tenant",
 }
 _MANIFEST_KEYS = {"defaults", "jobs"}
 _DEFAULT_KEYS = _JOB_KEYS - {"id", "program"}
@@ -48,6 +49,24 @@ _PIPELINE_KEYS = {
 }
 _BOARDS = ("pipelined", "nonpipelined")
 _FIDELITIES = ("single", "multi")
+
+#: The implicit tenant for submissions that name none.  Jobs under this
+#: tenant hash identically to pre-tenant submissions, so existing job
+#: ids (and dedup hits against old journals) stay byte-identical.
+DEFAULT_TENANT = "default"
+
+_TENANT_OK = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def _check_tenant(context: str, tenant: Any) -> str:
+    """Validate a tenant id (it becomes a metrics label and a fair-queue
+    key, so the charset is deliberately narrow)."""
+    if not isinstance(tenant, str) or not _TENANT_OK.match(tenant):
+        raise ServiceError(
+            f"{context}: tenant must match {_TENANT_OK.pattern!r}, "
+            f"got {tenant!r}"
+        )
+    return tenant
 
 
 def _check_backend(context: str, backend: Any) -> str:
@@ -84,6 +103,8 @@ class JobConfig:
             as on :class:`JobSpec`.
         backend: estimation backend id the job navigates on.
         fidelity: ``single`` or ``multi`` (authoritative confirmation).
+        tenant: accounting identity for multi-tenant admission (quota,
+            fair queueing, per-tenant metrics series).
     """
 
     board: str = "pipelined"
@@ -94,6 +115,7 @@ class JobConfig:
     call_deadline_s: Optional[float] = None
     backend: str = "analytic"
     fidelity: str = "single"
+    tenant: str = DEFAULT_TENANT
 
 
 def _as_overrides(value: Any, allowed: set, what: str) -> Tuple:
@@ -138,6 +160,9 @@ class JobSpec:
             (``analytic``/``placeroute``/``interp``).
         fidelity: ``single``, or ``multi`` for navigate-cheap /
             confirm-authoritative exploration.
+        tenant: accounting identity for multi-tenant admission; the
+            default tenant is excluded from every hash so pre-tenant
+            job ids stay byte-identical.
     """
 
     id: str
@@ -150,6 +175,7 @@ class JobSpec:
     call_deadline_s: Optional[float] = None
     backend: str = "analytic"
     fidelity: str = "single"
+    tenant: str = DEFAULT_TENANT
 
     def to_payload(self) -> Dict[str, Any]:
         """The primitives-only dict shipped to worker processes."""
@@ -162,6 +188,7 @@ class JobSpec:
             "call_deadline_s": self.call_deadline_s,
             "backend": self.backend,
             "fidelity": self.fidelity,
+            "tenant": self.tenant,
         }
 
     @classmethod
@@ -176,6 +203,7 @@ class JobSpec:
             call_deadline_s=payload.get("call_deadline_s"),
             backend=payload.get("backend", "analytic"),
             fidelity=payload.get("fidelity", "single"),
+            tenant=payload.get("tenant", DEFAULT_TENANT),
         )
 
     @classmethod
@@ -243,6 +271,7 @@ class JobSpec:
             call_deadline_s=config.call_deadline_s,
             backend=_check_backend("JobConfig", config.backend),
             fidelity=_check_fidelity("JobConfig", config.fidelity),
+            tenant=_check_tenant("JobConfig", config.tenant),
         )
 
 
@@ -354,6 +383,9 @@ def _build_job(
     fidelity = _check_fidelity(
         f"job {position}", entry.get("fidelity", "single")
     )
+    tenant = _check_tenant(
+        f"job {position}", entry.get("tenant", DEFAULT_TENANT)
+    )
 
     job_id = entry.get("id") or _default_id(position, program, board)
     return JobSpec(
@@ -367,6 +399,7 @@ def _build_job(
         call_deadline_s=call_deadline_s,
         backend=backend,
         fidelity=fidelity,
+        tenant=tenant,
     )
 
 

@@ -77,6 +77,10 @@ def spec_hash(spec: JobSpec) -> str:
         doc["backend"] = spec.backend
     if spec.fidelity != "single":
         doc["fidelity"] = spec.fidelity
+    # Same conditional-inclusion discipline for the tenant: pre-tenant
+    # ledgers (and every default-tenant manifest) hash unchanged.
+    if spec.tenant != "default":
+        doc["tenant"] = spec.tenant
     encoded = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode()).hexdigest()
 
@@ -111,6 +115,8 @@ def manifest_document(manifest: BatchManifest) -> Dict[str, Any]:
             job["backend"] = spec.backend
         if spec.fidelity != "single":
             job["fidelity"] = spec.fidelity
+        if spec.tenant != "default":
+            job["tenant"] = spec.tenant
         jobs.append(job)
     return {"jobs": jobs}
 

@@ -1,0 +1,128 @@
+"""Chaos: kill a fleet worker mid-shard; the coordinator rehomes.
+
+The script the fleet's crash-safety story must survive, run fully
+in-process on a fake clock so it is deterministic:
+
+1. A clean single-worker fleet run establishes the oracle payload.
+2. A two-worker run starts; the first worker claims a shard and dies
+   mid-execution (the ``worker_kill`` fault site with ``max_hits: 1``).
+   It never reports, never heartbeats again.
+3. The surviving worker drains everything else, the dead worker's lease
+   lapses after exactly one TTL, and the coordinator rehomes the orphan.
+4. The job finishes with a payload **bit-identical** to the oracle,
+   exactly one ``job_started`` in the journal, and exactly one
+   ``shard_done`` per shard — nothing lost, nothing duplicated.
+
+All five paper kernels run the same script.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.server.fleet import FleetCoordinator, execute_shard
+from repro.server.store import JobStore, parse_submission
+
+KERNELS = ["kernel:fir", "kernel:mm", "kernel:pat", "kernel:jac",
+           "kernel:sobel"]
+
+TTL_S = 10.0
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_fleet(tmp_path, name):
+    store = JobStore(tmp_path / name)
+    clock = FakeClock()
+    coordinator = FleetCoordinator(
+        store, lease_ttl_s=TTL_S, shard_points=8, clock=clock,
+    )
+    return store, coordinator, clock
+
+
+def drain(coordinator, worker_id):
+    """Claim and execute until the coordinator has nothing to hand out."""
+    while True:
+        shard = coordinator.claim(worker_id)
+        if shard is None:
+            return
+        result = execute_shard(shard)
+        coordinator.complete(worker_id, result["shard_id"], result)
+
+
+def kill_spec(tmp_path):
+    """A fault spec that murders exactly one shard execution."""
+    path = tmp_path / "kill.json"
+    path.write_text(json.dumps({
+        "faults": [
+            {"site": "worker_kill", "mode": "raise", "max_hits": 1},
+        ],
+    }))
+    return str(path)
+
+
+@pytest.mark.parametrize("program", KERNELS)
+def test_worker_death_mid_shard_is_invisible(tmp_path, program):
+    # --- oracle: one worker, no faults -----------------------------------
+    store_solo, solo, _ = make_fleet(tmp_path, "solo")
+    job_solo, _ = store_solo.submit(parse_submission(program))
+    solo.register("only")
+    drain(solo, "only")
+    assert job_solo.status == "done" and job_solo.result == "ok"
+
+    # --- chaos run: two workers, one dies mid-shard ----------------------
+    store, coordinator, clock = make_fleet(tmp_path, "fleet")
+    job, _ = store.submit(parse_submission(program))
+    coordinator.register("doomed")
+    coordinator.register("survivor")
+
+    faults.activate(kill_spec(tmp_path))
+    shard = coordinator.claim("doomed")
+    assert shard is not None
+    with pytest.raises(Exception):
+        execute_shard(shard)   # the injected death: no result ever posted
+    # "doomed" is gone: no heartbeat, no completion, shard stays inflight.
+
+    drain(coordinator, "survivor")
+    assert job.status != "done", "job must wait on the orphaned shard"
+
+    # One TTL later the lease lapses and the orphan is rehomed.  The
+    # survivor keeps heartbeating, so only the dead worker expires.
+    clock.advance(TTL_S * 0.6)
+    assert coordinator.heartbeat("survivor")
+    clock.advance(TTL_S * 0.4)
+    assert coordinator.tick() == ["doomed"]
+    assert coordinator.rehomed_total == 1
+
+    drain(coordinator, "survivor")
+    assert job.status == "done" and job.result == "ok"
+
+    # --- nothing lost, nothing duplicated --------------------------------
+    records = store.replay_records()
+    started = [r for r in records
+               if r.get("event") == "job_started"
+               and r.get("job_id") == job.id]
+    assert len(started) == 1, "rehoming must never restart the job"
+
+    done_shards = [r["shard_id"] for r in records
+                   if r.get("event") == "shard_done"]
+    assert len(done_shards) == len(set(done_shards))
+    assert len(done_shards) == job.payload["shards"]
+    assert coordinator.duplicate_results == 0
+
+    events = [r["event"] for r in records]
+    assert "lease_expired" in events
+    assert "shard_rehomed" in events
+
+    # --- and the answer is bit-identical to the clean run ----------------
+    assert job.payload == job_solo.payload

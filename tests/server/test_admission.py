@@ -1,0 +1,225 @@
+"""Multi-tenant admission: quotas, computed Retry-After, fair queueing,
+and the tenant-conditional submission hash."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.server import ExplorationServer
+from repro.server.admission import (
+    AdmissionController, TenantPolicy, parse_tenant_policy, retry_after_s,
+)
+from repro.server.http import Request
+from repro.server.store import job_id_for, parse_submission, submission_hash
+
+from .conftest import stub_worker
+
+
+def make_app(tmp_path, **kw):
+    kw.setdefault("workers", 0)
+    kw.setdefault("worker", stub_worker)
+    return ExplorationServer(state_dir=tmp_path / "state", **kw)
+
+
+def post_jobs(app, doc):
+    return app.handle(Request("POST", "/jobs", body=json.dumps(doc).encode()))
+
+
+def body(response):
+    return json.loads(response.body.decode())
+
+
+class TestPolicyParsing:
+    def test_name_quota(self):
+        name, policy = parse_tenant_policy("acme=4")
+        assert (name, policy.quota, policy.weight) == ("acme", 4, 1.0)
+
+    def test_name_quota_weight(self):
+        name, policy = parse_tenant_policy("acme=4:2.5")
+        assert (name, policy.quota, policy.weight) == ("acme", 4, 2.5)
+
+    @pytest.mark.parametrize("bad", ["acme", "=4", "acme=", "acme=x",
+                                     "acme=4:y"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_tenant_policy(bad)
+
+    def test_policy_bounds(self):
+        with pytest.raises(ValueError):
+            TenantPolicy(quota=0)
+        with pytest.raises(ValueError):
+            TenantPolicy(weight=0.0)
+
+
+class TestRetryAfter:
+    def test_under_quota_floor_is_one(self):
+        assert retry_after_s(active=0, quota=4) == 1
+        assert retry_after_s(active=3, quota=4) == 1
+
+    def test_grows_with_queue_depth(self):
+        values = [retry_after_s(active, quota=4) for active in range(4, 40, 4)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_shrinks_with_bigger_quota(self):
+        assert retry_after_s(20, quota=2) > retry_after_s(20, quota=10)
+
+
+class TestQuota:
+    def test_over_quota_rejected_with_computed_backoff(self):
+        controller = AdmissionController(
+            {"acme": TenantPolicy(quota=2)}, registry=MetricsRegistry(),
+        )
+        assert controller.check("acme", {"acme": 1}) is None
+        rejection = controller.check("acme", {"acme": 2})
+        assert rejection is not None
+        assert rejection.reason == "tenant_quota"
+        assert rejection.retry_after_s >= 1
+        deeper = controller.check("acme", {"acme": 20})
+        assert deeper.retry_after_s > rejection.retry_after_s
+
+    def test_unknown_tenant_uses_default_policy(self):
+        controller = AdmissionController(
+            default_policy=TenantPolicy(quota=1), registry=MetricsRegistry(),
+        )
+        assert controller.check("anyone", {}) is None
+        assert controller.check("anyone", {"anyone": 1}) is not None
+
+    def test_rejected_counter_registered_at_zero(self):
+        registry = MetricsRegistry()
+        AdmissionController(
+            {"acme": TenantPolicy(quota=2)}, registry=registry,
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters['admission.rejected{tenant=acme}'] == 0
+
+
+class TestFairQueueing:
+    class _Job:
+        def __init__(self, job_id, tenant):
+            from repro.service.jobs import JobConfig, JobSpec
+            self.id = job_id
+            self.spec = JobSpec.create(
+                "kernel:fir", id=job_id, config=JobConfig(tenant=tenant),
+            )
+
+    def _queued(self, *tenants):
+        return [self._Job(f"job-{i}", tenant)
+                for i, tenant in enumerate(tenants)]
+
+    def test_single_tenant_degenerates_to_fifo(self):
+        controller = AdmissionController(registry=MetricsRegistry())
+        jobs = self._queued("default", "default", "default")
+        assert controller.pick_next(jobs) == "job-0"
+
+    def test_interleaves_two_equal_tenants(self):
+        controller = AdmissionController(registry=MetricsRegistry())
+        jobs = self._queued("a", "a", "a", "b", "b", "b")
+        picked = []
+        remaining = list(jobs)
+        while remaining:
+            choice = controller.pick_next(remaining)
+            picked.append(choice)
+            remaining = [j for j in remaining if j.id != choice]
+        tenants = ["a" if j in ("job-0", "job-1", "job-2") else "b"
+                   for j in picked]
+        # Perfect alternation after the first pick: a b a b a b
+        assert tenants == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weight_biases_throughput(self):
+        controller = AdmissionController(
+            {"heavy": TenantPolicy(quota=64, weight=3.0),
+             "light": TenantPolicy(quota=64, weight=1.0)},
+            registry=MetricsRegistry(),
+        )
+        jobs = self._queued(*(["heavy"] * 12 + ["light"] * 12))
+        first_eight = []
+        remaining = list(jobs)
+        for _ in range(8):
+            choice = controller.pick_next(remaining)
+            job = next(j for j in remaining if j.id == choice)
+            first_eight.append(job.spec.tenant)
+            remaining = [j for j in remaining if j.id != choice]
+        assert first_eight.count("heavy") > first_eight.count("light")
+
+    def test_empty_queue_returns_none(self):
+        controller = AdmissionController(registry=MetricsRegistry())
+        assert controller.pick_next([]) is None
+
+
+class TestHashStability:
+    def test_default_tenant_hash_unchanged(self):
+        """Pre-tenant clients must keep their byte-identical job ids."""
+        plain = parse_submission({"program": "kernel:fir"})
+        explicit = parse_submission(
+            {"program": "kernel:fir", "tenant": "default"}
+        )
+        assert submission_hash(plain) == submission_hash(explicit)
+        assert job_id_for(plain) == job_id_for(explicit)
+
+    def test_named_tenant_owns_its_ids(self):
+        plain = parse_submission({"program": "kernel:fir"})
+        acme = parse_submission({"program": "kernel:fir", "tenant": "acme"})
+        beta = parse_submission({"program": "kernel:fir", "tenant": "beta"})
+        assert len({job_id_for(plain), job_id_for(acme),
+                    job_id_for(beta)}) == 3
+
+    def test_bad_tenant_rejected_at_intake(self, tmp_path):
+        app = make_app(tmp_path)
+        assert post_jobs(app, {"program": "kernel:fir",
+                               "tenant": "no spaces"}).status == 400
+        assert post_jobs(app, {"program": "kernel:fir",
+                               "tenant": 7}).status == 400
+
+
+class TestServerIntegration:
+    def test_tenant_quota_429_with_computed_retry_after(self, tmp_path):
+        app = make_app(
+            tmp_path,
+            tenant_policies={"acme": TenantPolicy(quota=1)},
+        )
+        first = post_jobs(app, {"program": "kernel:fir", "tenant": "acme"})
+        assert first.status == 201
+        bounced = post_jobs(app, {"program": "kernel:mm", "tenant": "acme"})
+        assert bounced.status == 429
+        assert int(bounced.headers["Retry-After"]) >= 1
+        # Another tenant is unaffected by acme's quota.
+        other = post_jobs(app, {"program": "kernel:mm", "tenant": "beta"})
+        assert other.status == 201
+        counters = app.registry.snapshot()["counters"]
+        assert counters["admission.rejected{tenant=acme}"] == 1
+
+    def test_queue_full_retry_after_scales_with_depth(self, tmp_path):
+        app = make_app(
+            tmp_path, queue_limit=2,
+            tenant_policies={"acme": TenantPolicy(quota=1)},
+        )
+        kernels = ["kernel:fir", "kernel:mm"]
+        for kernel in kernels:
+            assert post_jobs(app, {"program": kernel}).status == 201
+        bounced = post_jobs(app, {"program": "kernel:jac",
+                                  "tenant": "acme"})
+        assert bounced.status == 429
+        # depth 2, quota 1 -> ceil((2+1-1)/1) = 2 seconds, not the old
+        # constant 1.
+        assert bounced.headers["Retry-After"] == "2"
+
+    def test_per_tenant_submitted_series(self, tmp_path):
+        app = make_app(tmp_path)
+        post_jobs(app, {"program": "kernel:fir", "tenant": "acme"})
+        post_jobs(app, {"program": "kernel:mm"})
+        counters = app.registry.snapshot()["counters"]
+        assert counters["server.jobs.submitted{tenant=acme}"] == 1
+        assert counters["server.jobs.submitted{tenant=default}"] == 1
+        assert counters["server.jobs.submitted"] == 2
+
+    def test_dedup_bypasses_tenant_quota(self, tmp_path):
+        app = make_app(
+            tmp_path, tenant_policies={"acme": TenantPolicy(quota=1)},
+        )
+        first = post_jobs(app, {"program": "kernel:fir", "tenant": "acme"})
+        assert first.status == 201
+        again = post_jobs(app, {"program": "kernel:fir", "tenant": "acme"})
+        assert again.status == 200
+        assert body(again)["job_id"] == body(first)["job_id"]

@@ -1,0 +1,80 @@
+"""Lease-table semantics: grant, renew, expire — all on a fake clock."""
+
+import pytest
+
+from repro.server.leases import LeaseTable
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(ttl=10.0):
+    clock = FakeClock()
+    return LeaseTable(ttl_s=ttl, clock=clock), clock
+
+
+class TestGrant:
+    def test_register_grants_full_ttl(self):
+        table, clock = make(ttl=10.0)
+        lease = table.register("w1")
+        assert lease.expires_at == pytest.approx(10.0)
+        assert table.alive("w1")
+        assert table.live_workers() == ["w1"]
+
+    def test_reregister_refreshes_not_duplicates(self):
+        table, clock = make(ttl=10.0)
+        table.register("w1")
+        clock.advance(6.0)
+        table.register("w1")
+        clock.advance(6.0)  # 12s after first grant, 6s after second
+        assert table.alive("w1")
+        assert len(table) == 1
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            LeaseTable(ttl_s=0)
+
+
+class TestRenew:
+    def test_renew_extends_and_counts(self):
+        table, clock = make(ttl=10.0)
+        table.register("w1")
+        clock.advance(9.0)
+        assert table.renew("w1")
+        clock.advance(9.0)  # would be past the original expiry
+        assert table.alive("w1")
+
+    def test_renew_unknown_or_expired_fails(self):
+        table, clock = make(ttl=10.0)
+        assert not table.renew("ghost")
+        table.register("w1")
+        clock.advance(10.0)
+        assert not table.renew("w1")
+
+
+class TestExpiry:
+    def test_expire_due_drops_only_lapsed(self):
+        table, clock = make(ttl=10.0)
+        table.register("old")
+        clock.advance(6.0)
+        table.register("young")
+        clock.advance(5.0)  # old at 11s, young at 5s
+        assert table.expire_due() == ["old"]
+        assert table.live_workers() == ["young"]
+        # idempotent: the lapsed lease is gone, not re-reported
+        assert table.expire_due() == []
+
+    def test_exactly_at_ttl_is_expired(self):
+        table, clock = make(ttl=10.0)
+        table.register("w1")
+        clock.advance(10.0)
+        assert not table.alive("w1")
+        assert table.expire_due() == ["w1"]

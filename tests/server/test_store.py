@@ -171,6 +171,60 @@ class TestReplay:
         second = JobStore(tmp_path)
         assert second.queue_depth == 1
 
+    def test_unknown_future_events_skipped_and_counted(self, tmp_path):
+        """A journal written by a *newer* server must still resume: event
+        types this build has never heard of are skipped (and counted),
+        never allowed to abort the replay."""
+        first = JobStore(tmp_path)
+        first.submit(spec())
+        first.close()
+        with open(tmp_path / "jobs.jsonl", "a") as stream:
+            stream.write(json.dumps({
+                "event": "quantum_checkpoint", "schema_version": 2,
+                "job_id": "whatever", "qubits": 7,
+            }) + "\n")
+            stream.write(json.dumps({
+                "event": "shard_teleported", "schema_version": 1,
+            }) + "\n")
+
+        second = JobStore(tmp_path)
+        assert second.skipped_events == 2
+        assert second.queue_depth == 1
+        assert second.claim_next().spec.program == "kernel:fir"
+
+    def test_fleet_events_are_ignored_not_counted(self, tmp_path):
+        """Fleet bookkeeping events are *known* — replay ignores them by
+        design (the coordinator adopts them separately) and must not
+        report them as skipped unknowns."""
+        first = JobStore(tmp_path)
+        job, _ = first.submit(spec())
+        for record in (
+            {"event": "worker_registered", "worker": "w1", "ttl_s": 10.0},
+            {"event": "lease_renewed", "worker": "w1"},
+            {"event": "shard_dispatched", "shard_id": "shard-abc",
+             "job_id": job.id, "worker": "w1", "points": 8},
+            {"event": "lease_expired", "worker": "w1"},
+            {"event": "shard_rehomed", "shard_id": "shard-abc",
+             "job_id": job.id, "from_worker": "w1"},
+            {"event": "shard_done", "shard_id": "shard-abc",
+             "job_id": job.id, "worker": "w2", "result": {"points": []}},
+        ):
+            first.append_event(record)
+        first.close()
+
+        second = JobStore(tmp_path)
+        assert second.skipped_events == 0
+        assert second.queue_depth == 1
+
+    def test_replay_records_returns_fleet_events(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(spec())
+        store.append_event({"event": "worker_registered", "worker": "w1",
+                            "ttl_s": 10.0})
+        names = [r["event"] for r in store.replay_records()]
+        assert "job_submitted" in names
+        assert "worker_registered" in names
+
     def test_journal_records_carry_schema_version(self, tmp_path):
         store = JobStore(tmp_path)
         store.submit(spec())

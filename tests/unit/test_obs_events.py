@@ -105,6 +105,43 @@ class TestForwardCompat:
             events.from_record(record, strict=True)
 
 
+class TestFleetEvents:
+    """The v1 fleet additions decode typed, not as GenericEvent."""
+
+    def test_fleet_events_decode_typed(self):
+        cases = {
+            "worker_registered": events.WorkerRegistered,
+            "lease_renewed": events.LeaseRenewed,
+            "lease_expired": events.LeaseExpired,
+            "shard_dispatched": events.ShardDispatched,
+            "shard_rehomed": events.ShardRehomed,
+            "shard_done": events.ShardDone,
+        }
+        registered = events.event_types()
+        for name, cls in cases.items():
+            assert registered[name] is cls
+
+    def test_shard_rehomed_round_trip(self):
+        event = events.ShardRehomed(
+            ts=3.0, shard_id="shard-abc123", job_id="fir-pipelined",
+            from_worker="w1",
+        )
+        restored = events.from_record(event.to_record(), strict=True)
+        assert restored == event
+
+    def test_worker_registered_validates(self):
+        record = {"event": "worker_registered", "ts": 1.0, "worker": "w1",
+                  "ttl_s": 10.0, "schema_version": 1}
+        assert events.validate_record(record) == []
+
+    def test_fleet_event_tolerates_future_fields(self):
+        record = {"event": "lease_expired", "ts": 2.0, "worker": "w1",
+                  "schema_version": 1, "grace_s": 5.0}
+        event = events.from_record(record)
+        assert isinstance(event, events.LeaseExpired)
+        assert event.extra == {"grace_s": 5.0}
+
+
 class TestValidation:
     def good(self):
         return {"event": "job_start", "ts": 1.0, "job_id": "a",
