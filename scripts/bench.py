@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Benchmark the estimation backends and the Figure-2 walk — BENCH_6.json.
+"""Benchmark the estimation backends, the Figure-2 walk, and the
+durable journal — BENCH_8.json.
 
 Three timing surfaces, per kernel, on the pipelined board:
 
@@ -10,15 +11,21 @@ Three timing surfaces, per kernel, on the pipelined board:
 * **estimate** — one bare estimator call per registered backend on the
   same compiled design, isolating model cost from compilation cost.
 
+Plus one **journal** section (PR 8) over a synthetic 10k-event durable
+journal: fsync'd checksummed append throughput, full checksum-verified
+replay (``scan_journal``), fsck inspection, and snapshot compaction —
+the costs a server restart and a ``repro fsck`` run actually pay.
+
 Each number is best-of-N wall seconds (N=--repeats, 1 for the interp
 backend — it is deliberately slow and its variance is relatively tiny).
-The checked-in ``BENCH_6.json`` at the repo root records one run of this
+The checked-in ``BENCH_8.json`` at the repo root records one run of this
 script; regenerate with::
 
-    PYTHONPATH=src python scripts/bench.py --output BENCH_6.json
+    PYTHONPATH=src python scripts/bench.py --output BENCH_8.json
 
 Timings are machine-relative: compare ratios (backend vs backend, walk
-vs point), not absolute milliseconds, across environments.
+vs point, replay vs append), not absolute milliseconds, across
+environments.
 """
 
 from __future__ import annotations
@@ -99,10 +106,67 @@ def bench_kernel(kernel, board, repeats: int) -> dict:
     }
 
 
+def bench_journal(events: int, repeats: int) -> dict:
+    """Durable-journal costs on a synthetic ``events``-record journal.
+
+    Append is timed once (it *writes* — best-of-N would just measure
+    the page cache warming up); replay, fsck, and compaction are
+    read-or-rewrite passes over the same on-disk journal and take the
+    usual best-of-N.
+    """
+    import tempfile
+
+    from repro.durable.fsck import inspect_journal
+    from repro.durable.journal import DurableJournal, scan_journal
+
+    with tempfile.TemporaryDirectory(prefix="bench-journal-") as name:
+        directory = Path(name)
+        journal = DurableJournal(directory, "jobs",
+                                 max_segment_bytes=1024 * 1024)
+        journal.open()
+
+        def append_all():
+            for index in range(events):
+                journal.append({
+                    "event": "job_started", "schema_version": 1,
+                    "job_id": f"job-{index:06d}", "attempt": 1,
+                    "ts": float(index),
+                })
+
+        append_s, _ = best_of(append_all, 1)
+        segments = journal.closed_segment_count() + 1
+
+        replay_s, scan = best_of(
+            lambda: scan_journal(directory, "jobs"), repeats
+        )
+        assert scan.total_records == events and not scan.corrupt
+
+        fsck_s, report = best_of(
+            lambda: inspect_journal(directory, "jobs"), repeats
+        )
+        assert report.clean
+
+        compact_s, _ = best_of(
+            lambda: journal.compact({"events": events}), 1
+        )
+        journal.close()
+
+    return {
+        "events": events,
+        "segments": segments,
+        "append_seconds": round(append_s, 6),
+        "appends_per_second": round(events / append_s, 1),
+        "replay_seconds": round(replay_s, 6),
+        "replays_per_second": round(events / replay_s, 1),
+        "fsck_inspect_seconds": round(fsck_s, 6),
+        "compact_seconds": round(compact_s, 6),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default="BENCH_6.json",
+        "--output", default="BENCH_8.json",
         help="where to write the JSON document (default: %(default)s)",
     )
     parser.add_argument(
@@ -112,6 +176,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--kernels", default=None,
         help="comma-separated kernel names (default: all five paper kernels)",
+    )
+    parser.add_argument(
+        "--journal-events", type=int, default=10_000,
+        help="synthetic journal size for the durability timings "
+             "(default: %(default)s; 0 skips the journal section)",
     )
     args = parser.parse_args(argv)
 
@@ -148,6 +217,20 @@ def main(argv=None) -> int:
             f" ({entry['walk']['points_searched']} points),"
             f" point {entry['point_eval_seconds'] * 1000:.2f}ms,"
             f" estimate {per_backend}"
+        )
+
+    if args.journal_events > 0:
+        print(f"benchmarking journal ({args.journal_events} events) ...",
+              flush=True)
+        document["journal"] = bench_journal(args.journal_events, args.repeats)
+        entry = document["journal"]
+        print(
+            f"  append {entry['append_seconds']:.3f}s"
+            f" ({entry['appends_per_second']:.0f}/s,"
+            f" {entry['segments']} segments),"
+            f" replay {entry['replay_seconds']:.3f}s,"
+            f" fsck {entry['fsck_inspect_seconds']:.3f}s,"
+            f" compact {entry['compact_seconds']:.3f}s"
         )
 
     output = Path(args.output)

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Durable-state smoke: boot `repro serve` with a tiny journal segment
+# size (forcing rotation/compaction), complete two jobs, SIGKILL the
+# server, flip one bit in a mid-journal record while nothing is
+# running, prove `repro fsck` detects the damage (exit 1) and
+# `--repair` clears it (exit 0), then restart on the same --state-dir
+# and prove the repaired journal resumes: completed jobs are adopted
+# without re-execution (no duplicate job_started, byte-identical
+# reports) and a final fsck comes back clean.
+# Run from the repo root: bash scripts/fsck_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+segment_bytes=2048
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+boot() {  # boot <logfile> -> sets server_pid + SRV
+  local log="$1"
+  : > "$workdir/port.txt"
+  python -m repro serve --state-dir "$workdir/state" \
+      --port 0 --port-file "$workdir/port.txt" --jobs 2 \
+      --journal-segment-bytes "$segment_bytes" \
+      > "$log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$workdir/port.txt" ] && break
+    kill -0 "$server_pid" 2>/dev/null \
+        || { echo "FAIL: server died on boot"; cat "$log"; exit 1; }
+    sleep 0.1
+  done
+  [ -s "$workdir/port.txt" ] || { echo "FAIL: no port file"; exit 1; }
+  SRV="http://127.0.0.1:$(cat "$workdir/port.txt")"
+}
+
+echo "== boot (journal segments capped at $segment_bytes bytes) =="
+boot "$workdir/serve1.log"
+
+echo "== complete two jobs =="
+fir_id="$(python -m repro submit kernel:fir --server "$SRV" 2>/dev/null | head -1)"
+mm_id="$(python -m repro submit kernel:mm --server "$SRV" 2>/dev/null | head -1)"
+python -m repro result "$fir_id" --server "$SRV" --wait \
+    --wait-timeout 240 > "$workdir/fir.json"
+python -m repro result "$mm_id" --server "$SRV" --wait \
+    --wait-timeout 240 > "$workdir/mm.json"
+grep -q '"status": "ok"' "$workdir/fir.json" \
+    || { echo "FAIL: fir report not ok"; exit 1; }
+
+echo "== SIGKILL mid-flight (no drain, no server_stop) =="
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+ls "$workdir/state"/jobs.[0-9]*.jsonl >/dev/null 2>&1 \
+    || { echo "FAIL: tiny segments never rotated"; ls "$workdir/state"; exit 1; }
+echo "OK: journal rotated into numbered segments"
+
+echo "== the disk lies: flip one bit in a benign mid-file record =="
+python - "$workdir/state" <<'EOF'
+import json, sys
+from pathlib import Path
+from repro.durable.journal import segment_paths
+# Prefer records whose loss costs no lifecycle invariant; the anchors
+# (job_submitted carries the spec, job_done the result, the snapshot
+# the folded history) stay intact so the restart adopts everything.
+BENIGN = ("server_start", "job_started", "lease_renewed")
+ANCHORS = ("job_submitted", "job_done", "journal_snapshot")
+state = Path(sys.argv[1])
+for preference in (BENIGN, None):
+    for segment in segment_paths(state, "jobs"):
+        lines = segment.read_bytes().split(b"\n")
+        for index, line in enumerate(lines[:-2]):  # never the live tail
+            event = json.loads(line.decode()).get("event")
+            if event in ANCHORS:
+                continue
+            if preference is not None and event not in preference:
+                continue
+            flipped = bytearray(line)
+            flipped[len(flipped) // 2] ^= 0x01
+            lines[index] = bytes(flipped)
+            segment.write_bytes(b"\n".join(lines))
+            print(f"flipped one bit of a {event!r} record in {segment.name}")
+            raise SystemExit(0)
+raise SystemExit("no corruptible record found")
+EOF
+
+echo "== fsck detects (exit 1), --repair clears (exit 0) =="
+if python -m repro fsck "$workdir/state" > "$workdir/fsck1.txt"; then
+  echo "FAIL: fsck exited 0 on a damaged journal"; cat "$workdir/fsck1.txt"
+  exit 1
+fi
+grep -q "DAMAGED" "$workdir/fsck1.txt" \
+    || { echo "FAIL: no damage report"; cat "$workdir/fsck1.txt"; exit 1; }
+python -m repro fsck "$workdir/state" --repair --json "$workdir/fsck.json" \
+    > "$workdir/fsck2.txt" \
+    || { echo "FAIL: fsck --repair failed"; cat "$workdir/fsck2.txt"; exit 1; }
+[ -f "$workdir/state/jobs.quarantine" ] \
+    || { echo "FAIL: no quarantine sidecar"; exit 1; }
+grep -q '"clean_after_repair": true' "$workdir/fsck.json" \
+    || { echo "FAIL: repair left damage"; cat "$workdir/fsck.json"; exit 1; }
+python -m repro fsck "$workdir/state" > /dev/null \
+    || { echo "FAIL: journal still damaged after repair"; exit 1; }
+echo "OK: damage quarantined, journal repaired"
+
+echo "== restart-resume over the repaired journal =="
+boot "$workdir/serve2.log"
+grep -q "adopted 2 done" "$workdir/serve2.log" \
+    || { echo "FAIL: restart did not adopt both completed jobs"
+         cat "$workdir/serve2.log"; exit 1; }
+python -m repro result "$fir_id" --server "$SRV" > "$workdir/fir2.json"
+cmp -s "$workdir/fir.json" "$workdir/fir2.json" \
+    || { echo "FAIL: adopted report differs from original"; exit 1; }
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "FAIL: drain failed"; exit 1; }
+server_pid=""
+
+echo "== exactly-once execution across kill, repair, restart =="
+python - "$workdir/state" "$fir_id" "$mm_id" <<'EOF'
+import sys
+from collections import Counter
+from repro.server.store import JobStore
+state, fir, mm = sys.argv[1:4]
+store = JobStore(state, passive=True)
+starts = Counter(r["job_id"] for r in store.replay_records()
+                 if r.get("event") == "job_started")
+store.close()
+for job_id in (fir, mm):
+    assert starts[job_id] <= 1, f"{job_id} started {starts[job_id]} times"
+print("OK: no job executed twice across the gauntlet")
+EOF
+
+python -m repro fsck "$workdir/state" > /dev/null \
+    || { echo "FAIL: final fsck not clean"; exit 1; }
+echo "PASS: fsck smoke"

@@ -300,6 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-tenant admission policy: active-job "
                                 "quota and fair-queueing weight "
                                 "(repeatable)")
+    serve_cmd.add_argument("--journal-segment-bytes", type=int, default=None,
+                           metavar="N",
+                           help="rotate the job journal past N bytes per "
+                                "segment (default 4 MiB; rotation "
+                                "triggers snapshot compaction)")
 
     worker_cmd = commands.add_parser(
         "worker", help="attach a fleet worker to a coordinator "
@@ -384,6 +389,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="give up waiting after S seconds "
                                  "(default 300)")
 
+    fsck_cmd = commands.add_parser(
+        "fsck", help="inspect (and repair) the durable journals in a "
+                     "server state directory or batch run directory"
+    )
+    fsck_cmd.add_argument("directory", metavar="DIR",
+                          help="a --state-dir (jobs journal) or run "
+                               "directory (ledger)")
+    fsck_cmd.add_argument("--repair", action="store_true",
+                          help="truncate torn tails and quarantine+drop "
+                               "corrupt records (atomic segment rewrites)")
+    fsck_cmd.add_argument("--compact", action="store_true",
+                          help="with --repair: also fold the journal into "
+                               "a single snapshot checkpoint")
+    fsck_cmd.add_argument("--json", metavar="FILE", default=None,
+                          help="also write the full report as JSON "
+                               "('-' for stdout)")
+
     fuzz_cmd = commands.add_parser(
         "fuzz", help="differential-fuzz the pipeline against the "
                      "reference interpreter"
@@ -439,6 +461,8 @@ def _dispatch(args) -> int:
         return _run_status(args)
     if args.command == "result":
         return _run_result(args)
+    if args.command == "fsck":
+        return _run_fsck(args)
 
     if args.command == "explore":
         if args.parallel:
@@ -705,6 +729,7 @@ def _run_serve(args) -> int:
                      else DEFAULT_LEASE_TTL_S),
         shard_points=args.shard_points,
         tenant_policies=tenant_policies,
+        journal_segment_bytes=args.journal_segment_bytes,
     )
     return server.serve(
         port_file=Path(args.port_file) if args.port_file else None
@@ -731,6 +756,60 @@ def _run_worker(args) -> int:
     print(f"worker {worker_id} exiting after {done} shard(s)",
           file=sys.stderr)
     return 0
+
+
+def _run_fsck(args) -> int:
+    """``repro fsck``: verify durable journals; repair with ``--repair``.
+
+    Exit codes follow the fsck tradition loosely: 0 = every journal is
+    clean (or was just repaired), 1 = damage found and left in place.
+    """
+    import json as json_mod
+    from repro.durable import inspect_path, repair_path
+    directory = Path(args.directory)
+    reports = inspect_path(directory)
+    doc: dict = {"reports": [report.to_doc() for report in reports]}
+    damaged = [report for report in reports if not report.clean]
+    for report in reports:
+        state = "clean" if report.clean else "DAMAGED"
+        print(f"{report.prefix}: {state} — {report.total_records} records "
+              f"in {len(report.segments)} segment(s), "
+              f"{report.corrupt_records} corrupt, "
+              f"torn tail: {'yes' if report.torn_tail else 'no'}")
+        for segment in report.segments:
+            marks = []
+            if segment.corrupt:
+                marks.append(f"{len(segment.corrupt)} corrupt")
+            if segment.torn_tail:
+                marks.append("torn tail")
+            suffix = f"  [{', '.join(marks)}]" if marks else ""
+            print(f"  {segment.name}: {segment.records} records "
+                  f"({segment.framed} framed, {segment.legacy} legacy)"
+                  f"{suffix}")
+        for damage in (report.torn_tail,) if report.torn_tail else ():
+            print(f"  torn tail at {damage['segment']}:{damage['line']}")
+        for problem in report.schema_problems:
+            print(f"  schema: {problem}")
+    if args.repair and (damaged or args.compact):
+        repairs = repair_path(directory, compact=args.compact)
+        doc["repairs"] = [repair.to_doc() for repair in repairs]
+        for repair in repairs:
+            print(f"{repair.prefix}: repaired — "
+                  f"{repair.quarantined} quarantined, "
+                  f"{repair.dropped_records} dropped, "
+                  f"tail truncated: "
+                  f"{'yes' if repair.truncated_tail else 'no'}"
+                  + (", compacted" if repair.compacted else ""))
+        damaged = [report for report in inspect_path(directory)
+                   if not report.clean]
+        doc["clean_after_repair"] = not damaged
+    if args.json:
+        rendered = json_mod.dumps(doc, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(rendered)
+        else:
+            Path(args.json).write_text(rendered)
+    return 1 if damaged else 0
 
 
 def _submission_entry(args) -> dict:

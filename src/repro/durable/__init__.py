@@ -1,0 +1,58 @@
+"""Durable-state substrate: checksummed segmented journals + fsck.
+
+``repro.durable.journal`` is the write/replay layer both long-lived
+journals (the server's job store, the batch run ledger) sit on;
+``repro.durable.fsck`` is the offline inspection/repair toolkit behind
+the ``repro fsck`` CLI verb.  See DESIGN.md §6.8 for the on-disk format
+and the corruption taxonomy.
+"""
+
+from repro.durable.journal import (
+    DEFAULT_SEGMENT_BYTES,
+    FRAME_FIELD,
+    QUARANTINE_SUFFIX,
+    SNAPSHOT_EVENT,
+    DamagedRecord,
+    DurableJournal,
+    JournalScan,
+    frame_record,
+    quarantine_path,
+    quarantine_records,
+    record_crc,
+    scan_journal,
+    segment_paths,
+    verify_line,
+)
+from repro.durable.fsck import (
+    JournalReport,
+    RepairReport,
+    discover_journals,
+    inspect_journal,
+    inspect_path,
+    repair_journal,
+    repair_path,
+)
+
+__all__ = [
+    "DEFAULT_SEGMENT_BYTES",
+    "FRAME_FIELD",
+    "QUARANTINE_SUFFIX",
+    "SNAPSHOT_EVENT",
+    "DamagedRecord",
+    "DurableJournal",
+    "JournalReport",
+    "JournalScan",
+    "RepairReport",
+    "discover_journals",
+    "frame_record",
+    "inspect_journal",
+    "inspect_path",
+    "quarantine_path",
+    "quarantine_records",
+    "record_crc",
+    "repair_journal",
+    "repair_path",
+    "scan_journal",
+    "segment_paths",
+    "verify_line",
+]

@@ -285,6 +285,19 @@ class LedgerError(ServiceError):
     kind = "ledger"
 
 
+class JournalError(ServiceError):
+    """A durable journal cannot be inspected or repaired.
+
+    Raised by the ``repro fsck`` toolkit for directories that hold no
+    recognizable journal, or repairs that cannot be applied.  Damage
+    *inside* a journal is never an exception — replay quarantines and
+    continues, and fsck reports it — this class covers only the cases
+    where there is nothing coherent to operate on.
+    """
+
+    kind = "journal"
+
+
 class TransientError(ReproError):
     """A retryable fault: the same operation may succeed if repeated.
 

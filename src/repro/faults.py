@@ -54,6 +54,18 @@ asserts over):
                     shard is requeued (key = the shard id); a ``raise``
                     defers the rehoming to the next lease sweep instead
                     of losing the shard
+``disk_full``       before every durable-journal append (key = the
+                    journal prefix, ``jobs`` or ``ledger``); an
+                    ``io_error`` rule turns the append into ENOSPC,
+                    which the job store degrades into read-only mode
+``journal_bitflip`` the serialized journal line (``mangle`` site, key =
+                    the journal prefix); a ``bitflip`` rule flips one
+                    deterministic bit — the record lands on disk but
+                    fails its CRC on replay
+``journal_torn``    the serialized journal line (``mangle`` site, key =
+                    the journal prefix); a ``corrupt`` rule truncates
+                    the line mid-record and the journal suppresses the
+                    newline — a crash mid-append, on demand
 ==================  =========================================================
 
 Modes: ``transient`` raises :class:`~repro.errors.TransientError`,
@@ -61,7 +73,9 @@ Modes: ``transient`` raises :class:`~repro.errors.TransientError`,
 raises ``OSError(ENOSPC)``, ``hang`` sleeps ``seconds`` (pair it with a
 call deadline or a job timeout), ``kill`` hard-exits the process the way
 a segfault would, and ``corrupt`` (``mangle`` sites only) returns a
-structurally invalid variant of the value.  ``transform_error`` raises a
+structurally invalid variant of the value.  ``bitflip`` (``mangle``
+sites only) flips one deterministic bit of a string value — the
+single-event upset a checksum exists to catch.  ``transform_error`` raises a
 :class:`~repro.errors.TransformError` with an ``injected`` stage tag —
 the chaos suite uses it at the ``transform`` site to poison individual
 design points and assert the fail-soft search degrades instead of dying.
@@ -99,8 +113,12 @@ ENV_SPEC = "REPRO_FAULTS"
 
 _MODES = (
     "transient", "raise", "io_error", "hang", "kill", "corrupt",
-    "transform_error",
+    "transform_error", "bitflip",
 )
+
+#: Modes that act on values (:func:`mangle`), not control flow
+#: (:func:`check`).
+_MANGLE_MODES = ("corrupt", "bitflip")
 _RULE_KEYS = {"site", "mode", "p", "max_hits", "jobs", "seconds", "message"}
 
 
@@ -177,7 +195,7 @@ class FaultInjector:
     def check(self, site: str, key: Optional[str] = None) -> None:
         """Consult every matching rule; the first firing one acts."""
         for index, rule in enumerate(self.rules):
-            if not rule.matches(site, key) or rule.mode == "corrupt":
+            if not rule.matches(site, key) or rule.mode in _MANGLE_MODES:
                 continue
             if not self._fires(index, rule, key):
                 continue
@@ -205,16 +223,37 @@ class FaultInjector:
                 os._exit(13)
 
     def mangle(self, site: str, value: Any, key: Optional[str] = None) -> Any:
-        """Pass ``value`` through matching ``corrupt`` rules."""
+        """Pass ``value`` through matching ``corrupt``/``bitflip`` rules."""
         for index, rule in enumerate(self.rules):
-            if rule.mode != "corrupt" or not rule.matches(site, key):
+            if rule.mode not in _MANGLE_MODES or not rule.matches(site, key):
                 continue
             if self._fires(index, rule, key):
                 current_registry().counter(
                     "faults.hits", site=site, mode=rule.mode
                 ).inc()
+                if rule.mode == "bitflip":
+                    return _bitflip(value, self.seed, site, key)
                 return _corrupt(value)
         return value
+
+
+def _bitflip(value: Any, seed: int, site: str, key: Optional[str]) -> Any:
+    """Flip one deterministic bit of a string value.
+
+    Which byte and which bit are a pure function of ``(seed, site, key,
+    value)``, so a chaos run corrupts the same record the same way on
+    every replay — the determinism contract the rest of the injector
+    keeps.  Non-strings pass through the generic corruptor.
+    """
+    if not isinstance(value, str) or not value:
+        return _corrupt(value)
+    data = bytearray(value.encode("utf-8"))
+    digest = hashlib.sha256(
+        f"{seed}:{site}:{key}:{value}".encode("utf-8", "replace")
+    ).digest()
+    position = int.from_bytes(digest[:4], "big") % len(data)
+    data[position] ^= 1 << (digest[4] % 8)
+    return bytes(data).decode("utf-8", "replace")
 
 
 def _corrupt(value: Any) -> Any:

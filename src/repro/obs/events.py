@@ -41,6 +41,13 @@ SCHEMA_VERSION = 1
 #: pre-versioning shape, upgraded in place by :func:`upgrade_v0`.
 SUPPORTED_VERSIONS = (0, 1)
 
+#: Transport-layer fields the durable-journal framing adds to records on
+#: disk (see :mod:`repro.durable.journal`).  They are not part of any
+#: event's schema — both the codec and the CI validator strip them
+#: before looking at the record, the same way an IP stack strips its
+#: checksum before handing a packet up.
+FRAME_FIELDS = ("crc32",)
+
 
 class EventSchemaError(ValueError):
     """A record does not conform to the event schema."""
@@ -352,6 +359,29 @@ class ShardDone(EventBase):
     extra: Mapping[str, Any] = field(default_factory=dict)
 
 
+# -- durable-journal events ---------------------------------------------------
+
+@_register
+@dataclass(frozen=True)
+class JournalSnapshot(EventBase):
+    """A compaction checkpoint: the folded state of every retired
+    segment, written as the first record of a fresh segment.
+
+    Replay resets to ``state`` and continues with subsequent events, so
+    a compacted journal folds to exactly the state the uncompacted one
+    did (see DESIGN.md §6.8 for the crash-window argument).
+    """
+
+    EVENT: ClassVar[str] = "journal_snapshot"
+    ts: float
+    journal: str
+    state: Mapping[str, Any] = field(default_factory=dict)
+    folded_segments: int = 0
+    folded_records: int = 0
+    schema_version: int = SCHEMA_VERSION
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
 # -- the escape hatch ---------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -413,6 +443,8 @@ def from_record(record: Mapping[str, Any], strict: bool = False) -> EventBase:
     if not isinstance(record, Mapping):
         raise EventSchemaError(f"event record must be an object, got {type(record).__name__}")
     body = dict(record)
+    for frame_field in FRAME_FIELDS:
+        body.pop(frame_field, None)
     name = body.pop("event", None)
     if not isinstance(name, str) or not name:
         raise EventSchemaError("record has no 'event' discriminator")
@@ -460,6 +492,7 @@ def validate_record(record: Any) -> List[str]:
     """
     if not isinstance(record, Mapping):
         return [f"record must be an object, got {type(record).__name__}"]
+    record = {k: v for k, v in record.items() if k not in FRAME_FIELDS}
     name = record.get("event")
     if not isinstance(name, str) or not name:
         return ["record has no 'event' discriminator"]

@@ -249,12 +249,20 @@ def validate_run(run_dir: Path) -> List[str]:
     """
     run_dir = Path(run_dir)
     problems: List[str] = []
-    for name in (TRACE_NAME, LEDGER_NAME):
-        path = run_dir / name
-        if not path.exists():
-            continue
-        for problem in obs_events.validate_jsonl(path):
-            problems.append(f"{name}: {problem}")
+    trace_path = run_dir / TRACE_NAME
+    if trace_path.exists():
+        problems.extend(
+            f"{TRACE_NAME}: {problem}"
+            for problem in obs_events.validate_jsonl(trace_path)
+        )
+    # The ledger may have rotated into numbered segments (PR 8); audit
+    # the whole chain, not just the base file.
+    from repro.durable.journal import segment_paths
+    for path in segment_paths(run_dir, "ledger"):
+        problems.extend(
+            f"{path.name}: {problem}"
+            for problem in obs_events.validate_jsonl(path)
+        )
     spans_path = run_dir / SPANS_NAME
     if spans_path.exists():
         problems.extend(

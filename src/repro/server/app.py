@@ -82,6 +82,7 @@ class ExplorationServer:
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         shard_points: Optional[int] = None,
         tenant_policies: Optional[Dict[str, TenantPolicy]] = None,
+        journal_segment_bytes: Optional[int] = None,
     ):
         self.state_dir = Path(state_dir)
         self.host = host
@@ -96,8 +97,12 @@ class ExplorationServer:
         self.admission = AdmissionController(
             policies=tenant_policies, registry=self.registry,
         )
+        store_kwargs: Dict[str, Any] = {}
+        if journal_segment_bytes is not None:
+            store_kwargs["max_segment_bytes"] = journal_segment_bytes
         self.store = JobStore(
             self.state_dir, queue_policy=self.admission.pick_next,
+            **store_kwargs,
         )
         self.coordinator = None
         if fleet:
@@ -255,6 +260,14 @@ class ExplorationServer:
         humans can see the capacity loss and its reason."""
         if self.draining:
             return Response.json(503, {"ready": False, "reason": "draining"})
+        if self.store.read_only:
+            # The journal's disk failed (ENOSPC/EIO): reads and
+            # in-flight work still serve, new submissions 503.
+            return Response.json(200, {
+                "ready": True, "status": "degraded",
+                "reason": "journal_readonly",
+                "detail": self.store.read_only_reason,
+            })
         if self.scheduler.pool_failed:
             return Response.json(200, {
                 "ready": True, "status": "degraded", "reason": "pool_failed",

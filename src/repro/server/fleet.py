@@ -404,6 +404,12 @@ class FleetCoordinator:
         with self._lock:
             if not self.leases.alive(worker_id):
                 raise ServiceError(f"worker {worker_id!r} holds no live lease")
+            if self.store.read_only:
+                # Degraded journal: refuse to dispatch *new* shards (a
+                # dispatch journals shard_dispatched, and a fresh claim
+                # would journal job_started) — but keep accepting shard
+                # results in :meth:`complete`, so in-flight work lands.
+                return None
             shard, spec = self._next_shard()
             if shard is None:
                 return None

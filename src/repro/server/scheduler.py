@@ -156,7 +156,12 @@ class Scheduler:
                         continue
                     return
                 job = None
-                if len(self._inflight) < self.max_concurrency:
+                if (len(self._inflight) < self.max_concurrency
+                        and not self.store.read_only):
+                    # A read-only store (failed disk) stops *new* claims:
+                    # each claim journals job_started, and starting work
+                    # whose result cannot be journaled widens the replay
+                    # window for nothing.  In-flight jobs finish.
                     job = self.store.claim_next()
                 if job is None:
                     await self._doze()

@@ -37,19 +37,42 @@ the server never acknowledges work it could lose.  ``job_started`` and
 ``job_done`` appends degrade to counted drops instead (losing one only
 costs a re-run on the *next* restart), matching the ledger's crash-window
 analysis.
+
+Since PR 8 the journal sits on :mod:`repro.durable.journal`: every
+record is CRC32-framed (still one plain-JSON line — the checksum is a
+``crc32`` field, so pre-checksum journals replay unchanged and every
+existing reader keeps working), the journal rotates into numbered
+segments, and rotation triggers snapshot compaction once enough closed
+segments accumulate.  Replay distinguishes a torn tail (damage on the
+final line of the final segment — the process died mid-append, skipped
+as before) from mid-file corruption (the disk lied): corrupt records
+are counted on :attr:`JobStore.corrupt_records` and the
+``journal.corrupt_records`` metric, moved to the ``jobs.quarantine``
+sidecar, and replay continues.  A failed append with ENOSPC/EIO flips
+the store into **read-only degradation**: new submissions are refused
+(503 via the required-append contract), in-flight work finishes on
+in-memory state, and ``/readyz`` reports ``journal_readonly``.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
-import os
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.durable.journal import (
+    DEFAULT_SEGMENT_BYTES,
+    SNAPSHOT_EVENT,
+    DurableJournal,
+    JournalScan,
+    quarantine_records,
+    scan_journal,
+)
 from repro.errors import ServerError
 from repro.obs import current_registry
 from repro.obs.events import SCHEMA_VERSION
@@ -57,6 +80,19 @@ from repro.service.jobs import DEFAULT_TENANT, JobSpec, parse_manifest
 from repro.version import get_version
 
 JOURNAL_NAME = "jobs.jsonl"
+
+#: Segment-file prefix (``jobs.jsonl`` is segment zero, rotation
+#: continues into ``jobs.0001.jsonl``…).
+JOURNAL_PREFIX = "jobs"
+
+#: Rotations auto-compact once this many closed segments accumulate.
+DEFAULT_COMPACT_SEGMENTS = 4
+
+#: The errnos that flip the store read-only: the medium is out from
+#: under us, and every further append would fail the same way.  A
+#: transient EINTR or a bad file descriptor is a bug, not a disk state,
+#: and stays on the counted-drop path.
+_READONLY_ERRNOS = (errno.ENOSPC, errno.EIO, errno.EROFS, errno.EDQUOT)
 
 #: Job lifecycle states (terminal states carry an ok/failed status too).
 QUEUED = "queued"
@@ -193,8 +229,14 @@ class JobStore:
     mutation holds one lock.
     """
 
-    def __init__(self, state_dir: Path, clock=time.time, queue_policy=None):
+    def __init__(self, state_dir: Path, clock=time.time, queue_policy=None,
+                 max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 max_segment_age_s: Optional[float] = None,
+                 compact_segments: int = DEFAULT_COMPACT_SEGMENTS,
+                 passive: bool = False):
         self.state_dir = Path(state_dir)
+        #: segment zero — kept for compatibility with every reader that
+        #: knows the journal by its pre-rotation name.
         self.path = self.state_dir / JOURNAL_NAME
         self.jobs: Dict[str, ServerJob] = {}
         self.dropped_writes = 0
@@ -205,7 +247,6 @@ class JobStore:
         #: controller plugs weighted fair queueing in here.
         self._queue_policy = queue_policy
         self._lock = threading.Lock()
-        self._stream = None
         self.resumed_queued = 0
         self.resumed_running = 0
         self.resumed_done = 0
@@ -213,37 +254,58 @@ class JobStore:
         #: skipped and counted (forward compatibility: a newer build's
         #: lease/shard events must not abort an older build's resume).
         self.skipped_events = 0
+        #: mid-file checksum/parse failures found on replay — quarantined
+        #: to ``jobs.quarantine``, never silently skipped.
+        self.corrupt_records = 0
+        #: the last replay ended on a torn final line (crash mid-append).
+        self.torn_tail = False
+        #: ENOSPC/EIO on append flipped the store read-only; new
+        #: submissions are refused, in-flight work finishes in memory.
+        self.read_only = False
+        self.read_only_reason: Optional[str] = None
+        self.compact_segments = max(1, int(compact_segments))
+        #: passive stores (fsck, offline tooling) replay and can compact
+        #: but never journal lifecycle markers of their own.
+        self.passive = passive
+        #: events carried inside a replayed snapshot that replay does not
+        #: fold into job state (``shard_done`` of unfinished jobs, future
+        #: vocabulary) — surfaced by :meth:`replay_records`.
+        self._snapshot_events: List[Dict[str, Any]] = []
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self._replay()
-        self._stream = open(self.path, "a")
-        self._append({"event": "server_start", "version": get_version()},
-                     required=False)
+        self._journal = DurableJournal(
+            self.state_dir, JOURNAL_PREFIX, clock=clock,
+            max_segment_bytes=max_segment_bytes,
+            max_segment_age_s=max_segment_age_s,
+        )
+        if not passive:
+            self._journal.open()
+            self._append({"event": "server_start", "version": get_version()},
+                         required=False)
 
     # -- replay ----------------------------------------------------------------
 
     def _replay(self) -> None:
-        """Fold an existing journal into live state (fresh dirs no-op).
+        """Fold the journal's segments into live state (fresh dirs no-op).
 
-        Mirrors the ledger's crash-window analysis: torn lines are
-        skipped; a job whose ``job_started`` survived but whose
-        ``job_done`` did not simply runs again.
+        Damage taxonomy (the satellite-1 fix): only the *final* line of
+        the *final* segment may be a torn write — skipped, as the
+        crash-window analysis always allowed.  Any earlier unparseable
+        or checksum-failed line is corruption: counted, quarantined to
+        the sidecar, and replayed *past*, never silently skipped.  A
+        ``journal_snapshot`` record resets state to its checkpoint and
+        replay continues with the events that followed it.
         """
-        try:
-            text = self.path.read_text()
-        except OSError:
+        scan = scan_journal(self.state_dir, JOURNAL_PREFIX)
+        if not scan.segments:
             return
+        self._note_damage(scan)
         order: List[str] = []
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn write
-            if not isinstance(record, dict):
-                continue
+        for record in scan.records:
             event = record.get("event")
+            if event == SNAPSHOT_EVENT:
+                order = self._fold_snapshot(record)
+                continue
             if event not in _REPLAY_FOLDED and event not in _REPLAY_IGNORED:
                 # A future producer's event type: skip it, count it,
                 # keep resuming — never abort on vocabulary we predate.
@@ -287,6 +349,121 @@ class JobStore:
                 self.resumed_queued += 1
                 self._queue.append(job_id)
 
+    def _note_damage(self, scan: JournalScan) -> None:
+        """Count and quarantine a scan's damage (idempotent: the sidecar
+        dedups, and the counter is the journal's current damage, so
+        re-reading the same unrepaired journal does not inflate it)."""
+        if scan.corrupt:
+            quarantine_records(
+                self.state_dir, JOURNAL_PREFIX, scan.corrupt,
+                clock=self._clock,
+            )
+        new = len(scan.corrupt) - self.corrupt_records
+        if new > 0:
+            current_registry().counter("journal.corrupt_records").inc(new)
+        self.corrupt_records = max(self.corrupt_records, len(scan.corrupt))
+        self.torn_tail = scan.torn_tail is not None
+
+    # -- snapshot fold / build -------------------------------------------------
+
+    def _fold_snapshot(self, record: Mapping[str, Any]) -> List[str]:
+        """Reset to a compaction checkpoint; returns the new job order."""
+        state = record.get("state")
+        if not isinstance(state, Mapping):
+            return list(self.jobs)
+        self.jobs.clear()
+        self._queue.clear()
+        self._snapshot_events = [
+            dict(event) for event in state.get("events", ())
+            if isinstance(event, Mapping)
+        ]
+        order: List[str] = []
+        for doc in state.get("jobs", ()):
+            if not isinstance(doc, Mapping):
+                continue
+            job = self._job_from_record(doc)
+            if job is None or job.id in self.jobs:
+                continue
+            job.status = doc.get("status", QUEUED)
+            job.result = doc.get("result")
+            attempts = doc.get("attempts", 0)
+            job.attempts = attempts if isinstance(attempts, int) else 0
+            job.started_ts = doc.get("started_ts")
+            job.finished_ts = doc.get("finished_ts")
+            job.payload = doc.get("payload")
+            job.failure = doc.get("failure")
+            self.jobs[job.id] = job
+            order.append(job.id)
+        return order
+
+    def _job_snapshot(self, job: ServerJob) -> Dict[str, Any]:
+        """One job's checkpoint document (replayable by
+        :meth:`_fold_snapshot` via the ``job_submitted`` field shape)."""
+        doc: Dict[str, Any] = {
+            "job_id": job.id,
+            "hash": job.hash,
+            "spec": _spec_record(job.spec),
+            "status": job.status,
+            "attempts": job.attempts,
+            "ts": job.submitted_ts,
+        }
+        if job.result is not None:
+            doc["result"] = job.result
+        if job.started_ts is not None:
+            doc["started_ts"] = job.started_ts
+        if job.finished_ts is not None:
+            doc["finished_ts"] = job.finished_ts
+        if job.payload is not None:
+            doc["payload"] = job.payload
+        if job.failure is not None:
+            doc["failure"] = job.failure
+        return doc
+
+    def compact(self) -> Path:
+        """Fold the journal into one snapshot checkpoint (atomic).
+
+        Completed jobs, expired leases, dispatch history, and done
+        shards of finished jobs fold into the checkpoint; ``shard_done``
+        records of *unfinished* jobs and events whose vocabulary this
+        build predates are carried through verbatim — compaction must
+        never destroy information a newer build (or the fleet
+        coordinator) still needs.
+        """
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> Path:
+        scan = scan_journal(self.state_dir, JOURNAL_PREFIX)
+        candidates: List[Dict[str, Any]] = []
+        for record in scan.records:
+            if record.get("event") == SNAPSHOT_EVENT:
+                state = record.get("state")
+                if isinstance(state, Mapping):
+                    candidates.extend(
+                        dict(event) for event in state.get("events", ())
+                        if isinstance(event, Mapping)
+                    )
+                continue
+            candidates.append(record)
+        retained: List[Dict[str, Any]] = []
+        for record in candidates:
+            event = record.get("event")
+            if event == "shard_done":
+                job = self.jobs.get(record.get("job_id"))
+                if job is not None and job.status != DONE:
+                    retained.append(record)
+                continue
+            if event in _REPLAY_FOLDED or event in _REPLAY_IGNORED:
+                continue
+            retained.append(record)  # unknown vocabulary: never destroy
+        state = {
+            "jobs": [self._job_snapshot(job) for job in self.jobs.values()],
+            "events": retained,
+        }
+        path = self._journal.compact(state, schema_version=SCHEMA_VERSION)
+        self._snapshot_events = retained
+        return path
+
     def _job_from_record(self, record: Mapping[str, Any]) -> Optional[ServerJob]:
         payload = record.get("spec")
         if not isinstance(payload, Mapping):
@@ -317,6 +494,14 @@ class JobStore:
             if existing is not None:
                 existing.dedup_hits += 1
                 return existing, False
+            if self.read_only:
+                # Dedup hits above still answer — reads are fine — but a
+                # *new* job would need a journal append the disk cannot
+                # give us.  Refuse before touching the medium again.
+                raise ServerError(
+                    f"cannot journal submission to {self.path}: store is "
+                    f"read-only ({self.read_only_reason})"
+                )
             job = ServerJob(
                 spec=spec,
                 hash=submission_hash(spec),
@@ -443,52 +628,58 @@ class JobStore:
             self._append(dict(record), required=required)
 
     def replay_records(self) -> List[Dict[str, Any]]:
-        """Re-read the journal and return every parseable record.
+        """Re-read the journal and return every verified record.
 
         The fleet coordinator uses this on restart to adopt completed
-        shards (``shard_done``) without re-dispatching them; torn lines
-        are skipped exactly as in :meth:`_replay`.
+        shards (``shard_done``) without re-dispatching them.  Records a
+        snapshot carried through compaction are spliced in after the
+        snapshot record, so consumers see the same event stream whether
+        or not a compaction happened in between.  Damage follows the
+        replay taxonomy: a torn tail is skipped, mid-file corruption is
+        counted and quarantined (the sidecar dedups, so repeated reads
+        of the same unrepaired journal stay idempotent).
         """
         with self._lock:
-            try:
-                text = self.path.read_text()
-            except OSError:
-                return []
+            scan = scan_journal(self.state_dir, JOURNAL_PREFIX)
+            self._note_damage(scan)
         records: List[Dict[str, Any]] = []
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn write
-            if isinstance(record, dict):
-                records.append(record)
+        for record in scan.records:
+            records.append(record)
+            if record.get("event") == SNAPSHOT_EVENT:
+                state = record.get("state")
+                if isinstance(state, Mapping):
+                    records.extend(
+                        dict(event) for event in state.get("events", ())
+                        if isinstance(event, Mapping)
+                    )
         return records
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self, reason: str = "shutdown") -> None:
-        """Journal the stop marker and close the stream (idempotent)."""
+        """Journal the stop marker and close the journal (idempotent)."""
         with self._lock:
-            if self._stream is None:
+            if self._journal.closed:
                 return
-            self._append({
-                "event": "server_stop", "reason": reason,
-                "queued": len(self._queue),
-            }, required=False)
-            self._stream.close()
-            self._stream = None
+            if not self.passive:
+                self._append({
+                    "event": "server_stop", "reason": reason,
+                    "queued": len(self._queue),
+                }, required=False)
+            self._journal.close()
 
     # -- journal append --------------------------------------------------------
 
     def _append(self, record: Dict[str, Any], required: bool) -> None:
-        """One fsync'd journal line.
+        """One framed, fsync'd journal line.
 
         ``required=True`` (submissions) raises :class:`ServerError` on
         failure — the caller must not acknowledge undurable work;
         ``required=False`` degrades to a counted drop, like the ledger.
+        ENOSPC/EIO additionally flips the store read-only: the medium
+        failed, and hammering it once per request only turns one disk
+        problem into a 503 storm.  Rotation triggered by this append
+        auto-compacts once enough closed segments accumulate.
         """
         record = {
             "ts": self._clock(),
@@ -496,19 +687,33 @@ class JobStore:
             **record,
         }
         try:
-            if self._stream is None:
-                raise ValueError("job store is closed")
-            line = json.dumps(record)
-            self._stream.write(line + "\n")
-            self._stream.flush()
-            os.fsync(self._stream.fileno())
+            rotated = self._journal.append(record)
         except (OSError, TypeError, ValueError) as error:
+            if isinstance(error, OSError) and error.errno in _READONLY_ERRNOS:
+                self._enter_read_only(error)
             if required:
                 raise ServerError(
                     f"cannot journal submission to {self.path}: {error}"
                 ) from None
             self.dropped_writes += 1
             current_registry().counter("server.store.dropped").inc()
+            return
+        if rotated and self._journal.closed_segment_count() >= \
+                self.compact_segments:
+            try:
+                self._compact_locked()
+            except OSError as error:
+                if error.errno in _READONLY_ERRNOS:
+                    self._enter_read_only(error)
+
+    def _enter_read_only(self, error: OSError) -> None:
+        if self.read_only:
+            return
+        self.read_only = True
+        self.read_only_reason = (
+            f"journal append failed: {error.strerror or error}"
+        )
+        current_registry().counter("journal.readonly_entered").inc()
 
 
 def _spec_record(spec: JobSpec) -> Dict[str, Any]:

@@ -30,10 +30,22 @@ not change results.
 Crash-window analysis, event by event: a torn or missing ``job_attempt``
 only loses an attempt count; a torn ``job_done`` means the job re-runs
 on resume — wasteful, never wrong, because the re-run recomputes the
-identical payload.  Replay therefore skips unparseable lines instead of
-aborting.  A *failed* append (ENOSPC, injected fault) degrades the same
-way: it is counted on :attr:`RunLedger.dropped_writes`, surfaced in the
-batch summary, and the batch keeps running on its in-memory state.
+identical payload.  Replay therefore skips a torn final line.  A
+*failed* append (ENOSPC, injected fault) degrades the same way: it is
+counted on :attr:`RunLedger.dropped_writes`, surfaced in the batch
+summary, and the batch keeps running on its in-memory state.
+
+Since PR 8 the ledger sits on :mod:`repro.durable.journal`: records are
+CRC32-framed (the checksum rides as a ``crc32`` field, so every line is
+still plain JSON and pre-checksum ledgers replay unchanged), the file
+rotates into ``ledger.0001.jsonl``… segments past a size threshold, and
+compaction can fold history into a ``journal_snapshot`` checkpoint.
+Replay now tells a torn tail (only ever the final line of the final
+segment) apart from mid-file corruption: damaged records elsewhere are
+counted on :attr:`LedgerState.corrupt_records` — and quarantined to the
+``ledger.quarantine`` sidecar by :meth:`RunLedger.resume` — instead of
+being silently conflated with crash debris.  ``repro fsck <run-dir>``
+inspects and repairs the same format offline.
 """
 
 from __future__ import annotations
@@ -47,6 +59,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro import faults
+from repro.durable.journal import (
+    DEFAULT_SEGMENT_BYTES,
+    SNAPSHOT_EVENT,
+    DurableJournal,
+    quarantine_records,
+    scan_journal,
+    segment_paths,
+)
 from repro.errors import LedgerError
 from repro.obs import current_registry
 from repro.obs.events import SCHEMA_VERSION
@@ -54,6 +74,12 @@ from repro.service.jobs import BatchManifest, JobSpec, parse_manifest
 
 LEDGER_NAME = "ledger.jsonl"
 MANIFEST_NAME = "manifest.json"
+
+#: Segment-file prefix (``ledger.jsonl`` is segment zero).
+LEDGER_PREFIX = "ledger"
+
+#: Rotations auto-compact once this many closed segments accumulate.
+DEFAULT_COMPACT_SEGMENTS = 4
 
 
 # -- identity -----------------------------------------------------------------
@@ -134,33 +160,50 @@ class LedgerState:
             without reaching a terminal record (re-enqueued on resume).
         fingerprint: the manifest fingerprint ``run_start`` recorded.
         resumes: how many times this run has been resumed before.
+        corrupt_records: mid-file damage found by replay (checksum
+            failures, unparseable lines that are *not* the torn tail).
+        torn_tail: the final line of the final segment was a torn write.
     """
 
     completed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     in_flight: Dict[str, int] = field(default_factory=dict)
     fingerprint: Optional[str] = None
     resumes: int = 0
+    corrupt_records: int = 0
+    torn_tail: bool = False
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The compaction checkpoint :func:`replay` folds back."""
+        return {
+            "fingerprint": self.fingerprint,
+            "resumes": self.resumes,
+            "completed": dict(self.completed),
+            "in_flight": dict(self.in_flight),
+        }
 
 
 def replay(path: Path) -> LedgerState:
-    """Fold a ledger file into its end state, skipping torn lines."""
-    state = LedgerState()
-    try:
-        text = Path(path).read_text()
-    except OSError:
-        return state
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            continue  # torn write: a crash mid-append
-        if not isinstance(record, dict):
-            continue
+    """Fold a ledger (all segments) into its end state.
+
+    ``path`` is the ledger's base file (``<run-dir>/ledger.jsonl``);
+    rotated segments next to it are replayed in order.  A torn final
+    line is skipped as the crash-window analysis always allowed;
+    mid-file damage is *counted*, never silently conflated with crash
+    debris (quarantining is :meth:`RunLedger.resume`'s job — this
+    function stays read-only).  A ``journal_snapshot`` record resets
+    state to its checkpoint.
+    """
+    path = Path(path)
+    scan = scan_journal(path.parent, _prefix_of(path))
+    state = LedgerState(
+        corrupt_records=len(scan.corrupt),
+        torn_tail=scan.torn_tail is not None,
+    )
+    for record in scan.records:
         event = record.get("event")
-        if event == "run_start":
+        if event == SNAPSHOT_EVENT:
+            _fold_snapshot(state, record)
+        elif event == "run_start":
             state.fingerprint = record.get("fingerprint")
         elif event == "run_resume":
             state.resumes += 1
@@ -180,6 +223,50 @@ def replay(path: Path) -> LedgerState:
     return state
 
 
+def _prefix_of(path: Path) -> str:
+    name = Path(path).name
+    return name[:-len(".jsonl")] if name.endswith(".jsonl") else name
+
+
+def _fold_snapshot(state: LedgerState, record: Mapping[str, Any]) -> None:
+    doc = record.get("state")
+    if not isinstance(doc, Mapping):
+        return
+    fingerprint = doc.get("fingerprint")
+    if isinstance(fingerprint, str):
+        state.fingerprint = fingerprint
+    resumes = doc.get("resumes")
+    if isinstance(resumes, int):
+        state.resumes = resumes
+    state.completed = {
+        job_id: dict(done) for job_id, done in doc.get("completed", {}).items()
+        if isinstance(job_id, str) and isinstance(done, Mapping)
+    }
+    state.in_flight = {
+        job_id: attempt for job_id, attempt in doc.get("in_flight", {}).items()
+        if isinstance(job_id, str) and isinstance(attempt, int)
+    }
+
+
+def compact_ledger_dir(run_dir: Path, clock=time.time) -> bool:
+    """Fold a run directory's ledger into one snapshot checkpoint.
+
+    The offline entry point ``repro fsck --repair --compact`` uses; a
+    live batch compacts through its own :class:`RunLedger` instead.
+    Returns ``False`` when there is no ledger to compact.
+    """
+    run_dir = Path(run_dir)
+    if not segment_paths(run_dir, LEDGER_PREFIX):
+        return False
+    state = replay(run_dir / LEDGER_NAME)
+    journal = DurableJournal(run_dir, LEDGER_PREFIX, clock=clock)
+    try:
+        journal.compact(state.snapshot_state(), schema_version=SCHEMA_VERSION)
+    finally:
+        journal.close()
+    return True
+
+
 # -- the ledger ---------------------------------------------------------------
 
 class RunLedger:
@@ -193,13 +280,22 @@ class RunLedger:
     finished).
     """
 
-    def __init__(self, run_dir: Path, fingerprint: str, clock=time.time):
+    def __init__(self, run_dir: Path, fingerprint: str, clock=time.time,
+                 max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 compact_segments: int = DEFAULT_COMPACT_SEGMENTS):
         self.run_dir = Path(run_dir)
+        #: segment zero — the name every pre-rotation reader knows.
         self.path = self.run_dir / LEDGER_NAME
         self.fingerprint = fingerprint
         self.dropped_writes = 0
+        self.compact_segments = max(1, int(compact_segments))
         self._clock = clock
-        self._stream = None
+        self._journal = DurableJournal(
+            self.run_dir, LEDGER_PREFIX, clock=clock,
+            max_segment_bytes=max_segment_bytes,
+            line_filter=lambda line: faults.mangle("ledger_line", line),
+            on_damage=self._count_drop,
+        )
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -211,7 +307,7 @@ class RunLedger:
         ledger (that is what :meth:`resume` is for)."""
         run_dir = Path(run_dir)
         ledger_path = run_dir / LEDGER_NAME
-        if ledger_path.exists():
+        if segment_paths(run_dir, LEDGER_PREFIX):
             raise LedgerError(
                 f"{ledger_path} already exists; resume the run instead"
             )
@@ -240,7 +336,8 @@ class RunLedger:
         run_dir = Path(run_dir)
         ledger_path = run_dir / LEDGER_NAME
         manifest_path = run_dir / MANIFEST_NAME
-        if not ledger_path.exists() or not manifest_path.exists():
+        if not segment_paths(run_dir, LEDGER_PREFIX) \
+                or not manifest_path.exists():
             raise LedgerError(
                 f"{run_dir} is not a run directory (missing "
                 f"{LEDGER_NAME} or {MANIFEST_NAME})"
@@ -255,6 +352,16 @@ class RunLedger:
             raw, source=str(manifest_path), base_dir=run_dir
         )
         state = replay(ledger_path)
+        if state.corrupt_records:
+            # Damage that is not a torn tail: quarantine it (the sidecar
+            # dedups across resumes) and keep resuming — a batch must
+            # come back up even when the disk lied to it.
+            scan = scan_journal(run_dir, LEDGER_PREFIX)
+            quarantine_records(run_dir, LEDGER_PREFIX, scan.corrupt,
+                               clock=clock)
+            current_registry().counter("journal.corrupt_records").inc(
+                state.corrupt_records
+            )
         fingerprint = manifest_fingerprint(manifest)
         if state.fingerprint is None:
             raise LedgerError(
@@ -289,12 +396,23 @@ class RunLedger:
         return ledger, manifest, state
 
     def _open(self) -> None:
-        self._stream = open(self.path, "a")
+        self._journal.open()
 
     def close(self) -> None:
-        if self._stream is not None:
-            self._stream.close()
-            self._stream = None
+        self._journal.close()
+
+    def compact(self) -> None:
+        """Fold the ledger's history into one snapshot checkpoint.
+
+        Resume-critical state (terminal results, in-flight attempts,
+        the fingerprint) survives by construction; the per-event audit
+        trail folds away, which is the point — a long campaign's ledger
+        stops growing with its history.
+        """
+        state = replay(self.path)
+        state.fingerprint = state.fingerprint or self.fingerprint
+        self._journal.compact(state.snapshot_state(),
+                              schema_version=SCHEMA_VERSION)
 
     def __enter__(self) -> "RunLedger":
         return self
@@ -333,12 +451,20 @@ class RunLedger:
             "event": "run_finish", "succeeded": succeeded, "failed": failed,
         })
 
+    def _count_drop(self) -> None:
+        self.dropped_writes += 1
+        current_registry().counter("ledger.dropped").inc()
+
     def _append(self, record: Dict[str, Any]) -> None:
-        """One fsync'd, schema-versioned journal line; failures become
-        counted drops."""
-        if self._stream is None:
-            self.dropped_writes += 1
-            current_registry().counter("ledger.dropped").inc()
+        """One framed, fsync'd, schema-versioned journal line; failures
+        become counted drops (a mangled line — the ``ledger_line`` /
+        ``journal_torn`` / ``journal_bitflip`` fault sites — counts as a
+        drop too: the bytes land, the record is lost, and now the
+        checksum makes the loss detectable on replay).  Rotation
+        auto-compacts once enough closed segments accumulate.
+        """
+        if self._journal.closed:
+            self._count_drop()
             return
         record = {
             "ts": self._clock(),
@@ -347,19 +473,13 @@ class RunLedger:
         }
         try:
             faults.check("ledger_write")
-            line = json.dumps(record)
+            rotated = self._journal.append(record)
         except (OSError, TypeError, ValueError):
-            self.dropped_writes += 1
-            current_registry().counter("ledger.dropped").inc()
+            self._count_drop()
             return
-        written = faults.mangle("ledger_line", line)
-        if written != line:
-            self.dropped_writes += 1  # a torn write loses the record too
-            current_registry().counter("ledger.dropped").inc()
-        try:
-            self._stream.write(written + "\n")
-            self._stream.flush()
-            os.fsync(self._stream.fileno())
-        except (OSError, ValueError):
-            self.dropped_writes += 1
-            current_registry().counter("ledger.dropped").inc()
+        if rotated and self._journal.closed_segment_count() >= \
+                self.compact_segments:
+            try:
+                self.compact()
+            except (OSError, LedgerError):
+                pass  # compaction is an optimization; the journal stands

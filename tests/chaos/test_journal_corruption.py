@@ -1,0 +1,219 @@
+"""Chaos: worker death, then the disk lies, then ``fsck --repair``.
+
+The full durability gauntlet from the PR-8 acceptance script, run
+in-process on a fake clock for determinism:
+
+1. A clean single-worker fleet run establishes the oracle payload.
+2. A two-worker run survives a mid-shard worker death (rehoming), and
+   the job completes — exactly one ``job_started``.
+3. The store shuts down; a bit flips in a benign mid-file journal
+   record (the disk lied while nobody was running).
+4. ``repro fsck`` detects the damage (exit 1); ``fsck --repair``
+   quarantines the record and exits 0.
+5. A fresh JobStore + FleetCoordinator restart over the repaired
+   journal adopts the finished job verbatim: no new ``job_started``,
+   every ``shard_done`` unique, payload bit-identical to the oracle.
+
+All five paper kernels run the same script, and a journal written
+*before* checksumming (no ``crc32`` fields anywhere) must replay to the
+same state — the upgrade is invisible to old state directories.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.cli import main as cli_main
+from repro.durable.journal import quarantine_path, scan_journal
+from repro.server.fleet import FleetCoordinator, execute_shard
+from repro.server.store import JobStore, parse_submission
+
+KERNELS = ["kernel:fir", "kernel:mm", "kernel:pat", "kernel:jac",
+           "kernel:sobel"]
+
+TTL_S = 10.0
+
+#: Journal events whose loss costs nothing the acceptance cares about —
+#: the bitflip target must be one of these, *not* a lifecycle anchor.
+BENIGN_EVENTS = ("worker_registered", "lease_renewed")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_fleet(tmp_path, name):
+    store = JobStore(tmp_path / name)
+    clock = FakeClock()
+    coordinator = FleetCoordinator(
+        store, lease_ttl_s=TTL_S, shard_points=8, clock=clock,
+    )
+    return store, coordinator, clock
+
+
+def drain(coordinator, worker_id):
+    while True:
+        shard = coordinator.claim(worker_id)
+        if shard is None:
+            return
+        result = execute_shard(shard)
+        coordinator.complete(worker_id, result["shard_id"], result)
+
+
+def kill_spec(tmp_path):
+    path = tmp_path / "kill.json"
+    path.write_text(json.dumps({
+        "faults": [
+            {"site": "worker_kill", "mode": "raise", "max_hits": 1},
+        ],
+    }))
+    return str(path)
+
+
+def flip_benign_record(state_dir):
+    """Flip one bit in a mid-file record no lifecycle invariant needs."""
+    journal = state_dir / "jobs.jsonl"
+    lines = journal.read_bytes().split(b"\n")
+    for index, line in enumerate(lines[:-2]):  # never the tail
+        record = json.loads(line.decode())
+        if record.get("event") in BENIGN_EVENTS:
+            flipped = bytearray(line)
+            flipped[len(flipped) // 2] ^= 0x01
+            lines[index] = bytes(flipped)
+            journal.write_bytes(b"\n".join(lines))
+            return record["event"]
+    raise AssertionError("no benign record found to corrupt")
+
+
+def started_for(records, job_id):
+    return [r for r in records
+            if r.get("event") == "job_started" and r.get("job_id") == job_id]
+
+
+@pytest.mark.parametrize("program", KERNELS)
+def test_kill_bitflip_fsck_restart_is_invisible(tmp_path, program):
+    # --- oracle: one worker, no faults -----------------------------------
+    store_solo, solo, _ = make_fleet(tmp_path, "solo")
+    job_solo, _ = store_solo.submit(parse_submission(program))
+    solo.register("only")
+    drain(solo, "only")
+    assert job_solo.status == "done" and job_solo.result == "ok"
+
+    # --- chaos run: a worker dies mid-shard, the fleet absorbs it --------
+    state_dir = tmp_path / "fleet"
+    store, coordinator, clock = make_fleet(tmp_path, "fleet")
+    job, _ = store.submit(parse_submission(program))
+    coordinator.register("doomed")
+    coordinator.register("survivor")
+
+    faults.activate(kill_spec(tmp_path))
+    shard = coordinator.claim("doomed")
+    assert shard is not None
+    with pytest.raises(Exception):
+        execute_shard(shard)
+    drain(coordinator, "survivor")
+    clock.advance(TTL_S * 0.6)
+    assert coordinator.heartbeat("survivor")
+    clock.advance(TTL_S * 0.4)
+    assert coordinator.tick() == ["doomed"]
+    drain(coordinator, "survivor")
+    assert job.status == "done" and job.result == "ok"
+    store.close()
+    faults.deactivate()
+
+    # --- the disk lies while the server is down --------------------------
+    flip_benign_record(state_dir)
+    scan = scan_journal(state_dir, "jobs")
+    assert len(scan.corrupt) == 1, "the flip must read as corruption"
+
+    # --- fsck: detect loudly, repair cleanly -----------------------------
+    assert cli_main(["fsck", str(state_dir)]) == 1
+    assert cli_main(["fsck", str(state_dir), "--repair"]) == 0
+    assert quarantine_path(state_dir, "jobs").exists()
+    assert cli_main(["fsck", str(state_dir)]) == 0
+
+    # --- restart: the repaired journal resumes exactly once --------------
+    resumed = JobStore(state_dir)
+    rejoined = FleetCoordinator(
+        resumed, lease_ttl_s=TTL_S, shard_points=8, clock=FakeClock(),
+    )
+    assert resumed.resumed_done == 1
+    adopted = resumed.jobs[job.id]
+    assert adopted.status == "done" and adopted.result == "ok"
+
+    records = resumed.replay_records()
+    assert len(started_for(records, job.id)) == 1, \
+        "repair + restart must never restart a finished job"
+    done_shards = [r["shard_id"] for r in records
+                   if r.get("event") == "shard_done"]
+    assert len(done_shards) == len(set(done_shards))
+    assert len(done_shards) == adopted.payload["shards"]
+
+    # The coordinator adopted the shards; it has nothing to dispatch.
+    rejoined.register("late")
+    assert rejoined.claim("late") is None
+
+    # --- and the answer survived the whole gauntlet bit-identically ------
+    assert adopted.payload == job_solo.payload
+    resumed.close()
+
+
+def test_append_time_bitflip_is_quarantined_on_restart(tmp_path):
+    """A record corrupted *at append time* (the ``journal_bitflip``
+    fault site) is counted as a damaged write, and the restart
+    quarantines it instead of dying."""
+    state_dir = tmp_path / "state"
+    store = JobStore(state_dir)
+    spec_path = tmp_path / "flip.json"
+    spec_path.write_text(json.dumps({"faults": [
+        {"site": "journal_bitflip", "mode": "bitflip", "max_hits": 1},
+    ]}))
+    faults.activate(str(spec_path))
+    # The next append (a benign lifecycle marker) lands flipped.
+    job, _ = store.submit(parse_submission("kernel:fir"))
+    faults.deactivate()
+    assert store._journal.damaged_writes >= 1
+    store.close()
+
+    resumed = JobStore(state_dir)
+    assert resumed.corrupt_records >= 1
+    assert quarantine_path(state_dir, "jobs").exists()
+    resumed.close()
+
+    assert cli_main(["fsck", str(state_dir), "--repair"]) == 0
+    assert cli_main(["fsck", str(state_dir)]) == 0
+
+
+def test_pre_checksum_journal_replays_unchanged(tmp_path):
+    """Strip every ``crc32`` field — a journal written by the previous
+    release — and the store must resume to the identical state."""
+    state_dir = tmp_path / "state"
+    store = JobStore(state_dir)
+    job, _ = store.submit(parse_submission("kernel:fir"))
+    assert store.claim_next() is job
+    store.finish_ok(job, {"cycles": 11})
+    store.close()
+
+    journal = state_dir / "jobs.jsonl"
+    legacy_lines = []
+    for line in journal.read_text().splitlines():
+        record = json.loads(line)
+        record.pop("crc32", None)
+        legacy_lines.append(json.dumps(record))
+    journal.write_text("\n".join(legacy_lines) + "\n")
+
+    resumed = JobStore(state_dir)
+    assert resumed.corrupt_records == 0
+    assert resumed.resumed_done == 1
+    assert resumed.jobs[job.id].payload == {"cycles": 11}
+    resumed.close()
+    scan = scan_journal(state_dir, "jobs")
+    assert scan.legacy_records > 0

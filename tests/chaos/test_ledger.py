@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.durable.journal import frame_record
 from repro.errors import LedgerError
 from repro.service import (
     BatchManifest, JobSpec, RunLedger, manifest_document,
@@ -132,8 +133,9 @@ class TestResume:
         )
         lines = (run_dir / "ledger.jsonl").read_text().splitlines()
         start = json.loads(lines[0])
+        start.pop("crc32", None)  # editing a framed record: re-frame it
         start["fingerprint"] = manifest_fingerprint(other)
-        lines[0] = json.dumps(start)
+        lines[0] = frame_record(start)
         (run_dir / "ledger.jsonl").write_text("\n".join(lines) + "\n")
         with pytest.raises(LedgerError, match="not in the manifest"):
             RunLedger.resume(run_dir)

@@ -102,7 +102,7 @@ class TestIntake:
 
     def test_unwritable_journal_refuses_submission(self, tmp_path):
         store = JobStore(tmp_path)
-        store._stream.close()
+        store._journal.close()
         with pytest.raises(ServerError):
             store.submit(spec())
         # non-required appends degrade to counted drops instead
