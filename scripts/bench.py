@@ -1,15 +1,18 @@
 #!/usr/bin/env python
-"""Benchmark the estimation backends, the Figure-2 walk, and the
-durable journal — BENCH_8.json.
+"""Benchmark the estimation backends, the Figure-2 walk, the search
+strategies, and the durable journal — BENCH_9.json.
 
-Three timing surfaces, per kernel, on the pipelined board:
+Four timing surfaces, per kernel, on the pipelined board:
 
 * **walk** — one full balance-guided exploration (``repro.dse.explore``),
   the paper's headline "seconds, not hours" loop;
 * **point** — a single cold ``dse.point`` evaluation (compile + synthesize
   at the no-unrolling baseline), the unit the walk repeats;
 * **estimate** — one bare estimator call per registered backend on the
-  same compiled design, isolating model cost from compilation cost.
+  same compiled design, isolating model cost from compilation cost;
+* **strategies** (PR 9) — one full walk per registered search strategy
+  on the explorer's pinned space, so the pluggable algorithms can be
+  compared on wall time, probes spent, and selected-design quality.
 
 Plus one **journal** section (PR 8) over a synthetic 10k-event durable
 journal: fsync'd checksummed append throughput, full checksum-verified
@@ -18,10 +21,10 @@ the costs a server restart and a ``repro fsck`` run actually pay.
 
 Each number is best-of-N wall seconds (N=--repeats, 1 for the interp
 backend — it is deliberately slow and its variance is relatively tiny).
-The checked-in ``BENCH_8.json`` at the repo root records one run of this
+The checked-in ``BENCH_9.json`` at the repo root records one run of this
 script; regenerate with::
 
-    PYTHONPATH=src python scripts/bench.py --output BENCH_8.json
+    PYTHONPATH=src python scripts/bench.py --output BENCH_9.json
 
 Timings are machine-relative: compare ratios (backend vs backend, walk
 vs point, replay vs append), not absolute milliseconds, across
@@ -99,10 +102,38 @@ def bench_kernel(kernel, board, repeats: int) -> dict:
             "fidelity": backend.fidelity,
         }
 
+    # One full walk per registered strategy, on the same pinned space
+    # the explorer would build (fresh each repeat — no memoized probes).
+    from repro.dse import get_strategy, strategy_ids
+    from repro.dse.saturation import analyze_saturation
+
+    def pinned_space():
+        fresh = kernel.program()
+        saturation = analyze_saturation(fresh, board.num_memories)
+        varying = set(saturation.memory_varying_depths)
+        space = DesignSpace(fresh, board)
+        pins = tuple(d for d in range(space.depth) if d not in varying)
+        if pins:
+            space = DesignSpace(fresh, board, pinned_depths=pins)
+        return space
+
+    strategies = {}
+    for strategy_id in strategy_ids():
+        strategy_s, found = best_of(
+            lambda: get_strategy(strategy_id).run(pinned_space()), repeats
+        )
+        strategies[strategy_id] = {
+            "seconds": round(strategy_s, 6),
+            "points_searched": found.points_searched,
+            "cycles": found.selected.cycles,
+            "selected_unroll": list(found.selected.unroll),
+        }
+
     return {
         "walk": walk,
         "point_eval_seconds": round(point_s, 6),
         "estimate": estimate,
+        "strategies": strategies,
     }
 
 
@@ -166,7 +197,7 @@ def bench_journal(events: int, repeats: int) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default="BENCH_8.json",
+        "--output", default="BENCH_9.json",
         help="where to write the JSON document (default: %(default)s)",
     )
     parser.add_argument(
@@ -218,6 +249,12 @@ def main(argv=None) -> int:
             f" point {entry['point_eval_seconds'] * 1000:.2f}ms,"
             f" estimate {per_backend}"
         )
+        per_strategy = ", ".join(
+            f"{name}={timing['seconds'] * 1000:.1f}ms"
+            f"/{timing['points_searched']}pt"
+            for name, timing in entry["strategies"].items()
+        )
+        print(f"  strategies {per_strategy}")
 
     if args.journal_events > 0:
         print(f"benchmarking journal ({args.journal_events} events) ...",

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Strategy smoke: boot `repro serve`, run one kernel under three
+# explicit search strategies plus `--strategy auto`, prove every report
+# comes back with the same schema (the unified search API's contract —
+# strategy choice changes the walk, never the report shape), and scrape
+# the per-strategy selection counter from /metrics.
+# Run from the repo root: bash scripts/strategy_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== registry listing =="
+python -m repro strategies > "$workdir/strategies.txt"
+for name in balance exhaustive genetic greedy hill linear random; do
+  grep -q "^$name" "$workdir/strategies.txt" \
+      || { echo "FAIL: $name missing from repro strategies"; exit 1; }
+done
+echo "OK: all strategies listed"
+
+echo "== unknown strategy fails closed =="
+python -m repro explore kernel:mm --strategy anneal 2> "$workdir/err.txt" \
+    && { echo "FAIL: unknown strategy accepted"; exit 1; } || true
+grep -q "balance" "$workdir/err.txt" \
+    || { echo "FAIL: rejection does not list the valid set"; exit 1; }
+echo "OK: unknown strategy rejected with the registered set"
+
+echo "== boot =="
+: > "$workdir/port.txt"
+python -m repro serve --state-dir "$workdir/state" \
+    --port 0 --port-file "$workdir/port.txt" --jobs 2 \
+    > "$workdir/serve.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$workdir/port.txt" ] && break
+  kill -0 "$server_pid" 2>/dev/null \
+      || { echo "FAIL: server died on boot"; cat "$workdir/serve.log"; exit 1; }
+  sleep 0.1
+done
+SRV="http://127.0.0.1:$(cat "$workdir/port.txt")"
+
+echo "== one kernel, three strategies + auto =="
+declare -A job_ids
+for strategy in genetic hill exhaustive auto; do
+  job_ids[$strategy]="$(python -m repro submit kernel:mm --server "$SRV" \
+      --strategy "$strategy" 2>/dev/null | head -1)"
+done
+for strategy in genetic hill exhaustive auto; do
+  python -m repro result "${job_ids[$strategy]}" --server "$SRV" --wait \
+      --wait-timeout 240 > "$workdir/$strategy.json"
+  grep -q '"status": "ok"' "$workdir/$strategy.json" \
+      || { echo "FAIL: $strategy report not ok"; exit 1; }
+done
+echo "OK: four reports completed"
+
+echo "== identical report schema =="
+python - "$workdir" <<'EOF'
+import json, sys
+from pathlib import Path
+workdir = Path(sys.argv[1])
+# Keys that exist precisely because the strategy is not the default (or
+# was auto-selected); everything else must be byte-for-byte the same set.
+conditional = {"strategy", "strategy_selection", "fidelity_switches"}
+schemas, extras = {}, {}
+for strategy in ("genetic", "hill", "exhaustive", "auto"):
+    report = json.loads((workdir / f"{strategy}.json").read_text())
+    payload = report["result"]
+    extras[strategy] = sorted(set(payload) & conditional)
+    schemas[strategy] = sorted(set(payload) - conditional)
+first = schemas["genetic"]
+for strategy, keys in schemas.items():
+    assert keys == first, (
+        f"{strategy} schema diverges: {set(keys) ^ set(first)}"
+    )
+assert extras["genetic"] == ["strategy"], extras["genetic"]
+assert extras["hill"] == ["strategy"], extras["hill"]
+assert extras["exhaustive"] == ["strategy"], extras["exhaustive"]
+# auto on mm resolves to exhaustive: both the resolved strategy and the
+# recorded selection ride the payload.
+assert "strategy_selection" in extras["auto"], extras["auto"]
+print("OK: one report schema across all strategies")
+EOF
+
+echo "== /metrics carries per-strategy selection counters =="
+curl -fsS "$SRV/metrics" > "$workdir/metrics.txt"
+grep -qE 'repro_dse_strategy_selected\{strategy="exhaustive"\} [1-9]' \
+    "$workdir/metrics.txt" \
+    || { echo "FAIL: no dse.strategy.selected counter for auto's pick"; \
+         exit 1; }
+echo "OK: selection counter scraped"
+
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "FAIL: drain failed"; exit 1; }
+server_pid=""
+echo "PASS: strategy smoke"

@@ -30,8 +30,9 @@ The packages underneath:
 """
 
 from repro.dse import (
-    DesignEvaluation, DesignSpace, ExplorationResult, ExploreConfig,
-    SearchOptions, explore,
+    DEFAULT_STRATEGY, DesignEvaluation, DesignSpace, ExplorationResult,
+    ExploreConfig, SearchOptions, SearchStrategy, StrategySelector,
+    explore, get_strategy, register_strategy, select_strategy, strategy_ids,
 )
 from repro.frontend import compile_source
 from repro.obs import MetricsRegistry, ObsConfig, Span, Tracer
@@ -49,11 +50,13 @@ from repro.version import get_version
 __version__ = get_version()
 
 __all__ = [
-    "ALL_KERNELS", "Board", "CompiledDesign", "DesignEvaluation",
-    "DesignSpace", "Estimate", "ExplorationResult", "ExploreConfig",
-    "Kernel", "MetricsRegistry", "ObsConfig", "PipelineOptions", "Program",
-    "SearchOptions", "Span", "Tracer", "UnrollVector", "__version__",
-    "compile_design", "compile_source", "explore", "kernel_by_name",
-    "run_program", "synthesize", "wildstar_nonpipelined",
+    "ALL_KERNELS", "Board", "CompiledDesign", "DEFAULT_STRATEGY",
+    "DesignEvaluation", "DesignSpace", "Estimate", "ExplorationResult",
+    "ExploreConfig", "Kernel", "MetricsRegistry", "ObsConfig",
+    "PipelineOptions", "Program", "SearchOptions", "SearchStrategy", "Span",
+    "StrategySelector", "Tracer", "UnrollVector", "__version__",
+    "compile_design", "compile_source", "explore", "get_strategy",
+    "kernel_by_name", "register_strategy", "run_program", "select_strategy",
+    "strategy_ids", "synthesize", "wildstar_nonpipelined",
     "wildstar_pipelined",
 ]

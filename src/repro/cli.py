@@ -149,6 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument("--spans", metavar="FILE",
                              help="append structured trace spans here "
                                   "(JSONL; serial explore only)")
+    explore_cmd.add_argument("--strategy", default=None, metavar="NAME",
+                             help="search strategy: balance (default), "
+                                  "linear, random, hill, greedy, genetic, "
+                                  "exhaustive, or auto (pick from space "
+                                  "features; see `repro strategies`)")
     explore_cmd.add_argument("--max-point-failures", type=int, default=None,
                              metavar="N",
                              help="abort a kernel's search after N design-"
@@ -360,6 +365,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit_cmd.add_argument("--tenant", default=None, metavar="NAME",
                             help="submit as this tenant (admission quotas "
                                  "and fair queueing apply per tenant)")
+    submit_cmd.add_argument("--strategy", default=None, metavar="NAME",
+                            help="search strategy for the job (see "
+                                 "`repro strategies`); auto picks one from "
+                                 "the design space's features")
 
     status_cmd = commands.add_parser(
         "status", help="show a submitted job's status document"
@@ -420,6 +429,8 @@ def build_parser() -> argparse.ArgumentParser:
                                "(.json) here")
 
     commands.add_parser("kernels", help="list the built-in paper kernels")
+    commands.add_parser("strategies",
+                        help="list the registered search strategies")
     return parser
 
 
@@ -445,6 +456,8 @@ def _dispatch(args) -> int:
         for kernel in ALL_KERNELS:
             print(f"{kernel.name:8} {kernel.description}")
         return 0
+    if args.command == "strategies":
+        return _run_strategies()
     if args.command == "batch":
         return _run_batch(args)
     if args.command == "fuzz":
@@ -494,14 +507,34 @@ def _dispatch(args) -> int:
     raise ReproError(f"unknown command {args.command!r}")
 
 
+def _run_strategies() -> int:
+    """``repro strategies``: the registry, one line per algorithm."""
+    from repro.dse import DEFAULT_STRATEGY, get_strategy, strategy_ids
+    for strategy_id in strategy_ids():
+        strategy = get_strategy(strategy_id)
+        mark = " (default)" if strategy_id == DEFAULT_STRATEGY else ""
+        shape = "partitionable" if strategy.partitionable else "sequential"
+        print(f"{strategy_id:11} {shape:14} {strategy.description}{mark}")
+        knobs = strategy.default_knobs()
+        if knobs:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(knobs.items()))
+            print(f"{'':11} knobs: {rendered}")
+    print("\nauto: pick a strategy from the design space's features; the "
+          "decision\nand per-strategy win rates are journaled "
+          "(strategy_selected / strategy_outcome).")
+    return 0
+
+
 def _run_explore(args, program, kernel, board, options) -> int:
     from repro.dse import ExploreConfig, SearchOptions, explore
     from repro.obs import ObsConfig
-    search_options = None
+    search_overrides = {}
     if args.max_point_failures is not None:
-        search_options = SearchOptions(
-            max_point_failures=args.max_point_failures
-        )
+        search_overrides["max_point_failures"] = args.max_point_failures
+    if args.strategy is not None:
+        search_overrides["strategy"] = args.strategy
+    search_options = SearchOptions(**search_overrides) \
+        if search_overrides else None
     obs = None
     if args.spans:
         obs = ObsConfig(spans_path=Path(args.spans))
@@ -548,6 +581,11 @@ def _run_explore(args, program, kernel, board, options) -> int:
                 diagnostic.as_dict() for diagnostic in result.infeasible
             ],
         }
+        from repro.dse import DEFAULT_STRATEGY
+        if result.strategy != DEFAULT_STRATEGY:
+            summary["strategy"] = result.strategy
+        if result.strategy_selection is not None:
+            summary["strategy_selection"] = result.strategy_selection.as_dict()
         if result.confirmation is not None:
             summary["confirmation"] = result.confirmation.as_dict()
         if result.differential is not None:
@@ -580,7 +618,10 @@ def _run_explore_parallel(args) -> int:
     if args.fidelity != "single":
         defaults["fidelity"] = args.fidelity
     if args.max_point_failures is not None:
-        defaults["search"] = {"max_point_failures": args.max_point_failures}
+        defaults.setdefault("search", {})["max_point_failures"] = \
+            args.max_point_failures
+    if args.strategy is not None:
+        defaults.setdefault("search", {})["strategy"] = args.strategy
     manifest = parse_manifest({
         "defaults": defaults,
         "jobs": [{"program": spec} for spec in args.program],
@@ -834,6 +875,8 @@ def _submission_entry(args) -> dict:
         entry["fidelity"] = args.fidelity
     if args.tenant is not None:
         entry["tenant"] = args.tenant
+    if args.strategy is not None:
+        entry["search"] = {"strategy": args.strategy}
     return entry
 
 

@@ -2,7 +2,8 @@
 
 ``explore()`` is the one-call API; the pieces (saturation analysis, the
 Figure-2 balance-guided search, the design space with its exhaustive
-oracle) are exposed for benchmarks and ablations.
+oracle, the pluggable :class:`SearchStrategy` protocol and its learned
+selector) are exposed for benchmarks and ablations.
 """
 
 from repro.dse.explorer import ExplorationResult, ExploreConfig, explore
@@ -11,27 +12,37 @@ from repro.dse.saturation import (
     SaturationInfo, analyze_saturation, compute_psat, saturation_vectors,
 )
 from repro.dse.search import (
-    BalanceGuidedSearch, SearchOptions, SearchResult, TraceStep,
+    BalanceGuidedSearch, FidelitySwitch, SearchOptions, SearchResult,
+    TraceStep,
+)
+from repro.dse.selector import (
+    SelectionDecision, SpaceFeatures, StrategyScoreboard, StrategySelector,
+    extract_features, select_strategy,
 )
 from repro.dse.space import (
     DesignEvaluation, DesignSpace, ExhaustiveResult,
 )
+from repro.dse.strategy import (
+    DEFAULT_STRATEGY, BalanceGuidedStrategy, ExhaustiveStrategy,
+    GeneticStrategy, GreedyAscentStrategy, HillClimbStrategy,
+    LinearScanStrategy, RandomStrategy, SearchStrategy, get_strategy,
+    register_strategy, strategy_ids,
+)
 from repro.dse.multinest import (
     MultiNestResult, explore_application, split_nests,
 )
-from repro.dse.strategies import (
-    ALL_STRATEGIES, BalanceStrategy, HillClimbStrategy, LinearScanStrategy,
-    RandomStrategy, StrategyResult,
-)
 
 __all__ = [
-    "ALL_STRATEGIES", "BalanceGuidedSearch", "BalanceStrategy",
+    "BalanceGuidedSearch", "BalanceGuidedStrategy", "DEFAULT_STRATEGY",
     "DesignEvaluation", "DesignSpace", "ExhaustiveResult",
-    "ExplorationResult", "ExploreConfig", "HillClimbStrategy",
-    "LinearScanStrategy",
+    "ExhaustiveStrategy", "ExplorationResult", "ExploreConfig",
+    "FidelitySwitch", "GeneticStrategy", "GreedyAscentStrategy",
+    "HillClimbStrategy", "LinearScanStrategy",
     "MultiNestResult", "POINT_FAILURES", "PointDiagnostic", "RandomStrategy",
-    "SaturationInfo", "SearchOptions", "SearchResult", "StrategyResult",
-    "TraceStep", "analyze_saturation", "compute_psat", "explore",
-    "explore_application", "is_point_failure", "saturation_vectors",
-    "split_nests",
+    "SaturationInfo", "SearchOptions", "SearchResult", "SearchStrategy",
+    "SelectionDecision", "SpaceFeatures", "StrategyScoreboard",
+    "StrategySelector", "TraceStep", "analyze_saturation", "compute_psat",
+    "explore", "explore_application", "extract_features", "get_strategy",
+    "is_point_failure", "register_strategy", "saturation_vectors",
+    "select_strategy", "split_nests", "strategy_ids",
 ]

@@ -15,9 +15,11 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from repro.dse.failures import PointDiagnostic
-from repro.dse.saturation import SaturationInfo
+from repro.dse.saturation import SaturationInfo, analyze_saturation
 from repro.dse.search import BalanceGuidedSearch, SearchOptions, SearchResult, TraceStep
+from repro.dse.selector import SelectionDecision, select_strategy
 from repro.dse.space import DesignEvaluation, DesignSpace
+from repro.dse.strategy import DEFAULT_STRATEGY, get_strategy
 from repro.errors import SearchError
 from repro.estimate.backends import get_backend
 from repro.estimate.differential import DifferentialReport, validate_run
@@ -55,6 +57,10 @@ class ExplorationResult:
     #: ``--fidelity=multi`` only: cross-backend rank agreement and
     #: Observation 1-3 checks over sampled visited points.
     differential: Optional[DifferentialReport] = None
+    #: id of the search strategy that drove the walk.
+    strategy: str = DEFAULT_STRATEGY
+    #: ``--strategy auto`` only: what the selector picked and why.
+    strategy_selection: Optional[SelectionDecision] = None
 
     @property
     def speedup(self) -> float:
@@ -77,10 +83,16 @@ class ExplorationResult:
     def report(self) -> str:
         lines = [
             f"kernel {self.program_name} on {self.board_name}",
+        ]
+        if self.strategy != DEFAULT_STRATEGY:
+            lines.append(f"  strategy: {self.strategy}")
+        if self.strategy_selection is not None:
+            lines.append(f"    auto: {self.strategy_selection.reason}")
+        lines.extend([
             f"  saturation: R={self.saturation.read_sets} "
             f"W={self.saturation.write_sets} Psat={self.saturation.psat}",
             f"  initial point: U={self.search.initial}",
-        ]
+        ])
         for step in self.search.trace:
             lines.append(f"    {step}")
         lines.append(
@@ -104,6 +116,13 @@ class ExplorationResult:
             f"of {self.design_space_size} points "
             f"({100 * self.fraction_searched:.2f}%)"
         )
+        for switch in self.search.fidelity_switches:
+            lines.append(
+                f"  fidelity switch at U={list(switch.unroll)}: "
+                f"{switch.from_backend} -> {switch.to_backend}, "
+                f"cycles {switch.cycles_before} -> {switch.cycles_after} "
+                f"({switch.reason})"
+            )
         if self.confirmation is not None:
             confirmation = self.confirmation
             lines.append(
@@ -197,6 +216,10 @@ class ExploreConfig:
     confirm_backend: Optional[Any] = None
     differential_samples: int = 6
     differential_seed: int = 0
+    #: ``--strategy auto`` only: recorded per-strategy win rates
+    #: (:class:`repro.dse.selector.StrategyScoreboard`) the selector may
+    #: consult; ``None`` selects from space features alone.
+    scoreboard: Optional[Any] = None
 
 
 #: Legacy keyword names in their historical positional order, mapped to
@@ -292,6 +315,7 @@ def explore(
         ) as span:
             result = _explore(program, board, config)
             span.set_attribute("backend", result.backend)
+            span.set_attribute("strategy", result.strategy)
             span.set_attribute("fidelity", config.fidelity)
             span.set_attribute("points_searched", result.points_searched)
             span.set_attribute("design_space_size", result.design_space_size)
@@ -315,15 +339,16 @@ def _explore(
             f"unknown fidelity {config.fidelity!r}; use 'single' or 'multi'"
         )
     backend = get_backend(config.backend)
+    search_options = config.search or SearchOptions()
     # A first space to discover the saturation structure, possibly
     # re-created with automatic pins.
     space = DesignSpace(
         program, board, config.pipeline, config.library, config.pinned_depths,
         estimate_cache=config.estimate_cache, backend=backend,
     )
-    searcher = BalanceGuidedSearch(space, config.search)
     if config.pinned_depths is None:
-        varying = set(searcher.saturation.memory_varying_depths)
+        saturation = analyze_saturation(program, board.num_memories)
+        varying = set(saturation.memory_varying_depths)
         auto_pins = tuple(
             depth for depth in range(space.depth) if depth not in varying
         )
@@ -332,9 +357,20 @@ def _explore(
                 program, board, config.pipeline, config.library, auto_pins,
                 estimate_cache=config.estimate_cache, backend=backend,
             )
-            searcher = BalanceGuidedSearch(space, config.search)
 
-    result = searcher.run()
+    requested = getattr(search_options, "strategy", None) or DEFAULT_STRATEGY
+    selection = None
+    if requested == "auto":
+        selection = select_strategy(space, config.scoreboard)
+        strategy = get_strategy(selection.strategy)
+    else:
+        strategy = get_strategy(requested)
+
+    confirmer = None
+    if config.fidelity == "multi":
+        confirmer = get_backend(config.confirm_backend or "interp")
+
+    result = strategy.run(space, search_options, confirm_backend=confirmer)
     # Fail-soft baseline: a baseline that cannot be evaluated (typically
     # under injected faults — the unrolled points were fine) degrades to
     # the selected design as its own reference instead of aborting the
@@ -347,7 +383,6 @@ def _explore(
     confirmation = None
     differential = None
     if config.fidelity == "multi":
-        confirmer = get_backend(config.confirm_backend or "interp")
         confirmation = confirm_selection(
             result.selected, baseline, board, confirmer, backend,
             library=space.library, estimate_cache=config.estimate_cache,
@@ -372,4 +407,6 @@ def _explore(
         backend=backend.id,
         confirmation=confirmation,
         differential=differential,
+        strategy=result.strategy,
+        strategy_selection=selection,
     )

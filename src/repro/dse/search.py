@@ -48,6 +48,9 @@ class SearchOptions:
     #: :class:`~repro.errors.PointFailureBudgetExceeded`.  ``None``
     #: means unlimited.
     max_point_failures: Optional[int] = 16
+    #: which :class:`~repro.dse.strategy.SearchStrategy` drives the walk
+    #: (a registered strategy id, or ``"auto"`` for learned selection).
+    strategy: str = "balance"
 
 
 @dataclass
@@ -67,6 +70,33 @@ class TraceStep:
         )
 
 
+@dataclass(frozen=True)
+class FidelitySwitch:
+    """One mid-walk backend escalation a strategy requested.
+
+    Recorded outside the trace (trace steps narrate the *walk*; fidelity
+    switches narrate the *estimation policy*), so trace-pinning callers
+    are unaffected when multi-fidelity mode is on.
+    """
+
+    unroll: Tuple[int, ...]
+    from_backend: str
+    to_backend: str
+    reason: str
+    cycles_before: int
+    cycles_after: int
+
+    def as_dict(self) -> dict:
+        return {
+            "unroll": list(self.unroll),
+            "from_backend": self.from_backend,
+            "to_backend": self.to_backend,
+            "reason": self.reason,
+            "cycles_before": self.cycles_before,
+            "cycles_after": self.cycles_after,
+        }
+
+
 @dataclass
 class SearchResult:
     """What the guided search found and how."""
@@ -77,6 +107,10 @@ class SearchResult:
     initial: UnrollVector
     #: diagnostics for points that failed and were skipped (fail-soft).
     infeasible: Tuple[PointDiagnostic, ...] = ()
+    #: which strategy produced this result (registered strategy id).
+    strategy: str = "balance"
+    #: mid-walk backend escalations the strategy requested (multi-fidelity).
+    fidelity_switches: Tuple[FidelitySwitch, ...] = ()
 
     @property
     def points_searched(self) -> int:

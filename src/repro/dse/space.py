@@ -161,6 +161,27 @@ class DesignSpace:
                 raise
             return None
 
+    def reestimate(self, evaluation: DesignEvaluation, backend) -> Estimate:
+        """Re-estimate an already-compiled point on another backend.
+
+        Bypasses the per-point memoization (which is keyed on this
+        space's navigation backend) so a strategy can confirm a design
+        on a higher-fidelity model mid-walk without poisoning the cache.
+        Point failures propagate as the usual typed estimation errors.
+        """
+        from repro.estimate.backends import get_backend
+        confirmer = get_backend(backend)
+        design = evaluation.design
+        if self.estimate_cache is not None:
+            return self.estimate_cache.synthesize(
+                design.program, self.board, design.plan, self.library,
+                backend=confirmer,
+            )
+        with current_tracer().span("estimate.call", backend=confirmer.id):
+            return confirmer.estimate(
+                design.program, self.board, design.plan, self.library
+            )
+
     @property
     def points_evaluated(self) -> int:
         return len(self._cache)

@@ -1,178 +1,68 @@
-"""Alternative search strategies, for comparison with the paper's.
+"""Deprecated: the pre-protocol strategy classes, now thin shims.
 
-The paper argues its balance-guided bisection "effectively prune[s]
-large regions of the search space".  To quantify that against credible
-baselines, this module implements three strategies a practitioner might
-use instead, all over the same :class:`~repro.dse.space.DesignSpace`
-(so synthesis-call counts are directly comparable):
-
-* :class:`LinearScanStrategy` — walk Psat-multiple products upward until
-  performance stops improving (hand-tuner behavior);
-* :class:`RandomStrategy` — sample N random realizable points (the
-  no-insight baseline);
-* :class:`HillClimbStrategy` — steepest-descent on cycles over the
-  divisor lattice's neighbors.
-
-Each returns a :class:`StrategyResult` with the chosen design and the
-number of points it synthesized.
+The comparison strategies that used to live here are first-class
+:class:`~repro.dse.strategy.SearchStrategy` implementations in
+:mod:`repro.dse.strategy`, returning the same
+:class:`~repro.dse.search.SearchResult` as the paper's walk (the
+parallel ``StrategyResult`` type is gone).  These shims keep old
+imports working for one release: constructing any of them emits a
+:class:`DeprecationWarning` naming the replacement, and ``run()``
+returns the unified ``SearchResult`` — callers that read the removed
+``points_synthesized`` field should read ``points_searched`` instead.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import List, Optional
+import warnings
 
-from repro.dse.search import BalanceGuidedSearch, SearchOptions
-from repro.dse.space import DesignEvaluation, DesignSpace
-from repro.errors import TransformError
-from repro.transform.unroll import UnrollVector
+from repro.dse import strategy as _strategy
 
-
-@dataclass
-class StrategyResult:
-    name: str
-    selected: DesignEvaluation
-    points_synthesized: int
-
-    def __str__(self) -> str:
-        return (
-            f"{self.name}: U={self.selected.unroll} "
-            f"{self.selected.cycles} cycles / {self.selected.space} slices "
-            f"({self.points_synthesized} points)"
-        )
+_MIGRATION = (
+    "repro.dse.strategies.{old} is deprecated and will be removed in the "
+    "next release; use repro.dse.get_strategy({id!r}) instead.  All "
+    "strategies now return repro.dse.SearchResult (StrategyResult is "
+    "gone; read points_searched instead of points_synthesized)."
+)
 
 
-def _feasible_best(
-    evaluations: List[DesignEvaluation], space: DesignSpace
-) -> DesignEvaluation:
-    board = space.board
-    feasible = [e for e in evaluations if e.estimate.fits(board)]
-    pool = feasible or evaluations
-    return min(pool, key=lambda e: (e.cycles, e.space))
+def _warn(old: str, strategy_id: str) -> None:
+    warnings.warn(
+        _MIGRATION.format(old=old, id=strategy_id),
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-class BalanceStrategy:
-    """The paper's Figure-2 search, wrapped in the strategy interface."""
+class BalanceStrategy(_strategy.BalanceGuidedStrategy):
+    """Deprecated alias for ``get_strategy('balance')``."""
 
-    name = "balance-guided (paper)"
-
-    def run(self, space: DesignSpace) -> StrategyResult:
-        before = space.points_evaluated
-        result = BalanceGuidedSearch(space, SearchOptions()).run()
-        return StrategyResult(
-            self.name, result.selected, space.points_evaluated - before
-        )
+    def __init__(self):
+        _warn("BalanceStrategy", "balance")
+        super().__init__()
 
 
-class LinearScanStrategy:
-    """Walk products upward by doubling; stop when cycles stop improving
-    or the device fills up."""
+class LinearScanStrategy(_strategy.LinearScanStrategy):
+    """Deprecated alias for ``get_strategy('linear')``."""
 
-    name = "linear scan"
-
-    def run(self, space: DesignSpace) -> StrategyResult:
-        before = space.points_evaluated
-        searcher = BalanceGuidedSearch(space, SearchOptions())
-        current = searcher.initial_vector()
-        best = space.evaluate(current)
-        stale = 0
-        while stale < 2:
-            grown = searcher.increase(current)
-            if grown == current:
-                break
-            try:
-                evaluation = space.evaluate(grown)
-            except TransformError:
-                break
-            current = grown
-            if not evaluation.estimate.fits(space.board):
-                break
-            if evaluation.cycles < best.cycles:
-                best = evaluation
-                stale = 0
-            else:
-                stale += 1
-        return StrategyResult(self.name, best, space.points_evaluated - before)
+    def __init__(self, stale_limit: int = 2):
+        _warn("LinearScanStrategy", "linear")
+        super().__init__(stale_limit=stale_limit)
 
 
-class RandomStrategy:
-    """Uniform random sampling of realizable points."""
-
-    name = "random sampling"
+class RandomStrategy(_strategy.RandomStrategy):
+    """Deprecated alias for ``get_strategy('random')``."""
 
     def __init__(self, samples: int = 8, seed: int = 0):
-        self.samples = samples
-        self.seed = seed
-
-    def run(self, space: DesignSpace) -> StrategyResult:
-        before = space.points_evaluated
-        rng = random.Random(self.seed)
-        points = list(space.enumerable_points())
-        rng.shuffle(points)
-        evaluations: List[DesignEvaluation] = []
-        for vector in points[: self.samples]:
-            try:
-                evaluations.append(space.evaluate(vector))
-            except TransformError:
-                continue
-        if not evaluations:
-            evaluations.append(space.evaluate(space.baseline_vector()))
-        best = _feasible_best(evaluations, space)
-        return StrategyResult(self.name, best, space.points_evaluated - before)
+        _warn("RandomStrategy", "random")
+        super().__init__(samples=samples, seed=seed)
 
 
-class HillClimbStrategy:
-    """Steepest descent on cycles over divisor-lattice neighbors.
-
-    Neighbors of U change one loop's factor to the adjacent divisor (up
-    or down).  Starts from the saturation point like the paper's search
-    so the comparison isolates the *stepping* policy.
-    """
-
-    name = "hill climbing"
+class HillClimbStrategy(_strategy.HillClimbStrategy):
+    """Deprecated alias for ``get_strategy('hill')``."""
 
     def __init__(self, max_steps: int = 24):
-        self.max_steps = max_steps
-
-    def run(self, space: DesignSpace) -> StrategyResult:
-        before = space.points_evaluated
-        searcher = BalanceGuidedSearch(space, SearchOptions())
-        current = space.evaluate(searcher.initial_vector())
-        for _ in range(self.max_steps):
-            neighbors = self._neighbors(current.unroll, space)
-            candidates: List[DesignEvaluation] = []
-            for vector in neighbors:
-                try:
-                    candidates.append(space.evaluate(vector))
-                except TransformError:
-                    continue
-            improving = [
-                c for c in candidates
-                if c.estimate.fits(space.board) and c.cycles < current.cycles
-            ]
-            if not improving:
-                break
-            current = min(improving, key=lambda e: (e.cycles, e.space))
-        return StrategyResult(self.name, current, space.points_evaluated - before)
-
-    def _neighbors(
-        self, vector: UnrollVector, space: DesignSpace
-    ) -> List[UnrollVector]:
-        trips = space.nest.trip_counts
-        found: List[UnrollVector] = []
-        for depth in range(space.depth):
-            if depth in space.pinned_depths:
-                continue
-            divisors = [d for d in range(1, trips[depth] + 1)
-                        if trips[depth] % d == 0]
-            index = divisors.index(vector[depth])
-            for step in (-1, 1):
-                if 0 <= index + step < len(divisors):
-                    candidate = vector.with_factor(depth, divisors[index + step])
-                    if space.is_valid(candidate):
-                        found.append(candidate)
-        return found
+        _warn("HillClimbStrategy", "hill")
+        super().__init__(max_steps=max_steps)
 
 
 ALL_STRATEGIES = (

@@ -141,6 +141,44 @@ class JobFinish(EventBase):
     phase_seconds: Optional[Mapping[str, float]] = None
     infeasible_count: Optional[int] = None
     baseline_degraded: Optional[bool] = None
+    strategy: Optional[str] = None
+    schema_version: int = SCHEMA_VERSION
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class StrategySelected(EventBase):
+    """``--strategy auto`` resolved: which algorithm the selector picked
+    for one job's design space, and from what evidence."""
+
+    EVENT: ClassVar[str] = "strategy_selected"
+    ts: float
+    job_id: str
+    strategy: str
+    reason: str = ""
+    features: Optional[Mapping[str, Any]] = None
+    schema_version: int = SCHEMA_VERSION
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class StrategyOutcome(EventBase):
+    """One strategy's scored run: the win-rate ledger's unit of
+    evidence.  ``won`` means the walk found a real speedup without
+    degrading the baseline; ``win_rate``/``trials`` snapshot the
+    scoreboard *after* folding this outcome."""
+
+    EVENT: ClassVar[str] = "strategy_outcome"
+    ts: float
+    job_id: str
+    strategy: str
+    won: bool = False
+    speedup: Optional[float] = None
+    points_searched: Optional[int] = None
+    trials: int = 0
+    win_rate: float = 0.0
     schema_version: int = SCHEMA_VERSION
     extra: Mapping[str, Any] = field(default_factory=dict)
 

@@ -66,17 +66,24 @@ DEFAULT_SHARD_POINTS = 16
 
 @dataclass(frozen=True)
 class ShardSpec:
-    """One content-addressed chunk of a job's lattice."""
+    """One content-addressed chunk of a job's lattice.
+
+    ``mode`` is ``"points"`` for the classic contiguous lattice chunk;
+    a ``"walk"`` shard carries no points — it asks one worker to run
+    the job's full sequential search (how non-partitionable strategies
+    ride the fleet).
+    """
 
     shard_id: str
     job_id: str
     index: int
     total: int
     points: Tuple[Tuple[int, ...], ...]
+    mode: str = "points"
 
     def to_payload(self, spec: JobSpec) -> Dict[str, Any]:
         """The wire shape a worker receives."""
-        return {
+        payload = {
             "shard_id": self.shard_id,
             "job_id": self.job_id,
             "index": self.index,
@@ -84,6 +91,9 @@ class ShardSpec:
             "points": [list(point) for point in self.points],
             "spec": spec.to_payload(),
         }
+        if self.mode != "points":
+            payload["mode"] = self.mode
+        return payload
 
 
 @dataclass
@@ -95,16 +105,22 @@ class ShardPlan:
     total_points: int
     pinned_depths: Tuple[int, ...]
     design_space_size: int
+    mode: str = "points"
 
 
 def _shard_id(submission_hash: str, index: int,
-              points: Tuple[Tuple[int, ...], ...]) -> str:
-    doc = json.dumps(
-        {"hash": submission_hash, "index": index,
-         "points": [list(p) for p in points]},
-        sort_keys=True, separators=(",", ":"),
-    )
-    return f"shard-{hashlib.sha256(doc.encode()).hexdigest()[:12]}"
+              points: Tuple[Tuple[int, ...], ...],
+              mode: str = "points") -> str:
+    doc: Dict[str, Any] = {
+        "hash": submission_hash, "index": index,
+        "points": [list(p) for p in points],
+    }
+    # Conditional inclusion: point-mode ids are byte-identical to the
+    # pre-walk-shard format, so old journals adopt cleanly.
+    if mode != "points":
+        doc["mode"] = mode
+    encoded = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return f"shard-{hashlib.sha256(encoded.encode()).hexdigest()[:12]}"
 
 
 def plan_shards(spec: JobSpec, submission_hash: str,
@@ -115,6 +131,14 @@ def plan_shards(spec: JobSpec, submission_hash: str,
     saturation analysis's memory-varying set are pinned to factor 1) so
     the shard union equals exactly the point set a single-process
     exhaustive walk would visit.
+
+    The job's search strategy decides the plan's shape: strategies that
+    declare themselves partitionable (the default balance walk, the
+    exhaustive sweep) fan out as point shards whose union is the
+    lattice; a non-partitionable strategy (its walk is sequential
+    state) becomes one ``"walk"``-mode shard that a single worker runs
+    end to end.  ``--strategy auto`` is resolved here, on the pinned
+    space, with the same selector the explorer uses.
     """
     if shard_points < 1:
         raise ServiceError(f"shard_points must be >= 1, got {shard_points!r}")
@@ -130,6 +154,23 @@ def plan_shards(spec: JobSpec, submission_hash: str,
     if pins:
         space = DesignSpace(program, board, options, pinned_depths=pins)
     points = [point.factors for point in space.enumerable_points()]
+
+    from repro.dse.selector import select_strategy
+    from repro.dse.strategy import DEFAULT_STRATEGY, get_strategy
+    requested = dict(spec.search).get("strategy", DEFAULT_STRATEGY)
+    if requested == "auto":
+        requested = select_strategy(space).strategy
+    if not get_strategy(requested).partitionable:
+        shard = ShardSpec(
+            shard_id=_shard_id(submission_hash, 0, (), mode="walk"),
+            job_id=spec.id, index=0, total=1, points=(), mode="walk",
+        )
+        return ShardPlan(
+            job_id=spec.id, shards=[shard], total_points=len(points),
+            pinned_depths=pins, design_space_size=space.size(),
+            mode="walk",
+        )
+
     shards: List[ShardSpec] = []
     chunks = [
         tuple(points[start:start + shard_points])
@@ -169,6 +210,9 @@ def execute_shard(payload: Mapping[str, Any],
     runtime = payload.get("runtime") or {}
     faults.activate(runtime.get("fault_spec"))
     faults.check("worker_kill", key=shard_id)
+
+    if payload.get("mode") == "walk":
+        return _execute_walk_shard(payload, cache_path)
 
     spec = JobSpec.from_payload(payload["spec"])
     program, kernel = load_program(spec.program)
@@ -215,6 +259,72 @@ def execute_shard(payload: Mapping[str, Any],
         ],
         "wall_seconds": time.perf_counter() - started,
     }
+
+
+def _execute_walk_shard(payload: Mapping[str, Any],
+                        cache_path: Optional[str]) -> Dict[str, Any]:
+    """Run a job's full sequential search as one shard.
+
+    Non-partitionable strategies keep their walk state on one worker;
+    the result dict carries the complete exploration outcome so the
+    coordinator adopts it directly instead of merging point sets.  The
+    shape mirrors :func:`repro.service.worker.execute_job`'s payload
+    (minus the per-job observability plumbing).
+    """
+    shard_id = payload.get("shard_id", "")
+    spec = JobSpec.from_payload(payload["spec"])
+    program, kernel = load_program(spec.program)
+    board = resolve_board(spec.board)
+    search_options, pipeline_options = build_options(spec, kernel)
+    cache = None
+    if cache_path:
+        from pathlib import Path
+        from repro.service.shared_cache import SharedEstimateCache
+        cache = SharedEstimateCache(Path(cache_path))
+    from repro.dse import DEFAULT_STRATEGY, ExploreConfig, explore
+    started = time.perf_counter()
+    result = explore(program, board, config=ExploreConfig(
+        search=search_options,
+        pipeline=pipeline_options,
+        estimate_cache=cache,
+        backend=spec.backend,
+        fidelity=spec.fidelity,
+    ))
+    if cache is not None:
+        from repro.errors import CacheLockTimeout
+        try:
+            cache.save()
+        except (CacheLockTimeout, OSError):
+            pass  # estimates re-learned later; the walk result stands
+    out: Dict[str, Any] = {
+        "shard_id": shard_id,
+        "job_id": payload.get("job_id", spec.id),
+        "mode": "walk",
+        "selected_unroll": list(result.selected.unroll),
+        "cycles": result.selected.cycles,
+        "space": result.selected.space,
+        "balance": result.selected.balance,
+        "baseline_cycles": result.baseline.cycles,
+        "baseline_space": result.baseline.space,
+        "baseline_degraded": result.baseline_degraded,
+        "speedup": result.speedup,
+        "points_searched": result.points_searched,
+        "design_space_size": result.design_space_size,
+        "trace": [str(step) for step in result.search.trace],
+        "infeasible_count": len(result.infeasible),
+        "infeasible_points": [
+            diagnostic.as_dict() for diagnostic in result.infeasible
+        ],
+        "wall_seconds": time.perf_counter() - started,
+    }
+    if result.strategy != DEFAULT_STRATEGY:
+        out["strategy"] = result.strategy
+    if result.strategy_selection is not None:
+        out["strategy_selection"] = result.strategy_selection.as_dict()
+    switches = result.search.fidelity_switches
+    if switches:
+        out["fidelity_switches"] = [switch.as_dict() for switch in switches]
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -503,10 +613,25 @@ class FleetCoordinator:
         return None
 
     def _finish_job(self, state: _JobState) -> None:
-        """All shards done: merge and journal the terminal result."""
+        """All shards done: merge and journal the terminal result.
+
+        A walk-mode plan has exactly one shard whose result *is* the
+        full exploration outcome — it is adopted verbatim, no merge.
+        """
         ordered = [
             state.done[shard.shard_id] for shard in state.plan.shards
         ]
+        if state.plan.mode == "walk":
+            payload = dict(ordered[0])
+            payload.pop("shard_id", None)
+            payload["shards"] = len(ordered)
+            payload["job_id"] = state.job.id
+            payload["program"] = state.job.spec.program
+            payload["board"] = state.job.spec.board
+            payload["backend"] = state.job.spec.backend
+            self.store.finish_ok(state.job, payload)
+            del self._jobs[state.job.id]
+            return
         try:
             payload = merge_shard_results(ordered)
         except Exception as error:  # noqa: BLE001 - merge failure fails the job

@@ -42,7 +42,9 @@ _JOB_KEYS = {
 }
 _MANIFEST_KEYS = {"defaults", "jobs"}
 _DEFAULT_KEYS = _JOB_KEYS - {"id", "program"}
-_SEARCH_KEYS = {"balance_tolerance", "max_iterations", "max_point_failures"}
+_SEARCH_KEYS = {
+    "balance_tolerance", "max_iterations", "max_point_failures", "strategy",
+}
 _PIPELINE_KEYS = {
     "exploit_outer_reuse", "register_cap", "apply_data_layout",
     "run_licm", "narrow_bitwidths",
@@ -87,6 +89,33 @@ def _check_fidelity(context: str, fidelity: Any) -> str:
             f"expected one of {_FIDELITIES}"
         )
     return fidelity
+
+
+def _check_strategy(context: str, strategy: Any) -> str:
+    """Validate a search-strategy id against the DSE registry, fail-fast
+    at intake (``auto`` defers to the selector at run time)."""
+    from repro.dse.strategy import strategy_ids
+    valid = strategy_ids() + ("auto",)
+    if not isinstance(strategy, str) or strategy not in valid:
+        raise ServiceError(
+            f"{context}: unknown search strategy {strategy!r}; "
+            f"expected one of {valid}"
+        )
+    return strategy
+
+
+def _normalize_search(context: str, overrides: Tuple) -> Tuple:
+    """Validate the ``strategy`` override and drop it when it names the
+    default, so default-strategy specs hash byte-identically to
+    pre-strategy ones (the same conditional-inclusion pattern the
+    backend/fidelity/tenant fields use)."""
+    from repro.dse.strategy import DEFAULT_STRATEGY
+    items = dict(overrides)
+    if "strategy" in items:
+        strategy = _check_strategy(context, items["strategy"])
+        if strategy == DEFAULT_STRATEGY:
+            del items["strategy"]
+    return tuple(sorted(items.items()))
 
 
 @dataclass
@@ -262,7 +291,10 @@ class JobSpec:
             id=str(id) if id is not None else f"{stem}-{config.board}",
             program=program,
             board=config.board,
-            search=_as_overrides(config.search, _SEARCH_KEYS, "search"),
+            search=_normalize_search(
+                "JobConfig",
+                _as_overrides(config.search, _SEARCH_KEYS, "search"),
+            ),
             pipeline=_as_overrides(
                 config.pipeline, _PIPELINE_KEYS, "pipeline"
             ),
@@ -392,7 +424,9 @@ def _build_job(
         id=str(job_id),
         program=program,
         board=board,
-        search=tuple(sorted(search.items())),
+        search=_normalize_search(
+            f"job {position}", tuple(sorted(search.items()))
+        ),
         pipeline=tuple(sorted(pipeline.items())),
         timeout_s=timeout_s,
         max_attempts=max_attempts,

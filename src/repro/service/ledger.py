@@ -446,6 +446,36 @@ class RunLedger:
             "failure": dict(failure),
         })
 
+    def record_strategy_selected(
+        self, job_id: str, strategy: str, reason: str = "",
+        features: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Journal one ``--strategy auto`` resolution (typed v1 event;
+        replay ignores it — it is audit evidence, not resume state)."""
+        record: Dict[str, Any] = {
+            "event": "strategy_selected", "job_id": job_id,
+            "strategy": strategy, "reason": reason,
+        }
+        if features is not None:
+            record["features"] = dict(features)
+        self._append(record)
+
+    def record_strategy_outcome(
+        self, job_id: str, strategy: str, won: bool,
+        speedup: Optional[float] = None,
+        points_searched: Optional[int] = None,
+        trials: int = 0, win_rate: float = 0.0,
+    ) -> None:
+        """Journal one entry of the per-strategy win-rate ledger:
+        ``trials``/``win_rate`` snapshot the scoreboard *after* this
+        outcome folded in."""
+        self._append({
+            "event": "strategy_outcome", "job_id": job_id,
+            "strategy": strategy, "won": won, "speedup": speedup,
+            "points_searched": points_searched, "trials": trials,
+            "win_rate": win_rate,
+        })
+
     def record_finish(self, succeeded: int, failed: int) -> None:
         self._append({
             "event": "run_finish", "succeeded": succeeded, "failed": failed,

@@ -245,6 +245,11 @@ class BatchRunner:
         self.fault_spec = fault_spec
         self.spans_path = Path(spans_path) if spans_path else None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        from repro.dse.selector import StrategyScoreboard
+        #: the run's per-strategy win-rate ledger; every successful job
+        #: folds in, and each fold is journaled as a typed
+        #: ``strategy_outcome`` event.
+        self.scoreboard = StrategyScoreboard()
 
     # -- public entry ---------------------------------------------------------
 
@@ -523,18 +528,68 @@ class BatchRunner:
             )
             if payload.get(key) is not None
         }
-        # fail-soft fields ride along only when something degraded, so a
-        # clean run's trace stays identical to earlier releases
-        for key in ("infeasible_count", "baseline_degraded"):
+        # fail-soft and strategy fields ride along only when they carry
+        # signal, so a clean default-strategy run's trace stays
+        # identical to earlier releases
+        for key in ("infeasible_count", "baseline_degraded", "strategy"):
             if payload.get(key):
                 finish_fields[key] = payload[key]
         self.telemetry.emit(
             "job_finish", job_id=spec.id, attempt=attempt,
             selected_unroll=payload.get("selected_unroll"), **finish_fields,
         )
+        self._note_strategy(spec, payload)
         results[spec.id] = JobResult(
             spec=spec, status="ok", attempts=attempt, payload=payload,
         )
+
+    def _note_strategy(
+        self, spec: JobSpec, payload: Mapping[str, Any]
+    ) -> None:
+        """Fold one finished job into the strategy win-rate ledger.
+
+        An auto-selection decision (if the worker made one) and the
+        scored outcome are journaled as typed v1 events; the outcome's
+        ``trials``/``win_rate`` snapshot the scoreboard after the fold.
+        A win means the walk found a real speedup without degrading the
+        baseline.
+        """
+        from repro.dse import DEFAULT_STRATEGY
+        selection = payload.get("strategy_selection")
+        if isinstance(selection, Mapping):
+            self.telemetry.emit(
+                "strategy_selected", job_id=spec.id,
+                strategy=selection.get("strategy"),
+                reason=selection.get("reason", ""),
+                features=selection.get("features"),
+            )
+            if self.ledger is not None:
+                self.ledger.record_strategy_selected(
+                    spec.id, selection.get("strategy"),
+                    reason=selection.get("reason", ""),
+                    features=selection.get("features"),
+                )
+        strategy = payload.get("strategy") or DEFAULT_STRATEGY
+        speedup = payload.get("speedup")
+        won = (
+            speedup is not None and speedup >= 1.0
+            and not payload.get("baseline_degraded")
+        )
+        self.scoreboard.record(strategy, won)
+        trials = self.scoreboard.trials(strategy)
+        win_rate = self.scoreboard.win_rate(strategy)
+        self.telemetry.emit(
+            "strategy_outcome", job_id=spec.id, strategy=strategy,
+            won=won, speedup=speedup,
+            points_searched=payload.get("points_searched"),
+            trials=trials, win_rate=win_rate,
+        )
+        if self.ledger is not None:
+            self.ledger.record_strategy_outcome(
+                spec.id, strategy, won, speedup=speedup,
+                points_searched=payload.get("points_searched"),
+                trials=trials, win_rate=win_rate,
+            )
 
     def _note_failure(
         self,

@@ -178,7 +178,7 @@ def _execute(
         cache_save_error = f"{failure_kind(error)}: {error}"
     t_saved = time.perf_counter()
 
-    return {
+    out = {
         "job_id": spec.id,
         "program": result.program_name,
         "board": result.board_name,
@@ -215,6 +215,17 @@ def _execute(
         },
         "report": result.report(),
     }
+    # Strategy details ride the payload only when they carry signal —
+    # default-strategy runs keep the exact PR-8 payload shape.
+    from repro.dse import DEFAULT_STRATEGY
+    if result.strategy != DEFAULT_STRATEGY:
+        out["strategy"] = result.strategy
+    if result.strategy_selection is not None:
+        out["strategy_selection"] = result.strategy_selection.as_dict()
+    switches = result.search.fidelity_switches
+    if switches:
+        out["fidelity_switches"] = [switch.as_dict() for switch in switches]
+    return out
 
 
 def _confirmation_dict(confirmation) -> Optional[Dict[str, Any]]:

@@ -1,0 +1,81 @@
+"""Integration: strategy selection and win rates flow through a batch.
+
+A journaled run with one ``auto`` job and one default job must leave
+typed ``strategy_selected`` / ``strategy_outcome`` records in both the
+run ledger and the telemetry trace, while the default job's payload
+stays free of strategy keys (the PR-8 payload shape)."""
+
+import json
+
+from repro.service import parse_manifest, read_trace, run_batch
+from repro.obs.events import validate_record
+
+
+def _manifest():
+    return parse_manifest({"jobs": [
+        {"id": "fir-auto", "program": "kernel:fir",
+         "search": {"strategy": "auto"}},
+        {"id": "mm-default", "program": "kernel:mm"},
+    ]})
+
+
+def _records(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestStrategyJournaling:
+    def test_batch_journals_selection_and_outcomes(self, tmp_path):
+        run_dir = tmp_path / "run"
+        batch = run_batch(_manifest(), run_dir=run_dir)
+        assert batch.all_ok
+
+        ledger = _records(run_dir / "ledger.jsonl")
+        selected = [r for r in ledger if r["event"] == "strategy_selected"]
+        outcomes = [r for r in ledger if r["event"] == "strategy_outcome"]
+        assert len(selected) == 1
+        assert len(outcomes) == 2
+        for record in selected + outcomes:
+            validate_record(record)
+
+        [selection] = selected
+        assert selection["job_id"] == "fir-auto"
+        assert selection["strategy"] == "balance"
+        assert "42" in selection["reason"]
+        assert selection["features"]["lattice_points"] == 42
+
+        by_job = {r["job_id"]: r for r in outcomes}
+        assert by_job["fir-auto"]["strategy"] == "balance"
+        assert by_job["mm-default"]["strategy"] == "balance"
+        assert by_job["fir-auto"]["won"] is True
+        # Both jobs ran the same strategy, so the scoreboard converges
+        # to two trials with a perfect record by the second outcome.
+        last = max(outcomes, key=lambda r: r["trials"])
+        assert last["trials"] == 2
+        assert last["win_rate"] == 1.0
+
+    def test_trace_carries_the_same_typed_events(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_batch(_manifest(), run_dir=run_dir)
+        events = [e.as_dict() for e in read_trace(run_dir / "trace.jsonl")]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("strategy_selected") == 1
+        assert kinds.count("strategy_outcome") == 2
+        for event in events:
+            if event["event"].startswith("strategy_"):
+                validate_record(event)
+        finishes = {
+            e["job_id"]: e for e in events if e["event"] == "job_finish"
+        }
+        # The default job's finish event stays in the PR-8 shape.
+        assert "strategy" not in finishes["mm-default"]
+
+    def test_auto_payload_carries_selection_default_does_not(self, tmp_path):
+        batch = run_batch(_manifest(), run_dir=tmp_path / "run")
+        payloads = {job.spec.id: job.payload for job in batch.results}
+        auto = payloads["fir-auto"]
+        assert auto["strategy_selection"]["strategy"] == "balance"
+        assert "win rate" not in auto["strategy_selection"]["reason"]
+        default = payloads["mm-default"]
+        assert "strategy" not in default
+        assert "strategy_selection" not in default

@@ -1,0 +1,119 @@
+"""Property suite: every registered strategy survives point failures.
+
+Two contracts, over all five paper kernels and every strategy in the
+registry:
+
+* under injected point failures the search still returns a feasible
+  selected point, or raises one of the two typed diagnoses
+  (``NoFeasiblePoint`` / ``PointFailureBudgetExceeded``) — never a raw
+  exception, never an infeasible selection;
+* ``SearchOptions.max_point_failures`` is respected: with every point
+  poisoned and a budget of 1, every strategy aborts with
+  ``PointFailureBudgetExceeded``.
+"""
+
+import pytest
+
+import repro.dse.space as space_module
+from repro.dse import DesignSpace, SearchOptions, get_strategy, strategy_ids
+from repro.errors import (
+    NoFeasiblePoint, PointFailureBudgetExceeded, TransformError,
+)
+from repro.target import wildstar_pipelined
+
+
+@pytest.fixture
+def poison(monkeypatch):
+    """Make compile_design raise a TransformError for chosen unroll
+    vectors (or for all of them with ``poison(all=True)``)."""
+    original = space_module.compile_design
+    state = {"vectors": set(), "all": False}
+
+    def wrapper(program, unroll, num_memories, options=None):
+        if state["all"] or unroll.factors in state["vectors"]:
+            raise TransformError(
+                "poisoned point", kernel=program.name, stage="unroll",
+            )
+        return original(program, unroll, num_memories, options)
+
+    monkeypatch.setattr(space_module, "compile_design", wrapper)
+
+    def configure(*vectors, all=False):
+        state["vectors"] = {tuple(v) for v in vectors}
+        state["all"] = all
+
+    return configure
+
+
+def _pinned_space(kernel, options=None):
+    """The explorer's automatically pinned space for a kernel."""
+    from repro.dse.saturation import analyze_saturation
+    board = wildstar_pipelined()
+    program = kernel.program()
+    saturation = analyze_saturation(program, board.num_memories)
+    varying = set(saturation.memory_varying_depths)
+    space = DesignSpace(program, board, options)
+    pins = tuple(d for d in range(space.depth) if d not in varying)
+    if pins:
+        space = DesignSpace(program, board, options, pinned_depths=pins)
+    return space
+
+
+@pytest.mark.parametrize("strategy_id", strategy_ids())
+class TestFailSoftContract:
+    def test_clean_run_selects_feasible_point(self, kernel, strategy_id):
+        space = _pinned_space(kernel)
+        result = get_strategy(strategy_id).run(space)
+        assert result.selected.estimate.fits(space.board)
+        assert result.strategy == strategy_id
+
+    def test_poisoned_selection_reroutes_or_diagnoses(
+        self, kernel, strategy_id, poison
+    ):
+        # Poison exactly the point the clean walk would have picked,
+        # forcing the strategy off its preferred path.
+        clean = get_strategy(strategy_id).run(_pinned_space(kernel))
+        poison(tuple(clean.selected.unroll))
+        space = _pinned_space(kernel)
+        try:
+            result = get_strategy(strategy_id).run(space)
+        except (NoFeasiblePoint, PointFailureBudgetExceeded) as error:
+            assert error.kind in ("no_feasible_point", "failure_budget")
+        else:
+            assert result.selected.estimate.fits(space.board)
+            assert tuple(result.selected.unroll) != tuple(
+                clean.selected.unroll
+            )
+
+    def test_budget_of_one_aborts_when_everything_is_poisoned(
+        self, kernel, strategy_id, poison
+    ):
+        # Strategies that probe more than one point must hit the budget
+        # wall; one-shot walks (hill, greedy give up after the failed
+        # initial probe) diagnose NoFeasiblePoint instead.  Either way
+        # the abort is typed and no strategy burns more than budget + 1
+        # probes.
+        poison(all=True)
+        space = _pinned_space(kernel)
+        options = SearchOptions(max_point_failures=1)
+        with pytest.raises(
+            (PointFailureBudgetExceeded, NoFeasiblePoint)
+        ) as excinfo:
+            get_strategy(strategy_id).run(space, options)
+        assert excinfo.value.kind in ("failure_budget", "no_feasible_point")
+        assert "poisoned point" in str(excinfo.value)
+        assert space.points_failed <= options.max_point_failures + 1
+
+    def test_generous_budget_reaches_the_budget_wall(
+        self, kernel, strategy_id, poison
+    ):
+        # With room for a couple of failures every multi-probe strategy
+        # must terminate through the typed budget error, not hang.
+        poison(all=True)
+        space = _pinned_space(kernel)
+        options = SearchOptions(max_point_failures=2)
+        with pytest.raises(
+            (PointFailureBudgetExceeded, NoFeasiblePoint)
+        ):
+            get_strategy(strategy_id).run(space, options)
+        assert space.points_failed <= options.max_point_failures + 1

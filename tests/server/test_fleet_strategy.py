@@ -1,0 +1,118 @@
+"""Fleet strategy routing: partitionable strategies fan out as point
+shards, non-partitionable ones run as a single walk-mode shard, and
+``--strategy auto`` is resolved at planning time."""
+
+import pytest
+
+from repro.server.fleet import (
+    FleetCoordinator, _shard_id, execute_shard, plan_shards,
+)
+from repro.server.store import JobStore, parse_submission, submission_hash
+
+from .test_leases import FakeClock
+
+
+def submission(strategy=None):
+    doc = {"program": "kernel:fir"}
+    if strategy is not None:
+        doc["search"] = {"strategy": strategy}
+    return parse_submission(doc)
+
+
+class TestPlanning:
+    def test_default_plan_is_point_mode_with_unchanged_ids(self):
+        spec = submission()
+        plan = plan_shards(spec, submission_hash(spec), shard_points=8)
+        assert plan.mode == "points"
+        assert len(plan.shards) > 1
+        first = plan.shards[0]
+        # The mode parameter must not perturb point-shard ids: old
+        # journals' shard_done records still adopt.
+        assert first.shard_id == _shard_id(
+            submission_hash(spec), 0, first.points
+        )
+        assert "mode" not in first.to_payload(spec)
+
+    def test_exhaustive_is_partitionable(self):
+        spec = submission("exhaustive")
+        plan = plan_shards(spec, submission_hash(spec))
+        assert plan.mode == "points"
+
+    @pytest.mark.parametrize(
+        "strategy", ("linear", "random", "hill", "greedy", "genetic")
+    )
+    def test_sequential_strategies_get_one_walk_shard(self, strategy):
+        spec = submission(strategy)
+        plan = plan_shards(spec, submission_hash(spec))
+        assert plan.mode == "walk"
+        [shard] = plan.shards
+        assert shard.mode == "walk" and shard.points == ()
+        payload = shard.to_payload(spec)
+        assert payload["mode"] == "walk" and payload["points"] == []
+
+    def test_walk_shard_id_differs_from_point_ids(self):
+        spec = submission("genetic")
+        plan = plan_shards(spec, submission_hash(spec))
+        assert plan.shards[0].shard_id != _shard_id(
+            submission_hash(spec), 0, ()
+        )
+
+    def test_auto_resolves_at_planning_time(self):
+        # fir's 42-point lattice keeps the partitionable balance walk;
+        # mm's 18-point lattice resolves to the (partitionable)
+        # exhaustive sweep — either way auto never plans a walk shard
+        # under the current selector rules.
+        for program in ("kernel:fir", "kernel:mm"):
+            spec = parse_submission(
+                {"program": program, "search": {"strategy": "auto"}}
+            )
+            plan = plan_shards(spec, submission_hash(spec))
+            assert plan.mode == "points"
+
+
+class TestWalkExecution:
+    def test_walk_shard_runs_the_full_search(self):
+        spec = submission("genetic")
+        plan = plan_shards(spec, submission_hash(spec))
+        result = execute_shard(plan.shards[0].to_payload(spec))
+        assert result["mode"] == "walk"
+        assert result["strategy"] == "genetic"
+        assert result["speedup"] >= 1.0
+        assert result["points_searched"] >= 1
+        assert result["trace"]
+
+    def test_coordinator_adopts_walk_result_verbatim(self, tmp_path):
+        store = JobStore(tmp_path / "state")
+        coordinator = FleetCoordinator(
+            store, lease_ttl_s=10.0, clock=FakeClock(),
+        )
+        job, _ = store.submit(submission("genetic"))
+        coordinator.register("w1")
+        shard = coordinator.claim("w1")
+        assert shard["mode"] == "walk"
+        result = execute_shard(shard)
+        coordinator.complete("w1", result["shard_id"], result)
+        assert coordinator.claim("w1") is None
+        assert job.status == "done" and job.result == "ok"
+        assert job.payload["strategy"] == "genetic"
+        assert job.payload["shards"] == 1
+        assert job.payload["selected_unroll"] == result["selected_unroll"]
+
+    def test_walk_and_point_jobs_coexist(self, tmp_path):
+        store = JobStore(tmp_path / "state")
+        coordinator = FleetCoordinator(
+            store, lease_ttl_s=10.0, shard_points=8, clock=FakeClock(),
+        )
+        walk_job, _ = store.submit(submission("hill"))
+        point_job, _ = store.submit(submission())
+        coordinator.register("w1")
+        while True:
+            shard = coordinator.claim("w1")
+            if shard is None:
+                break
+            result = execute_shard(shard)
+            coordinator.complete("w1", result["shard_id"], result)
+        assert walk_job.status == "done" and walk_job.result == "ok"
+        assert point_job.status == "done" and point_job.result == "ok"
+        assert walk_job.payload["strategy"] == "hill"
+        assert "strategy" not in point_job.payload

@@ -102,6 +102,52 @@ class TestExploreCommand:
                      "--no-layout", "--board", "np"]) == 0
 
 
+class TestStrategyCommands:
+    def test_strategies_verb_lists_registry(self, capsys):
+        from repro.dse import strategy_ids
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for strategy_id in strategy_ids():
+            assert strategy_id in out
+        assert "(default)" in out
+        assert "partitionable" in out and "sequential" in out
+        assert "auto" in out
+
+    def test_explore_strategy_flag(self, tmp_path, capsys):
+        summary_path = tmp_path / "out.json"
+        assert main(["explore", "kernel:fir", "--strategy", "genetic",
+                     "--json", str(summary_path)]) == 0
+        assert "strategy: genetic" in capsys.readouterr().out
+        summary = json.loads(summary_path.read_text())
+        assert summary["strategy"] == "genetic"
+
+    def test_explore_default_strategy_summary_unchanged(
+        self, tmp_path, capsys
+    ):
+        summary_path = tmp_path / "out.json"
+        assert main(["explore", "kernel:fir",
+                     "--json", str(summary_path)]) == 0
+        summary = json.loads(summary_path.read_text())
+        assert "strategy" not in summary
+        assert "strategy_selection" not in summary
+
+    def test_explore_auto_reports_selection(self, tmp_path, capsys):
+        summary_path = tmp_path / "out.json"
+        assert main(["explore", "kernel:mm", "--strategy", "auto",
+                     "--json", str(summary_path)]) == 0
+        out = capsys.readouterr().out
+        assert "strategy: exhaustive" in out
+        assert "auto:" in out
+        summary = json.loads(summary_path.read_text())
+        assert summary["strategy_selection"]["strategy"] == "exhaustive"
+
+    def test_unknown_strategy_fails_with_valid_set(self, capsys):
+        assert main(["explore", "kernel:fir",
+                     "--strategy", "anneal"]) == 1
+        err = capsys.readouterr().err
+        assert "anneal" in err and "balance" in err
+
+
 class TestVersionFlag:
     def test_version_prints_and_exits_zero(self, capsys):
         from repro.version import get_version

@@ -1,0 +1,104 @@
+"""The strategy selector: space features, the threshold rule, and the
+learned scoreboard override."""
+
+import pytest
+
+from repro.dse import DesignSpace
+from repro.dse.selector import (
+    EXHAUSTIVE_LATTICE_LIMIT, MIN_TRIALS, SelectionDecision, SpaceFeatures,
+    StrategyScoreboard, StrategySelector, extract_features, select_strategy,
+)
+from repro.kernels import ALL_KERNELS, FIR, MM
+from repro.obs import MetricsRegistry, use_registry
+from repro.target import wildstar_pipelined
+
+
+def _pinned_space(kernel):
+    """The explorer's automatically pinned space for a kernel."""
+    from repro.dse.saturation import analyze_saturation
+    board = wildstar_pipelined()
+    program = kernel.program()
+    saturation = analyze_saturation(program, board.num_memories)
+    varying = set(saturation.memory_varying_depths)
+    space = DesignSpace(program, board)
+    pins = tuple(d for d in range(space.depth) if d not in varying)
+    if pins:
+        space = DesignSpace(program, board, pinned_depths=pins)
+    return space
+
+
+class TestFeatures:
+    def test_fir_features(self):
+        features = extract_features(_pinned_space(FIR))
+        assert isinstance(features, SpaceFeatures)
+        assert features.depth == 2
+        assert features.lattice_points == 42
+        assert features.space_size == 2048
+
+    def test_features_serialize(self):
+        doc = extract_features(_pinned_space(MM)).as_dict()
+        assert doc["lattice_points"] == 18
+        assert isinstance(doc["trip_counts"], list)
+
+
+class TestThresholdRule:
+    def test_small_lattice_goes_exhaustive(self):
+        decision = select_strategy(_pinned_space(MM))
+        assert isinstance(decision, SelectionDecision)
+        assert decision.strategy == "exhaustive"
+        assert str(EXHAUSTIVE_LATTICE_LIMIT) in decision.reason
+
+    def test_large_lattice_keeps_the_paper_walk(self):
+        decision = select_strategy(_pinned_space(FIR))
+        assert decision.strategy == "balance"
+
+    def test_auto_selects_at_least_two_strategies_across_kernels(self):
+        chosen = {
+            select_strategy(_pinned_space(kernel)).strategy
+            for kernel in ALL_KERNELS
+        }
+        assert len(chosen) >= 2
+
+    def test_selection_counter_increments(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            decision = select_strategy(_pinned_space(FIR))
+        snapshot = registry.snapshot()
+        key = f"dse.strategy.selected{{strategy={decision.strategy}}}"
+        assert snapshot["counters"][key] == 1
+
+
+class TestScoreboard:
+    def test_win_rate_accounting(self):
+        board = StrategyScoreboard()
+        board.record("balance", True)
+        board.record("balance", False)
+        assert board.trials("balance") == 2
+        assert board.win_rate("balance") == 0.5
+        assert board.trials("random") == 0
+
+    def test_round_trips_through_dict(self):
+        board = StrategyScoreboard()
+        board.record("hill", True)
+        clone = StrategyScoreboard.from_dict(board.as_dict())
+        assert clone.trials("hill") == 1
+        assert clone.win_rate("hill") == 1.0
+
+    def test_override_needs_min_trials_on_both_sides(self):
+        scoreboard = StrategyScoreboard()
+        # An undefeated alternative with too few primary trials must not
+        # override the feature rule.
+        for _ in range(MIN_TRIALS):
+            scoreboard.record("genetic", True)
+        selector = StrategySelector(scoreboard)
+        assert selector.select(_pinned_space(FIR)).strategy == "balance"
+
+    def test_learned_override_fires_with_evidence(self):
+        scoreboard = StrategyScoreboard()
+        for _ in range(MIN_TRIALS):
+            scoreboard.record("balance", False)   # primary keeps losing
+            scoreboard.record("genetic", True)    # alternative keeps winning
+        selector = StrategySelector(scoreboard)
+        decision = selector.select(_pinned_space(FIR))
+        assert decision.strategy == "genetic"
+        assert "win rate" in decision.reason

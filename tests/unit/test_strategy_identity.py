@@ -1,0 +1,106 @@
+"""Regression pins: the strategy field must not move any identity.
+
+Default-strategy jobs hash byte-identically to the release before the
+SearchStrategy protocol existed (PR 8) — the strategy enters the spec
+tuple, the spec hash, the submission hash, and the manifest fingerprint
+only when it is not the default, mirroring the backend/fidelity/tenant
+conditional-inclusion discipline."""
+
+import pytest
+
+from repro.dse import SearchOptions
+from repro.errors import ServiceError
+from repro.server.store import job_id_for, submission_hash
+from repro.service.jobs import BatchManifest, JobConfig, JobSpec, parse_manifest
+from repro.service.ledger import manifest_fingerprint, spec_hash
+
+#: The exact PR-8 values; any drift breaks dedup against old journals.
+PINNED_JOB_ID = "job-fc5db4fd85da"
+PINNED_SUBMISSION_HASH = (
+    "fc5db4fd85da10f2dc9cbbe359b11b9de4ac2216cfe54f9ce3de026e21cb4c4c"
+)
+PINNED_SPEC_HASH = (
+    "f9f260cb4a9ae76cf078e446ce5aab346aa7dbd9bce759028ce9bd8ee6dce9d8"
+)
+PINNED_FINGERPRINT = (
+    "90cf84f944e3fc97bcc529eb2bff0a2597f11274e9053daa591890efa335a761"
+)
+
+
+class TestPinnedIdentities:
+    def test_default_job_identities_unchanged(self):
+        spec = JobSpec.create("kernel:fir")
+        assert job_id_for(spec) == PINNED_JOB_ID
+        assert submission_hash(spec) == PINNED_SUBMISSION_HASH
+        assert spec_hash(spec) == PINNED_SPEC_HASH
+
+    def test_manifest_fingerprint_unchanged(self):
+        manifest = BatchManifest(jobs=(
+            JobSpec.create("kernel:fir"), JobSpec.create("kernel:mm"),
+        ))
+        assert manifest_fingerprint(manifest) == PINNED_FINGERPRINT
+
+
+class TestConditionalInclusion:
+    def test_explicit_default_strategy_is_dropped_at_intake(self):
+        explicit = JobSpec.create(
+            "kernel:fir", config=JobConfig(search={"strategy": "balance"})
+        )
+        assert explicit.search == ()
+        assert spec_hash(explicit) == PINNED_SPEC_HASH
+        assert job_id_for(explicit) == PINNED_JOB_ID
+
+    def test_search_options_dataclass_drops_default_strategy(self):
+        # dataclasses.asdict always includes the new strategy field; the
+        # normalizer must strip the default so the stored tuple matches
+        # what pre-protocol releases produced for SearchOptions().
+        spec = JobSpec.create(
+            "kernel:fir", config=JobConfig(search=SearchOptions())
+        )
+        assert dict(spec.search).get("strategy") is None
+
+    def test_non_default_strategy_changes_every_identity(self):
+        spec = JobSpec.create(
+            "kernel:fir", config=JobConfig(search={"strategy": "exhaustive"})
+        )
+        assert ("strategy", "exhaustive") in spec.search
+        assert spec_hash(spec) != PINNED_SPEC_HASH
+        assert submission_hash(spec) != PINNED_SUBMISSION_HASH
+        assert job_id_for(spec) != PINNED_JOB_ID
+
+    def test_manifest_job_drops_default_strategy(self):
+        manifest = parse_manifest({"jobs": [
+            {"program": "kernel:fir", "search": {"strategy": "balance"}},
+        ]})
+        assert manifest.jobs[0].search == ()
+
+    def test_auto_is_accepted_and_hashed(self):
+        spec = JobSpec.create(
+            "kernel:fir", config=JobConfig(search={"strategy": "auto"})
+        )
+        assert ("strategy", "auto") in spec.search
+        assert spec_hash(spec) != PINNED_SPEC_HASH
+
+
+class TestIntakeValidation:
+    def test_unknown_strategy_rejected_with_valid_set(self):
+        with pytest.raises(ServiceError) as excinfo:
+            JobSpec.create(
+                "kernel:fir", config=JobConfig(search={"strategy": "anneal"})
+            )
+        message = str(excinfo.value)
+        assert "anneal" in message
+        for known in ("balance", "exhaustive", "auto"):
+            assert known in message
+
+    def test_manifest_rejects_unknown_strategy(self):
+        with pytest.raises(ServiceError, match="unknown search strategy"):
+            parse_manifest({"jobs": [
+                {"program": "kernel:fir", "search": {"strategy": "bogus"}},
+            ]})
+
+    def test_payload_round_trip_preserves_strategy(self):
+        spec = JobSpec.create(
+            "kernel:fir", config=JobConfig(search={"strategy": "genetic"})
+        )
+        assert JobSpec.from_payload(spec.to_payload()) == spec
