@@ -1,0 +1,350 @@
+#!/usr/bin/env python
+"""Diff the latest bench document against the previous one — the
+perf-regression gate.
+
+``scripts/bench.py`` writes ``BENCH_<pr>.json`` at the repo root; this
+script compares the newest document's hot-path timings against the
+previous checked-in one and exits nonzero when any regresses by more
+than ``--threshold`` (default 20%).  Hot paths:
+
+* per-kernel ``walk.seconds`` — the Figure-2 loop, the paper's headline
+  (measured with incremental evaluation pinned off, so the number means
+  the same thing in every document);
+* per-kernel ``point_eval_seconds`` — the unit the walk repeats;
+* per-kernel incremental ``cold_seconds`` — a first walk over an empty
+  memo, the one path where the memo layer's hashing and journal writes
+  are pure overhead (gates once two documents record it);
+* per-kernel analytic-backend ``estimate.seconds`` (the navigation
+  model; the deliberately-slow interp backend is excluded);
+* journal ``appends_per_second`` and ``replays_per_second`` (inverted:
+  lower throughput is the regression).
+
+Timings are machine-relative, so the gate only fires when both
+documents exist; a missing previous document passes with a note (first
+run on a fresh machine has nothing to compare against).
+
+Two checked-in documents were almost never measured under the same
+load, CPU governor, or VM weather, and the gated paths are hundreds of
+milliseconds — raw wall-time ratios drift ±25% with no code change at
+all.  The gate therefore corrects for the *common mode* before judging:
+the median new/old ratio across every shared hot path estimates the
+machine drift (a uniformly slower box moves every path together), each
+path's ratio is divided by it, and only paths that regressed relative
+to the document as a whole are flagged.  A real regression concentrates
+in the paths the offending change touches and survives the correction;
+uniform slowness cancels out.  ``--no-drift-correction`` restores raw
+ratios for same-machine back-to-back comparisons.
+
+Correction handles drift every path shares; it cannot help a path
+whose own timings scatter run to run.  ``bench.py --runs N`` records
+each gated path's per-run values, and the gate widens that path's
+allowance by its measured spread — a 30ms walk that varies 40% between
+suite passes is only flagged beyond 20% + 40%.  On a quiet machine
+spreads are a few percent and the policy threshold is what gates.
+
+``--experiments EXPERIMENTS.md`` additionally rewrites the trend table
+between the ``<!-- bench-trend:begin -->`` / ``:end`` markers with one
+row per checked-in bench document — walk seconds per kernel across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_compare.py            # gate
+    PYTHONPATH=src python scripts/bench_compare.py \\
+        --experiments EXPERIMENTS.md                          # + table
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+TREND_BEGIN = "<!-- bench-trend:begin -->"
+TREND_END = "<!-- bench-trend:end -->"
+
+#: The estimate backend whose cost gates (the walk's navigation model).
+GATED_BACKEND = "analytic"
+
+
+def bench_documents(root: Path) -> List[Tuple[int, Path]]:
+    """Checked-in ``BENCH_<n>.json`` files, oldest first."""
+    found = []
+    for path in root.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def hot_paths(document: dict) -> Dict[str, float]:
+    """``metric name -> seconds`` (lower is better) for the gated paths."""
+    paths: Dict[str, float] = {}
+    for name, entry in sorted(document.get("kernels", {}).items()):
+        walk = entry.get("walk", {})
+        if "seconds" in walk:
+            paths[f"{name}.walk"] = float(walk["seconds"])
+        if "point_eval_seconds" in entry:
+            paths[f"{name}.point"] = float(entry["point_eval_seconds"])
+        incremental = entry.get("incremental", {})
+        if "cold_seconds" in incremental:
+            # The memo layer's own overhead — walk.seconds is measured
+            # with incremental pinned off, so a creeping hash or
+            # journal cost would otherwise escape the gate.
+            paths[f"{name}.cold"] = float(incremental["cold_seconds"])
+        backend = entry.get("estimate", {}).get(GATED_BACKEND, {})
+        if "seconds" in backend:
+            paths[f"{name}.estimate[{GATED_BACKEND}]"] = float(
+                backend["seconds"]
+            )
+    journal = document.get("journal", {})
+    for rate_key, label in (
+        ("appends_per_second", "journal.append"),
+        ("replays_per_second", "journal.replay"),
+    ):
+        rate = journal.get(rate_key)
+        if rate:
+            # Invert throughput so "bigger number = slower" everywhere.
+            paths[label] = 1.0 / float(rate)
+    return paths
+
+
+def path_spreads(document: dict) -> Dict[str, float]:
+    """``metric name -> relative run-to-run spread`` ((max-min)/min)
+    from the ``<field>_runs`` arrays ``bench.py --runs N`` records.
+    Documents benched with a single run report no spreads."""
+    def spread(values) -> Optional[float]:
+        if not values or min(values) <= 0:
+            return None
+        return (max(values) - min(values)) / min(values)
+
+    spreads: Dict[str, float] = {}
+    for name, entry in sorted(document.get("kernels", {}).items()):
+        candidates = {
+            f"{name}.walk": entry.get("walk", {}).get("seconds_runs"),
+            f"{name}.point": entry.get("point_eval_seconds_runs"),
+            f"{name}.cold": entry.get(
+                "incremental", {}).get("cold_seconds_runs"),
+            f"{name}.estimate[{GATED_BACKEND}]": entry.get(
+                "estimate", {}).get(GATED_BACKEND, {}).get("seconds_runs"),
+        }
+        for label, runs in candidates.items():
+            value = spread(runs)
+            if value is not None:
+                spreads[label] = value
+    journal = document.get("journal", {})
+    for rate_key, label in (
+        ("appends_per_second_runs", "journal.append"),
+        ("replays_per_second_runs", "journal.replay"),
+    ):
+        value = spread(journal.get(rate_key))
+        if value is not None:
+            spreads[label] = value
+    return spreads
+
+
+def drift_factor(before: Dict[str, float], after: Dict[str, float]) -> float:
+    """Median new/old ratio over the shared paths — the common mode."""
+    ratios = sorted(
+        after[name] / before[name]
+        for name in set(before) & set(after) if before[name] > 0
+    )
+    if not ratios:
+        return 1.0
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[mid]
+    return (ratios[mid - 1] + ratios[mid]) / 2.0
+
+
+def compare(previous: dict, current: dict, threshold: float,
+            correct_drift: bool = True) -> List[str]:
+    """Regression lines (empty = gate passes).
+
+    A path's allowance is ``threshold`` plus its own measured
+    run-to-run spread (the larger of the two documents'): a regression
+    must clear both the policy bar and the path's demonstrated noise
+    before the gate believes it.
+    """
+    before = hot_paths(previous)
+    after = hot_paths(current)
+    noise_before = path_spreads(previous)
+    noise_after = path_spreads(current)
+    drift = drift_factor(before, after) if correct_drift else 1.0
+    journal_drift = _journal_drift(previous, current) if correct_drift \
+        else 1.0
+    regressions = []
+    for name in sorted(set(before) & set(after)):
+        old, new = before[name], after[name]
+        if old <= 0:
+            continue
+        if name.startswith("journal."):
+            if journal_drift is None:
+                # The baseline predates the calibration loop: CPU-bound
+                # journal micro-timings cannot be separated from the
+                # machine, so these paths gate from the next pair on.
+                continue
+            ratio = (new / old) / journal_drift
+        else:
+            ratio = (new / old) / drift
+        allowed = 1.0 + threshold + max(
+            noise_before.get(name, 0.0), noise_after.get(name, 0.0)
+        )
+        if ratio > allowed:
+            regressions.append(
+                f"{name}: {old * 1000:.3f}ms -> {new * 1000:.3f}ms "
+                f"({ratio:.2f}x drift-corrected, "
+                f"allowed {allowed:.2f}x)"
+            )
+    return regressions
+
+
+def _journal_drift(previous: dict, current: dict) -> Optional[float]:
+    """Machine ratio for the journal paths, from the frozen calibration
+    loop both documents ran — ``None`` when either predates it."""
+    old = previous.get("journal", {}).get("calibration_per_second")
+    new = current.get("journal", {}).get("calibration_per_second")
+    if not old or not new:
+        return None
+    return float(old) / float(new)
+
+
+def trend_table(documents: List[Tuple[int, Path]]) -> str:
+    """Markdown: walk seconds (and warm incremental, when recorded) per
+    kernel across every checked-in bench document."""
+    kernels: List[str] = []
+    rows = []
+    for number, path in documents:
+        document = load(path)
+        entry_kernels = sorted(document.get("kernels", {}))
+        for name in entry_kernels:
+            if name not in kernels:
+                kernels.append(name)
+        rows.append((number, document))
+    lines = [
+        "| Bench | " + " | ".join(f"{k} walk" for k in kernels) + " |",
+        "|---" * (len(kernels) + 1) + "|",
+    ]
+    for number, document in rows:
+        cells = []
+        for name in kernels:
+            entry = document.get("kernels", {}).get(name, {})
+            seconds = entry.get("walk", {}).get("seconds")
+            if seconds is None:
+                cells.append("—")
+                continue
+            cell = f"{seconds * 1000:.1f}ms"
+            warm = entry.get("incremental", {}).get("warm_seconds")
+            if warm is not None:
+                cell += f" / {warm * 1000:.1f}ms warm"
+            cells.append(cell)
+        lines.append(f"| PR {number} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def update_experiments(path: Path, table: str) -> bool:
+    """Replace (or append) the marker-delimited trend section."""
+    block = (
+        f"{TREND_BEGIN}\n"
+        f"Walk seconds per kernel across checked-in bench documents\n"
+        f"(cold / warm-memo where recorded; regenerate with\n"
+        f"`python scripts/bench_compare.py --experiments EXPERIMENTS.md`):\n\n"
+        f"{table}\n"
+        f"{TREND_END}"
+    )
+    text = path.read_text()
+    if TREND_BEGIN in text and TREND_END in text:
+        pattern = re.compile(
+            re.escape(TREND_BEGIN) + r".*?" + re.escape(TREND_END),
+            re.DOTALL,
+        )
+        updated = pattern.sub(block, text)
+    else:
+        updated = text.rstrip() + "\n\n## Bench trend (hot paths)\n\n" \
+            + block + "\n"
+    if updated == text:
+        return False
+    path.write_text(updated)
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", default=None,
+        help="bench document to gate (default: newest BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--previous", default=None,
+        help="baseline document (default: second-newest BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed fractional slowdown per hot path "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--experiments", default=None, metavar="FILE",
+        help="also rewrite FILE's bench-trend table",
+    )
+    parser.add_argument(
+        "--no-drift-correction", dest="drift", action="store_false",
+        help="judge raw ratios (same-machine back-to-back runs only)",
+    )
+    args = parser.parse_args(argv)
+
+    documents = bench_documents(ROOT)
+    if args.current:
+        current_path = Path(args.current)
+    elif documents:
+        current_path = documents[-1][1]
+    else:
+        print("no BENCH_*.json documents found", file=sys.stderr)
+        return 2
+    if args.previous:
+        previous_path: Optional[Path] = Path(args.previous)
+    else:
+        older = [path for _, path in documents
+                 if path.resolve() != current_path.resolve()]
+        previous_path = older[-1] if older else None
+
+    if args.experiments:
+        experiments = Path(args.experiments)
+        changed = update_experiments(experiments, trend_table(documents))
+        print(f"{'updated' if changed else 'unchanged'}: {experiments}")
+
+    if previous_path is None:
+        print(f"{current_path.name}: nothing to compare against "
+              f"(first bench document) — gate passes")
+        return 0
+
+    before, after = load(previous_path), load(current_path)
+    regressions = compare(before, after, args.threshold, args.drift)
+    drift = (drift_factor(hot_paths(before), hot_paths(after))
+             if args.drift else 1.0)
+    print(f"comparing {previous_path.name} -> {current_path.name} "
+          f"(threshold {args.threshold:.0%}, "
+          f"machine drift {drift:.2f}x corrected out)")
+    if args.drift and _journal_drift(before, after) is None \
+            and any(p.startswith("journal.") for p in hot_paths(after)):
+        print("  note: journal paths skipped — baseline predates the "
+              "calibration loop; they gate from the next document pair")
+    if regressions:
+        for line in regressions:
+            print(f"  REGRESSION {line}")
+        return 1
+    print(f"  {len(hot_paths(load(current_path)))} hot paths checked, "
+          f"none regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

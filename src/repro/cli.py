@@ -168,6 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
                              help="multi: navigate on --backend, confirm the "
                                   "selection on the authoritative interp "
                                   "backend and cross-validate sampled points")
+    explore_cmd.add_argument("--incremental", default=True,
+                             action=argparse.BooleanOptionalAction,
+                             help="memoize analysis/schedule/estimate work "
+                                  "across neighboring design points "
+                                  "(bit-identical selections, default on)")
+    explore_cmd.add_argument("--memo-dir", metavar="DIR", default=None,
+                             help="persist the incremental memo journal "
+                                  "here; a later run pointed at the same "
+                                  "directory starts warm")
 
     compile_cmd = commands.add_parser(
         "compile", help="apply the transformation pipeline at a fixed unroll"
@@ -230,6 +239,15 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--fault-spec", metavar="FILE", default=None,
                            help="fault-injection spec for chaos testing "
                                 "(see repro.faults)")
+    batch_cmd.add_argument("--incremental", default=True,
+                           action=argparse.BooleanOptionalAction,
+                           help="memoize analysis/schedule/estimate work "
+                                "across design points and jobs (default on; "
+                                "with --run-dir the memo journal persists "
+                                "under <run-dir>/memo)")
+    batch_cmd.add_argument("--memo-dir", metavar="DIR", default=None,
+                           help="persist the incremental memo journal here "
+                                "(overrides the <run-dir>/memo default)")
     batch_cmd.add_argument("--json", metavar="FILE",
                            help="write a machine-readable batch summary here")
 
@@ -310,6 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="rotate the job journal past N bytes per "
                                 "segment (default 4 MiB; rotation "
                                 "triggers snapshot compaction)")
+    serve_cmd.add_argument("--incremental", default=True,
+                           action=argparse.BooleanOptionalAction,
+                           help="hand jobs the incremental-evaluation "
+                                "switch; the memo journal persists under "
+                                "<state-dir>/memo (default on)")
 
     worker_cmd = commands.add_parser(
         "worker", help="attach a fleet worker to a coordinator "
@@ -336,6 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
     worker_cmd.add_argument("--idle-exit", type=float, default=None,
                             metavar="S",
                             help="exit after S seconds with no work")
+    worker_cmd.add_argument("--memo-dir", metavar="DIR", default=None,
+                            help="worker-local incremental memo journal "
+                                 "directory (overrides the coordinator's, "
+                                 "which is machine-local)")
 
     submit_cmd = commands.add_parser(
         "submit", help="submit one exploration job to a running server"
@@ -541,8 +568,16 @@ def _run_explore(args, program, kernel, board, options) -> int:
     result = explore(program, board, config=ExploreConfig(
         search=search_options, pipeline=options, obs=obs,
         backend=args.backend, fidelity=args.fidelity,
+        incremental=args.incremental,
+        memo_dir=Path(args.memo_dir) if args.memo_dir else None,
     ))
     print(result.report())
+    if result.memo_stats is not None:
+        stats = result.memo_stats
+        lookups = stats["hits"] + stats["misses"]
+        rate = stats["hits"] / lookups if lookups else 0.0
+        print(f"incremental: {stats['hits']} memo hits / {lookups} lookups "
+              f"({rate:.0%}), {stats['invalidations']} invalidations")
     design = result.selected.design
     if args.vhdl:
         from repro.hdl import emit_vhdl
@@ -590,6 +625,8 @@ def _run_explore(args, program, kernel, board, options) -> int:
             summary["confirmation"] = result.confirmation.as_dict()
         if result.differential is not None:
             summary["rank_agreement"] = result.differential.as_dict()
+        if result.memo_stats is not None:
+            summary["memo"] = result.memo_stats
         Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {args.json}")
     return 0
@@ -627,7 +664,9 @@ def _run_explore_parallel(args) -> int:
         "jobs": [{"program": spec} for spec in args.program],
     }, source="<explore --parallel>", base_dir=Path.cwd())
     return _drive_batch(manifest, args.jobs, args.cache, args.trace,
-                        timeout=None, json_path=None)
+                        timeout=None, json_path=None,
+                        incremental=args.incremental,
+                        memo_dir=args.memo_dir)
 
 
 def _run_batch(args) -> int:
@@ -650,12 +689,14 @@ def _run_batch(args) -> int:
         run_dir=args.resume or args.run_dir, resume=bool(args.resume),
         call_deadline=args.call_deadline,
         cache_max_entries=args.cache_max_entries, fault_spec=args.fault_spec,
+        incremental=args.incremental, memo_dir=args.memo_dir,
     )
 
 
 def _drive_batch(manifest, jobs, cache, trace, timeout, json_path,
                  run_dir=None, resume=False, call_deadline=None,
-                 cache_max_entries=None, fault_spec=None) -> int:
+                 cache_max_entries=None, fault_spec=None,
+                 incremental=True, memo_dir=None) -> int:
     from repro.report import batch_summary_table
     from repro.service import run_batch
     result = run_batch(
@@ -669,6 +710,8 @@ def _drive_batch(manifest, jobs, cache, trace, timeout, json_path,
         call_deadline_s=call_deadline,
         cache_max_entries=cache_max_entries,
         fault_spec=fault_spec,
+        incremental=incremental,
+        memo_dir=Path(memo_dir) if memo_dir else None,
     )
     print(result.report())
     print()
@@ -771,6 +814,7 @@ def _run_serve(args) -> int:
         shard_points=args.shard_points,
         tenant_policies=tenant_policies,
         journal_segment_bytes=args.journal_segment_bytes,
+        incremental=args.incremental,
     )
     return server.serve(
         port_file=Path(args.port_file) if args.port_file else None
@@ -791,6 +835,7 @@ def _run_worker(args) -> int:
         fault_spec=args.fault_spec,
         max_shards=args.max_shards,
         idle_exit_s=args.idle_exit,
+        memo_dir=args.memo_dir,
     ))
     print(f"worker {worker_id} attached to {args.server}", file=sys.stderr)
     done = worker.run()

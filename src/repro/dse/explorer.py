@@ -61,6 +61,9 @@ class ExplorationResult:
     strategy: str = DEFAULT_STRATEGY
     #: ``--strategy auto`` only: what the selector picked and why.
     strategy_selection: Optional[SelectionDecision] = None
+    #: incremental-evaluation stats for this run (hits/misses/
+    #: invalidations and memo sizes); ``None`` with ``--no-incremental``.
+    memo_stats: Optional[dict] = None
 
     @property
     def speedup(self) -> float:
@@ -220,6 +223,18 @@ class ExploreConfig:
     #: (:class:`repro.dse.selector.StrategyScoreboard`) the selector may
     #: consult; ``None`` selects from space features alone.
     scoreboard: Optional[Any] = None
+    #: incremental evaluation (cross-point reuse via
+    #: :mod:`repro.incremental`) — on by default; ``--no-incremental``
+    #: turns it off and every point runs from scratch.
+    incremental: bool = True
+    #: an existing :class:`repro.incremental.MemoStore` to reuse (the
+    #: batch worker and fleet shard paths share one per process);
+    #: ``None`` constructs a fresh store per call.
+    memo: Optional[Any] = None
+    #: directory for the persistent memo journal (convention:
+    #: ``<run-dir or state-dir>/memo``); only consulted when ``memo``
+    #: is ``None``.  ``None`` keeps the memo ephemeral.
+    memo_dir: Optional[Any] = None
 
 
 #: Legacy keyword names in their historical positional order, mapped to
@@ -310,6 +325,14 @@ def explore(
             stack.enter_context(use_tracer(obs.active_tracer()))
             if obs.enabled:
                 stack.enter_context(use_registry(obs.metrics))
+        memo = None
+        if config.incremental:
+            from repro.incremental.memo import use_memo
+            memo = config.memo
+            if memo is None:
+                from repro.incremental.journal import open_memo
+                memo = open_memo(config.memo_dir)
+            stack.enter_context(use_memo(memo))
         with current_tracer().span(
             "dse.explore", kernel=program.name, board=board.name
         ) as span:
@@ -321,6 +344,18 @@ def explore(
             span.set_attribute("design_space_size", result.design_space_size)
             span.set_attribute("speedup", result.speedup)
             span.set_attribute("baseline_degraded", result.baseline_degraded)
+            span.set_attribute("incremental", config.incremental)
+        if memo is not None:
+            # Flush before reading the counters: a failed or damaged
+            # journal write counts invalidations, and those belong in
+            # this run's stats.
+            memo.flush()
+            result.memo_stats = {
+                "hits": memo.hits,
+                "misses": memo.misses,
+                "invalidations": memo.invalidations,
+                "entries": memo.counts(),
+            }
     if (
         obs is not None
         and obs.enabled

@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.dse.failures import POINT_FAILURES, PointDiagnostic, is_point_failure
+from repro.incremental.delta import delta_for
+from repro.incremental.hashing import context_fingerprint, point_key, program_hash
+from repro.incremental.memo import current_memo
 from repro.obs import current_registry, current_tracer
 from repro.ir.nest import LoopNest
 from repro.ir.symbols import Program
@@ -31,13 +34,43 @@ from repro.transform.pipeline import CompiledDesign, PipelineOptions, compile_de
 from repro.transform.unroll import UnrollVector
 
 
-@dataclass
 class DesignEvaluation:
-    """One synthesized design point."""
+    """One synthesized design point.
 
-    unroll: UnrollVector
-    design: CompiledDesign
-    estimate: Estimate
+    ``design`` may be *deferred*: a point served from the incremental
+    memo has its estimate without ever compiling, and the compiled form
+    is only materialized if something actually needs it (confirmation
+    re-estimation, differential validation, report printing).  The
+    pipeline is deterministic, so the deferred compile yields exactly
+    the design a from-scratch evaluation would have produced.
+    """
+
+    def __init__(self, unroll: UnrollVector, design: Optional[CompiledDesign],
+                 estimate: Estimate):
+        self.unroll = unroll
+        self.estimate = estimate
+        self._design = design
+        self._compile = None
+
+    @classmethod
+    def deferred(cls, unroll: UnrollVector, estimate: Estimate,
+                 compile_thunk) -> "DesignEvaluation":
+        evaluation = cls(unroll, None, estimate)
+        evaluation._compile = compile_thunk
+        return evaluation
+
+    @property
+    def design(self) -> CompiledDesign:
+        if self._design is None and self._compile is not None:
+            self._design = self._compile()
+            self._compile = None
+        return self._design
+
+    @property
+    def design_materialized(self) -> bool:
+        """True when the compiled form exists (False only for memo-served
+        points nobody has re-compiled yet)."""
+        return self._design is not None
 
     @property
     def cycles(self) -> int:
@@ -88,6 +121,8 @@ class DesignSpace:
         #: recover, and re-raising a deterministic error is cheap); a
         #: point that later succeeds drops its stale diagnostic.
         self._infeasible: Dict[Tuple[int, ...], PointDiagnostic] = {}
+        #: lazy context fingerprint for incremental point-memo keys.
+        self._memo_context: Optional[str] = None
 
     # -- evaluation ----------------------------------------------------------
 
@@ -109,22 +144,7 @@ class DesignSpace:
                 backend=self.backend.id,
             ) as span:
                 try:
-                    design = compile_design(
-                        self.program, unroll, self.board.num_memories, self.options
-                    )
-                    if self.estimate_cache is not None:
-                        estimate = self.estimate_cache.synthesize(
-                            design.program, self.board, design.plan,
-                            self.library, backend=self.backend,
-                        )
-                    else:
-                        with current_tracer().span(
-                            "estimate.call", backend=self.backend.id
-                        ):
-                            estimate = self.backend.estimate(
-                                design.program, self.board, design.plan,
-                                self.library,
-                            )
+                    evaluation = self._evaluate_point(unroll, span)
                 except POINT_FAILURES as error:
                     if not is_point_failure(error):
                         raise
@@ -141,13 +161,100 @@ class DesignSpace:
                     current_registry().histogram("dse.point_seconds").observe(
                         time.monotonic() - started
                     )
+                estimate = evaluation.estimate
                 span.set_attribute("outcome", "ok")
                 span.set_attribute("cycles", estimate.cycles)
                 span.set_attribute("space", estimate.space)
                 span.set_attribute("balance", estimate.balance)
-            self._cache[key] = DesignEvaluation(unroll, design, estimate)
+            self._cache[key] = evaluation
             self._infeasible.pop(key, None)
         return self._cache[key]
+
+    def _evaluate_point(self, unroll: UnrollVector, span) -> DesignEvaluation:
+        """One point's compile + estimate, via the ambient memo when
+        incremental evaluation is on.
+
+        A point-memo hit skips the entire pipeline: the stored estimate
+        decodes to exactly what recomputation would produce (the key
+        covers the source program, factors, board, library, options,
+        and backend), and the compiled design is deferred.  A miss runs
+        from scratch inside a ``begin_point`` scope so region/verify
+        reuse and the structural delta land on the span.
+        """
+        memo = current_memo()
+        if memo is None:
+            span.set_attribute("incremental", "off")
+            design, estimate = self._compute(unroll)
+            return DesignEvaluation(unroll, design, estimate)
+        pkey = point_key(
+            program_hash(self.program), unroll.factors, self._context()
+        )
+        with memo.begin_point() as stats:
+            entry = memo.point_get(pkey)
+            estimate = self._decode_point(memo, entry)
+            if estimate is not None:
+                span.set_attribute("incremental", "hit")
+                evaluation = DesignEvaluation.deferred(
+                    unroll, estimate,
+                    lambda: compile_design(
+                        self.program, unroll, self.board.num_memories,
+                        self.options,
+                    ),
+                )
+            else:
+                from repro.synthesis.cache import _encode
+                design, estimate = self._compute(unroll)
+                memo.point_put(pkey, _encode(estimate))
+                evaluation = DesignEvaluation(unroll, design, estimate)
+                span.set_attribute("incremental", "miss")
+                delta = delta_for(memo)
+                for name, value in delta.as_attrs().items():
+                    span.set_attribute(name, value)
+            span.set_attribute(
+                "incremental.reused_regions", stats.reused_regions
+            )
+            span.set_attribute("incremental.verify_skips", stats.verify_skips)
+        return evaluation
+
+    def _compute(self, unroll: UnrollVector):
+        """The from-scratch path: full pipeline + backend estimate."""
+        design = compile_design(
+            self.program, unroll, self.board.num_memories, self.options
+        )
+        if self.estimate_cache is not None:
+            estimate = self.estimate_cache.synthesize(
+                design.program, self.board, design.plan,
+                self.library, backend=self.backend,
+            )
+        else:
+            with current_tracer().span(
+                "estimate.call", backend=self.backend.id
+            ):
+                estimate = self.backend.estimate(
+                    design.program, self.board, design.plan, self.library,
+                )
+        return design, estimate
+
+    def _context(self) -> str:
+        if self._memo_context is None:
+            self._memo_context = context_fingerprint(
+                self.board, self.library, self.options, self.backend.id
+            )
+        return self._memo_context
+
+    @staticmethod
+    def _decode_point(memo, entry) -> Optional[Estimate]:
+        """Decode a stored point estimate; an undecodable entry (schema
+        drift in a shared journal) counts as an invalidation and the
+        point re-runs from scratch."""
+        if entry is None:
+            return None
+        from repro.synthesis.cache import _decode
+        try:
+            return _decode(entry)
+        except (KeyError, TypeError, ValueError):
+            memo.invalidate(reason="undecodable")
+            return None
 
     def try_evaluate(self, unroll: UnrollVector) -> Optional[DesignEvaluation]:
         """Like :meth:`evaluate`, but permanent single-point failures

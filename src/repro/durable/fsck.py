@@ -45,7 +45,7 @@ from repro.durable.journal import (
 from repro.errors import JournalError
 
 #: The journals fsck knows how to find and (for repair) re-fold.
-KNOWN_PREFIXES = ("jobs", "ledger")
+KNOWN_PREFIXES = ("jobs", "ledger", "memo")
 
 
 # -- reports ------------------------------------------------------------------
@@ -146,6 +146,12 @@ def discover_journals(path: Path) -> List[Tuple[Path, str]]:
     for prefix in KNOWN_PREFIXES:
         if segment_paths(path, prefix):
             found.append((path, prefix))
+    # The incremental memo journal lives in a ``memo/`` subdirectory by
+    # convention (<run-dir>/memo, <state-dir>/memo) — cover it when fsck
+    # is pointed at the parent.
+    memo_dir = path / "memo"
+    if memo_dir.is_dir() and segment_paths(memo_dir, "memo"):
+        found.append((memo_dir, "memo"))
     if not found:
         raise JournalError(
             f"{path} holds no durable journal (looked for "
@@ -270,6 +276,16 @@ def _compact_journal(directory: Path, prefix: str,
     if prefix == "ledger":
         from repro.service.ledger import compact_ledger_dir
         return compact_ledger_dir(directory, clock=clock)
+    if prefix == "memo":
+        # Replay the (now repaired) journal into a fresh store and fold
+        # it back into one snapshot segment — same path the online
+        # compactor takes, so fsck and runtime compaction agree.
+        from repro.incremental.journal import MemoJournal
+        from repro.incremental.memo import MemoStore
+        store = MemoStore()
+        journal = MemoJournal(directory, clock=clock)
+        store.attach_journal(journal)
+        return journal.compact()
     return False
 
 

@@ -1,0 +1,80 @@
+"""Structural deltas between neighboring design points.
+
+Adjacent unroll points share most of their IR: unrolling the innermost
+loop by 2 vs 4 rewrites that nest's regions but leaves every other
+region of the program byte-identical.  The delta layer makes that
+sharing *observable* and *exploitable*:
+
+* exploitable — region schedules are memoized under
+  :func:`repro.incremental.hashing.region_fingerprint`, so a region
+  unchanged between points hits the ``schedule`` domain and its ASAP
+  schedule and operator allocation are not rebuilt (the estimator only
+  re-runs :func:`schedule_region` for the changed regions);
+* observable — :func:`region_delta` compares the fingerprint sets of
+  point *u* and point *u+1* and the result lands on the ``dse.point``
+  span (``incremental.regions_shared`` / ``incremental.regions_total``)
+  and the ``incremental.delta.reused_regions`` counter.
+
+There is no diff algorithm here on purpose.  Region identity is
+content-hashed, so "which regions changed" is set arithmetic over
+fingerprints — the hashes the memo needs anyway — and the reuse
+machinery cannot disagree with the reporting machinery about what
+counts as unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class RegionDelta:
+    """What changed, structurally, between two evaluated points."""
+
+    total: int      # regions in the current point
+    shared: int     # regions also present (by content) in the previous point
+    changed: int    # regions the previous point did not have
+
+    @property
+    def share_ratio(self) -> float:
+        return self.shared / self.total if self.total else 0.0
+
+    def as_attrs(self) -> dict:
+        """The ``dse.point`` span attribute payload."""
+        return {
+            "incremental.regions_total": self.total,
+            "incremental.regions_shared": self.shared,
+            "incremental.regions_changed": self.changed,
+        }
+
+
+def region_delta(
+    previous: Optional[Sequence[str]],
+    current: Sequence[str],
+) -> RegionDelta:
+    """Compare two points' region fingerprint lists (multiset-aware:
+    an unrolled program legitimately repeats identical regions, and a
+    repeat only counts as shared as many times as the previous point
+    had it)."""
+    total = len(current)
+    if not previous:
+        return RegionDelta(total=total, shared=0, changed=total)
+    available = Counter(previous)
+    shared = 0
+    for fingerprint in current:
+        if available[fingerprint] > 0:
+            available[fingerprint] -= 1
+            shared += 1
+    return RegionDelta(total=total, shared=shared, changed=total - shared)
+
+
+def delta_for(memo) -> RegionDelta:
+    """The delta between the memo's rolling previous point and the one
+    just evaluated (call inside ``MemoStore.begin_point`` scope, before
+    it rolls the ledger forward)."""
+    return region_delta(memo.previous_regions, memo.current_regions)
+
+
+__all__ = ["RegionDelta", "region_delta", "delta_for"]

@@ -158,6 +158,67 @@ def point_timeline(spans: List[Span]) -> List[str]:
     return lines
 
 
+# -- incremental reuse summary ------------------------------------------------
+
+def incremental_summary(spans: List[Span]) -> List[str]:
+    """Memo hit rates per job from ``dse.point`` span attributes.
+
+    Each point span carries ``incremental`` (``hit``/``miss``/``off``),
+    ``incremental.reused_regions`` (schedule regions served from the
+    memo on a miss), and ``incremental.verify_skips``; aggregating them
+    shows how much of the walk was amortized across neighboring points.
+    Runs recorded before incremental evaluation existed carry no
+    attribute at all and get no section (returns ``[]``) — old run
+    dirs render exactly as they always did.
+    """
+    points = [span for span in spans if span.name == "dse.point"]
+    tracked = [
+        span for span in points
+        if span.attributes.get("incremental") in ("hit", "miss")
+    ]
+    if not tracked:
+        if any(s.attributes.get("incremental") == "off" for s in points):
+            return ["  (incremental evaluation was off for this run)"]
+        return []
+    by_job: Dict[str, List[Span]] = {}
+    for span in tracked:
+        job = str(span.attributes.get("job")
+                  or span.attributes.get("kernel") or "?")
+        by_job.setdefault(job, []).append(span)
+    lines: List[str] = []
+    total_hits = total_points = 0
+    for job in sorted(by_job):
+        visits = by_job[job]
+        hits = sum(
+            1 for s in visits if s.attributes.get("incremental") == "hit"
+        )
+        regions = sum(
+            int(s.attributes.get("incremental.reused_regions") or 0)
+            for s in visits
+        )
+        skips = sum(
+            int(s.attributes.get("incremental.verify_skips") or 0)
+            for s in visits
+        )
+        total_hits += hits
+        total_points += len(visits)
+        parts = [
+            f"  {job}",
+            f"{hits}/{len(visits)} point hits "
+            f"({100.0 * hits / len(visits):.0f}%)",
+            f"{regions} regions reused",
+        ]
+        if skips:
+            parts.append(f"{skips} verify skips")
+        lines.append("  ".join(parts))
+    if len(by_job) > 1:
+        lines.append(
+            f"  overall  {total_hits}/{total_points} point hits "
+            f"({100.0 * total_hits / total_points:.0f}%)"
+        )
+    return lines
+
+
 # -- fraction-searched summary ------------------------------------------------
 
 def fraction_summary(events: List[obs_events.EventBase]) -> List[str]:
@@ -231,6 +292,12 @@ def render_report(obs: RunObservations) -> str:
     sections.append("per-point visit timeline")
     sections.append("")
     sections.extend(point_timeline(obs.spans))
+    reuse = incremental_summary(obs.spans)
+    if reuse:
+        sections.append("")
+        sections.append("incremental reuse")
+        sections.append("")
+        sections.extend(reuse)
     sections.append("")
     sections.append("fraction searched")
     sections.append("")

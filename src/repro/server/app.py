@@ -83,6 +83,8 @@ class ExplorationServer:
         shard_points: Optional[int] = None,
         tenant_policies: Optional[Dict[str, TenantPolicy]] = None,
         journal_segment_bytes: Optional[int] = None,
+        incremental: bool = True,
+        memo_dir: Optional[Path] = None,
     ):
         self.state_dir = Path(state_dir)
         self.host = host
@@ -104,6 +106,15 @@ class ExplorationServer:
             self.state_dir, queue_policy=self.admission.pick_next,
             **store_kwargs,
         )
+        #: incremental evaluation: on by default, memo journal under the
+        #: state dir so every job (and every server life) shares one
+        #: warm store.  ``memo_dir=None`` with ``incremental=False``
+        #: disables cross-point reuse entirely.
+        self.incremental = bool(incremental)
+        self.memo_dir = (
+            Path(memo_dir) if memo_dir is not None
+            else (self.state_dir / "memo" if self.incremental else None)
+        )
         self.coordinator = None
         if fleet:
             from repro.server.fleet import (
@@ -113,6 +124,8 @@ class ExplorationServer:
                 self.store,
                 lease_ttl_s=lease_ttl_s,
                 shard_points=shard_points or DEFAULT_SHARD_POINTS,
+                incremental=self.incremental,
+                memo_dir=self.memo_dir,
             )
         self.scheduler = Scheduler(
             self.store,
@@ -127,6 +140,8 @@ class ExplorationServer:
             fault_spec=fault_spec,
             executor_factory=executor_factory,
             spans_path=self.state_dir / "spans.jsonl",
+            incremental=self.incremental,
+            memo_dir=self.memo_dir,
         )
         self._bound_port: Optional[int] = None
 

@@ -218,6 +218,7 @@ def execute_shard(payload: Mapping[str, Any],
     program, kernel = load_program(spec.program)
     board = resolve_board(spec.board)
     _search, options = build_options(spec, kernel)
+    from contextlib import ExitStack
     from repro.dse.space import DesignSpace
     from repro.transform.unroll import UnrollVector
     cache = None
@@ -231,25 +232,36 @@ def execute_shard(payload: Mapping[str, Any],
     )
     started = time.perf_counter()
     evaluated: List[Dict[str, Any]] = []
-    for raw_point in payload.get("points", ()):
-        vector = UnrollVector(tuple(int(f) for f in raw_point))
-        evaluation = space.try_evaluate(vector)
-        if evaluation is None:
-            continue
-        evaluated.append({
-            "unroll": list(evaluation.unroll.factors),
-            "cycles": evaluation.cycles,
-            "space": evaluation.space,
-            "balance": evaluation.balance,
-            "fits": evaluation.estimate.fits(board),
-        })
+    memo = None
+    with ExitStack() as stack:
+        if runtime.get("incremental", True):
+            # Point shards share schedule/legality/verify work across
+            # their points; with a memo_dir, across shards and runs too.
+            from pathlib import Path
+            from repro.incremental import use_memo
+            from repro.incremental.journal import open_memo
+            memo_dir = runtime.get("memo_dir")
+            memo = open_memo(Path(memo_dir) if memo_dir else None)
+            stack.enter_context(use_memo(memo))
+        for raw_point in payload.get("points", ()):
+            vector = UnrollVector(tuple(int(f) for f in raw_point))
+            evaluation = space.try_evaluate(vector)
+            if evaluation is None:
+                continue
+            evaluated.append({
+                "unroll": list(evaluation.unroll.factors),
+                "cycles": evaluation.cycles,
+                "space": evaluation.space,
+                "balance": evaluation.balance,
+                "fits": evaluation.estimate.fits(board),
+            })
     if cache is not None:
         from repro.errors import CacheLockTimeout
         try:
             cache.save()
         except (CacheLockTimeout, OSError):
             pass  # estimates re-learned later; the shard result stands
-    return {
+    out = {
         "shard_id": shard_id,
         "job_id": payload.get("job_id", spec.id),
         "points": evaluated,
@@ -259,6 +271,13 @@ def execute_shard(payload: Mapping[str, Any],
         ],
         "wall_seconds": time.perf_counter() - started,
     }
+    if memo is not None:
+        out["memo"] = {
+            "hits": memo.hits, "misses": memo.misses,
+            "invalidations": memo.invalidations,
+        }
+        memo.flush()
+    return out
 
 
 def _execute_walk_shard(payload: Mapping[str, Any],
@@ -272,6 +291,7 @@ def _execute_walk_shard(payload: Mapping[str, Any],
     (minus the per-job observability plumbing).
     """
     shard_id = payload.get("shard_id", "")
+    runtime = payload.get("runtime") or {}
     spec = JobSpec.from_payload(payload["spec"])
     program, kernel = load_program(spec.program)
     board = resolve_board(spec.board)
@@ -281,7 +301,9 @@ def _execute_walk_shard(payload: Mapping[str, Any],
         from pathlib import Path
         from repro.service.shared_cache import SharedEstimateCache
         cache = SharedEstimateCache(Path(cache_path))
+    from pathlib import Path
     from repro.dse import DEFAULT_STRATEGY, ExploreConfig, explore
+    memo_dir = runtime.get("memo_dir")
     started = time.perf_counter()
     result = explore(program, board, config=ExploreConfig(
         search=search_options,
@@ -289,6 +311,8 @@ def _execute_walk_shard(payload: Mapping[str, Any],
         estimate_cache=cache,
         backend=spec.backend,
         fidelity=spec.fidelity,
+        incremental=bool(runtime.get("incremental", True)),
+        memo_dir=Path(memo_dir) if memo_dir else None,
     ))
     if cache is not None:
         from repro.errors import CacheLockTimeout
@@ -321,6 +345,8 @@ def _execute_walk_shard(payload: Mapping[str, Any],
         out["strategy"] = result.strategy
     if result.strategy_selection is not None:
         out["strategy_selection"] = result.strategy_selection.as_dict()
+    if result.memo_stats is not None:
+        out["memo"] = result.memo_stats
     switches = result.search.fidelity_switches
     if switches:
         out["fidelity_switches"] = [switch.as_dict() for switch in switches]
@@ -439,9 +465,17 @@ class FleetCoordinator:
     def __init__(self, store: JobStore,
                  lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
                  shard_points: int = DEFAULT_SHARD_POINTS,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 incremental: bool = True,
+                 memo_dir: Optional[Any] = None):
         self.store = store
         self.shard_points = shard_points
+        #: incremental-evaluation knobs stamped into every shard
+        #: payload's runtime map; ``memo_dir`` is coordinator-local, so
+        #: a worker on another machine overrides it with its own
+        #: ``--memo-dir`` (or degrades to a per-shard in-memory memo).
+        self.incremental = bool(incremental)
+        self.memo_dir = str(memo_dir) if memo_dir else None
         self.leases = LeaseTable(ttl_s=lease_ttl_s, clock=clock)
         self._lock = threading.Lock()
         self._jobs: Dict[str, _JobState] = {}           # job id -> state
@@ -535,7 +569,15 @@ class FleetCoordinator:
                 "points": len(shard.points),
             })
             current_registry().counter("fleet.shards_dispatched").inc()
-            return shard.to_payload(spec)
+            payload = shard.to_payload(spec)
+            runtime: Dict[str, Any] = {}
+            if not self.incremental:
+                runtime["incremental"] = False
+            if self.memo_dir is not None:
+                runtime["memo_dir"] = self.memo_dir
+            if runtime:
+                payload["runtime"] = runtime
+            return payload
 
     def _next_shard(self) -> Tuple[Optional[ShardSpec], Optional[JobSpec]]:
         """The next pending shard, claiming a fresh job if none remain."""
@@ -745,6 +787,9 @@ class WorkerOptions:
     max_shards: Optional[int] = None
     #: exit after this long with no work (None = run forever).
     idle_exit_s: Optional[float] = None
+    #: worker-local memo-journal directory; overrides the coordinator's
+    #: (coordinator paths are only valid on the coordinator's machine).
+    memo_dir: Optional[str] = None
 
 
 class FleetWorker:
@@ -834,9 +879,17 @@ class FleetWorker:
                     time.sleep(self.options.poll_s)
                     continue
                 idle_since = time.monotonic()
-                if self.options.fault_spec:
+                if self.options.fault_spec or self.options.memo_dir:
+                    # Merge, don't replace: the coordinator's runtime
+                    # knobs (incremental switch, scoreboard) must survive
+                    # worker-local overrides.
                     shard = dict(shard)
-                    shard["runtime"] = {"fault_spec": self.options.fault_spec}
+                    runtime = dict(shard.get("runtime") or {})
+                    if self.options.fault_spec:
+                        runtime["fault_spec"] = self.options.fault_spec
+                    if self.options.memo_dir:
+                        runtime["memo_dir"] = self.options.memo_dir
+                    shard["runtime"] = runtime
                 result = execute_shard(shard, cache_path=self.options.cache_path)
                 try:
                     post_shard_result(

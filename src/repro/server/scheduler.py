@@ -100,6 +100,8 @@ class Scheduler:
         fault_spec: Optional[str] = None,
         executor_factory: Optional[Callable[[int], Any]] = None,
         spans_path: Optional[Path] = None,
+        incremental: bool = True,
+        memo_dir: Optional[Path] = None,
     ):
         self.store = store
         self.registry = registry
@@ -113,6 +115,8 @@ class Scheduler:
         self.call_deadline_s = call_deadline_s
         self.cache_max_entries = cache_max_entries
         self.fault_spec = fault_spec
+        self.incremental = bool(incremental)
+        self.memo_dir = str(memo_dir) if memo_dir else None
         self.executor_factory = executor_factory or (
             lambda count: ProcessPoolExecutor(max_workers=count)
         )
@@ -214,12 +218,41 @@ class Scheduler:
                 break
             self._absorb_obs(payload)
             self.store.finish_ok(job, payload)
+            self._note_strategy(job, payload)
             self.registry.counter("server.jobs.completed").inc()
             break
         self.registry.histogram(
             "server.job_seconds", boundaries=JOB_SECONDS_BUCKETS
         ).observe(time.monotonic() - started)
         self.registry.gauge("server.queue_depth").set(self.store.queue_depth)
+
+    def _note_strategy(self, job: ServerJob, payload: Any) -> None:
+        """Fold one finished job into the store's durable scoreboard —
+        the batch runner's win criterion (a real speedup without a
+        degraded baseline), journaled so the tally survives restarts."""
+        if not isinstance(payload, Mapping):
+            return
+        from repro.dse import DEFAULT_STRATEGY
+        selection = payload.get("strategy_selection")
+        if isinstance(selection, Mapping):
+            self.store.record_strategy_selected(
+                job.id, selection.get("strategy"),
+                reason=selection.get("reason", ""),
+                features=selection.get("features"),
+            )
+        strategy = payload.get("strategy") or DEFAULT_STRATEGY
+        speedup = payload.get("speedup")
+        won = (
+            isinstance(speedup, (int, float)) and speedup >= 1.0
+            and not payload.get("baseline_degraded")
+        )
+        self.store.record_strategy_outcome(
+            job.id, strategy, won, speedup=speedup,
+            points_searched=payload.get("points_searched"),
+        )
+        self.registry.counter(
+            "dse.strategy.outcome", strategy=strategy, won=str(won).lower()
+        ).inc()
 
     def _classify(self, error: BaseException) -> JobFailure:
         if isinstance(error, _JobTimeout):
@@ -269,6 +302,16 @@ class Scheduler:
             runtime["cache_max_entries"] = self.cache_max_entries
         if self.fault_spec is not None:
             runtime["fault_spec"] = self.fault_spec
+        if not self.incremental:
+            runtime["incremental"] = False
+        if self.memo_dir is not None:
+            runtime["memo_dir"] = self.memo_dir
+        # Ship the durable win-rate tallies so a worker resolving
+        # ``--strategy auto`` consults everything every previous server
+        # life learned, not just this boot's outcomes.
+        scoreboard = self.store.scoreboard_snapshot()
+        if scoreboard:
+            runtime["scoreboard"] = scoreboard
         if runtime:
             payload["runtime"] = runtime
         return payload

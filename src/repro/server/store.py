@@ -99,16 +99,21 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 
-#: Events replay folds into job state.
-_REPLAY_FOLDED = ("job_submitted", "job_started", "job_done")
+#: Events replay folds into live state (jobs, or the strategy
+#: scoreboard for ``strategy_outcome``).
+_REPLAY_FOLDED = (
+    "job_submitted", "job_started", "job_done", "strategy_outcome",
+)
 
 #: Events replay recognizes but deliberately ignores: process markers,
-#: and the fleet vocabulary (the coordinator replays those itself via
-#: :meth:`JobStore.replay_records`).
+#: the fleet vocabulary (the coordinator replays those itself via
+#: :meth:`JobStore.replay_records`), and informational strategy
+#: decisions (the scoreboard folds outcomes, not selections).
 _REPLAY_IGNORED = frozenset({
     "server_start", "server_stop",
     "worker_registered", "lease_renewed", "lease_expired",
     "shard_dispatched", "shard_rehomed", "shard_done",
+    "strategy_selected",
 })
 
 
@@ -271,6 +276,11 @@ class JobStore:
         #: fold into job state (``shard_done`` of unfinished jobs, future
         #: vocabulary) — surfaced by :meth:`replay_records`.
         self._snapshot_events: List[Dict[str, Any]] = []
+        #: per-strategy win/trial tallies, folded from journaled
+        #: ``strategy_outcome`` events on every boot — what makes
+        #: ``--strategy auto`` remember across restarts.
+        from repro.dse.selector import StrategyScoreboard
+        self.scoreboard = StrategyScoreboard()
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self._replay()
         self._journal = DurableJournal(
@@ -310,6 +320,11 @@ class JobStore:
                 # A future producer's event type: skip it, count it,
                 # keep resuming — never abort on vocabulary we predate.
                 self.skipped_events += 1
+                continue
+            if event == "strategy_outcome":
+                strategy = record.get("strategy")
+                if isinstance(strategy, str) and strategy:
+                    self.scoreboard.record(strategy, bool(record.get("won")))
                 continue
             if event == "job_submitted":
                 job = self._job_from_record(record)
@@ -373,6 +388,11 @@ class JobStore:
             return list(self.jobs)
         self.jobs.clear()
         self._queue.clear()
+        from repro.dse.selector import StrategyScoreboard
+        board = state.get("scoreboard")
+        self.scoreboard = StrategyScoreboard.from_dict(
+            board if isinstance(board, Mapping) else {}
+        )
         self._snapshot_events = [
             dict(event) for event in state.get("events", ())
             if isinstance(event, Mapping)
@@ -459,6 +479,7 @@ class JobStore:
         state = {
             "jobs": [self._job_snapshot(job) for job in self.jobs.values()],
             "events": retained,
+            "scoreboard": self.scoreboard.as_dict(),
         }
         path = self._journal.compact(state, schema_version=SCHEMA_VERSION)
         self._snapshot_events = retained
@@ -582,6 +603,49 @@ class JobStore:
                 "event": "job_done", "job_id": job.id, "status": "failed",
                 "attempts": job.attempts, "failure": failure,
             }, required=False)
+
+    # -- strategy scoreboard ---------------------------------------------------
+
+    def record_strategy_outcome(
+        self,
+        job_id: str,
+        strategy: str,
+        won: bool,
+        speedup: Optional[float] = None,
+        points_searched: Optional[int] = None,
+    ) -> None:
+        """Fold one finished job into the win-rate ledger and journal
+        the typed ``strategy_outcome`` event (v1 vocabulary shared with
+        the batch ledger).  The fold happens even when the append drops:
+        the running process keeps learning, and only a restart inside
+        the drop window forgets this one outcome."""
+        with self._lock:
+            self.scoreboard.record(strategy, won)
+            self._append({
+                "event": "strategy_outcome", "job_id": job_id,
+                "strategy": strategy, "won": won, "speedup": speedup,
+                "points_searched": points_searched,
+                "trials": self.scoreboard.trials(strategy),
+                "win_rate": self.scoreboard.win_rate(strategy),
+            }, required=False)
+
+    def record_strategy_selected(
+        self, job_id: str, strategy: Optional[str],
+        reason: str = "", features: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Journal one ``auto`` selection decision (informational)."""
+        with self._lock:
+            self._append({
+                "event": "strategy_selected", "job_id": job_id,
+                "strategy": strategy, "reason": reason,
+                "features": dict(features) if features else None,
+            }, required=False)
+
+    def scoreboard_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """The current win-rate tallies (primitives; safe to ship to
+        workers in a job payload's runtime map)."""
+        with self._lock:
+            return self.scoreboard.as_dict()
 
     # -- queries ---------------------------------------------------------------
 

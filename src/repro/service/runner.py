@@ -205,6 +205,13 @@ class BatchRunner:
         cache_max_entries: LRU bound handed to each worker's cache view.
         fault_spec: fault-injection spec path handed to workers (chaos
             testing; see :mod:`repro.faults`).
+        incremental: hand workers the incremental-evaluation switch
+            (memoized cross-point reuse; see :mod:`repro.incremental`).
+            Defaults on; hits are bit-identical to recomputation, so
+            the knob never changes selections — only wall time.
+        memo_dir: shared memo-journal directory for the run; entries
+            learned by one job are replayed into jobs scheduled later
+            (and into future runs pointed at the same directory).
         spans_path: append every span the workers ship back to this
             JSONL file (``repro trace`` renders it); ``None`` keeps
             spans in worker payloads only until they are discarded.
@@ -231,6 +238,8 @@ class BatchRunner:
         fault_spec: Optional[str] = None,
         spans_path: Optional[Path] = None,
         metrics: Optional[MetricsRegistry] = None,
+        incremental: bool = True,
+        memo_dir: Optional[Path] = None,
     ):
         self.manifest = manifest
         self.workers = max(1, int(workers))
@@ -243,6 +252,8 @@ class BatchRunner:
         self.call_deadline_s = call_deadline_s
         self.cache_max_entries = cache_max_entries
         self.fault_spec = fault_spec
+        self.incremental = bool(incremental)
+        self.memo_dir = str(memo_dir) if memo_dir else None
         self.spans_path = Path(spans_path) if spans_path else None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         from repro.dse.selector import StrategyScoreboard
@@ -359,6 +370,10 @@ class BatchRunner:
             runtime["cache_max_entries"] = self.cache_max_entries
         if self.fault_spec is not None:
             runtime["fault_spec"] = self.fault_spec
+        if not self.incremental:
+            runtime["incremental"] = False
+        if self.memo_dir is not None:
+            runtime["memo_dir"] = self.memo_dir
         if runtime:
             payload["runtime"] = runtime
         return payload
@@ -635,6 +650,8 @@ def run_batch(
     cache_max_entries: Optional[int] = None,
     fault_spec: Optional[str] = None,
     spans_path: Optional[Path] = None,
+    incremental: bool = True,
+    memo_dir: Optional[Path] = None,
 ) -> BatchResult:
     """One-call convenience wrapper around the full crash-safe stack.
 
@@ -675,6 +692,10 @@ def run_batch(
             trace_path = run_dir / "trace.jsonl"
         if spans_path is None:
             spans_path = run_dir / "spans.jsonl"
+        if memo_dir is None and incremental:
+            # Journaled runs get a durable memo by default: a resumed or
+            # repeated run replays the journal and starts warm.
+            memo_dir = run_dir / "memo"
     try:
         with Telemetry(trace_path, mode=trace_mode) as telemetry:
             runner = BatchRunner(
@@ -689,6 +710,8 @@ def run_batch(
                 cache_max_entries=cache_max_entries,
                 fault_spec=fault_spec,
                 spans_path=spans_path,
+                incremental=incremental,
+                memo_dir=memo_dir,
             )
             batch = runner.run()
             if run_dir is not None:

@@ -161,12 +161,31 @@ def _execute(
     else:
         cache = GuardedEstimateCache(guard, job_id=spec.id)
     from repro.dse import ExploreConfig, explore
+    # Incremental evaluation is an engine knob, not part of job identity:
+    # memo hits are bit-identical to recomputation, so the flag rides the
+    # runtime map (like fault_spec) and never perturbs job hashes.  A
+    # shared memo_dir makes entries learned by one job visible to jobs
+    # scheduled later — the journal is flock-guarded, so concurrent
+    # workers flush safely.
+    incremental = runtime.get("incremental", True)
+    memo_dir = runtime.get("memo_dir")
+    # An auto-strategy job consults the coordinator's persisted win
+    # rates (the server journals strategy_outcome events durably), so
+    # selection keeps learning across server restarts.
+    scoreboard = None
+    tallies = runtime.get("scoreboard")
+    if isinstance(tallies, Mapping) and tallies:
+        from repro.dse.selector import StrategyScoreboard
+        scoreboard = StrategyScoreboard.from_dict(tallies)
     result = explore(program, board, config=ExploreConfig(
         search=search_options,
         pipeline=pipeline_options,
         estimate_cache=cache,
         backend=spec.backend,
         fidelity=spec.fidelity,
+        incremental=bool(incremental),
+        memo_dir=Path(memo_dir) if memo_dir else None,
+        scoreboard=scoreboard,
     ))
     t_explored = time.perf_counter()
     cache_save_error = None
@@ -222,6 +241,8 @@ def _execute(
         out["strategy"] = result.strategy
     if result.strategy_selection is not None:
         out["strategy_selection"] = result.strategy_selection.as_dict()
+    if result.memo_stats is not None:
+        out["memo"] = result.memo_stats
     switches = result.search.fidelity_switches
     if switches:
         out["fidelity_switches"] = [switch.as_dict() for switch in switches]

@@ -130,16 +130,48 @@ def synthesize(
     index_widths = index_variable_widths(program)
     blocks = program_blocks(program)
 
+    # Cross-point reuse: regions unchanged between neighboring design
+    # points hit the ambient memo's schedule domain and skip the DFG
+    # build + ASAP scheduling entirely.  The fingerprint covers the
+    # region's statements, referenced declarations, and everything
+    # schedule_region consults — so a hit is bit-identical to a rebuild.
+    from repro.incremental.memo import current_memo
+    memo = current_memo()
+    memo_context = None
+    if memo is not None:
+        from repro.incremental.hashing import schedule_context
+        memo_context = schedule_context(
+            physical, interleaved, index_widths, board.memory, library,
+            constraints,
+        )
+
     schedules: List[RegionSchedule] = []
     executed: List[Tuple[RegionSchedule, int]] = []
 
     def schedule_block(block: Block, executions: int) -> int:
         """Cycles for one block; records schedules along the way."""
         if isinstance(block, Region):
-            builder = DataflowBuilder(program, physical, index_widths, interleaved)
-            schedule = schedule_region(
-                builder.build(block), board.memory, library, constraints
-            )
+            schedule = None
+            fingerprint = None
+            if memo is not None:
+                from repro.incremental.hashing import region_fingerprint
+                fingerprint = region_fingerprint(
+                    block.statements, memo_context,
+                    symbols=program.symbol_table,
+                )
+                schedule = memo.schedule_get(fingerprint)
+            if schedule is None:
+                builder = DataflowBuilder(
+                    program, physical, index_widths, interleaved
+                )
+                schedule = schedule_region(
+                    builder.build(block), board.memory, library, constraints
+                )
+                if memo is not None:
+                    memo.schedule_put(fingerprint, schedule)
+                    memo.note_region(fingerprint, scheduled=True)
+            elif memo is not None:
+                memo.note_region(fingerprint, scheduled=False)
             schedules.append(schedule)
             executed.append((schedule, executions))
             return schedule.length

@@ -36,6 +36,8 @@ from typing import List, Optional, Tuple
 from repro import faults
 from repro.analysis.dependence import DependenceGraph
 from repro.errors import TransformError
+from repro.incremental.hashing import program_hash
+from repro.incremental.memo import current_memo
 from repro.obs import current_tracer
 from repro.ir.nest import LoopNest
 from repro.ir.symbols import Program
@@ -140,12 +142,25 @@ class _StageRunner:
     def checked(self, stage: str, program: Program) -> Program:
         if self.options.verify:
             contract = _CONTRACTS.get(stage) or TransformContract(stage)
+            # A program already verified under the same affine
+            # requirement cannot fail a second time: check_ir is a pure
+            # function of the IR (stage/kernel only decorate messages),
+            # so the memo skips the re-check.  Only successes are
+            # memoized — a failing check always raises fresh.
+            memo = current_memo()
+            key = None
+            if memo is not None:
+                key = f"{int(contract.affine)}:{program_hash(program)}"
+                if memo.verified(key):
+                    return program
             check_ir(
                 program,
                 require_affine=contract.affine,
                 stage=stage,
                 kernel=self.kernel,
             )
+            if memo is not None:
+                memo.note_verified(key)
         return program
 
 
@@ -175,6 +190,15 @@ def check_unroll_legality(program: Program, unroll: UnrollVector) -> None:
             f"unroll vector {unroll} does not match nest depth {nest.depth}",
             kernel=program.name, stage="legality",
         )
+    # Dependence legality is factor-independent: whether unroll-and-jam
+    # of depth d is legal depends only on the source nest, so the set of
+    # illegal depths is memoized per program hash and one graph build
+    # serves every point of a walk.  Divisibility stays inline — it is
+    # the factor-dependent half, and it is free.
+    memo = current_memo()
+    illegal: Optional[Tuple[int, ...]] = None
+    if memo is not None:
+        illegal = memo.legality_get(program_hash(program))
     graph: Optional[DependenceGraph] = None
     for depth, (info, factor) in enumerate(zip(nest.loops, unroll)):
         if factor == 1:
@@ -186,9 +210,20 @@ def check_unroll_legality(program: Program, unroll: UnrollVector) -> None:
                 kernel=program.name, stage="legality", loop=info.var,
                 location=info.loop.location,
             )
-        if graph is None:
-            graph = DependenceGraph.build(nest)
-        if not graph.unroll_and_jam_legal(depth):
+        if illegal is None:
+            if graph is None:
+                graph = DependenceGraph.build(nest)
+            if memo is not None:
+                illegal = tuple(
+                    d for d in range(nest.depth)
+                    if not graph.unroll_and_jam_legal(d)
+                )
+                memo.legality_put(program_hash(program), illegal)
+        if illegal is not None:
+            depth_legal = depth not in illegal
+        else:
+            depth_legal = graph.unroll_and_jam_legal(depth)
+        if not depth_legal:
             raise TransformError(
                 f"unroll-and-jam of loop {info.var!r} is illegal: a carried "
                 "dependence has a negative inner entry",

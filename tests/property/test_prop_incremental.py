@@ -1,0 +1,115 @@
+"""Property suite: incremental evaluation is invisible in the results.
+
+The equivalence contract, pinned over all five paper kernels and every
+registered strategy: a walk with ``--incremental`` — cold memo, warm
+memo, or journal-backed across runs — selects the **bit-identical**
+design (same unroll vector, same estimate fields, same baseline, same
+speedup) as the from-scratch walk, and a warm walk actually reuses
+(otherwise the flag is just overhead).
+
+The same holds under injected faults: with design points poisoned at
+the ``transform`` site, failures are never memoized, so the incremental
+walk reroutes or diagnoses exactly like the from-scratch one.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.dse import ExploreConfig, SearchOptions, explore, strategy_ids
+from repro.errors import NoFeasiblePoint, PointFailureBudgetExceeded
+from repro.target import wildstar_pipelined
+
+
+def run(kernel, strategy, incremental, memo_dir=None):
+    return explore(
+        kernel.program(), wildstar_pipelined(),
+        config=ExploreConfig(
+            search=SearchOptions(strategy=strategy),
+            incremental=incremental,
+            memo_dir=memo_dir,
+        ),
+    )
+
+
+def fingerprint(result):
+    """Everything the acceptance compares, as primitives."""
+    return {
+        "unroll": tuple(result.selected.unroll),
+        "estimate": result.selected.estimate,
+        "baseline_unroll": tuple(result.baseline.unroll),
+        "baseline_estimate": result.baseline.estimate,
+        "speedup": result.speedup,
+        "strategy": result.strategy,
+    }
+
+
+@pytest.mark.parametrize("strategy_id", strategy_ids())
+class TestEquivalence:
+    def test_cold_and_warm_match_from_scratch(
+        self, kernel, strategy_id, tmp_path
+    ):
+        scratch = run(kernel, strategy_id, incremental=False)
+        assert scratch.memo_stats is None
+
+        memo_dir = tmp_path / "memo"
+        cold = run(kernel, strategy_id, incremental=True, memo_dir=memo_dir)
+        warm = run(kernel, strategy_id, incremental=True, memo_dir=memo_dir)
+
+        assert fingerprint(cold) == fingerprint(scratch)
+        assert fingerprint(warm) == fingerprint(scratch)
+
+        # The warm walk must actually reuse: every point it visited was
+        # served from the journal the cold walk persisted.
+        assert warm.memo_stats is not None
+        assert warm.memo_stats["hits"] >= 1
+        assert warm.memo_stats["invalidations"] == 0
+
+
+class TestEquivalenceUnderFaults:
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        faults.deactivate()
+        yield
+        faults.deactivate()
+
+    def _poison_spec(self, tmp_path, kernel):
+        path = tmp_path / "poison.json"
+        path.write_text(json.dumps({
+            "seed": 7,
+            "faults": [{
+                "site": "transform", "mode": "transform_error",
+                "jobs": [kernel.name], "max_hits": 1000000,
+            }],
+        }))
+        return str(path)
+
+    def _outcome(self, kernel, incremental, memo_dir=None):
+        try:
+            result = run(kernel, "balance", incremental, memo_dir=memo_dir)
+        except (NoFeasiblePoint, PointFailureBudgetExceeded) as error:
+            return ("error", error.kind)
+        return ("ok", fingerprint(result))
+
+    def test_poisoned_walks_agree(self, kernel, tmp_path):
+        """Every point poisoned: both modes raise the same typed error
+        (failures are not memoized, so incremental cannot dodge them)."""
+        faults.activate(self._poison_spec(tmp_path, kernel))
+        scratch = self._outcome(kernel, incremental=False)
+        incremental = self._outcome(
+            kernel, incremental=True, memo_dir=tmp_path / "memo"
+        )
+        assert scratch == incremental
+        assert scratch[0] == "error"
+
+    def test_warm_memo_survives_poisoned_pipeline(self, kernel, tmp_path):
+        """A memo populated by a clean walk serves hits even when the
+        pipeline is poisoned afterward — and the selection is still the
+        clean selection (hits never re-enter the transform)."""
+        memo_dir = tmp_path / "memo"
+        clean = run(kernel, "balance", incremental=True, memo_dir=memo_dir)
+        faults.activate(self._poison_spec(tmp_path, kernel))
+        warm = run(kernel, "balance", incremental=True, memo_dir=memo_dir)
+        assert fingerprint(warm) == fingerprint(clean)
+        assert warm.memo_stats["hits"] >= 1

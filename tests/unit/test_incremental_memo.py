@@ -1,0 +1,223 @@
+"""Unit coverage for the incremental memo store and its journal.
+
+The memo layer's contracts, pinned one at a time:
+
+* four domains with hit/miss accounting and idempotent adoption;
+* schedule values survive the JSON codec bit-for-bit;
+* the journal round-trips entries across processes (load = flush⁻¹),
+  compacts into a snapshot segment, and degrades — never raises — on
+  write failure, counting every loss as an invalidation;
+* the ``/metrics`` counters exist at zero from construction.
+"""
+
+import pytest
+
+from repro.incremental.journal import MEMO_PREFIX, MemoJournal, open_memo
+from repro.incremental.memo import (
+    MemoStore, current_memo, decode_schedule, encode_schedule, use_memo,
+)
+from repro.obs import MetricsRegistry, use_registry
+from repro.synthesis.scheduling import RegionSchedule
+
+
+def sample_schedule():
+    return RegionSchedule(
+        length=7,
+        start_times={0: 0, 1: 2, 5: 3},
+        finish_times={0: 2, 1: 3, 5: 7},
+        memory_only_length=4,
+        compute_only_length=5,
+        memory_bits=96,
+        operator_demand={("mult", 16): 2, ("add", 24): 1},
+        memory_traffic={0: 3, 2: 1},
+    )
+
+
+class TestDomains:
+    def test_point_hit_and_miss_accounting(self):
+        memo = MemoStore()
+        assert memo.point_get("k") is None
+        memo.point_put("k", {"cycles": 5})
+        assert memo.point_get("k") == {"cycles": 5}
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_legality_roundtrips_depth_tuple(self):
+        memo = MemoStore()
+        memo.legality_put("src", (0, 2))
+        assert memo.legality_get("src") == (0, 2)
+
+    def test_verify_is_sticky(self):
+        memo = MemoStore()
+        assert not memo.verified("stage:1:abc")
+        memo.note_verified("stage:1:abc")
+        assert memo.verified("stage:1:abc")
+
+    def test_schedule_returns_decoded_object(self):
+        memo = MemoStore()
+        memo.schedule_put("r", sample_schedule())
+        assert memo.schedule_get("r") == sample_schedule()
+
+    def test_adoption_is_idempotent(self):
+        memo = MemoStore()
+        assert memo._adopt("point", "k", {"a": 1})
+        assert not memo._adopt("point", "k", {"a": 2})
+        assert memo._points["k"] == {"a": 1}
+
+    def test_unknown_domain_counts_invalidation(self):
+        memo = MemoStore()
+        assert not memo._adopt("wat", "k", 1)
+        assert memo.invalidations == 1
+
+    def test_counts_per_domain(self):
+        memo = MemoStore()
+        memo.point_put("p", {})
+        memo.legality_put("l", (1,))
+        memo.note_verified("v")
+        memo.schedule_put("s", sample_schedule())
+        assert memo.counts() == {
+            "point": 1, "legality": 1, "verify": 1, "schedule": 1,
+        }
+        assert len(memo) == 4
+
+
+class TestScheduleCodec:
+    def test_roundtrip_is_bit_identical(self):
+        schedule = sample_schedule()
+        assert decode_schedule(encode_schedule(schedule)) == schedule
+
+    def test_encoded_form_survives_json(self):
+        import json
+        schedule = sample_schedule()
+        wire = json.loads(json.dumps(encode_schedule(schedule)))
+        assert decode_schedule(wire) == schedule
+
+
+class TestCounters:
+    def test_registered_at_zero_on_construction(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            MemoStore()
+        snapshot = registry.snapshot()
+        names = {
+            series["name"] for series in snapshot.get("counters", [])
+        } if isinstance(snapshot.get("counters"), list) else set(
+            snapshot.get("counters", {})
+        )
+        text = str(snapshot)
+        for counter in (
+            "incremental.memo.hits",
+            "incremental.memo.misses",
+            "incremental.memo.invalidations",
+            "incremental.delta.reused_regions",
+        ):
+            assert counter in text or counter in names
+
+    def test_invalidate_counts_with_reason(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            memo = MemoStore()
+            memo.invalidate(3, reason="corrupt")
+        assert memo.invalidations == 3
+
+    def test_invalidate_ignores_nonpositive(self):
+        memo = MemoStore()
+        memo.invalidate(0)
+        memo.invalidate(-2)
+        assert memo.invalidations == 0
+
+
+class TestAmbient:
+    def test_use_memo_installs_and_restores(self):
+        assert current_memo() is None
+        memo = MemoStore()
+        with use_memo(memo):
+            assert current_memo() is memo
+        assert current_memo() is None
+
+    def test_nested_scopes_restore_outer(self):
+        outer, inner = MemoStore(), MemoStore()
+        with use_memo(outer):
+            with use_memo(inner):
+                assert current_memo() is inner
+            assert current_memo() is outer
+
+
+class TestJournal:
+    def test_flush_then_load_roundtrips(self, tmp_path):
+        writer = open_memo(tmp_path)
+        writer.point_put("p", {"cycles": 9})
+        writer.legality_put("l", (0,))
+        writer.note_verified("v")
+        writer.schedule_put("s", sample_schedule())
+        writer.close()
+        assert (tmp_path / f"{MEMO_PREFIX}.jsonl").exists()
+
+        reader = open_memo(tmp_path)
+        assert reader.point_get("p") == {"cycles": 9}
+        assert reader.legality_get("l") == (0,)
+        assert reader.verified("v")
+        assert reader.schedule_get("s") == sample_schedule()
+
+    def test_replayed_entries_are_not_rewritten(self, tmp_path):
+        writer = open_memo(tmp_path)
+        writer.point_put("p", {"cycles": 9})
+        writer.close()
+        reader = open_memo(tmp_path)
+        reader.point_put("p", {"cycles": 9})  # already adopted: no-op
+        assert reader._journal.pending == 0
+        reader.close()
+        third = open_memo(tmp_path)
+        assert third.point_get("p") == {"cycles": 9}
+
+    def test_compact_folds_to_snapshot(self, tmp_path):
+        store = open_memo(tmp_path)
+        for index in range(5):
+            store.point_put(f"p{index}", {"cycles": index})
+        store.flush()
+        assert store._journal.compact()
+        reloaded = open_memo(tmp_path)
+        assert reloaded.counts()["point"] == 5
+        assert reloaded.invalidations == 0
+
+    def test_write_failure_degrades_and_counts(self, tmp_path, monkeypatch):
+        store = open_memo(tmp_path)
+        store.point_put("p", {"cycles": 1})
+        journal = store._journal
+
+        def boom():
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(journal, "_open", boom)
+        assert journal.flush() == 0
+        assert journal.write_failures == 1
+        assert store.invalidations == 1
+        # The store keeps serving in memory.
+        assert store.point_get("p") == {"cycles": 1}
+
+    def test_corrupt_record_loads_as_invalidation(self, tmp_path):
+        store = open_memo(tmp_path)
+        store.point_put("p", {"cycles": 1})
+        store.point_put("q", {"cycles": 2})
+        store.close()
+        path = tmp_path / f"{MEMO_PREFIX}.jsonl"
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"cycles":1', '"cycles":3')
+        path.write_text("\n".join(lines) + "\n")
+
+        reloaded = open_memo(tmp_path)
+        assert reloaded.invalidations == 1
+        assert reloaded.point_get("q") == {"cycles": 2}
+        assert reloaded.point_get("p") is None
+
+    def test_ruined_journal_loads_empty(self, tmp_path):
+        path = tmp_path / f"{MEMO_PREFIX}.jsonl"
+        path.write_text("not json at all\n{broken\n")
+        store = open_memo(tmp_path)
+        assert len(store) == 0
+        assert store.invalidations >= 1
+
+    def test_open_memo_without_directory_is_ephemeral(self):
+        store = open_memo(None)
+        assert store._journal is None
+        store.flush()  # no-op, must not raise
+        store.close()
